@@ -1,0 +1,182 @@
+//! Criterion benches over the core algorithms — the micro/meso counterparts
+//! of the harness experiments (one group per paper figure family):
+//!
+//! * `simulation`       — maximum-simulation computation (plus naive oracle)
+//! * `topk_cyclic`      — Match vs TopK vs TopKnopt (Fig. 5(d) family)
+//! * `topk_dag`         — Match vs TopKDAG (Fig. 5(e) family)
+//! * `scalability`      — |G| sweep (Fig. 5(g)/(h) family)
+//! * `diversification`  — TopKDiv vs TopKDH (Fig. 5(j)/(k) family)
+//! * `bounds_ablation`  — Global vs DescLabelCount vs ProductReach
+//! * `ranking`          — relevant-set computation: shared DP vs BFS fallback
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpm_bench::workloads::{self, Settings};
+use gpm_core::config::{DivConfig, TopKConfig};
+use gpm_core::{top_k, top_k_by_match, top_k_diversified, top_k_diversified_heuristic};
+use gpm_datagen::datasets::Scale;
+use gpm_datagen::synthetic::{synthetic_graph, SyntheticConfig};
+use gpm_graph::DiGraph;
+use gpm_pattern::Pattern;
+use gpm_ranking::bounds::{output_upper_bounds, BoundConfig, BoundStrategy};
+use gpm_ranking::reach_sets::ReachConfig;
+use gpm_ranking::relevant_set::RelevantSets;
+use gpm_simulation::compute_simulation;
+
+fn small_settings() -> Settings {
+    let mut s = Settings::new(Scale::Small);
+    s.reps = 1;
+    s
+}
+
+fn workload_cyclic() -> (DiGraph, Pattern) {
+    let s = small_settings();
+    let d = workloads::youtube(&s);
+    let q = workloads::patterns_for(&d.graph, (5, 10), false, &s)
+        .into_iter()
+        .next()
+        .expect("pattern");
+    (d.graph, q)
+}
+
+fn workload_dag() -> (DiGraph, Pattern) {
+    let s = small_settings();
+    let d = workloads::citation(&s);
+    let q = workloads::patterns_for(&d.graph, (4, 6), true, &s)
+        .into_iter()
+        .next()
+        .expect("pattern");
+    (d.graph, q)
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let (g, q) = workload_cyclic();
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    group.bench_function("refinement", |b| {
+        b.iter(|| black_box(compute_simulation(&g, &q)).len())
+    });
+    // The naive oracle only at a reduced size (it is quadratic-ish).
+    let small = synthetic_graph(&SyntheticConfig::paper(2_000, 6_000, 3));
+    group.bench_function("naive_2k", |b| {
+        b.iter(|| black_box(gpm_simulation::naive::naive_simulation(&small, &q)).len())
+    });
+    group.finish();
+}
+
+fn bench_topk_cyclic(c: &mut Criterion) {
+    let (g, q) = workload_cyclic();
+    let mut group = c.benchmark_group("topk_cyclic");
+    group.sample_size(15);
+    let cfg = TopKConfig::new(10);
+    group.bench_function("match", |b| {
+        b.iter(|| black_box(top_k_by_match(&g, &q, &cfg)).total_relevance())
+    });
+    group.bench_function("topk", |b| {
+        b.iter(|| black_box(top_k(&g, &q, &cfg)).total_relevance())
+    });
+    group.bench_function("topk_nopt", |b| {
+        let n = cfg.clone().nopt(7);
+        b.iter(|| black_box(top_k(&g, &q, &n)).total_relevance())
+    });
+    group.finish();
+}
+
+fn bench_topk_dag(c: &mut Criterion) {
+    let (g, q) = workload_dag();
+    let mut group = c.benchmark_group("topk_dag");
+    group.sample_size(15);
+    let cfg = TopKConfig::new(10);
+    group.bench_function("match", |b| {
+        b.iter(|| black_box(top_k_by_match(&g, &q, &cfg)).total_relevance())
+    });
+    group.bench_function("topkdag", |b| {
+        b.iter(|| black_box(top_k(&g, &q, &cfg)).total_relevance())
+    });
+    group.finish();
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for nodes in [5_000usize, 10_000, 20_000] {
+        let g = synthetic_graph(&SyntheticConfig::sweep(nodes, 2 * nodes, 9));
+        let s = small_settings();
+        let Some(q) = workloads::patterns_for(&g, (4, 8), false, &s).into_iter().next()
+        else {
+            continue;
+        };
+        let cfg = TopKConfig::new(10);
+        group.bench_with_input(BenchmarkId::new("match", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(top_k_by_match(&g, &q, &cfg)).total_relevance())
+        });
+        group.bench_with_input(BenchmarkId::new("topk", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(top_k(&g, &q, &cfg)).total_relevance())
+        });
+    }
+    group.finish();
+}
+
+fn bench_diversification(c: &mut Criterion) {
+    let (g, q) = workload_cyclic();
+    let mut group = c.benchmark_group("diversification");
+    group.sample_size(10);
+    let cfg = DivConfig::new(10, 0.5);
+    group.bench_function("topkdiv", |b| {
+        b.iter(|| black_box(top_k_diversified(&g, &q, &cfg)).f_value)
+    });
+    group.bench_function("topkdh", |b| {
+        b.iter(|| black_box(top_k_diversified_heuristic(&g, &q, &cfg)).f_value)
+    });
+    group.finish();
+}
+
+fn bench_bounds_ablation(c: &mut Criterion) {
+    let (g, q) = workload_cyclic();
+    let sim = compute_simulation(&g, &q);
+    let space = sim.space();
+    let mut group = c.benchmark_group("bounds_ablation");
+    group.sample_size(20);
+    for strat in [
+        BoundStrategy::Global,
+        BoundStrategy::DescLabelCount,
+        BoundStrategy::ProductReach,
+    ] {
+        group.bench_function(format!("{strat:?}"), |b| {
+            b.iter(|| {
+                black_box(output_upper_bounds(&g, &q, space, strat, &BoundConfig::default()))
+                    .as_slice()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let (g, q) = workload_cyclic();
+    let sim = compute_simulation(&g, &q);
+    let mut group = c.benchmark_group("ranking");
+    group.sample_size(15);
+    group.bench_function("relevant_sets_dp", |b| {
+        b.iter(|| black_box(RelevantSets::compute(&g, &q, &sim)).len())
+    });
+    group.bench_function("relevant_sets_bfs", |b| {
+        let cfg = ReachConfig { budget_bytes: 0, threads: 2 };
+        b.iter(|| black_box(RelevantSets::compute_with(&g, &q, &sim, &cfg)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_topk_cyclic,
+    bench_topk_dag,
+    bench_scalability,
+    bench_diversification,
+    bench_bounds_ablation,
+    bench_ranking
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Diagnostic: proposal/verification hit rates per experiment workload.
+
+use gpm_bench::workloads::{self, Settings};
+use gpm_datagen::datasets::Scale;
+use gpm_datagen::patterns::{extract_pattern, propose_pattern, PatternGenConfig};
+use gpm_graph::DiGraph;
+
+fn probe(name: &str, g: &DiGraph, size: (usize, usize), dag: bool, sel: Option<f64>) {
+    let mut proposed = 0;
+    let mut verified = 0;
+    for t in 0..60u64 {
+        let mut cfg = PatternGenConfig::new(size.0, size.1, dag, t);
+        cfg.attr_selectivity = if g.has_attributes() { sel } else { None };
+        cfg.max_tries = 1;
+        if propose_pattern(g, &cfg, t.wrapping_mul(0x9E3779B97F4A7C15)).is_some() {
+            proposed += 1;
+        }
+        if extract_pattern(g, &cfg).is_some() {
+            verified += 1;
+        }
+    }
+    println!("{name} size={size:?} dag={dag}: proposed {proposed}/60 verified {verified}/60");
+}
+
+fn main() {
+    let s = Settings::new(Scale::Small);
+    let cit = workloads::citation(&s);
+    probe("citation", &cit.graph, (4, 6), true, s.attr_selectivity);
+    probe("citation", &cit.graph, (10, 15), true, s.attr_selectivity);
+    probe("citation", &cit.graph, (4, 3), true, s.attr_selectivity);
+    let ama = workloads::amazon(&s);
+    probe("amazon", &ama.graph, (4, 8), false, s.attr_selectivity);
+    let syn = workloads::synthetic_cyclic(10_000, 30_000, 42);
+    probe("sweep-cyc", &syn, (4, 8), false, None);
+    let sdag = workloads::synthetic_dag(10_000, 30_000, 42);
+    probe("sweep-dag", &sdag, (4, 6), true, None);
+}

@@ -1,0 +1,95 @@
+//! Diagnostic: distributions behind Proposition 3 on one workload.
+
+use gpm_core::config::TopKConfig;
+use gpm_core::{top_k, top_k_by_match};
+use gpm_bench::workloads::{self, Settings};
+use gpm_datagen::datasets::Scale;
+use gpm_ranking::bounds::{output_upper_bounds, BoundConfig, BoundStrategy};
+use gpm_ranking::relevant_set::RelevantSets;
+use gpm_simulation::compute_simulation;
+
+fn main() {
+    let mut s = Settings::new(Scale::Small);
+    s.reps = 1;
+    let d = workloads::youtube(&s);
+    let ps = workloads::patterns_for(&d.graph, (5, 10), false, &s);
+    let Some(q) = ps.first() else {
+        println!("no pattern");
+        return;
+    };
+    println!("pattern size {:?}, preds:", (q.node_count(), q.edge_count()));
+    for u in q.nodes() {
+        println!("  u{u}: {:?}", q.predicate(u));
+    }
+    let sim = compute_simulation(&d.graph, q);
+    let space = sim.space();
+    let mu = sim.output_matches(q);
+    println!("|can(uo)| = {}, |Mu| = {}", space.candidate_count(q.output()), mu.len());
+
+    let rs = RelevantSets::compute(&d.graph, q, &sim);
+    let mut deltas: Vec<u64> = (0..rs.len()).map(|i| rs.relevance(i)).collect();
+    deltas.sort_unstable_by(|a, b| b.cmp(a));
+    println!("δr top10: {:?}", &deltas[..deltas.len().min(10)]);
+    println!(
+        "δr p50 = {}, p90 = {}, max = {}",
+        deltas[deltas.len() / 2],
+        deltas[deltas.len() / 10],
+        deltas[0]
+    );
+
+    for strat in [BoundStrategy::DescLabelCount, BoundStrategy::ProductReach] {
+        let b = output_upper_bounds(&d.graph, q, space, strat, &BoundConfig::default());
+        let mut hs: Vec<u64> = b.as_slice().to_vec();
+        hs.sort_unstable_by(|a, b| b.cmp(a));
+        println!(
+            "{strat:?}: h max = {}, p10 = {}, p50 = {}, min = {}",
+            hs[0],
+            hs[hs.len() / 10],
+            hs[hs.len() / 2],
+            hs[hs.len() - 1]
+        );
+        // How many candidates have h below the k-th best δr?
+        let k = 10;
+        if deltas.len() >= k {
+            let kth = deltas[k - 1];
+            let below = hs.iter().filter(|&&h| h < kth).count();
+            println!(
+                "  kth δr = {kth}; candidates with h < kth: {below}/{} ({:.0}%)",
+                hs.len(),
+                100.0 * below as f64 / hs.len() as f64
+            );
+        }
+    }
+
+    // Soundness audit: h must dominate δr for every match.
+    {
+        let b = output_upper_bounds(
+            &d.graph, q, space, BoundStrategy::ProductReach, &BoundConfig::default(),
+        );
+        let mut bad = 0;
+        for (i, &v) in mu.iter().enumerate() {
+            let _ = i;
+            let h = b.h_of(space, q, v).unwrap();
+            let dr = rs.relevance_of(v).unwrap();
+            if h < dr {
+                bad += 1;
+                if bad <= 5 {
+                    println!("UNSOUND: match {v}: h = {h} < δr = {dr}");
+                }
+            }
+        }
+        println!("unsound bounds: {bad}/{}", mu.len());
+    }
+
+    let base = top_k_by_match(&d.graph, q, &TopKConfig::new(10));
+    let fast = top_k(&d.graph, q, &TopKConfig::new(10));
+    println!(
+        "Match {:?}; TopK {:?} inspected {}/{} early={} waves={}",
+        base.stats.elapsed,
+        fast.stats.elapsed,
+        fast.stats.inspected_matches,
+        mu.len(),
+        fast.stats.early_terminated,
+        fast.stats.waves,
+    );
+}

@@ -1,0 +1,117 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! experiments <exp> [--scale small|medium|paper] [--reps N] [--k N]
+//!             [--points N] [--seed N] [--csv DIR]
+//!
+//! exp: all | datasets | fig4 | fig5a | fig5b | fig5c | fig5d | fig5e |
+//!      fig5f | fig5g | fig5h | fig5i | fig5j | fig5k | fig5l | lambda
+//! ```
+//!
+//! (`fig5a`/`fig5d`, `fig5b`/`fig5e`, `fig5c`/`fig5f` are produced in
+//! pairs — one pass measures both MR and time.)
+
+use std::path::PathBuf;
+
+use gpm_bench::experiments as exp;
+use gpm_bench::Records;
+use gpm_bench::workloads::Settings;
+use gpm_datagen::datasets::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let which = args[0].clone();
+    let mut scale = Scale::Small;
+    let mut reps: usize = 3;
+    let mut k: usize = 10;
+    let mut points: usize = 5;
+    let mut seed: u64 = 20130826;
+    let mut csv: Option<PathBuf> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).cloned();
+        let need = |what: &str| -> String {
+            val.clone().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--scale" => {
+                scale = Scale::parse(&need("--scale")).unwrap_or_else(|| {
+                    eprintln!("bad scale (small|medium|paper)");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--reps" => {
+                reps = need("--reps").parse().expect("reps");
+                i += 2;
+            }
+            "--k" => {
+                k = need("--k").parse().expect("k");
+                i += 2;
+            }
+            "--points" => {
+                points = need("--points").parse().expect("points");
+                i += 2;
+            }
+            "--seed" => {
+                seed = need("--seed").parse().expect("seed");
+                i += 2;
+            }
+            "--csv" => {
+                csv = Some(PathBuf::from(need("--csv")));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage_and_exit();
+            }
+        }
+    }
+
+    let mut s = Settings::new(scale);
+    s.reps = reps;
+    s.k = k;
+    s.seed = seed;
+    let rec = Records::new();
+
+    let t0 = std::time::Instant::now();
+    match which.as_str() {
+        "all" => exp::run_all(&s, &rec, points),
+        "datasets" => exp::datasets(&s, &rec),
+        "fig4" => exp::fig4(&s, &rec),
+        "fig5a" | "fig5d" => exp::fig5a_5d(&s, &rec),
+        "fig5b" | "fig5e" => exp::fig5b_5e(&s, &rec),
+        "fig5c" | "fig5f" => exp::fig5c_5f(&s, &rec),
+        "fig5g" => exp::fig5g(&s, &rec, points),
+        "fig5h" => exp::fig5h(&s, &rec, points),
+        "fig5i" => exp::fig5i(&s, &rec),
+        "fig5j" => exp::fig5j(&s, &rec),
+        "fig5k" => exp::fig5k(&s, &rec),
+        "fig5l" => exp::fig5l(&s, &rec, points),
+        "lambda" => exp::lambda_sensitivity(&s, &rec),
+        _ => usage_and_exit(),
+    }
+    eprintln!("done in {:?} ({} tables)", t0.elapsed(), rec.len());
+
+    if let Some(dir) = csv {
+        rec.dump(&dir).expect("write results");
+        eprintln!("wrote CSV/JSON to {}", dir.display());
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: experiments <all|datasets|fig4|fig5a..fig5l|lambda> \
+         [--scale small|medium|paper] [--reps N] [--k N] [--points N] \
+         [--seed N] [--csv DIR]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,369 @@
+//! Per-figure experiment drivers (Section 6 of the paper).
+//!
+//! Every public function regenerates one table/figure of the evaluation and
+//! registers its series with a [`Records`] sink. IDs match the paper:
+//! `fig5a` … `fig5l`, `fig4`, `datasets`, plus the λ-sensitivity result the
+//! text reports without a figure.
+
+use gpm_core::config::{DivConfig, TopKConfig};
+use gpm_core::{
+    top_k, top_k_by_match, top_k_diversified, top_k_diversified_heuristic,
+};
+use gpm_datagen::patterns::{q1_youtube, q2_youtube, CYCLIC_SIZES, DAG_SIZES, SMALL_DAG_SIZES};
+use gpm_graph::stats::GraphStats;
+use gpm_graph::DiGraph;
+use gpm_pattern::Pattern;
+
+use crate::table::{Records, Table};
+use crate::workloads::{self, Settings};
+
+/// Averaged metrics for one algorithm over a pattern suite.
+#[derive(Debug, Clone, Copy, Default)]
+struct Avg {
+    time_s: f64,
+    mr: f64,
+    n: usize,
+}
+
+impl Avg {
+    fn push(&mut self, time_s: f64, mr: f64) {
+        self.time_s += time_s;
+        self.mr += mr;
+        self.n += 1;
+    }
+    fn time(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.time_s / self.n as f64 }
+    }
+    fn ratio(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.mr / self.n as f64 }
+    }
+}
+
+/// Runs Match / TopK(opt) / TopK(nopt) over one suite, returning
+/// (match, opt, nopt) averages. Also asserts cross-algorithm agreement —
+/// an experiment run doubles as a correctness check.
+fn run_relevance_suite(g: &DiGraph, patterns: &[Pattern], k: usize, seed: u64) -> [Avg; 3] {
+    let mut acc = [Avg::default(), Avg::default(), Avg::default()];
+    for q in patterns {
+        let base = top_k_by_match(g, q, &TopKConfig::new(k));
+        let total = base.stats.total_matches.unwrap_or(0).max(1);
+        acc[0].push(base.stats.elapsed.as_secs_f64(), 1.0);
+
+        let opt = top_k(g, q, &TopKConfig::new(k));
+        assert_eq!(opt.total_relevance(), base.total_relevance(), "TopK = Match");
+        acc[1].push(opt.stats.elapsed.as_secs_f64(), opt.stats.match_ratio(total));
+
+        let nopt = top_k(g, q, &TopKConfig::new(k).nopt(seed));
+        assert_eq!(nopt.total_relevance(), base.total_relevance(), "TopKnopt = Match");
+        acc[2].push(nopt.stats.elapsed.as_secs_f64(), nopt.stats.match_ratio(total));
+    }
+    acc
+}
+
+/// Runs TopKDiv / TopKDH over one suite, returning averages of
+/// (time_div, time_dh, f_div, f_dh).
+fn run_div_suite(g: &DiGraph, patterns: &[Pattern], k: usize, lambda: f64) -> [f64; 4] {
+    let mut t = [0.0f64; 2];
+    let mut f = [0.0f64; 2];
+    let mut n = 0usize;
+    for q in patterns {
+        let cfg = DivConfig::new(k, lambda);
+        let div = top_k_diversified(g, q, &cfg);
+        let dh = top_k_diversified_heuristic(g, q, &cfg);
+        t[0] += div.stats.elapsed.as_secs_f64();
+        t[1] += dh.stats.elapsed.as_secs_f64();
+        f[0] += div.f_value;
+        f[1] += dh.f_value;
+        n += 1;
+    }
+    if n == 0 {
+        return [f64::NAN; 4];
+    }
+    let n = n as f64;
+    [t[0] / n, t[1] / n, f[0] / n, f[1] / n]
+}
+
+fn size_label(size: (usize, usize)) -> String {
+    format!("({},{})", size.0, size.1)
+}
+
+// ------------------------------------------------------------------ tables
+
+/// Dataset statistics table (the §6 "Experimental setting" block).
+pub fn datasets(s: &Settings, rec: &Records) {
+    let mut t = Table::new(
+        "datasets",
+        format!("emulated datasets at scale {:?}", s.scale),
+        "dataset",
+        &["nodes", "edges", "labels", "max_out", "sccs", "dag"],
+    );
+    for d in [workloads::amazon(s), workloads::citation(s), workloads::youtube(s)] {
+        let st = GraphStats::compute(&d.graph);
+        t.push(
+            d.name,
+            vec![
+                st.nodes as f64,
+                st.edges as f64,
+                st.distinct_labels as f64,
+                st.max_out_degree as f64,
+                st.scc_count as f64,
+                if st.is_dag { 1.0 } else { 0.0 },
+            ],
+        );
+    }
+    rec.add(t);
+}
+
+/// Figures 5(a) + 5(d): MR and time vs cyclic `|Q|` on YouTube*.
+pub fn fig5a_5d(s: &Settings, rec: &Records) {
+    let d = workloads::youtube(s);
+    let mut mr = Table::new(
+        "fig5a",
+        "MR vs |Q| (cyclic, YouTube*, k = 10)",
+        "|Q|",
+        &["MR[TopK]", "MR[TopKnopt]"],
+    );
+    let mut tt = Table::new(
+        "fig5d",
+        "time (s) vs |Q| (cyclic, YouTube*)",
+        "|Q|",
+        &["Match", "TopKnopt", "TopK"],
+    );
+    for size in CYCLIC_SIZES {
+        let ps = workloads::patterns_for(&d.graph, size, false, s);
+        let [m, opt, nopt] = run_relevance_suite(&d.graph, &ps, s.k, s.seed);
+        mr.push(size_label(size), vec![opt.ratio(), nopt.ratio()]);
+        tt.push(size_label(size), vec![m.time(), nopt.time(), opt.time()]);
+    }
+    rec.add(mr);
+    rec.add(tt);
+}
+
+/// Figures 5(b) + 5(e): MR and time vs DAG `|Q|` on Citation*.
+pub fn fig5b_5e(s: &Settings, rec: &Records) {
+    let d = workloads::citation(s);
+    let mut mr = Table::new(
+        "fig5b",
+        "MR vs |Q| (DAG, Citation*, k = 10)",
+        "|Q|",
+        &["MR[TopKDAG]", "MR[TopKDAGnopt]"],
+    );
+    let mut tt = Table::new(
+        "fig5e",
+        "time (s) vs |Q| (DAG, Citation*)",
+        "|Q|",
+        &["Match", "TopKDAGnopt", "TopKDAG"],
+    );
+    for size in DAG_SIZES {
+        let ps = workloads::patterns_for(&d.graph, size, true, s);
+        let [m, opt, nopt] = run_relevance_suite(&d.graph, &ps, s.k, s.seed);
+        mr.push(size_label(size), vec![opt.ratio(), nopt.ratio()]);
+        tt.push(size_label(size), vec![m.time(), nopt.time(), opt.time()]);
+    }
+    rec.add(mr);
+    rec.add(tt);
+}
+
+/// Figures 5(c) + 5(f): MR and time vs k on Amazon* (|Q| = (4,8)).
+pub fn fig5c_5f(s: &Settings, rec: &Records) {
+    let d = workloads::amazon(s);
+    let ps = workloads::patterns_for(&d.graph, (4, 8), false, s);
+    let mut mr = Table::new(
+        "fig5c",
+        "MR vs k (Amazon*, |Q| = (4,8))",
+        "k",
+        &["MR[TopK]", "MR[TopKnopt]"],
+    );
+    let mut tt = Table::new(
+        "fig5f",
+        "time (s) vs k (Amazon*, |Q| = (4,8))",
+        "k",
+        &["Match", "TopKnopt", "TopK"],
+    );
+    for k in [5usize, 10, 15, 20, 25, 30] {
+        let [m, opt, nopt] = run_relevance_suite(&d.graph, &ps, k, s.seed);
+        mr.push(k.to_string(), vec![opt.ratio(), nopt.ratio()]);
+        tt.push(k.to_string(), vec![m.time(), nopt.time(), opt.time()]);
+    }
+    rec.add(mr);
+    rec.add(tt);
+}
+
+/// Figure 5(g): scalability on synthetic DAGs (|Q| = (4,6), k = 10).
+pub fn fig5g(s: &Settings, rec: &Records, points: usize) {
+    let mut t = Table::new(
+        "fig5g",
+        "time (s) vs |G| (synthetic DAG, |Q| = (4,6))",
+        "|G|",
+        &["Match", "TopKDAGnopt", "TopKDAG"],
+    );
+    for (v, e) in workloads::synthetic_sweep_sizes(s.scale, points) {
+        let g = workloads::synthetic_dag(v, e, s.seed ^ v as u64);
+        let ps = workloads::patterns_for(&g, (4, 6), true, s);
+        let [m, opt, nopt] = run_relevance_suite(&g, &ps, s.k, s.seed);
+        t.push(format!("({v},{e})"), vec![m.time(), nopt.time(), opt.time()]);
+    }
+    rec.add(t);
+}
+
+/// Figure 5(h): scalability on cyclic synthetic graphs (|Q| = (4,8)).
+pub fn fig5h(s: &Settings, rec: &Records, points: usize) {
+    let mut t = Table::new(
+        "fig5h",
+        "time (s) vs |G| (synthetic cyclic, |Q| = (4,8))",
+        "|G|",
+        &["Match", "TopKnopt", "TopK"],
+    );
+    for (v, e) in workloads::synthetic_sweep_sizes(s.scale, points) {
+        let g = workloads::synthetic_cyclic(v, e, s.seed ^ v as u64);
+        let ps = workloads::patterns_for(&g, (4, 8), false, s);
+        let [m, opt, nopt] = run_relevance_suite(&g, &ps, s.k, s.seed);
+        t.push(format!("({v},{e})"), vec![m.time(), nopt.time(), opt.time()]);
+    }
+    rec.add(t);
+}
+
+/// Figure 5(i): F(TopKDiv) vs F(TopKDH) on Amazon*, λ = 0.5, k = 10.
+pub fn fig5i(s: &Settings, rec: &Records) {
+    let d = workloads::amazon(s);
+    let mut t = Table::new(
+        "fig5i",
+        "F() vs |Q| (Amazon*, λ = 0.5, k = 10)",
+        "|Q|",
+        &["F[TopKDiv]", "F[TopKDH]", "ratio"],
+    );
+    for size in CYCLIC_SIZES {
+        let ps = workloads::div_patterns_for(&d.graph, size, false, s);
+        let [_, _, f_div, f_dh] = run_div_suite(&d.graph, &ps, s.k, 0.5);
+        t.push(size_label(size), vec![f_div, f_dh, f_dh / f_div]);
+    }
+    rec.add(t);
+}
+
+/// Figure 5(j): TopKDiv vs TopKDAGDH time on Citation* (small DAG sizes).
+pub fn fig5j(s: &Settings, rec: &Records) {
+    let d = workloads::citation(s);
+    let mut t = Table::new(
+        "fig5j",
+        "time (s) vs |Q| (DAG, Citation*, k = 10, λ = 0.5)",
+        "|Q|",
+        &["TopKDiv", "TopKDAGDH"],
+    );
+    for size in SMALL_DAG_SIZES {
+        let ps = workloads::div_patterns_for(&d.graph, size, true, s);
+        let [t_div, t_dh, _, _] = run_div_suite(&d.graph, &ps, s.k, 0.5);
+        t.push(size_label(size), vec![t_div, t_dh]);
+    }
+    rec.add(t);
+}
+
+/// Figure 5(k): TopKDiv vs TopKDH time on YouTube* (cyclic sizes).
+pub fn fig5k(s: &Settings, rec: &Records) {
+    let d = workloads::youtube(s);
+    let mut t = Table::new(
+        "fig5k",
+        "time (s) vs |Q| (cyclic, YouTube*, k = 10, λ = 0.5)",
+        "|Q|",
+        &["TopKDiv", "TopKDH"],
+    );
+    for size in CYCLIC_SIZES {
+        let ps = workloads::div_patterns_for(&d.graph, size, false, s);
+        let [t_div, t_dh, _, _] = run_div_suite(&d.graph, &ps, s.k, 0.5);
+        t.push(size_label(size), vec![t_div, t_dh]);
+    }
+    rec.add(t);
+}
+
+/// Figure 5(l): TopKDiv vs TopKDH scalability on synthetic cyclic graphs.
+pub fn fig5l(s: &Settings, rec: &Records, points: usize) {
+    let mut t = Table::new(
+        "fig5l",
+        "time (s) vs |G| (synthetic cyclic, |Q| = (4,8), λ = 0.5)",
+        "|G|",
+        &["TopKDiv", "TopKDH"],
+    );
+    for (v, e) in workloads::synthetic_sweep_sizes(s.scale, points) {
+        let g = workloads::synthetic_cyclic(v, e, s.seed ^ v as u64);
+        let ps = workloads::div_patterns_for(&g, (4, 8), false, s);
+        let [t_div, t_dh, _, _] = run_div_suite(&g, &ps, s.k, 0.5);
+        t.push(format!("({v},{e})"), vec![t_div, t_dh]);
+    }
+    rec.add(t);
+}
+
+/// λ-sensitivity (reported in the text of Exp-3): both diversified
+/// algorithms across λ ∈ {0, 0.2, …, 1.0} on a YouTube* pattern.
+pub fn lambda_sensitivity(s: &Settings, rec: &Records) {
+    let d = workloads::youtube(s);
+    let ps = workloads::div_patterns_for(&d.graph, (4, 8), false, s);
+    let mut t = Table::new(
+        "lambda",
+        "λ sensitivity (YouTube*, |Q| = (4,8), k = 10)",
+        "lambda",
+        &["t[TopKDiv]", "t[TopKDH]", "F[TopKDiv]", "F[TopKDH]"],
+    );
+    for i in 0..=5 {
+        let lambda = i as f64 / 5.0;
+        let [t_div, t_dh, f_div, f_dh] = run_div_suite(&d.graph, &ps, s.k, lambda);
+        t.push(format!("{lambda:.1}"), vec![t_div, t_dh, f_div, f_dh]);
+    }
+    rec.add(t);
+}
+
+/// Figure 4: the case study — top-2 relevant vs top-2 diversified matches
+/// of Q1/Q2 on YouTube*.
+pub fn fig4(s: &Settings, rec: &Records) {
+    let d = workloads::youtube(s);
+    let mut t = Table::new(
+        "fig4",
+        "case study: Q1/Q2 on YouTube* (k = 2, λ = 0.5)",
+        "query",
+        &["|Mu|", "rel_dr_1", "rel_dr_2", "div_dr_1", "div_dr_2", "div_changed"],
+    );
+    for (name, q) in [("Q1", q1_youtube()), ("Q2", q2_youtube())] {
+        let sim = gpm_simulation::compute_simulation(&d.graph, &q);
+        let mu = sim.output_matches(&q);
+        if mu.is_empty() {
+            t.push(name, vec![0.0, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]);
+            continue;
+        }
+        let rel = top_k(&d.graph, &q, &TopKConfig::new(2));
+        let div = top_k_diversified(&d.graph, &q, &DivConfig::new(2, 0.5));
+        let rd: Vec<f64> = rel.matches.iter().map(|m| m.relevance as f64).collect();
+        let dd: Vec<f64> = div.matches.iter().map(|m| m.relevance as f64).collect();
+        let changed = rel.nodes().iter().any(|n| !div.nodes().contains(n));
+        println!(
+            "fig4 {name}: top-2 relevant = {:?}, top-2 diversified = {:?}",
+            rel.nodes(),
+            div.nodes()
+        );
+        t.push(
+            name,
+            vec![
+                mu.len() as f64,
+                rd.first().copied().unwrap_or(f64::NAN),
+                rd.get(1).copied().unwrap_or(f64::NAN),
+                dd.first().copied().unwrap_or(f64::NAN),
+                dd.get(1).copied().unwrap_or(f64::NAN),
+                if changed { 1.0 } else { 0.0 },
+            ],
+        );
+    }
+    rec.add(t);
+}
+
+/// Runs everything (the `all` subcommand).
+pub fn run_all(s: &Settings, rec: &Records, points: usize) {
+    datasets(s, rec);
+    fig4(s, rec);
+    fig5a_5d(s, rec);
+    fig5b_5e(s, rec);
+    fig5c_5f(s, rec);
+    fig5g(s, rec, points);
+    fig5h(s, rec, points);
+    fig5i(s, rec);
+    fig5j(s, rec);
+    fig5k(s, rec);
+    fig5l(s, rec, points);
+    lambda_sensitivity(s, rec);
+}

@@ -1,0 +1,18 @@
+//! # gpm-bench
+//!
+//! The experiment harness reproducing **every table and figure** of the
+//! paper's evaluation (Section 6), plus criterion micro-benches.
+//!
+//! `cargo run -p gpm-bench --release --bin experiments -- all --scale medium`
+//! regenerates the series behind Figures 4 and 5(a)–5(l), the dataset
+//! table, and the λ-sensitivity result, printing paper-style tables and
+//! optionally dumping CSV/JSON records. Absolute numbers differ from the
+//! paper (different hardware, emulated datasets, configurable scale); the
+//! *shapes* — who wins, by what factor, where crossovers fall — are the
+//! reproduction targets recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::{Records, Table};

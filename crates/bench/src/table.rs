@@ -1,0 +1,179 @@
+//! Table rendering and machine-readable experiment records.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// A printable experiment table: one labelled row per x-axis point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `fig5a`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// x-axis column header.
+    pub x_label: String,
+    /// Value column headers.
+    pub columns: Vec<String>,
+    /// Rows: x label + one value per column (NaN = missing).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, x: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row arity");
+        self.rows.push((x.into(), values));
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ── {}", self.id, self.title);
+        let width = 12usize;
+        let xw = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let _ = write!(out, "{:<xw$}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, "{c:>width$}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x:<xw$}");
+            for v in vals {
+                if v.is_nan() {
+                    let _ = write!(out, "{:>width$}", "-");
+                } else if *v >= 100.0 {
+                    let _ = write!(out, "{v:>width$.1}");
+                } else {
+                    let _ = write!(out, "{v:>width$.4}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Thread-safe collection of produced tables, dumpable as CSV + JSON.
+#[derive(Default)]
+pub struct Records {
+    tables: Mutex<Vec<Table>>,
+}
+
+impl Records {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (and prints) a finished table.
+    pub fn add(&self, table: Table) {
+        println!("{}", table.render());
+        self.tables.lock().push(table);
+    }
+
+    /// Writes `<id>.csv` files plus a combined `results.json`.
+    pub fn dump(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tables = self.tables.lock();
+        for t in tables.iter() {
+            std::fs::write(dir.join(format!("{}.csv", t.id)), t.to_csv())?;
+        }
+        let json = serde_json::to_string_pretty(&*tables).expect("serializable");
+        std::fs::write(dir.join("results.json"), json)?;
+        Ok(())
+    }
+
+    /// Number of stored tables.
+    pub fn len(&self) -> usize {
+        self.tables.lock().len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("fig5x", "demo", "|Q|", &["a", "b"]);
+        t.push("(4,8)", vec![0.45, f64::NAN]);
+        t.push("(5,10)", vec![123.4, 0.5]);
+        let text = t.render();
+        assert!(text.contains("fig5x"));
+        assert!(text.contains("(4,8)"));
+        assert!(text.contains('-'), "NaN rendered as dash");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("|Q|,a,b"));
+        assert!(csv.contains("(5,10),123.4,0.5"));
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let r = Records::new();
+        assert!(r.is_empty());
+        let t = Table::new("t1", "x", "n", &["v"]);
+        r.add(t);
+        assert_eq!(r.len(), 1);
+        let dir = std::env::temp_dir().join("gpm_bench_records_test");
+        r.dump(&dir).unwrap();
+        assert!(dir.join("t1.csv").exists());
+        assert!(dir.join("results.json").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "t", "x", &["a", "b"]);
+        t.push("r", vec![1.0]);
+    }
+}

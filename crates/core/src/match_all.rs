@@ -1,0 +1,116 @@
+//! The `Match` baseline (Section 4): find **all** matches, then rank.
+//!
+//! 1. compute the maximum simulation `M(Q,G)` (`O((|Vp|+|V|)(|Ep|+|E|))`);
+//! 2. compute `δr(uo, v)` for *every* output match via relevant sets;
+//! 3. sort and return the k most relevant.
+//!
+//! This is the paper's comparison baseline for every efficiency experiment
+//! (Figures 5(d)–5(h)) and also the substrate of `TopKDiv`, which needs the
+//! full match set plus pairwise distances.
+
+use std::time::Instant;
+
+use gpm_graph::DiGraph;
+use gpm_pattern::Pattern;
+use gpm_ranking::reach_sets::ReachConfig;
+use gpm_ranking::relevant_set::RelevantSets;
+use gpm_simulation::{compute_simulation, SimRelation};
+
+use crate::config::TopKConfig;
+use crate::result::{RankedMatch, RunStats, TopKResult};
+
+/// Everything the find-all pipeline produces; reused by `TopKDiv` and the
+/// generalized rankers.
+pub struct MatchOutcome {
+    /// The maximum simulation.
+    pub sim: SimRelation,
+    /// Relevant sets of every output match.
+    pub relevant: RelevantSets,
+}
+
+/// Runs simulation + relevant-set computation.
+pub fn compute_match_outcome(g: &DiGraph, q: &Pattern, reach: &ReachConfig) -> MatchOutcome {
+    let sim = compute_simulation(g, q);
+    let relevant = RelevantSets::compute_with(g, q, &sim, reach);
+    MatchOutcome { sim, relevant }
+}
+
+/// The `Match` algorithm: top-k by relevance after computing everything.
+pub fn top_k_by_match(g: &DiGraph, q: &Pattern, cfg: &TopKConfig) -> TopKResult {
+    let t0 = Instant::now();
+    let outcome = compute_match_outcome(g, q, &cfg.reach);
+    let rs = &outcome.relevant;
+
+    let mut ranked: Vec<RankedMatch> = (0..rs.len())
+        .map(|i| RankedMatch { node: rs.matches()[i], relevance: rs.relevance(i) })
+        .collect();
+    ranked.sort_by(|a, b| b.relevance.cmp(&a.relevance).then(a.node.cmp(&b.node)));
+    ranked.truncate(cfg.k);
+
+    let total = rs.len();
+    TopKResult {
+        matches: ranked,
+        stats: RunStats {
+            output_candidates: outcome.sim.space().candidate_count(q.output()),
+            inspected_matches: total,
+            total_matches: Some(total),
+            waves: 1,
+            activated_leaves: 0,
+            propagation_updates: 0,
+            early_terminated: false,
+            elapsed: t0.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_pattern::builder::label_pattern;
+
+    #[test]
+    fn ranks_by_relevance() {
+        // Three a-roots with 3, 2 and 1 direct b-children (relevant sets
+        // follow pattern paths, so only b-children count for A→B).
+        let g = graph_from_parts(
+            &[0, 0, 0, 1, 1, 1],
+            &[(0, 3), (0, 4), (0, 5), (1, 4), (1, 5), (2, 5)],
+        )
+        .unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let r = top_k_by_match(&g, &q, &TopKConfig::new(2));
+        assert_eq!(r.nodes(), vec![0, 1]);
+        assert_eq!(r.matches[0].relevance, 3);
+        assert_eq!(r.matches[1].relevance, 2);
+        assert_eq!(r.total_relevance(), 5);
+        assert_eq!(r.stats.total_matches, Some(3));
+        assert!(!r.stats.early_terminated);
+        assert_eq!(r.stats.match_ratio(3), 1.0, "Match always inspects everything");
+    }
+
+    #[test]
+    fn k_larger_than_matches() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let r = top_k_by_match(&g, &q, &TopKConfig::new(10));
+        assert_eq!(r.matches.len(), 1);
+    }
+
+    #[test]
+    fn empty_on_no_match() {
+        let g = graph_from_parts(&[0], &[]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let r = top_k_by_match(&g, &q, &TopKConfig::new(3));
+        assert!(r.matches.is_empty());
+        assert_eq!(r.stats.total_matches, Some(0));
+    }
+
+    #[test]
+    fn tie_break_by_node_id() {
+        let g = graph_from_parts(&[0, 0, 1], &[(0, 2), (1, 2)]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let r = top_k_by_match(&g, &q, &TopKConfig::new(1));
+        assert_eq!(r.nodes(), vec![0], "equal δr resolved by ascending id");
+    }
+}

@@ -1,0 +1,120 @@
+//! Patterns with multiple output nodes — the Section 2.2 extension.
+//!
+//! The paper: "the results of this work extend to patterns with multiple
+//! output nodes" (not necessarily roots). Semantically, a pattern with
+//! output set `O ⊆ Vp` asks for `Mu(Q,G,u)` for every `u ∈ O` — each set
+//! determined by `u`'s own out-cone in the one shared maximum simulation,
+//! with the global emptiness rule applied once.
+//!
+//! The implementation runs the (early-terminating) single-output machinery
+//! per requested node on a re-targeted copy of the pattern; the non-root
+//! global existence check of Section 4.1's extension applies automatically.
+
+use gpm_graph::DiGraph;
+use gpm_pattern::{PNodeId, Pattern, PatternBuilder};
+
+use crate::config::TopKConfig;
+use crate::result::TopKResult;
+
+/// Re-targets a pattern to another output node (same topology/predicates).
+pub fn with_output(q: &Pattern, output: PNodeId) -> Pattern {
+    let mut b = PatternBuilder::new();
+    for u in q.nodes() {
+        b.node(q.name(u).to_owned(), q.predicate(u).clone());
+    }
+    for (s, t) in q.edges() {
+        b.edge(s, t).expect("nodes copied");
+    }
+    b.output(output).expect("valid node");
+    b.build().expect("same topology is valid")
+}
+
+/// Top-k matches for **each** requested output node, sharing `cfg`.
+///
+/// Returns one `(output node, result)` entry per request, in request order.
+/// Each result is exactly what [`crate::topk::top_k`] returns for the
+/// re-targeted pattern, so all guarantees (soundness of early termination,
+/// agreement with `Match`) carry over per output node.
+pub fn top_k_multi(
+    g: &DiGraph,
+    q: &Pattern,
+    outputs: &[PNodeId],
+    cfg: &TopKConfig,
+) -> Vec<(PNodeId, TopKResult)> {
+    outputs
+        .iter()
+        .map(|&u| {
+            let retargeted = with_output(q, u);
+            (u, crate::topk::top_k(g, &retargeted, cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::match_all::top_k_by_match;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_pattern::builder::label_pattern;
+
+    /// A → B → C chain queried at every node.
+    #[test]
+    fn per_output_results() {
+        //   0(a)→2(b)→4(c), 1(a)→3(b)  (3 has no c-child)
+        let g = graph_from_parts(&[0, 0, 1, 1, 2], &[(0, 2), (1, 3), (2, 4)]).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let results = top_k_multi(&g, &q, &[0, 1, 2], &TopKConfig::new(5));
+        assert_eq!(results.len(), 3);
+        let by_node: Vec<(u32, Vec<u32>)> =
+            results.iter().map(|(u, r)| (*u, r.nodes())).collect();
+        assert_eq!(by_node[0], (0, vec![0]), "only node 0 roots a full chain");
+        assert_eq!(by_node[1], (1, vec![2]), "node 3 lacks a c-child");
+        assert_eq!(by_node[2], (2, vec![4]));
+    }
+
+    /// Per-output answers agree with Match on the re-targeted pattern.
+    #[test]
+    fn agrees_with_match_per_output() {
+        let g = graph_from_parts(
+            &[0, 0, 1, 1, 2, 2],
+            &[(0, 2), (0, 3), (2, 4), (3, 5), (1, 3)],
+        )
+        .unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        for u in 0..3u32 {
+            let rq = with_output(&q, u);
+            let multi = top_k_multi(&g, &q, &[u], &TopKConfig::new(4));
+            let base = top_k_by_match(&g, &rq, &TopKConfig::new(4));
+            assert_eq!(multi[0].1.total_relevance(), base.total_relevance());
+            assert_eq!(multi[0].1.nodes(), base.nodes());
+        }
+    }
+
+    /// Global emptiness applies to every output node (the non-root check).
+    #[test]
+    fn global_emptiness_per_output() {
+        // Pattern A→B; graph has b-nodes but no a→b edge: M(Q,G) = ∅, so
+        // even the leaf output node B has no matches.
+        let g = graph_from_parts(&[0, 1, 1], &[]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let results = top_k_multi(&g, &q, &[1], &TopKConfig::new(3));
+        assert!(results[0].1.matches.is_empty());
+    }
+
+    /// Re-targeting preserves names and predicates.
+    #[test]
+    fn with_output_preserves_structure() {
+        let q = gpm_datagen::fig1_pattern();
+        let st = q.node_by_name("ST").unwrap();
+        let rq = with_output(&q, st);
+        assert_eq!(rq.output(), st);
+        assert_eq!(rq.node_count(), q.node_count());
+        assert_eq!(rq.edge_count(), q.edge_count());
+        assert_eq!(rq.name(st), "ST");
+        assert!(!rq.output_is_root());
+        // All STs match the leaf output on Fig. 1.
+        let g = gpm_datagen::fig1_graph();
+        let r = crate::topk::top_k(&g, &rq, &TopKConfig::new(10));
+        assert_eq!(r.matches.len(), 4, "ST1..ST4 all match, each with δr = 0");
+    }
+}

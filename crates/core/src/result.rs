@@ -1,0 +1,107 @@
+//! Results and run instrumentation.
+
+use std::time::Duration;
+
+use gpm_graph::NodeId;
+
+/// One ranked output match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankedMatch {
+    /// The matched data node.
+    pub node: NodeId,
+    /// Its relevance `δr(uo, node)` (exact when `exact_scores` is on).
+    pub relevance: u64,
+}
+
+/// Instrumentation of a run — the quantities Section 6 measures.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// `|can(uo)|`.
+    pub output_candidates: usize,
+    /// Matches of `uo` confirmed before termination — the paper's
+    /// `|M_t_u(Q,G,uo)|`, numerator of the match ratio `MR`.
+    pub inspected_matches: usize,
+    /// `|Mu(Q,G,uo)|` when the run determined it (always for `Match`;
+    /// for early-terminating runs only on exhaustion).
+    pub total_matches: Option<usize>,
+    /// Propagation waves executed.
+    pub waves: usize,
+    /// Leaf candidates activated.
+    pub activated_leaves: usize,
+    /// Pair-vector recomputations (propagation work measure).
+    pub propagation_updates: u64,
+    /// Whether Proposition 3 fired before exhaustion.
+    pub early_terminated: bool,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Match ratio `MR = |M_t_u| / |Mu|` against a known total (from a
+    /// baseline run when this run terminated early).
+    pub fn match_ratio(&self, total_matches: usize) -> f64 {
+        if total_matches == 0 {
+            return 0.0;
+        }
+        self.inspected_matches as f64 / total_matches as f64
+    }
+}
+
+/// Result of a topKP run.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// Up to `k` matches, sorted by descending relevance (ties by node id).
+    pub matches: Vec<RankedMatch>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl TopKResult {
+    /// Total relevance `δr(S)` of the returned set.
+    pub fn total_relevance(&self) -> u64 {
+        self.matches.iter().map(|m| m.relevance).sum()
+    }
+
+    /// Just the node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.matches.iter().map(|m| m.node).collect()
+    }
+}
+
+/// Result of a topKDP run.
+#[derive(Debug, Clone)]
+pub struct DivResult {
+    /// The selected diversified match set.
+    pub matches: Vec<RankedMatch>,
+    /// `F(S)` of the returned set (computed with exact relevant sets).
+    pub f_value: f64,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl DivResult {
+    /// Just the node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.matches.iter().map(|m| m.node).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratio() {
+        let r = TopKResult {
+            matches: vec![
+                RankedMatch { node: 1, relevance: 8 },
+                RankedMatch { node: 2, relevance: 6 },
+            ],
+            stats: RunStats { inspected_matches: 2, ..Default::default() },
+        };
+        assert_eq!(r.total_relevance(), 14);
+        assert_eq!(r.nodes(), vec![1, 2]);
+        assert!((r.stats.match_ratio(4) - 0.5).abs() < 1e-12);
+        assert_eq!(r.stats.match_ratio(0), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Node attributes.
+//!
+//! The paper's data graphs carry labels, but its real-life queries (Fig. 4)
+//! filter on node *attributes* — e.g. a YouTube video's `category`, `rate`,
+//! `views` and `age`, or an Amazon product's `group` and `sales rank`. The
+//! paper notes (Section 2.2) that patterns extend to "multiple predicates on
+//! attributes"; this module supplies the attribute storage those predicates
+//! evaluate against.
+
+use std::fmt;
+
+/// A single attribute value. Comparison across variants is always `false`
+/// for ordering predicates; equality across variants is `false` too.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer-valued attribute (e.g. `views`, `sales_rank`, `year`).
+    Int(i64),
+    /// Floating attribute (e.g. `rate`).
+    Float(f64),
+    /// String attribute (e.g. `category`, `venue`).
+    Str(String),
+}
+
+impl AttrValue {
+    /// Numeric view: integers widen to `f64`; strings are `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            AttrValue::Str(_) => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// Per-node attribute map.
+///
+/// Nodes typically carry 0–5 attributes, so a small sorted vector of
+/// `(key, value)` pairs beats a hash map both in memory and lookup time
+/// (see the perf-book guidance on small collections).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Attributes {
+    entries: Vec<(String, AttrValue)>,
+}
+
+impl Attributes {
+    /// Empty attribute map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(key, value)` pairs; later duplicates overwrite earlier.
+    pub fn from_pairs<K, V>(pairs: impl IntoIterator<Item = (K, V)>) -> Self
+    where
+        K: Into<String>,
+        V: Into<AttrValue>,
+    {
+        let mut a = Self::new();
+        for (k, v) in pairs {
+            a.set(k.into(), v.into());
+        }
+        a
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<AttrValue>) {
+        let key = key.into();
+        let value = value.into();
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key, value)),
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no attribute is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut a = Attributes::new();
+        a.set("views", 5000i64);
+        a.set("category", "music");
+        a.set("views", 6000i64);
+        assert_eq!(a.get("views"), Some(&AttrValue::Int(6000)));
+        assert_eq!(a.get("category").and_then(|v| v.as_str()), Some("music"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn from_pairs_sorted_iteration() {
+        let a = Attributes::from_pairs([("z", 1i64), ("a", 2i64), ("m", 3i64)]);
+        let keys: Vec<_> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(AttrValue::Int(4).as_f64(), Some(4.0));
+        assert_eq!(AttrValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(AttrValue::Str("x".into()).as_f64(), None);
+        assert_eq!(AttrValue::from("rock").as_str(), Some("rock"));
+        assert!(Attributes::new().is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AttrValue::Int(7).to_string(), "7");
+        assert_eq!(AttrValue::Str("a".into()).to_string(), "a");
+    }
+}

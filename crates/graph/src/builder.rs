@@ -1,0 +1,205 @@
+//! Incremental graph construction.
+
+use crate::attrs::Attributes;
+use crate::csr::Csr;
+use crate::digraph::{DiGraph, Label, NodeId};
+use crate::error::GraphError;
+
+/// Builds a [`DiGraph`] incrementally, validating node references and
+/// deduplicating parallel edges.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    names: Vec<String>,
+    any_named: bool,
+    attrs: Vec<Attributes>,
+    any_attrs: bool,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with node/edge capacity reserved up front (cf. perf-book:
+    /// reserve when the final size is known).
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        let mut b = Self::new();
+        b.labels.reserve(nodes);
+        b.edges.reserve(edges);
+        b
+    }
+
+    /// Adds a node with `label`, returning its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = self.labels.len() as NodeId;
+        self.labels.push(label);
+        self.names.push(String::new());
+        self.attrs.push(Attributes::new());
+        id
+    }
+
+    /// Adds a node with a display name (used by examples and fixtures).
+    pub fn add_named_node(&mut self, name: impl Into<String>, label: Label) -> NodeId {
+        let id = self.add_node(label);
+        self.names[id as usize] = name.into();
+        self.any_named = true;
+        id
+    }
+
+    /// Adds a node with attributes.
+    pub fn add_node_with_attrs(&mut self, label: Label, attrs: Attributes) -> NodeId {
+        let id = self.add_node(label);
+        if !attrs.is_empty() {
+            self.any_attrs = true;
+        }
+        self.attrs[id as usize] = attrs;
+        id
+    }
+
+    /// Sets attributes of an existing node.
+    pub fn set_attrs(&mut self, v: NodeId, attrs: Attributes) -> Result<(), GraphError> {
+        let slot = self
+            .attrs
+            .get_mut(v as usize)
+            .ok_or(GraphError::UnknownNode(v))?;
+        if !attrs.is_empty() {
+            self.any_attrs = true;
+        }
+        *slot = attrs;
+        Ok(())
+    }
+
+    /// Adds a directed edge; parallel duplicates are removed at `build`.
+    pub fn add_edge(&mut self, s: NodeId, t: NodeId) -> Result<(), GraphError> {
+        let n = self.labels.len() as u32;
+        if s >= n {
+            return Err(GraphError::UnknownNode(s));
+        }
+        if t >= n {
+            return Err(GraphError::UnknownNode(t));
+        }
+        self.edges.push((s, t));
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable [`DiGraph`].
+    pub fn build(mut self) -> DiGraph {
+        let n = self.labels.len();
+        // Deduplicate parallel edges (the paper's graphs are simple).
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let fwd = Csr::from_edges(n, &self.edges);
+        let rev = fwd.reversed(n);
+
+        // Group node ids by label for O(1) candidate lookups.
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_unstable_by_key(|&v| (self.labels[v as usize], v));
+        let mut spans: Vec<(Label, u32, u32)> = Vec::new();
+        for (i, &v) in order.iter().enumerate() {
+            let l = self.labels[v as usize];
+            match spans.last_mut() {
+                Some((last, _, end)) if *last == l => *end = i as u32 + 1,
+                _ => spans.push((l, i as u32, i as u32 + 1)),
+            }
+        }
+
+        DiGraph {
+            fwd,
+            rev,
+            labels: self.labels,
+            names: self.any_named.then_some(self.names),
+            attrs: self.any_attrs.then_some(self.attrs),
+            by_label_nodes: order,
+            by_label_spans: spans,
+        }
+    }
+}
+
+/// Builds a graph directly from label and edge slices (fixture helper).
+pub fn graph_from_parts(labels: &[Label], edges: &[(NodeId, NodeId)]) -> Result<DiGraph, GraphError> {
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    for &l in labels {
+        b.add_node(l);
+    }
+    for &(s, t) in edges {
+        b.add_edge(s, t)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_validation() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(2);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, c).unwrap(); // duplicate
+        assert!(matches!(b.add_edge(a, 99), Err(GraphError::UnknownNode(99))));
+        assert!(matches!(b.add_edge(98, a), Err(GraphError::UnknownNode(98))));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_parts() {
+        let g = graph_from_parts(&[0, 0, 1], &[(0, 2), (1, 2)]).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.nodes_with_label(0).len(), 2);
+        assert!(graph_from_parts(&[0], &[(0, 1)]).is_err());
+    }
+
+    #[test]
+    fn attrs_on_build() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node_with_attrs(0, Attributes::from_pairs([("views", 10i64)]));
+        let w = b.add_node(0);
+        b.set_attrs(w, Attributes::from_pairs([("views", 3i64)])).unwrap();
+        assert!(b.set_attrs(9, Attributes::new()).is_err());
+        let g = b.build();
+        assert!(g.has_attributes());
+        assert_eq!(
+            g.attributes(v).unwrap().get("views").and_then(|x| x.as_f64()),
+            Some(10.0)
+        );
+        assert_eq!(
+            g.attributes(w).unwrap().get("views").and_then(|x| x.as_f64()),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn no_attrs_no_table() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        let g = b.build();
+        assert!(!g.has_attributes());
+        assert!(g.attributes(0).is_none());
+    }
+
+    #[test]
+    fn capacity_and_counts() {
+        let mut b = GraphBuilder::with_capacity(10, 20);
+        let a = b.add_node(0);
+        let c = b.add_node(0);
+        b.add_edge(a, c).unwrap();
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.edge_count(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! The matching algorithms scan successor and predecessor lists of millions
+//! of nodes; CSR keeps each adjacency list contiguous (one `offsets` lookup,
+//! then a cache-friendly slice scan) and the whole structure in two flat
+//! vectors.
+
+use crate::digraph::NodeId;
+
+/// One adjacency direction of a graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted target lists.
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list. `edges` need not be sorted; duplicate
+    /// edges must already have been removed by the caller.
+    pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut degree = vec![0u32; node_count];
+        for &(s, _) in edges {
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+        let mut targets = vec![0 as NodeId; edges.len()];
+        for &(s, t) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        // Sort each adjacency list so membership tests can binary-search.
+        let mut csr = Csr { offsets, targets };
+        for v in 0..node_count {
+            let (a, b) = csr.range(v as NodeId);
+            csr.targets[a..b].sort_unstable();
+        }
+        csr
+    }
+
+    /// Reverses a CSR (swaps edge directions).
+    pub fn reversed(&self, node_count: usize) -> Self {
+        let mut edges = Vec::with_capacity(self.targets.len());
+        for v in 0..node_count as NodeId {
+            for &t in self.neighbors(v) {
+                edges.push((t, v));
+            }
+        }
+        Csr::from_edges(node_count, &edges)
+    }
+
+    #[inline]
+    fn range(&self, v: NodeId) -> (usize, usize) {
+        (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize)
+    }
+
+    /// Successors of `v` (sorted).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let (a, b) = self.range(v);
+        &self.targets[a..b]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let (a, b) = self.range(v);
+        b - a
+    }
+
+    /// `true` iff the edge `(v, t)` is present.
+    #[inline]
+    pub fn has_edge(&self, v: NodeId, t: NodeId) -> bool {
+        self.neighbors(v).binary_search(&t).is_ok()
+    }
+
+    /// Total number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_basic() {
+        let csr = Csr::from_edges(4, &[(0, 2), (0, 1), (2, 3), (1, 3)]);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[3]);
+        assert_eq!(csr.neighbors(3), &[] as &[NodeId]);
+        assert_eq!(csr.degree(0), 2);
+        assert!(csr.has_edge(0, 2));
+        assert!(!csr.has_edge(2, 0));
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.node_count(), 4);
+    }
+
+    #[test]
+    fn reversed_roundtrip() {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let rev = csr.reversed(3);
+        assert_eq!(rev.neighbors(2), &[0, 1]);
+        assert_eq!(rev.neighbors(1), &[0]);
+        assert_eq!(rev.neighbors(0), &[] as &[NodeId]);
+        assert_eq!(rev.reversed(3), csr);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let csr = Csr::from_edges(5, &[(4, 0)]);
+        for v in 0..4 {
+            assert_eq!(csr.degree(v), 0);
+        }
+        assert_eq!(csr.neighbors(4), &[0]);
+    }
+}

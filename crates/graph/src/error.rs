@@ -1,0 +1,61 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, validation and (de)serialization.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id that was never declared.
+    UnknownNode(u32),
+    /// A node id exceeded the supported maximum (`u32::MAX - 1`).
+    TooManyNodes(usize),
+    /// Text or binary input could not be parsed.
+    Parse { line: usize, msg: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A binary snapshot had an invalid header or was truncated.
+    Corrupt(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::TooManyNodes(n) => write!(f, "too many nodes: {n}"),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(GraphError::UnknownNode(3).to_string(), "unknown node id 3");
+        assert!(GraphError::TooManyNodes(99).to_string().contains("99"));
+        let p = GraphError::Parse { line: 7, msg: "bad".into() };
+        assert!(p.to_string().contains("line 7"));
+        let io = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(io.to_string().contains("i/o"));
+        assert!(GraphError::Corrupt("hdr".into()).to_string().contains("hdr"));
+    }
+}

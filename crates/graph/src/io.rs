@@ -1,0 +1,252 @@
+//! Graph (de)serialization.
+//!
+//! Two formats are provided:
+//!
+//! * a line-oriented **text** format (`v <id> <label> [name]` / `e <src>
+//!   <dst>`, `#` comments) convenient for fixtures and interoperability with
+//!   edge-list exports of real datasets;
+//! * a compact **binary snapshot** (magic `GPMG`, version, labels, edge
+//!   list) built on the `bytes` crate, used by the experiment harness to
+//!   cache generated graphs between runs.
+//!
+//! Attribute tables are not serialized; generators re-derive them. Labels and
+//! topology — everything the matching semantics depend on — round-trip.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::GraphBuilder;
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+use crate::Result;
+
+// ---------------------------------------------------------------- text I/O
+
+/// Writes `g` in the text format.
+pub fn write_text(g: &DiGraph, mut w: impl Write) -> Result<()> {
+    writeln!(w, "# gpm graph: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    for v in g.nodes() {
+        match g.name(v) {
+            Some(name) if !name.is_empty() => writeln!(w, "v {v} {} {name}", g.label(v))?,
+            _ => writeln!(w, "v {v} {}", g.label(v))?,
+        }
+    }
+    for e in g.edges() {
+        writeln!(w, "e {} {}", e.source, e.target)?;
+    }
+    Ok(())
+}
+
+/// Parses the text format.
+pub fn read_text(r: impl Read) -> Result<DiGraph> {
+    let reader = BufReader::new(r);
+    let mut nodes: Vec<(NodeId, u32, Option<String>)> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap();
+        let parse_u32 = |s: Option<&str>, what: &str| -> Result<u32> {
+            s.ok_or_else(|| GraphError::Parse { line: lineno, msg: format!("missing {what}") })?
+                .parse::<u32>()
+                .map_err(|e| GraphError::Parse { line: lineno, msg: format!("bad {what}: {e}") })
+        };
+        match kind {
+            "v" => {
+                let id = parse_u32(parts.next(), "node id")?;
+                let label = parse_u32(parts.next(), "label")?;
+                let name = parts.next().map(str::to_owned);
+                nodes.push((id, label, name));
+            }
+            "e" => {
+                let s = parse_u32(parts.next(), "source")?;
+                let t = parse_u32(parts.next(), "target")?;
+                edges.push((s, t));
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: format!("unknown record kind {other:?}"),
+                })
+            }
+        }
+    }
+    nodes.sort_unstable_by_key(|&(id, _, _)| id);
+    for (i, &(id, _, _)) in nodes.iter().enumerate() {
+        if id as usize != i {
+            return Err(GraphError::Parse {
+                line: 0,
+                msg: format!("node ids must be dense 0..n; got {id} at position {i}"),
+            });
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(nodes.len(), edges.len());
+    for (_, label, name) in nodes {
+        match name {
+            Some(n) => {
+                b.add_named_node(n, label);
+            }
+            None => {
+                b.add_node(label);
+            }
+        }
+    }
+    for (s, t) in edges {
+        b.add_edge(s, t)?;
+    }
+    Ok(b.build())
+}
+
+// -------------------------------------------------------------- binary I/O
+
+const MAGIC: &[u8; 4] = b"GPMG";
+const VERSION: u16 = 1;
+
+/// Serializes `g` into a binary snapshot.
+pub fn to_bytes(g: &DiGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + 4 * g.node_count() + 8 * g.edge_count());
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(g.node_count() as u32);
+    buf.put_u64(g.edge_count() as u64);
+    for v in g.nodes() {
+        buf.put_u32(g.label(v));
+    }
+    for e in g.edges() {
+        buf.put_u32(e.source);
+        buf.put_u32(e.target);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a binary snapshot.
+pub fn from_bytes(mut data: &[u8]) -> Result<DiGraph> {
+    if data.remaining() < 18 {
+        return Err(GraphError::Corrupt("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!("unsupported version {version}")));
+    }
+    let n = data.get_u32() as usize;
+    let m = data.get_u64() as usize;
+    if data.remaining() < 4 * n + 8 * m {
+        return Err(GraphError::Corrupt("truncated payload".into()));
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        b.add_node(data.get_u32());
+    }
+    for _ in 0..m {
+        let s = data.get_u32();
+        let t = data.get_u32();
+        b.add_edge(s, t)?;
+    }
+    Ok(b.build())
+}
+
+/// Writes a binary snapshot to a file.
+pub fn save_binary(g: &DiGraph, path: impl AsRef<std::path::Path>) -> Result<()> {
+    std::fs::write(path, to_bytes(g))?;
+    Ok(())
+}
+
+/// Reads a binary snapshot from a file.
+pub fn load_binary(path: impl AsRef<std::path::Path>) -> Result<DiGraph> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    fn sample() -> DiGraph {
+        graph_from_parts(&[2, 1, 2, 0], &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(&buf[..]).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(g2.label(v), g.label(v));
+            assert_eq!(g2.successors(v), g.successors(v));
+        }
+    }
+
+    #[test]
+    fn text_with_names_and_comments() {
+        let input = "# hello\n\nv 0 7 alice\nv 1 7 bob\ne 0 1\n";
+        let g = read_text(input.as_bytes()).unwrap();
+        assert_eq!(g.name(0), Some("alice"));
+        assert_eq!(g.successors(0), &[1]);
+        let mut out = Vec::new();
+        write_text(&g, &mut out).unwrap();
+        let g2 = read_text(&out[..]).unwrap();
+        assert_eq!(g2.name(1), Some("bob"));
+    }
+
+    #[test]
+    fn text_errors() {
+        assert!(read_text("x 1 2".as_bytes()).is_err());
+        assert!(read_text("v 0".as_bytes()).is_err());
+        assert!(read_text("v 0 abc".as_bytes()).is_err());
+        assert!(read_text("v 1 0".as_bytes()).is_err(), "non-dense ids rejected");
+        assert!(read_text("v 0 0\ne 0 5".as_bytes()).is_err(), "dangling edge");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(g2.label(v), g.label(v));
+            assert_eq!(g2.successors(v), g.successors(v));
+        }
+    }
+
+    #[test]
+    fn binary_corruption_detected() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(from_bytes(&bad).is_err());
+        let mut vbad = bytes.to_vec();
+        vbad[5] = 99;
+        assert!(from_bytes(&vbad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("gpm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.gpmg");
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,114 @@
+//! Graph summary statistics for the experiment harness and dataset tables.
+
+use crate::digraph::{DiGraph, Label};
+use crate::scc::Condensation;
+
+/// Summary of a data graph, printed by `experiments datasets` to mirror the
+/// dataset description table in Section 6 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub distinct_labels: usize,
+    pub max_out_degree: usize,
+    pub max_in_degree: usize,
+    pub avg_out_degree: f64,
+    pub scc_count: usize,
+    pub largest_scc: usize,
+    pub height: u32,
+    pub is_dag: bool,
+}
+
+impl GraphStats {
+    /// Computes all statistics (runs one condensation).
+    pub fn compute(g: &DiGraph) -> Self {
+        let cond = Condensation::compute(g);
+        let mut largest = 0usize;
+        let mut any_nontrivial = false;
+        for c in 0..cond.component_count() as u32 {
+            largest = largest.max(cond.members(c).len());
+            any_nontrivial |= cond.is_nontrivial(c);
+        }
+        let n = g.node_count();
+        let mut max_out = 0;
+        let mut max_in = 0;
+        for v in g.nodes() {
+            max_out = max_out.max(g.out_degree(v));
+            max_in = max_in.max(g.in_degree(v));
+        }
+        GraphStats {
+            nodes: n,
+            edges: g.edge_count(),
+            distinct_labels: g.distinct_label_count(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            avg_out_degree: if n == 0 { 0.0 } else { g.edge_count() as f64 / n as f64 },
+            scc_count: cond.component_count(),
+            largest_scc: largest,
+            height: cond.height(),
+            is_dag: !any_nontrivial,
+        }
+    }
+}
+
+/// Histogram of node labels: `(label, count)` sorted by label.
+pub fn label_histogram(g: &DiGraph) -> Vec<(Label, usize)> {
+    let mut counts: Vec<(Label, usize)> = Vec::new();
+    let mut labels: Vec<Label> = g.labels().to_vec();
+    labels.sort_unstable();
+    for l in labels {
+        match counts.last_mut() {
+            Some((last, c)) if *last == l => *c += 1,
+            _ => counts.push((l, 1)),
+        }
+    }
+    counts
+}
+
+/// Out-degree distribution: `dist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_distribution(g: &DiGraph) -> Vec<usize> {
+    let max = g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0);
+    let mut dist = vec![0usize; max + 1];
+    for v in g.nodes() {
+        dist[g.out_degree(v)] += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    #[test]
+    fn stats_on_mixed_graph() {
+        // 0⇄1, 1→2, labels 5,5,7.
+        let g = graph_from_parts(&[5, 5, 7], &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.distinct_labels, 2);
+        assert_eq!(s.scc_count, 2);
+        assert_eq!(s.largest_scc, 2);
+        assert!(!s.is_dag);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.avg_out_degree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dag_detection() {
+        let g = graph_from_parts(&[0, 0], &[(0, 1)]).unwrap();
+        assert!(GraphStats::compute(&g).is_dag);
+        let c = graph_from_parts(&[0], &[(0, 0)]).unwrap();
+        assert!(!GraphStats::compute(&c).is_dag);
+    }
+
+    #[test]
+    fn histograms() {
+        let g = graph_from_parts(&[3, 1, 3, 3], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(label_histogram(&g), vec![(1, 1), (3, 3)]);
+        let dist = out_degree_distribution(&g);
+        assert_eq!(dist, vec![3, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Search conditions on pattern nodes.
+//!
+//! The basic formulation of the paper assigns each pattern node a label
+//! (`fv(u)`), and a data node `v` is a *candidate* of `u` iff `L(v) = fv(u)`.
+//! Real queries (Fig. 4) add attribute comparisons; `Predicate` closes both
+//! under conjunction and disjunction.
+
+use gpm_graph::{AttrValue, DiGraph, Label, NodeId};
+
+/// Comparison operator for attribute predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn holds<T: PartialOrd>(self, a: &T, b: &T) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A search condition evaluated against a data node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `L(v) = label` — the paper's basic `fv`.
+    Label(Label),
+    /// Attribute comparison, e.g. `views > 5000`. A node without the
+    /// attribute fails the predicate; numeric comparisons coerce `Int` and
+    /// `Float`, string comparisons require `Str`.
+    Attr { key: String, op: CmpOp, value: AttrValue },
+    /// Conjunction (empty = `true`).
+    And(Vec<Predicate>),
+    /// Disjunction (empty = `false`).
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for an attribute comparison.
+    pub fn attr(key: impl Into<String>, op: CmpOp, value: impl Into<AttrValue>) -> Self {
+        Predicate::Attr { key: key.into(), op, value: value.into() }
+    }
+
+    /// `label ∧ attr-conditions`, the common shape of the paper's queries.
+    pub fn labeled(label: Label, conds: impl IntoIterator<Item = Predicate>) -> Self {
+        let mut v = vec![Predicate::Label(label)];
+        v.extend(conds);
+        Predicate::And(v)
+    }
+
+    /// Evaluates the predicate on node `v` of `g`.
+    pub fn matches(&self, g: &DiGraph, v: NodeId) -> bool {
+        match self {
+            Predicate::Label(l) => g.label(v) == *l,
+            Predicate::Attr { key, op, value } => {
+                let Some(attrs) = g.attributes(v) else { return false };
+                let Some(actual) = attrs.get(key) else { return false };
+                match (actual, value) {
+                    (AttrValue::Str(a), AttrValue::Str(b)) => op.holds(a, b),
+                    (a, b) => match (a.as_f64(), b.as_f64()) {
+                        (Some(x), Some(y)) => op.holds(&x, &y),
+                        _ => false,
+                    },
+                }
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(g, v)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(g, v)),
+        }
+    }
+
+    /// If the predicate *implies* a specific label (a top-level `Label` or a
+    /// conjunction containing one), returns it. Candidate enumeration then
+    /// scans only `g.nodes_with_label(l)` instead of all of `V`.
+    pub fn primary_label(&self) -> Option<Label> {
+        match self {
+            Predicate::Label(l) => Some(*l),
+            Predicate::And(ps) => ps.iter().find_map(|p| p.primary_label()),
+            _ => None,
+        }
+    }
+
+    /// `true` when the predicate is a bare label test.
+    pub fn is_pure_label(&self) -> bool {
+        matches!(self, Predicate::Label(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::{Attributes, GraphBuilder};
+
+    fn attributed_graph() -> DiGraph {
+        let mut b = GraphBuilder::new();
+        b.add_node_with_attrs(
+            0,
+            Attributes::from_pairs([
+                ("category", AttrValue::from("music")),
+                ("rate", AttrValue::Float(3.5)),
+                ("views", AttrValue::Int(9000)),
+            ]),
+        );
+        b.add_node_with_attrs(
+            0,
+            Attributes::from_pairs([
+                ("category", AttrValue::from("news")),
+                ("rate", AttrValue::Float(1.0)),
+            ]),
+        );
+        b.add_node(1);
+        b.build()
+    }
+
+    #[test]
+    fn label_predicate() {
+        let g = attributed_graph();
+        let p = Predicate::Label(0);
+        assert!(p.matches(&g, 0));
+        assert!(p.matches(&g, 1));
+        assert!(!p.matches(&g, 2));
+        assert_eq!(p.primary_label(), Some(0));
+        assert!(p.is_pure_label());
+    }
+
+    #[test]
+    fn fig4_style_predicate() {
+        // C = "music" ∧ R > 2 (pattern Q1's output node in the paper).
+        let g = attributed_graph();
+        let p = Predicate::labeled(
+            0,
+            [
+                Predicate::attr("category", CmpOp::Eq, "music"),
+                Predicate::attr("rate", CmpOp::Gt, 2.0),
+            ],
+        );
+        assert!(p.matches(&g, 0));
+        assert!(!p.matches(&g, 1), "category mismatch");
+        assert!(!p.matches(&g, 2), "label mismatch and no attrs");
+        assert_eq!(p.primary_label(), Some(0));
+        assert!(!p.is_pure_label());
+    }
+
+    #[test]
+    fn numeric_coercion_and_ops() {
+        let g = attributed_graph();
+        assert!(Predicate::attr("views", CmpOp::Ge, 9000i64).matches(&g, 0));
+        assert!(Predicate::attr("views", CmpOp::Ne, 1i64).matches(&g, 0));
+        assert!(!Predicate::attr("views", CmpOp::Lt, 9000i64).matches(&g, 0));
+        assert!(Predicate::attr("rate", CmpOp::Le, 3.5).matches(&g, 0));
+        // Missing attribute fails.
+        assert!(!Predicate::attr("views", CmpOp::Gt, 0i64).matches(&g, 1));
+        // String/number mismatch fails.
+        assert!(!Predicate::attr("category", CmpOp::Gt, 1i64).matches(&g, 0));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let g = attributed_graph();
+        let any = Predicate::Or(vec![
+            Predicate::attr("category", CmpOp::Eq, "news"),
+            Predicate::attr("category", CmpOp::Eq, "music"),
+        ]);
+        assert!(any.matches(&g, 0));
+        assert!(any.matches(&g, 1));
+        assert!(!any.matches(&g, 2));
+        assert!(Predicate::And(vec![]).matches(&g, 2), "empty And is true");
+        assert!(!Predicate::Or(vec![]).matches(&g, 2), "empty Or is false");
+        assert_eq!(any.primary_label(), None);
+    }
+
+    #[test]
+    fn cmp_display() {
+        assert_eq!(CmpOp::Ge.to_string(), ">=");
+        assert_eq!(CmpOp::Eq.to_string(), "=");
+    }
+}

@@ -1,0 +1,39 @@
+//! # gpm-ranking
+//!
+//! Ranking machinery for (diversified) top-k graph pattern matching —
+//! Section 3 of the paper:
+//!
+//! * **Relevant sets** `R(u,v)` ([`relevant_set`]): all matches a match can
+//!   reach via paths of matches; `δr(u,v) = |R(u,v)|` is the basic relevance
+//!   function ("social impact").
+//! * **Distance functions** `δd` ([`distance`]): the Jaccard distance of
+//!   relevant sets (a metric), plus the generalized distances of Section 3.4
+//!   (neighbourhood diversity, distance-based diversity).
+//! * **Relevance functions** ([`relevance`]): `δr` plus the generalized
+//!   relevance functions of Section 3.4 (preference attachment, common
+//!   neighbours, Jaccard coefficient).
+//! * **Diversification objective** `F(S)` ([`objective`]): the bi-criteria
+//!   max-sum objective `(1-λ)·Σ δ'r + (2λ/(k-1))·Σ δd` with the candidate
+//!   normalizer `Cuo`, plus the pairwise `F'` used by the 2-approximation
+//!   and the partial-information `F''` used by the early-termination
+//!   heuristic.
+//! * **Bound indexes** ([`bounds`]): upper bounds `h(uo,v) ≥ δr(uo,v)` that
+//!   drive Proposition 3 early termination, in three tightness/cost
+//!   variants.
+//! * **Set-reachability core** ([`reach_sets`]): a shared
+//!   condensation-and-bitset dynamic program used by both relevant sets and
+//!   the tight bound index, with a memory budget and a parallel BFS
+//!   fallback.
+
+pub mod bounds;
+pub mod distance;
+pub mod objective;
+pub mod reach_sets;
+pub mod relevance;
+pub mod relevant_set;
+
+pub use bounds::{output_upper_bounds, BoundStrategy, OutputBounds};
+pub use distance::{DistanceFn, JaccardDistance, MatchInfo, NeighborhoodDiversity};
+pub use objective::{c_uo, Objective};
+pub use relevance::{RelevanceCtx, RelevanceFn, RelevantSetSize};
+pub use relevant_set::{relevant_set_of_pair, RelevantSets};

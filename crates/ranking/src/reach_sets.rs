@@ -1,0 +1,302 @@
+//! Strict-reachability data-node sets over a pair graph.
+//!
+//! Both relevant sets (`R(u,v)`, over the match graph) and the tight bound
+//! index (`v.h`, over the candidate product graph) are instances of one
+//! problem: *for each source pair, collect the distinct data nodes of all
+//! pairs reachable via at least one edge*. This module solves it once:
+//!
+//! 1. condense the pair graph (Tarjan, component ids in reverse topological
+//!    order);
+//! 2. walk the condensation bottom-up, materializing for each needed
+//!    component the bitset `Full(c)` = data nodes of `c`'s members ∪
+//!    `Full` of successors;
+//! 3. a source pair in a *nontrivial* component (on a cycle) gets
+//!    `R = Full(c)`; in a trivial component it gets the union of successor
+//!    `Full`s — the strictness of "via ≥ 1 edge";
+//! 4. bitsets are reference-counted by remaining needed predecessors and
+//!    freed eagerly.
+//!
+//! If the estimated peak memory exceeds the budget, the module falls back to
+//! per-source BFS over the pair graph, parallelized with crossbeam — the
+//! same `O(|V|(|V|+|E|))` worst case the paper quotes, just with a smaller
+//! constant memory footprint.
+
+use gpm_graph::{BitSet, Condensation};
+use gpm_simulation::{CandidateSpace, MatchGraph};
+
+/// Memory / execution policy for set-reachability computations.
+#[derive(Debug, Clone, Copy)]
+pub struct ReachConfig {
+    /// Peak bytes allowed for materialized component bitsets before the
+    /// computation falls back to per-source BFS.
+    pub budget_bytes: usize,
+    /// Threads for the BFS fallback (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for ReachConfig {
+    fn default() -> Self {
+        ReachConfig { budget_bytes: 1 << 30, threads: 0 }
+    }
+}
+
+/// For every source pair (compact id in `mg`), the set of universe positions
+/// of data nodes of pairs strictly reachable from it.
+pub fn strict_reach_sets(
+    mg: &MatchGraph,
+    space: &CandidateSpace,
+    sources: &[u32],
+    cfg: &ReachConfig,
+) -> Vec<BitSet> {
+    let m = space.universe_size();
+    if sources.is_empty() {
+        return Vec::new();
+    }
+    let cond = Condensation::compute(mg);
+    let nc = cond.component_count();
+
+    // Which components feed the sources? Forward reachability over the
+    // condensation from the sources' components.
+    let mut needed = vec![false; nc];
+    let mut stack: Vec<u32> = Vec::new();
+    for &s in sources {
+        let c = cond.component_of(s);
+        if !needed[c as usize] {
+            needed[c as usize] = true;
+            stack.push(c);
+        }
+    }
+    while let Some(c) = stack.pop() {
+        for &sc in cond.comp_successors(c) {
+            if !needed[sc as usize] {
+                needed[sc as usize] = true;
+                stack.push(sc);
+            }
+        }
+    }
+    let needed_count = needed.iter().filter(|&&n| n).count();
+
+    // Budget check: worst case keeps every needed component's bitset alive.
+    let words = m.div_ceil(64);
+    let estimated = needed_count.saturating_mul(words * 8);
+    if estimated > cfg.budget_bytes {
+        return bfs_fallback(mg, space, sources, cfg);
+    }
+
+    // Sources grouped by component for inline extraction.
+    let mut sources_in: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    for (i, &s) in sources.iter().enumerate() {
+        sources_in[cond.component_of(s) as usize].push(i);
+    }
+
+    // Reference counts: how many needed predecessors still want Full(c).
+    let mut pending_preds = vec![0u32; nc];
+    for c in 0..nc as u32 {
+        if !needed[c as usize] {
+            continue;
+        }
+        for &sc in cond.comp_successors(c) {
+            pending_preds[sc as usize] += 1;
+        }
+    }
+
+    let mut full: Vec<Option<BitSet>> = (0..nc).map(|_| None).collect();
+    let mut out: Vec<BitSet> = (0..sources.len()).map(|_| BitSet::new(m)).collect();
+
+    // Component ids ascend in reverse topological order: successors first.
+    for c in cond.reverse_topological() {
+        if !needed[c as usize] {
+            continue;
+        }
+        // Union of successors' Full.
+        let mut succ_union = BitSet::new(m);
+        for &sc in cond.comp_successors(c) {
+            let f = full[sc as usize]
+                .as_ref()
+                .expect("successor processed before predecessor");
+            succ_union.union_with(f);
+            // Release the successor once its last pending predecessor is done.
+            pending_preds[sc as usize] -= 1;
+            if pending_preds[sc as usize] == 0 && sources_in[sc as usize].is_empty() {
+                full[sc as usize] = None;
+            }
+        }
+        let nontrivial = cond.is_nontrivial(c);
+        if !nontrivial {
+            // Trivial component: strict reachability excludes the pair itself.
+            for &si in &sources_in[c as usize] {
+                out[si] = succ_union.clone();
+            }
+        }
+        // Full(c) = member data nodes ∪ successor union.
+        let mut f = succ_union;
+        for &pair in cond.members(c) {
+            let v = mg.data_node(pair);
+            let pos = space.universe_pos(v).expect("candidate nodes are in the universe");
+            f.insert(pos as usize);
+        }
+        if nontrivial {
+            for &si in &sources_in[c as usize] {
+                out[si] = f.clone();
+            }
+        }
+        if pending_preds[c as usize] > 0 {
+            full[c as usize] = Some(f);
+        }
+    }
+    out
+}
+
+/// Count-only variant (used by the bound index, which never stores the sets).
+pub fn strict_reach_counts(
+    mg: &MatchGraph,
+    space: &CandidateSpace,
+    sources: &[u32],
+    cfg: &ReachConfig,
+) -> Vec<u64> {
+    strict_reach_sets(mg, space, sources, cfg)
+        .iter()
+        .map(|s| s.count() as u64)
+        .collect()
+}
+
+/// Per-source BFS fallback: bounded memory, embarrassingly parallel.
+fn bfs_fallback(
+    mg: &MatchGraph,
+    space: &CandidateSpace,
+    sources: &[u32],
+    cfg: &ReachConfig,
+) -> Vec<BitSet> {
+    let m = space.universe_size();
+    let n = mg.len();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(sources.len().max(1));
+
+    let mut out: Vec<BitSet> = (0..sources.len()).map(|_| BitSet::new(m)).collect();
+    let chunk = sources.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (src_chunk, out_chunk) in sources.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                let mut visited = BitSet::new(n);
+                let mut queue = std::collections::VecDeque::new();
+                for (&s, set) in src_chunk.iter().zip(out_chunk.iter_mut()) {
+                    visited.clear();
+                    queue.clear();
+                    // Strict reachability: seed with successors.
+                    for &w in mg.successors(s) {
+                        if visited.insert(w as usize) {
+                            queue.push_back(w);
+                        }
+                    }
+                    while let Some(p) = queue.pop_front() {
+                        let pos = space
+                            .universe_pos(mg.data_node(p))
+                            .expect("candidates in universe");
+                        set.insert(pos as usize);
+                        for &w in mg.successors(p) {
+                            if visited.insert(w as usize) {
+                                queue.push_back(w);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("reachability worker panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_pattern::builder::label_pattern;
+    use gpm_simulation::compute_simulation;
+
+    /// Chain a→b→c with an extra b: R((A,0)) should be {1,2}, etc.
+    #[test]
+    fn dp_and_bfs_agree() {
+        let g = graph_from_parts(
+            &[0, 1, 2, 1, 0],
+            &[(0, 1), (1, 2), (0, 3), (3, 2), (4, 3)],
+        )
+        .unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        let sources: Vec<u32> = (0..mg.len() as u32).collect();
+        let dp = strict_reach_sets(&mg, sim.space(), &sources, &ReachConfig::default());
+        let bfs = strict_reach_sets(
+            &mg,
+            sim.space(),
+            &sources,
+            &ReachConfig { budget_bytes: 0, threads: 2 },
+        );
+        assert_eq!(dp.len(), bfs.len());
+        for (a, b) in dp.iter().zip(&bfs) {
+            assert_eq!(a, b);
+        }
+    }
+
+    /// On a cycle, a pair reaches itself (strictness via nonempty path).
+    #[test]
+    fn cycle_includes_self() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1), (1, 0)]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1), (1, 0)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        let sources: Vec<u32> = (0..mg.len() as u32).collect();
+        for cfg in [ReachConfig::default(), ReachConfig { budget_bytes: 0, threads: 1 }] {
+            let sets = strict_reach_sets(&mg, sim.space(), &sources, &cfg);
+            for s in &sets {
+                assert_eq!(s.count(), 2, "both data nodes reachable, incl. self");
+            }
+        }
+    }
+
+    /// DAG: a leaf pair has an empty strict-reachability set.
+    #[test]
+    fn dag_leaf_empty() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        let leaf = mg.compact_of(sim.space().pair_id(1, 1).unwrap()).unwrap();
+        let root = mg.compact_of(sim.space().pair_id(0, 0).unwrap()).unwrap();
+        let sets = strict_reach_sets(&mg, sim.space(), &[leaf, root], &ReachConfig::default());
+        assert!(sets[0].is_empty());
+        assert_eq!(sets[1].count(), 1);
+        let counts =
+            strict_reach_counts(&mg, sim.space(), &[leaf, root], &ReachConfig::default());
+        assert_eq!(counts, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_sources() {
+        let g = graph_from_parts(&[0], &[]).unwrap();
+        let q = label_pattern(&[0], &[], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        assert!(strict_reach_sets(&mg, sim.space(), &[], &ReachConfig::default()).is_empty());
+    }
+
+    /// Shared-node diamond: distinct pairs with the same data node must not
+    /// double-count.
+    #[test]
+    fn diamond_counts_distinct_nodes() {
+        // Pattern A→B, A→C, B→D, C→D; data diamond 0→1, 0→2, 1→3, 2→3.
+        let g = graph_from_parts(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let q = label_pattern(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 3), (2, 3)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        let root = mg.compact_of(sim.space().pair_id(0, 0).unwrap()).unwrap();
+        let sets = strict_reach_sets(&mg, sim.space(), &[root], &ReachConfig::default());
+        // Reaches data nodes 1, 2, 3 — node 3 via two pairs but counted once.
+        assert_eq!(sets[0].count(), 3);
+    }
+}

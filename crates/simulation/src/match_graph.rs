@@ -1,0 +1,221 @@
+//! The match graph (and its candidate-pair superset, the product graph).
+//!
+//! Nodes are pairs `(u, v)`; there is an edge `(u,v) → (u',v')` iff
+//! `(u,u') ∈ Ep` and `(v,v') ∈ E`. Over the pairs of `M(Q,G)` this is the
+//! paper's *result graph* skeleton, and relevant sets are exactly strict
+//! reachability in it:
+//!
+//! > `R(u,v)` includes all matches `v'` to which `v` can reach via a path of
+//! > matches. (Section 3.1)
+//!
+//! Over **all candidate pairs** (the product graph) the same construction
+//! yields the tight upper bounds `v.h` of Examples 7–8: the number of
+//! distinct data nodes in candidate pairs strictly reachable from `(u,v)`
+//! bounds `δr(u,v)` from above, because matches are candidates.
+
+use gpm_graph::csr::Csr;
+use gpm_graph::scc::Successors;
+use gpm_graph::{DiGraph, NodeId};
+use gpm_pattern::{PNodeId, Pattern};
+
+use crate::candidates::{CandidateSpace, PairId};
+use crate::relation::SimRelation;
+
+/// A pair graph over a subset of candidate pairs, with forward and reverse
+/// CSR adjacency and dense *compact* node ids.
+#[derive(Debug, Clone)]
+pub struct MatchGraph {
+    full_to_compact: Vec<u32>,
+    compact_to_full: Vec<PairId>,
+    pnode: Vec<PNodeId>,
+    gnode: Vec<NodeId>,
+    fwd: Csr,
+    rev: Csr,
+}
+
+pub const NOT_INCLUDED: u32 = u32::MAX;
+
+impl MatchGraph {
+    /// Builds the match graph over the **alive pairs** of a simulation.
+    pub fn over_matches(g: &DiGraph, q: &Pattern, sim: &SimRelation) -> Self {
+        Self::build(g, q, sim.space(), &mut |p| sim.pair_alive(p))
+    }
+
+    /// Builds the product graph over **all candidate pairs**.
+    pub fn over_candidates(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> Self {
+        Self::build(g, q, space, &mut |_| true)
+    }
+
+    fn build(
+        g: &DiGraph,
+        q: &Pattern,
+        space: &CandidateSpace,
+        include: &mut dyn FnMut(PairId) -> bool,
+    ) -> Self {
+        let total = space.pair_count();
+        let mut full_to_compact = vec![NOT_INCLUDED; total];
+        let mut compact_to_full = Vec::new();
+        let mut pnode = Vec::new();
+        let mut gnode = Vec::new();
+        for u in q.nodes() {
+            for (i, &v) in space.candidates(u).iter().enumerate() {
+                let p = space.pair_at(u, i);
+                if include(p) {
+                    full_to_compact[p as usize] = compact_to_full.len() as u32;
+                    compact_to_full.push(p);
+                    pnode.push(u);
+                    gnode.push(v);
+                }
+            }
+        }
+
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (c, &p) in compact_to_full.iter().enumerate() {
+            let (u, v) = (pnode[c], gnode[c]);
+            debug_assert_eq!(space.pair_info(p), (u, v));
+            for &uc in q.successors(u) {
+                for &w in g.successors(v) {
+                    if !space.is_candidate(uc, w) {
+                        continue;
+                    }
+                    let pw = space.pair_id(uc, w).expect("candidate must have a pair id");
+                    let cw = full_to_compact[pw as usize];
+                    if cw != NOT_INCLUDED {
+                        edges.push((c as u32, cw));
+                    }
+                }
+            }
+        }
+        let n = compact_to_full.len();
+        let fwd = Csr::from_edges(n, &edges);
+        let rev = fwd.reversed(n);
+        MatchGraph { full_to_compact, compact_to_full, pnode, gnode, fwd, rev }
+    }
+
+    /// Number of included pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.compact_to_full.len()
+    }
+
+    /// `true` when no pair is included.
+    pub fn is_empty(&self) -> bool {
+        self.compact_to_full.is_empty()
+    }
+
+    /// Number of pair edges.
+    pub fn edge_count(&self) -> usize {
+        self.fwd.edge_count()
+    }
+
+    /// Compact id of a full pair id, if included.
+    #[inline]
+    pub fn compact_of(&self, p: PairId) -> Option<u32> {
+        let c = self.full_to_compact[p as usize];
+        (c != NOT_INCLUDED).then_some(c)
+    }
+
+    /// Full pair id of a compact id.
+    #[inline]
+    pub fn full_of(&self, c: u32) -> PairId {
+        self.compact_to_full[c as usize]
+    }
+
+    /// Pattern node of compact pair `c`.
+    #[inline]
+    pub fn pattern_node(&self, c: u32) -> PNodeId {
+        self.pnode[c as usize]
+    }
+
+    /// Data node of compact pair `c`.
+    #[inline]
+    pub fn data_node(&self, c: u32) -> NodeId {
+        self.gnode[c as usize]
+    }
+
+    /// Successor pairs of `c`.
+    #[inline]
+    pub fn successors(&self, c: u32) -> &[u32] {
+        self.fwd.neighbors(c)
+    }
+
+    /// Predecessor pairs of `c`.
+    #[inline]
+    pub fn predecessors(&self, c: u32) -> &[u32] {
+        self.rev.neighbors(c)
+    }
+
+    /// All compact ids of pairs belonging to pattern node `u`, in candidate
+    /// order (compact ids of one pattern node are contiguous by
+    /// construction).
+    pub fn pairs_of_pattern_node(&self, u: PNodeId) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len() as u32).filter(move |&c| self.pnode[c as usize] == u)
+    }
+}
+
+impl Successors for MatchGraph {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+    fn successors_of(&self, v: NodeId) -> &[NodeId] {
+        self.successors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::compute_simulation;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_pattern::builder::label_pattern;
+
+    #[test]
+    fn match_graph_over_chain() {
+        // 0(a)→1(b)→2(c); 3(b) dangling (not a match of B).
+        let g = graph_from_parts(&[0, 1, 2, 1], &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        assert_eq!(mg.len(), 3, "pairs (A,0),(B,1),(C,2)");
+        assert_eq!(mg.edge_count(), 2);
+        // Product graph includes (B,3) too.
+        let pg = MatchGraph::over_candidates(&g, &q, sim.space());
+        assert_eq!(pg.len(), 4);
+        assert_eq!(pg.edge_count(), 3, "(A,0)->(B,1),(A,0)->(B,3),(B,1)->(C,2)");
+    }
+
+    #[test]
+    fn compact_full_roundtrip_and_adjacency() {
+        let g = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        for c in 0..mg.len() as u32 {
+            let p = mg.full_of(c);
+            assert_eq!(mg.compact_of(p), Some(c));
+            let (u, v) = sim.space().pair_info(p);
+            assert_eq!(mg.pattern_node(c), u);
+            assert_eq!(mg.data_node(c), v);
+        }
+        let a0 = mg.compact_of(sim.space().pair_id(0, 0).unwrap()).unwrap();
+        let b1 = mg.compact_of(sim.space().pair_id(1, 1).unwrap()).unwrap();
+        let c2 = mg.compact_of(sim.space().pair_id(2, 2).unwrap()).unwrap();
+        assert_eq!(mg.successors(a0), &[b1]);
+        assert_eq!(mg.predecessors(b1), &[a0]);
+        assert_eq!(mg.successors(c2), &[] as &[u32]);
+        assert_eq!(mg.pairs_of_pattern_node(1).collect::<Vec<_>>(), vec![b1]);
+    }
+
+    #[test]
+    fn cyclic_pattern_match_graph_has_cycle() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1), (1, 0)]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1), (1, 0)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        assert_eq!(mg.len(), 2);
+        assert_eq!(mg.edge_count(), 2);
+        let cond = gpm_graph::Condensation::compute(&mg);
+        assert_eq!(cond.component_count(), 1, "the two pairs form one SCC");
+        assert!(cond.is_nontrivial(0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Naive fixpoint simulation — the test oracle.
+//!
+//! Starts from all candidate pairs and repeatedly deletes any pair violating
+//! the child-support condition until stable. `O(rounds · pairs · deg)` —
+//! quadratic-ish and only suitable for small graphs, but its correctness is
+//! evident from the definition, which makes it the reference the efficient
+//! refinement is validated against (including property-based tests).
+
+use gpm_graph::{DiGraph, NodeId};
+use gpm_pattern::{PNodeId, Pattern};
+
+use crate::candidates::CandidateSpace;
+use crate::relation::SimRelation;
+
+/// Computes `M(Q,G)` by naive deletion until fixpoint.
+pub fn naive_simulation(g: &DiGraph, q: &Pattern) -> SimRelation {
+    let space = CandidateSpace::compute(g, q);
+    let mut alive = vec![true; space.pair_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in q.nodes() {
+            for (i, &v) in space.candidates(u).iter().enumerate() {
+                let p = space.pair_at(u, i) as usize;
+                if !alive[p] {
+                    continue;
+                }
+                let ok = q.successors(u).iter().all(|&uc| {
+                    g.successors(v).iter().any(|&w| {
+                        space.pair_id(uc, w).is_some_and(|pw| alive[pw as usize])
+                    })
+                });
+                if !ok {
+                    alive[p] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    SimRelation::new(space, alive, q)
+}
+
+/// Convenience: the match-pair sets of two relations coincide.
+pub fn relations_equal(a: &SimRelation, b: &SimRelation, q: &Pattern) -> bool {
+    if a.graph_matches() != b.graph_matches() {
+        return false;
+    }
+    q.nodes().all(|u| {
+        let ma: Vec<NodeId> = a.matches_of(u);
+        let mb: Vec<NodeId> = b.matches_of(u);
+        ma == mb
+    })
+}
+
+/// Exhaustive check that `rel` equals the naive fixpoint (test helper).
+pub fn agrees_with_naive(g: &DiGraph, q: &Pattern, rel: &SimRelation) -> bool {
+    let reference = naive_simulation(g, q);
+    relations_equal(&reference, rel, q)
+}
+
+#[allow(unused)]
+fn _assert_api(_: PNodeId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::compute_simulation;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_pattern::builder::label_pattern;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn agrees_on_fixed_cases() {
+        let cases: Vec<(Vec<u32>, Vec<(u32, u32)>)> = vec![
+            (vec![0, 1, 2], vec![(0, 1), (1, 2)]),
+            (vec![0, 1, 0, 1], vec![(0, 1), (1, 0), (2, 3)]),
+            (vec![0; 5], vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+        ];
+        let patterns = vec![
+            label_pattern(&[0, 1], &[(0, 1)], 0).unwrap(),
+            label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap(),
+            label_pattern(&[0, 0], &[(0, 1), (1, 0)], 0).unwrap(),
+        ];
+        for (labels, edges) in &cases {
+            let g = graph_from_parts(labels, edges).unwrap();
+            for q in &patterns {
+                let fast = compute_simulation(&g, q);
+                assert!(agrees_with_naive(&g, q, &fast));
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n = rng.random_range(3..25usize);
+            let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..4u32)).collect();
+            let m = rng.random_range(0..n * 3);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+                .collect();
+            let g = graph_from_parts(&labels, &edges).unwrap();
+
+            let pn = rng.random_range(1..5usize);
+            let plabels: Vec<u32> = (0..pn).map(|_| rng.random_range(0..4u32)).collect();
+            let pedges: Vec<(u32, u32)> = (0..rng.random_range(0..pn * 2))
+                .map(|_| (rng.random_range(0..pn as u32), rng.random_range(0..pn as u32)))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let q = label_pattern(&plabels, &pedges, 0).unwrap();
+
+            let fast = compute_simulation(&g, &q);
+            assert!(
+                agrees_with_naive(&g, &q, &fast),
+                "disagreement at trial {trial}: labels={labels:?} edges={edges:?} \
+                 plabels={plabels:?} pedges={pedges:?}"
+            );
+            // And the fast result satisfies the definitional checks.
+            assert!(fast.verify_is_simulation(&g, &q));
+            assert!(fast.verify_is_maximum(&g, &q));
+        }
+    }
+}

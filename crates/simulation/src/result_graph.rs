@@ -1,0 +1,95 @@
+//! The result graph of `Q` in `G`.
+//!
+//! The paper (Section 2.1, after Fan et al. 2010) notes that `M(Q,G)` "can be
+//! depicted as the result graph of Q in G": the subgraph of `G` induced by
+//! the matched nodes, restricted to edges that witness some pattern edge.
+//! Examples and the Fig. 4 case study render these graphs.
+
+use gpm_graph::{DiGraph, GraphBuilder, NodeId};
+use gpm_pattern::Pattern;
+
+use crate::match_graph::MatchGraph;
+use crate::relation::SimRelation;
+
+/// A result graph: a [`DiGraph`] over the matched data nodes, plus the
+/// mapping back to original node ids.
+#[derive(Debug, Clone)]
+pub struct ResultGraph {
+    /// The extracted graph; node `i` corresponds to `original[i]`.
+    pub graph: DiGraph,
+    /// Original data-node id of each result-graph node.
+    pub original: Vec<NodeId>,
+}
+
+/// Extracts the result graph of a computed simulation.
+pub fn result_graph(g: &DiGraph, q: &Pattern, sim: &SimRelation) -> ResultGraph {
+    if !sim.graph_matches() {
+        return ResultGraph { graph: GraphBuilder::new().build(), original: Vec::new() };
+    }
+    let mg = MatchGraph::over_matches(g, q, sim);
+
+    // Collect distinct matched data nodes (sorted for determinism).
+    let mut nodes: Vec<NodeId> = (0..mg.len() as u32).map(|c| mg.data_node(c)).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+
+    let mut pos = std::collections::HashMap::with_capacity(nodes.len());
+    for (i, &v) in nodes.iter().enumerate() {
+        pos.insert(v, i as NodeId);
+    }
+
+    let mut b = GraphBuilder::with_capacity(nodes.len(), mg.edge_count());
+    for &v in &nodes {
+        match g.name(v) {
+            Some(name) => {
+                b.add_named_node(name, g.label(v));
+            }
+            None => {
+                b.add_node(g.label(v));
+            }
+        }
+    }
+    // Project pair edges onto data nodes (duplicates deduped by the builder).
+    for c in 0..mg.len() as u32 {
+        let s = pos[&mg.data_node(c)];
+        for &cw in mg.successors(c) {
+            let t = pos[&mg.data_node(cw)];
+            b.add_edge(s, t).expect("nodes exist");
+        }
+    }
+    ResultGraph { graph: b.build(), original: nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::compute_simulation;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_pattern::builder::label_pattern;
+
+    #[test]
+    fn extracts_matched_subgraph() {
+        // 0(a)→1(b), 2(a) unmatched (no b-child), 3(b) unmatched-from-a but
+        // still a match of B (B is a leaf pattern node).
+        let g = graph_from_parts(&[0, 1, 0, 1], &[(0, 1)]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let rg = result_graph(&g, &q, &sim);
+        assert_eq!(rg.original, vec![0, 1, 3]);
+        assert_eq!(rg.graph.node_count(), 3);
+        assert_eq!(rg.graph.edge_count(), 1);
+        let i0 = rg.original.iter().position(|&v| v == 0).unwrap() as u32;
+        let i1 = rg.original.iter().position(|&v| v == 1).unwrap() as u32;
+        assert!(rg.graph.has_edge(i0, i1));
+    }
+
+    #[test]
+    fn empty_when_no_match() {
+        let g = graph_from_parts(&[0], &[]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let rg = result_graph(&g, &q, &sim);
+        assert_eq!(rg.graph.node_count(), 0);
+        assert!(rg.original.is_empty());
+    }
+}

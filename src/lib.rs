@@ -1,0 +1,65 @@
+//! # diversified-topk
+//!
+//! A from-scratch Rust reproduction of **“Diversified Top-k Graph Pattern
+//! Matching”** (Wenfei Fan, Xin Wang, Yinghui Wu — PVLDB 6(13), 2013).
+//!
+//! Graph pattern matching by **graph simulation** with a designated output
+//! node: given a pattern `Q` with output node `uo` and a data graph `G`,
+//! find the best `k` matches of `uo` instead of the whole (often huge)
+//! match relation `M(Q,G)` — ranked by relevance (`δr`, “social impact”),
+//! or by the bi-criteria diversification objective `F` that also rewards
+//! covering dissimilar parts of the graph (`δd`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use diversified_topk::prelude::*;
+//!
+//! // The paper's Fig. 1 collaboration network and pattern.
+//! let g = diversified_topk::datagen::fig1_graph();
+//! let q = diversified_topk::datagen::fig1_pattern();
+//!
+//! // Top-2 project managers by relevance, with early termination.
+//! let top = top_k_cyclic(&g, &q, &TopKConfig::new(2));
+//! assert_eq!(top.total_relevance(), 14);
+//!
+//! // Top-2 diversified (λ = 0.5): trades relevance for coverage.
+//! let div = top_k_diversified(&g, &q, &DivConfig::new(2, 0.5));
+//! assert!(div.f_value > 1.45 && div.f_value < 1.46);
+//! ```
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`graph`] | CSR graphs, SCC condensation, bitsets, reachability |
+//! | [`pattern`] | patterns with output node and attribute predicates |
+//! | [`simulation`] | maximum simulation `M(Q,G)`, match graph |
+//! | [`ranking`] | relevant sets, `δr`/`δd`/`F`, bound indexes |
+//! | [`core`] | `Match`, `TopKDAG`, `TopK`, `TopKDiv`, `TopKDH` |
+//! | [`datagen`] | Fig. 1 fixture, synthetic generator, dataset emulators |
+//!
+//! See `DESIGN.md` for the system inventory and the experiment index
+//! mapping every figure of the paper's evaluation to a reproduction target,
+//! and `EXPERIMENTS.md` for measured-vs-paper results.
+
+pub use gpm_core as core;
+pub use gpm_datagen as datagen;
+pub use gpm_graph as graph;
+pub use gpm_pattern as pattern;
+pub use gpm_ranking as ranking;
+pub use gpm_simulation as simulation;
+
+/// The commonly-used surface of the library.
+pub mod prelude {
+    pub use gpm_core::config::{DivConfig, SelectionStrategy, TopKConfig};
+    pub use gpm_core::{
+        top_k, top_k_by_match, top_k_cyclic, top_k_dag, top_k_diversified,
+        top_k_diversified_heuristic,
+    };
+    pub use gpm_core::result::{DivResult, RankedMatch, RunStats, TopKResult};
+    pub use gpm_graph::{BitSet, DiGraph, GraphBuilder, NodeId};
+    pub use gpm_pattern::{CmpOp, Pattern, PatternBuilder, Predicate};
+    pub use gpm_ranking::bounds::BoundStrategy;
+    pub use gpm_simulation::compute_simulation;
+}

@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * the refinement simulation equals the naive fixpoint and satisfies the
+//!   definitional simulation + maximality checks;
+//! * early-terminating top-k always returns a set with the same total
+//!   relevance as the find-all baseline, under both selection strategies;
+//! * every bound strategy produces sound upper bounds;
+//! * `δd` (Jaccard over relevant sets) is a metric;
+//! * `TopKDiv` respects its 2-approximation bound against brute force.
+
+use diversified_topk::prelude::*;
+use gpm_core::config::{DivConfig, SelectionStrategy};
+use gpm_core::{top_k, top_k_by_match, top_k_diversified};
+use gpm_graph::builder::graph_from_parts;
+use gpm_pattern::builder::label_pattern;
+use gpm_ranking::bounds::{output_upper_bounds, BoundConfig, BoundStrategy};
+use gpm_ranking::relevant_set::RelevantSets;
+use proptest::prelude::*;
+
+/// A random small labeled digraph.
+fn arb_graph() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
+    (3usize..28).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 3);
+        (labels, edges)
+    })
+}
+
+/// A small pattern over the same alphabet; index 0 is the output and must
+/// reach every node (guaranteed by a chain skeleton + extra edges).
+fn arb_pattern() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
+    (1usize..5).prop_flat_map(|k| {
+        let labels = proptest::collection::vec(0u32..4, k);
+        let extra = proptest::collection::vec((0u32..k as u32, 0u32..k as u32), 0..k * 2);
+        (labels, extra).prop_map(move |(labels, extra)| {
+            let mut edges: Vec<(u32, u32)> = (1..k as u32).map(|i| (i - 1, i)).collect();
+            edges.extend(extra.into_iter().filter(|(a, b)| a != b));
+            edges.sort_unstable();
+            edges.dedup();
+            (labels, edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_matches_naive_and_is_maximal(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+    ) {
+        let g = graph_from_parts(&labels, &edges).unwrap();
+        let q = label_pattern(&plabels, &pedges, 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        prop_assert!(gpm_simulation::naive::agrees_with_naive(&g, &q, &sim));
+        prop_assert!(sim.verify_is_simulation(&g, &q));
+        prop_assert!(sim.verify_is_maximum(&g, &q));
+    }
+
+    #[test]
+    fn early_termination_matches_baseline(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = graph_from_parts(&labels, &edges).unwrap();
+        let q = label_pattern(&plabels, &pedges, 0).unwrap();
+        let base = top_k_by_match(&g, &q, &TopKConfig::new(k));
+        for strategy in [SelectionStrategy::Optimized, SelectionStrategy::Random { seed }] {
+            let mut cfg = TopKConfig::new(k);
+            cfg.strategy = strategy;
+            let fast = top_k(&g, &q, &cfg);
+            prop_assert_eq!(fast.matches.len(), base.matches.len());
+            prop_assert_eq!(fast.total_relevance(), base.total_relevance());
+            // The returned relevances are the true δr multiset prefix.
+            let base_rel: Vec<u64> = base.matches.iter().map(|m| m.relevance).collect();
+            let fast_rel: Vec<u64> = fast.matches.iter().map(|m| m.relevance).collect();
+            prop_assert_eq!(base_rel, fast_rel);
+        }
+    }
+
+    #[test]
+    fn bounds_are_sound(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+    ) {
+        let g = graph_from_parts(&labels, &edges).unwrap();
+        let q = label_pattern(&plabels, &pedges, 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let rs = RelevantSets::compute(&g, &q, &sim);
+        for strat in [BoundStrategy::Global, BoundStrategy::DescLabelCount, BoundStrategy::ProductReach] {
+            let b = output_upper_bounds(&g, &q, sim.space(), strat, &BoundConfig::default());
+            for (i, &v) in sim.space().candidates(q.output()).iter().enumerate() {
+                if let Some(d) = rs.relevance_of(v) {
+                    prop_assert!(b.h_at(i) >= d, "{strat:?}: h={} < δr={d}", b.h_at(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_distance_is_metric(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+    ) {
+        let g = graph_from_parts(&labels, &edges).unwrap();
+        let q = label_pattern(&plabels, &pedges, 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let rs = RelevantSets::compute(&g, &q, &sim);
+        let n = rs.len().min(6);
+        let eps = 1e-9;
+        for i in 0..n {
+            prop_assert!(rs.distance(i, i).abs() < eps);
+            for j in 0..n {
+                prop_assert!((rs.distance(i, j) - rs.distance(j, i)).abs() < eps);
+                prop_assert!(rs.distance(i, j) >= -eps && rs.distance(i, j) <= 1.0 + eps);
+                for l in 0..n {
+                    prop_assert!(
+                        rs.distance(i, j) <= rs.distance(i, l) + rs.distance(l, j) + eps
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topkdiv_two_approximation(
+        (labels, edges) in arb_graph(),
+        lambda in 0.0f64..1.0,
+        k in 2usize..4,
+    ) {
+        let g = graph_from_parts(&labels, &edges).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let cfg = DivConfig::new(k, lambda);
+        let approx = top_k_diversified(&g, &q, &cfg);
+        let opt = gpm_core::topk_div::optimal_diversified(&g, &q, &cfg);
+        prop_assert!(approx.f_value * 2.0 >= opt.f_value - 1e-9);
+        prop_assert!(opt.f_value >= approx.f_value - 1e-9);
+    }
+}
