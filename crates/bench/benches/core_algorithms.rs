@@ -33,20 +33,16 @@ fn small_settings() -> Settings {
 fn workload_cyclic() -> (DiGraph, Pattern) {
     let s = small_settings();
     let d = workloads::youtube(&s);
-    let q = workloads::patterns_for(&d.graph, (5, 10), false, &s)
-        .into_iter()
-        .next()
-        .expect("pattern");
+    let q =
+        workloads::patterns_for(&d.graph, (5, 10), false, &s).into_iter().next().expect("pattern");
     (d.graph, q)
 }
 
 fn workload_dag() -> (DiGraph, Pattern) {
     let s = small_settings();
     let d = workloads::citation(&s);
-    let q = workloads::patterns_for(&d.graph, (4, 6), true, &s)
-        .into_iter()
-        .next()
-        .expect("pattern");
+    let q =
+        workloads::patterns_for(&d.graph, (4, 6), true, &s).into_iter().next().expect("pattern");
     (d.graph, q)
 }
 
@@ -54,9 +50,7 @@ fn bench_simulation(c: &mut Criterion) {
     let (g, q) = workload_cyclic();
     let mut group = c.benchmark_group("simulation");
     group.sample_size(20);
-    group.bench_function("refinement", |b| {
-        b.iter(|| black_box(compute_simulation(&g, &q)).len())
-    });
+    group.bench_function("refinement", |b| b.iter(|| black_box(compute_simulation(&g, &q)).len()));
     // The naive oracle only at a reduced size (it is quadratic-ish).
     let small = synthetic_graph(&SyntheticConfig::paper(2_000, 6_000, 3));
     group.bench_function("naive_2k", |b| {
@@ -73,9 +67,7 @@ fn bench_topk_cyclic(c: &mut Criterion) {
     group.bench_function("match", |b| {
         b.iter(|| black_box(top_k_by_match(&g, &q, &cfg)).total_relevance())
     });
-    group.bench_function("topk", |b| {
-        b.iter(|| black_box(top_k(&g, &q, &cfg)).total_relevance())
-    });
+    group.bench_function("topk", |b| b.iter(|| black_box(top_k(&g, &q, &cfg)).total_relevance()));
     group.bench_function("topk_nopt", |b| {
         let n = cfg.clone().nopt(7);
         b.iter(|| black_box(top_k(&g, &q, &n)).total_relevance())
@@ -91,9 +83,8 @@ fn bench_topk_dag(c: &mut Criterion) {
     group.bench_function("match", |b| {
         b.iter(|| black_box(top_k_by_match(&g, &q, &cfg)).total_relevance())
     });
-    group.bench_function("topkdag", |b| {
-        b.iter(|| black_box(top_k(&g, &q, &cfg)).total_relevance())
-    });
+    group
+        .bench_function("topkdag", |b| b.iter(|| black_box(top_k(&g, &q, &cfg)).total_relevance()));
     group.finish();
 }
 
@@ -103,8 +94,7 @@ fn bench_scalability(c: &mut Criterion) {
     for nodes in [5_000usize, 10_000, 20_000] {
         let g = synthetic_graph(&SyntheticConfig::sweep(nodes, 2 * nodes, 9));
         let s = small_settings();
-        let Some(q) = workloads::patterns_for(&g, (4, 8), false, &s).into_iter().next()
-        else {
+        let Some(q) = workloads::patterns_for(&g, (4, 8), false, &s).into_iter().next() else {
             continue;
         };
         let cfg = TopKConfig::new(10);
@@ -138,11 +128,8 @@ fn bench_bounds_ablation(c: &mut Criterion) {
     let space = sim.space();
     let mut group = c.benchmark_group("bounds_ablation");
     group.sample_size(20);
-    for strat in [
-        BoundStrategy::Global,
-        BoundStrategy::DescLabelCount,
-        BoundStrategy::ProductReach,
-    ] {
+    for strat in [BoundStrategy::Global, BoundStrategy::DescLabelCount, BoundStrategy::ProductReach]
+    {
         group.bench_function(format!("{strat:?}"), |b| {
             b.iter(|| {
                 black_box(output_upper_bounds(&g, &q, space, strat, &BoundConfig::default()))

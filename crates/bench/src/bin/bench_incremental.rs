@@ -1,0 +1,75 @@
+//! Delta-scaling benchmark CLI: incremental `DynamicMatcher::apply` vs
+//! from-scratch recompute, sweeping the delta size.
+//!
+//! ```text
+//! bench_incremental [--nodes N] [--k K] [--seed S] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_incremental.json` (repo root by default) and prints the
+//! table. Delta sizes follow the issue spec: 1 / 10 / 100 / 1000.
+
+use gpm_bench::delta_bench;
+
+fn main() {
+    let mut nodes = 20_000usize;
+    let mut k = 10usize;
+    let mut seed = 20130826u64;
+    let mut out = String::from("BENCH_incremental.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |what: &str, v: Option<&String>| -> String {
+            v.cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        let parse_num = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got {v:?}");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--nodes" => nodes = parse_num("--nodes", need("--nodes", args.get(i + 1))) as usize,
+            "--k" => k = parse_num("--k", need("--k", args.get(i + 1))) as usize,
+            "--seed" => seed = parse_num("--seed", need("--seed", args.get(i + 1))),
+            "--out" => out = need("--out", args.get(i + 1)),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!("building workload: |V|={nodes}");
+    let (g, q) = delta_bench::delta_workload(nodes, seed);
+    println!(
+        "pattern ({}, {}), graph |V|={} |E|={}",
+        q.node_count(),
+        q.edge_count(),
+        g.node_count(),
+        g.edge_count()
+    );
+
+    let result = delta_bench::run(&g, &q, k, &[1, 10, 100, 1000]);
+    println!("{}", delta_bench::as_table(&result).render());
+
+    let json = serde_json::to_string_pretty(&result).expect("serializable");
+    std::fs::write(&out, json).expect("write BENCH_incremental.json");
+    println!("wrote {out}");
+
+    // The acceptance bar: incremental wins for small deltas (≤ 1% of |E|).
+    let one_percent = result.edges / 100;
+    for p in &result.points {
+        if p.delta_size <= one_percent && p.speedup() < 1.0 {
+            eprintln!(
+                "WARNING: |Δ| = {} (≤1% of edges) not faster than scratch ({:.2}x)",
+                p.delta_size,
+                p.speedup()
+            );
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! Diagnostic: distributions behind Proposition 3 on one workload.
 
+use gpm_bench::workloads::{self, Settings};
 use gpm_core::config::TopKConfig;
 use gpm_core::{top_k, top_k_by_match};
-use gpm_bench::workloads::{self, Settings};
 use gpm_datagen::datasets::Scale;
 use gpm_ranking::bounds::{output_upper_bounds, BoundConfig, BoundStrategy};
 use gpm_ranking::relevant_set::RelevantSets;
@@ -64,7 +64,11 @@ fn main() {
     // Soundness audit: h must dominate δr for every match.
     {
         let b = output_upper_bounds(
-            &d.graph, q, space, BoundStrategy::ProductReach, &BoundConfig::default(),
+            &d.graph,
+            q,
+            space,
+            BoundStrategy::ProductReach,
+            &BoundConfig::default(),
         );
         let mut bad = 0;
         for (i, &v) in mu.iter().enumerate() {

@@ -14,8 +14,8 @@
 use std::path::PathBuf;
 
 use gpm_bench::experiments as exp;
-use gpm_bench::Records;
 use gpm_bench::workloads::Settings;
+use gpm_bench::Records;
 use gpm_datagen::datasets::Scale;
 
 fn main() {

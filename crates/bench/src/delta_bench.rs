@@ -1,0 +1,195 @@
+//! Delta-scaling benchmark: incremental maintenance vs from-scratch
+//! recomputation as a function of delta size.
+//!
+//! A base graph is materialized in a [`DynamicMatcher`]; for each delta
+//! size `|Δ| ∈ {1, 10, 100, 1000}` a stream of update batches is replayed
+//! twice — once through `DynamicMatcher::apply`, once through the static
+//! pipeline (`apply_delta` + `top_k_by_match` per batch, i.e. what a
+//! server without the incremental subsystem would run) — and mean
+//! per-batch latencies are recorded. Results are printed as a table and
+//! written to `BENCH_incremental.json` so the perf trajectory accumulates
+//! across PRs.
+
+use std::time::Instant;
+
+use gpm_core::config::TopKConfig;
+use gpm_core::top_k_by_match;
+use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
+use gpm_graph::{apply_delta, DiGraph};
+use gpm_incremental::{DynamicMatcher, IncrementalConfig};
+use gpm_pattern::Pattern;
+use serde::{Serialize, Value};
+
+use crate::table::Table;
+use crate::workloads::{self, Settings};
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct DeltaPoint {
+    /// Operations per batch.
+    pub delta_size: usize,
+    /// Batches replayed.
+    pub batches: usize,
+    /// Mean `DynamicMatcher::apply` latency (ms/batch).
+    pub incremental_ms: f64,
+    /// Mean static-pipeline latency (ms/batch).
+    pub scratch_ms: f64,
+    /// How many of the incremental batches fell back to a full rebuild.
+    pub full_rebuilds: u64,
+}
+
+impl DeltaPoint {
+    /// `scratch / incremental` — above 1.0 the subsystem pays off.
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_ms <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.scratch_ms / self.incremental_ms
+    }
+}
+
+impl Serialize for DeltaPoint {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("delta_size".into(), self.delta_size.to_value()),
+            ("batches".into(), self.batches.to_value()),
+            ("incremental_ms_per_batch".into(), self.incremental_ms.to_value()),
+            ("scratch_ms_per_batch".into(), self.scratch_ms.to_value()),
+            ("speedup".into(), self.speedup().to_value()),
+            ("full_rebuilds".into(), self.full_rebuilds.to_value()),
+        ])
+    }
+}
+
+/// The whole experiment record written to `BENCH_incremental.json`.
+#[derive(Debug, Clone)]
+pub struct DeltaBenchResult {
+    /// `|V|`, `|E|` of the base graph.
+    pub nodes: usize,
+    pub edges: usize,
+    /// Pattern shape `(|Vp|, |Ep|)`.
+    pub pattern: (usize, usize),
+    /// The sweep.
+    pub points: Vec<DeltaPoint>,
+}
+
+impl Serialize for DeltaBenchResult {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("bench".into(), "incremental_delta_scaling".to_value()),
+            ("nodes".into(), self.nodes.to_value()),
+            ("edges".into(), self.edges.to_value()),
+            (
+                "pattern".into(),
+                Value::Array(vec![self.pattern.0.to_value(), self.pattern.1.to_value()]),
+            ),
+            ("points".into(), self.points.to_value()),
+        ])
+    }
+}
+
+/// Builds the benchmark workload: a paper-style cyclic synthetic graph and
+/// a verified label-only pattern.
+pub fn delta_workload(nodes: usize, seed: u64) -> (DiGraph, Pattern) {
+    // Paper-style generator at 4·|V| edges: reciprocity/closure high
+    // enough that (4,8) near-cliques exist robustly across seeds.
+    let g = gpm_datagen::synthetic::synthetic_graph(
+        &gpm_datagen::synthetic::SyntheticConfig::paper(nodes, 4 * nodes, seed),
+    );
+    let mut s = Settings::new(gpm_datagen::datasets::Scale::Small);
+    s.attr_selectivity = None; // DynamicMatcher maintains label-only patterns
+    s.min_matches = 10;
+    let q = workloads::patterns_for(&g, (4, 8), false, &s)
+        .into_iter()
+        .next()
+        .expect("workload pattern");
+    (g, q)
+}
+
+/// Runs the sweep. `k` is the served top-k size.
+pub fn run(g: &DiGraph, q: &Pattern, k: usize, delta_sizes: &[usize]) -> DeltaBenchResult {
+    let mut points = Vec::new();
+    for &size in delta_sizes {
+        // Keep total replayed ops roughly constant across sizes.
+        let batches = (2_000 / size.max(1)).clamp(3, 40);
+        let stream =
+            update_stream(g, &UpdateStreamConfig::new(batches, size, 0xD017A ^ size as u64));
+
+        // Incremental path.
+        let mut matcher = DynamicMatcher::new(g, q.clone(), IncrementalConfig::new(k))
+            .expect("label-only pattern");
+        let t0 = Instant::now();
+        for delta in &stream {
+            matcher.apply(delta).expect("stream is valid");
+        }
+        let incremental_ms = t0.elapsed().as_secs_f64() * 1e3 / batches as f64;
+        let full_rebuilds = matcher.stats().full_rebuilds;
+
+        // Static path: rebuild + re-rank per batch.
+        let mut current = g.clone();
+        let t0 = Instant::now();
+        let mut sink = 0u64;
+        for delta in &stream {
+            current = apply_delta(&current, delta).expect("stream is valid");
+            sink ^= top_k_by_match(&current, q, &TopKConfig::new(k)).total_relevance();
+        }
+        let scratch_ms = t0.elapsed().as_secs_f64() * 1e3 / batches as f64;
+        std::hint::black_box(sink);
+
+        // Cross-check: both pipelines agree on the final answer.
+        let inc = matcher.top_k();
+        let base = top_k_by_match(&current, q, &TopKConfig::new(k));
+        assert_eq!(inc.nodes(), base.nodes(), "pipelines diverged at |Δ| = {size}");
+
+        points.push(DeltaPoint {
+            delta_size: size,
+            batches,
+            incremental_ms,
+            scratch_ms,
+            full_rebuilds,
+        });
+    }
+    DeltaBenchResult {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        pattern: (q.node_count(), q.edge_count()),
+        points,
+    }
+}
+
+/// Renders the sweep as a printable table.
+pub fn as_table(r: &DeltaBenchResult) -> Table {
+    let mut t = Table::new(
+        "delta_scaling",
+        format!(
+            "incremental vs from-scratch, |V|={} |E|={} Q=({},{})",
+            r.nodes, r.edges, r.pattern.0, r.pattern.1
+        ),
+        "|Δ|",
+        &["incr ms", "scratch ms", "speedup", "rebuilds"],
+    );
+    for p in &r.points {
+        t.push(
+            p.delta_size.to_string(),
+            vec![p.incremental_ms, p.scratch_ms, p.speedup(), p.full_rebuilds as f64],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_runs_and_serializes() {
+        let (g, q) = delta_workload(1_500, 3);
+        let r = run(&g, &q, 5, &[1, 8]);
+        assert_eq!(r.points.len(), 2);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(json.contains("incremental_delta_scaling"));
+        assert!(json.contains("\"delta_size\": 1"));
+        let rendered = as_table(&r).render();
+        assert!(rendered.contains("delta_scaling"));
+    }
+}

@@ -6,9 +6,7 @@
 //! text reports without a figure.
 
 use gpm_core::config::{DivConfig, TopKConfig};
-use gpm_core::{
-    top_k, top_k_by_match, top_k_diversified, top_k_diversified_heuristic,
-};
+use gpm_core::{top_k, top_k_by_match, top_k_diversified, top_k_diversified_heuristic};
 use gpm_datagen::patterns::{q1_youtube, q2_youtube, CYCLIC_SIZES, DAG_SIZES, SMALL_DAG_SIZES};
 use gpm_graph::stats::GraphStats;
 use gpm_graph::DiGraph;
@@ -32,10 +30,18 @@ impl Avg {
         self.n += 1;
     }
     fn time(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.time_s / self.n as f64 }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.time_s / self.n as f64
+        }
     }
     fn ratio(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.mr / self.n as f64 }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mr / self.n as f64
+        }
     }
 }
 
@@ -168,12 +174,8 @@ pub fn fig5b_5e(s: &Settings, rec: &Records) {
 pub fn fig5c_5f(s: &Settings, rec: &Records) {
     let d = workloads::amazon(s);
     let ps = workloads::patterns_for(&d.graph, (4, 8), false, s);
-    let mut mr = Table::new(
-        "fig5c",
-        "MR vs k (Amazon*, |Q| = (4,8))",
-        "k",
-        &["MR[TopK]", "MR[TopKnopt]"],
-    );
+    let mut mr =
+        Table::new("fig5c", "MR vs k (Amazon*, |Q| = (4,8))", "k", &["MR[TopK]", "MR[TopKnopt]"]);
     let mut tt = Table::new(
         "fig5f",
         "time (s) vs k (Amazon*, |Q| = (4,8))",

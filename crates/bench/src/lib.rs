@@ -11,6 +11,7 @@
 //! *shapes* — who wins, by what factor, where crossovers fall — are the
 //! reproduction targets recorded in `EXPERIMENTS.md`.
 
+pub mod delta_bench;
 pub mod experiments;
 pub mod table;
 pub mod workloads;

@@ -4,10 +4,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// A printable experiment table: one labelled row per x-axis point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. `fig5a`.
     pub id: String,
@@ -19,6 +19,19 @@ pub struct Table {
     pub columns: Vec<String>,
     /// Rows: x label + one value per column (NaN = missing).
     pub rows: Vec<(String, Vec<f64>)>,
+}
+
+// The offline serde stub has no derive macro (see `crates/compat/serde`).
+impl Serialize for Table {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".into(), self.id.to_value()),
+            ("title".into(), self.title.to_value()),
+            ("x_label".into(), self.x_label.to_value()),
+            ("columns".into(), self.columns.to_value()),
+            ("rows".into(), self.rows.to_value()),
+        ])
+    }
 }
 
 impl Table {
@@ -49,14 +62,9 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "── {} ── {}", self.id, self.title);
         let width = 12usize;
-        let xw = self
-            .rows
-            .iter()
-            .map(|(x, _)| x.len())
-            .chain([self.x_label.len()])
-            .max()
-            .unwrap_or(8)
-            + 2;
+        let xw =
+            self.rows.iter().map(|(x, _)| x.len()).chain([self.x_label.len()]).max().unwrap_or(8)
+                + 2;
         let _ = write!(out, "{:<xw$}", self.x_label);
         for c in &self.columns {
             let _ = write!(out, "{c:>width$}");

@@ -31,7 +31,15 @@ pub struct Settings {
 impl Settings {
     /// Defaults for a scale.
     pub fn new(scale: Scale) -> Self {
-        Settings { scale, reps: 3, k: 10, seed: 20130826, min_matches: 60, attr_selectivity: Some(0.6), div_mu_cap: 4_000 }
+        Settings {
+            scale,
+            reps: 3,
+            k: 10,
+            seed: 20130826,
+            min_matches: 60,
+            attr_selectivity: Some(0.6),
+            div_mu_cap: 4_000,
+        }
     }
 }
 
@@ -87,20 +95,11 @@ pub fn synthetic_dag(nodes: usize, edges: usize, seed: u64) -> DiGraph {
 
 /// Verified pattern suite of one size over a graph; logs when generation
 /// falls short so truncated coverage is never silent.
-pub fn patterns_for(
-    g: &DiGraph,
-    size: (usize, usize),
-    dag: bool,
-    s: &Settings,
-) -> Vec<Pattern> {
+pub fn patterns_for(g: &DiGraph, size: (usize, usize), dag: bool, s: &Settings) -> Vec<Pattern> {
     let mut out = Vec::with_capacity(s.reps);
     for i in 0..s.reps {
-        let mut cfg = PatternGenConfig::new(
-            size.0,
-            size.1,
-            dag,
-            s.seed.wrapping_add(7919 * (i as u64 + 1)),
-        );
+        let mut cfg =
+            PatternGenConfig::new(size.0, size.1, dag, s.seed.wrapping_add(7919 * (i as u64 + 1)));
         cfg.min_matches = s.min_matches;
         cfg.max_tries = 80;
         cfg.attr_selectivity = if g.has_attributes() { s.attr_selectivity } else { None };
@@ -123,9 +122,9 @@ pub fn patterns_for(
         }
         match found {
             Some(q) => out.push(q),
-            None => eprintln!(
-                "warn: pattern extraction failed for size {size:?} (dag={dag}) rep {i}"
-            ),
+            None => {
+                eprintln!("warn: pattern extraction failed for size {size:?} (dag={dag}) rep {i}")
+            }
         }
     }
     out

@@ -1,0 +1,152 @@
+//! Offline drop-in replacement for the subset of `criterion` this workspace
+//! uses. Benches compile and run under `cargo bench` with simple
+//! mean-of-N-iterations timing printed to stdout — no statistics, plots, or
+//! baseline storage. Set `CRITERION_STUB_SAMPLES` to override sample counts
+//! (e.g. `1` for a smoke run).
+
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 10 }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one("", &id.into(), 10, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&self.name, &id.into(), self.sample_size, &mut f);
+    }
+
+    /// Measures `f` with an input parameter (identified by `id`).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&self.name, &id.0, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a parameter, e.g. `match/5000`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times its argument.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` `samples` times (after one warmup call) and accumulates the
+    /// elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warmup / one correctness pass
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iters += self.samples as u64;
+    }
+}
+
+fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = std::env::var("CRITERION_STUB_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(sample_size)
+        .max(1);
+    let mut b = Bencher { samples, total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if b.iters > 0 {
+        let per = b.total.as_secs_f64() / b.iters as f64;
+        println!("  {label:<40} {:>12.3} ms/iter ({} iters)", per * 1e3, b.iters);
+    } else {
+        println!("  {label:<40} (no iterations)");
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        std::env::set_var("CRITERION_STUB_SAMPLES", "2");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("p", 7), &7usize, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(runs >= 3, "warmup + samples ran");
+        std::env::remove_var("CRITERION_STUB_SAMPLES");
+    }
+}

@@ -1,0 +1,130 @@
+//! The `Strategy` trait and its combinators.
+
+use std::ops::Range;
+
+use rand::SampleRange;
+
+use crate::test_runner::TestRng;
+
+/// A generator of random values; the stub generates directly (no value
+/// trees, no shrinking).
+pub trait Strategy: Sized {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// `prop_map` — transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// `prop_flat_map` — derive a dependent strategy from each value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// `low..high` ranges are strategies for their element type.
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.clone().sample(rng)
+    }
+}
+
+/// `Just(value)` — constant strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+
+    #[test]
+    fn ranges_tuples_vecs_and_combinators() {
+        let mut rng = TestRng::for_test("stub_smoke");
+        let strat = (3usize..10).prop_flat_map(|n| {
+            let labels = collection::vec(0u32..4, n);
+            let edges = collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2);
+            (labels, edges)
+        });
+        for _ in 0..200 {
+            let (labels, edges) = strat.generate(&mut rng);
+            assert!((3..10).contains(&labels.len()));
+            assert!(labels.iter().all(|&l| l < 4));
+            assert!(edges.len() < 20);
+            let n = labels.len() as u32;
+            assert!(edges.iter().all(|&(a, b)| a < n && b < n));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut rng = TestRng::for_test("map_just");
+        let doubled = (1usize..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline drop-in replacement for the subset of `serde_json` this
+//! workspace uses: pretty-printing of [`serde::Value`] trees produced by the
+//! stubbed [`serde::Serialize`]. Non-finite numbers print as `null`, like
+//! the real crate.
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Serialization never fails in the stub, but the real signature returns a
+/// `Result`, so callers keep their `.expect(...)`.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if !n.is_finite() {
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_json_string(key, out);
+                out.push_str(": ");
+                write_value(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("fig5a".into())),
+            ("rows".into(), Value::Array(vec![Value::Num(1.5), Value::Num(f64::NAN)])),
+            ("n".into(), Value::Num(3.0)),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"id\": \"fig5a\""));
+        assert!(s.contains("null"), "NaN prints as null");
+        assert!(s.contains("\"n\": 3"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = to_string_pretty(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -5,23 +5,18 @@ use gpm_ranking::reach_sets::ReachConfig;
 
 /// How leaf batches `Sc` are chosen (Section 4, and the `nopt` ablation of
 /// Exp-1/Exp-2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectionStrategy {
     /// Greedy: activate the leaf cone of the most promising (highest `h`)
     /// undecided output candidate — the paper's "minimal set covering the
     /// children of rank-1 candidates", generalized to whole cones.
+    #[default]
     Optimized,
     /// Random leaf batches — the paper's `TopKnopt` / `TopKDAGnopt`.
     Random {
         /// RNG seed (experiments fix it for reproducibility).
         seed: u64,
     },
-}
-
-impl Default for SelectionStrategy {
-    fn default() -> Self {
-        SelectionStrategy::Optimized
-    }
 }
 
 /// Configuration for topKP algorithms.

@@ -146,27 +146,19 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let bounds: OutputBounds =
-            output_upper_bounds(g, q, &space, cfg.bounds, &cfg.bound_config);
+        let bounds: OutputBounds = output_upper_bounds(g, q, &space, cfg.bounds, &cfg.bound_config);
         let pg = MatchGraph::over_candidates(g, q, &space);
 
         let qcond = Condensation::compute(q.topology());
-        let scc_of: Vec<u32> = (0..q.node_count() as u32)
-            .map(|u| qcond.component_of(u))
-            .collect();
-        let scc_nontrivial: Vec<bool> = (0..qcond.component_count() as u32)
-            .map(|c| qcond.is_nontrivial(c))
-            .collect();
-        let node_rank: Vec<u32> = (0..q.node_count() as u32)
-            .map(|u| qcond.node_rank(u))
-            .collect();
+        let scc_of: Vec<u32> = (0..q.node_count() as u32).map(|u| qcond.component_of(u)).collect();
+        let scc_nontrivial: Vec<bool> =
+            (0..qcond.component_count() as u32).map(|c| qcond.is_nontrivial(c)).collect();
+        let node_rank: Vec<u32> = (0..q.node_count() as u32).map(|u| qcond.node_rank(u)).collect();
         let max_rank = node_rank.iter().copied().max().unwrap_or(0);
 
         let n = pg.len();
         let uo = q.output();
-        let out_base = pg
-            .compact_of(space.pair_at(uo, 0))
-            .expect("output pairs included");
+        let out_base = pg.compact_of(space.pair_at(uo, 0)).expect("output pairs included");
         let out_count = space.candidate_count(uo);
 
         let mut eng = Engine {
@@ -231,9 +223,7 @@ impl<'a> Engine<'a> {
             }
         }
         for p in 0..self.pg.len() as u32 {
-            if self.in_cone[p as usize]
-                && self.node_rank[self.pg.pattern_node(p) as usize] == 0
-            {
+            if self.in_cone[p as usize] && self.node_rank[self.pg.pattern_node(p) as usize] == 0 {
                 self.cone_rank0.push(p);
             }
         }
@@ -256,9 +246,7 @@ impl<'a> Engine<'a> {
     fn init_h_order(&mut self) {
         let mut order: Vec<u32> = (0..self.out_count as u32).collect();
         order.sort_by(|&a, &b| {
-            self.h_init[b as usize]
-                .cmp(&self.h_init[a as usize])
-                .then(a.cmp(&b))
+            self.h_init[b as usize].cmp(&self.h_init[a as usize]).then(a.cmp(&b))
         });
         self.h_order = order;
     }
@@ -357,10 +345,9 @@ impl<'a> Engine<'a> {
 
     /// Confirmed output matches so far: `(candidate index, node, l)`.
     pub fn matched_outputs(&self) -> impl Iterator<Item = (usize, NodeId, u64)> + '_ {
-        (0..self.out_count).filter_map(move |i| {
-            (self.output_status(i) == Status::Matched)
-                .then(|| (i, self.output_node(i), self.output_l(i)))
-        })
+        (0..self.out_count)
+            .filter(|&i| self.output_status(i) == Status::Matched)
+            .map(|i| (i, self.output_node(i), self.output_l(i)))
     }
 
     /// Number of confirmed output matches.
@@ -429,12 +416,8 @@ impl<'a> Engine<'a> {
     /// comparison path and as the drivers' fallback.
     pub fn exhaust(&mut self) {
         while !self.exhausted() {
-            let leaves: Vec<u32> = self
-                .cone_rank0
-                .iter()
-                .copied()
-                .filter(|&p| !self.activated[p as usize])
-                .collect();
+            let leaves: Vec<u32> =
+                self.cone_rank0.iter().copied().filter(|&p| !self.activated[p as usize]).collect();
             for p in leaves {
                 self.activate(p);
             }
@@ -480,10 +463,7 @@ impl<'a> Engine<'a> {
     // ----------------------------------------------------------- internals
 
     pub(crate) fn edge_index(&self, u: PNodeId, uc: PNodeId) -> usize {
-        self.q
-            .successors(u)
-            .binary_search(&uc)
-            .expect("pattern edge exists")
+        self.q.successors(u).binary_search(&uc).expect("pattern edge exists")
     }
 
     fn activate(&mut self, p: u32) {
@@ -642,10 +622,8 @@ impl<'a> Engine<'a> {
                 if self.status[c as usize] != Status::Matched {
                     continue;
                 }
-                let pos = self
-                    .space
-                    .universe_pos(self.pg.data_node(c))
-                    .expect("candidates in universe");
+                let pos =
+                    self.space.universe_pos(self.pg.data_node(c)).expect("candidates in universe");
                 grew |= set.insert(pos as usize);
                 if let Some(rc) = &self.r[c as usize] {
                     grew |= set.union_with(rc);

@@ -140,9 +140,7 @@ impl Engine<'_> {
             }
             for &c in self.pg.successors(p) {
                 let uc = self.pg.pattern_node(c);
-                if self.scc_of[uc as usize] != scc
-                    && self.status[c as usize] == Status::Matched
-                {
+                if self.scc_of[uc as usize] != scc && self.status[c as usize] == Status::Matched {
                     ext_matched[self.edge_index(u, uc)] = true;
                 }
             }
@@ -191,10 +189,7 @@ impl Engine<'_> {
         for &p in &cand {
             let u = self.pg.pattern_node(p);
             let lp = self.scc_local[p as usize] as usize;
-            if internal_edges(self, u)
-                .iter()
-                .any(|&j| support[lp * stride + j] == 0)
-            {
+            if internal_edges(self, u).iter().any(|&j| support[lp * stride + j] == 0) {
                 cand_mark[lp] = false;
                 worklist.push(p);
             }
@@ -238,11 +233,8 @@ impl Engine<'_> {
     /// Recomputes shared relevant sets over the SCC's matched pairs.
     /// Returns pairs whose `R` grew.
     fn propagate_scc_r(&mut self, pairs: &[u32], scc: u32) -> Vec<u32> {
-        let matched: Vec<u32> = pairs
-            .iter()
-            .copied()
-            .filter(|&p| self.status[p as usize] == Status::Matched)
-            .collect();
+        let matched: Vec<u32> =
+            pairs.iter().copied().filter(|&p| self.status[p as usize] == Status::Matched).collect();
         if matched.is_empty() {
             return Vec::new();
         }
@@ -355,10 +347,8 @@ impl Engine<'_> {
             } else {
                 let mut f = (*result).clone();
                 let p = matched[cond.members(comp)[0] as usize];
-                let pos = self
-                    .space
-                    .universe_pos(self.pg.data_node(p))
-                    .expect("candidate in universe");
+                let pos =
+                    self.space.universe_pos(self.pg.data_node(p)).expect("candidate in universe");
                 f.insert(pos as usize);
                 Rc::new(f)
             };
@@ -373,8 +363,7 @@ impl Engine<'_> {
         }
         pairs.iter().all(|&p| {
             self.pg.successors(p).iter().all(|&c| {
-                self.scc_of[self.pg.pattern_node(c) as usize] == scc
-                    || self.finals[c as usize]
+                self.scc_of[self.pg.pattern_node(c) as usize] == scc || self.finals[c as usize]
             })
         })
     }

@@ -61,8 +61,7 @@ impl Engine<'_> {
             if self.status[p as usize] == Status::Refuted {
                 continue;
             }
-            if self.node_rank[self.pg.pattern_node(p) as usize] == 0
-                && !self.activated[p as usize]
+            if self.node_rank[self.pg.pattern_node(p) as usize] == 0 && !self.activated[p as usize]
             {
                 batch.push(p);
             }
@@ -96,12 +95,7 @@ impl Engine<'_> {
     fn remaining_leaf_chunk(&mut self) -> Vec<u32> {
         let total = self.cone_rank0.len();
         let target = (total / self.cfg.random_batch_divisor.max(1)).max(64);
-        self.cone_rank0
-            .iter()
-            .copied()
-            .filter(|&p| !self.activated_pair(p))
-            .take(target)
-            .collect()
+        self.cone_rank0.iter().copied().filter(|&p| !self.activated_pair(p)).take(target).collect()
     }
 
     pub(super) fn activated_pair(&self, p: u32) -> bool {

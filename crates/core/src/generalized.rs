@@ -44,10 +44,7 @@ pub struct GenTopKResult {
 
 /// Builds the `M(Q,G,R(uo))` universe bitset: matches of all query nodes
 /// strictly reachable from `uo`.
-fn descendant_matches(
-    q: &Pattern,
-    sim: &gpm_simulation::SimRelation,
-) -> (BitSet, usize) {
+fn descendant_matches(q: &Pattern, sim: &gpm_simulation::SimRelation) -> (BitSet, usize) {
     let space = sim.space();
     let mut set = BitSet::new(space.universe_size());
     let reach = q.reachable_from_output();
@@ -88,14 +85,9 @@ pub fn generalized_top_k(
         .matches
         .iter()
         .map(|m| {
-            let ids = gpm_ranking::relevant_set::relevant_set_of_pair(
-                g,
-                q,
-                &sim,
-                q.output(),
-                m.node,
-            )
-            .unwrap_or_default();
+            let ids =
+                gpm_ranking::relevant_set::relevant_set_of_pair(g, q, &sim, q.output(), m.node)
+                    .unwrap_or_default();
             let mut r = BitSet::new(space.universe_size());
             for v in ids {
                 let pos = space.universe_pos(v).expect("candidate");
@@ -105,9 +97,7 @@ pub fn generalized_top_k(
             ScoredMatch { node: m.node, score: f.score(&ctx) }
         })
         .collect();
-    matches.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).unwrap().then(a.node.cmp(&b.node))
-    });
+    matches.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.node.cmp(&b.node)));
     let mut stats = base.stats;
     stats.elapsed = t0.elapsed();
     GenTopKResult { matches, stats }
@@ -126,17 +116,12 @@ pub fn generalized_top_k_full(
     let (dm, desc_nodes) = descendant_matches(q, &outcome.sim);
     let mut matches: Vec<ScoredMatch> = (0..rs.len())
         .map(|i| {
-            let ctx = RelevanceCtx {
-                r_set: rs.set(i),
-                desc_query_nodes: desc_nodes,
-                desc_matches: &dm,
-            };
+            let ctx =
+                RelevanceCtx { r_set: rs.set(i), desc_query_nodes: desc_nodes, desc_matches: &dm };
             ScoredMatch { node: rs.matches()[i], score: f.score(&ctx) }
         })
         .collect();
-    matches.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).unwrap().then(a.node.cmp(&b.node))
-    });
+    matches.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.node.cmp(&b.node)));
     matches.truncate(cfg.k);
     let total = rs.len();
     GenTopKResult {

@@ -43,7 +43,7 @@ pub mod topk_div;
 pub use config::{DivConfig, SelectionStrategy, TopKConfig};
 pub use match_all::{top_k_by_match, MatchOutcome};
 pub use multi_output::{top_k_multi, with_output};
-pub use result::{DivResult, RankedMatch, RunStats, TopKResult};
+pub use result::{rank_top_k, DivResult, RankedMatch, RunStats, TopKResult};
 pub use topk::{top_k, top_k_cyclic, top_k_dag};
 pub use topk_dh::top_k_diversified_heuristic;
-pub use topk_div::top_k_diversified;
+pub use topk_div::{greedy_diversified, top_k_diversified};

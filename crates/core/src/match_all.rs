@@ -17,7 +17,7 @@ use gpm_ranking::relevant_set::RelevantSets;
 use gpm_simulation::{compute_simulation, SimRelation};
 
 use crate::config::TopKConfig;
-use crate::result::{RankedMatch, RunStats, TopKResult};
+use crate::result::{RunStats, TopKResult};
 
 /// Everything the find-all pipeline produces; reused by `TopKDiv` and the
 /// generalized rankers.
@@ -41,11 +41,8 @@ pub fn top_k_by_match(g: &DiGraph, q: &Pattern, cfg: &TopKConfig) -> TopKResult 
     let outcome = compute_match_outcome(g, q, &cfg.reach);
     let rs = &outcome.relevant;
 
-    let mut ranked: Vec<RankedMatch> = (0..rs.len())
-        .map(|i| RankedMatch { node: rs.matches()[i], relevance: rs.relevance(i) })
-        .collect();
-    ranked.sort_by(|a, b| b.relevance.cmp(&a.relevance).then(a.node.cmp(&b.node)));
-    ranked.truncate(cfg.k);
+    let ranked =
+        crate::result::rank_top_k((0..rs.len()).map(|i| (rs.matches()[i], rs.relevance(i))), cfg.k);
 
     let total = rs.len();
     TopKResult {

@@ -65,8 +65,7 @@ mod tests {
         let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
         let results = top_k_multi(&g, &q, &[0, 1, 2], &TopKConfig::new(5));
         assert_eq!(results.len(), 3);
-        let by_node: Vec<(u32, Vec<u32>)> =
-            results.iter().map(|(u, r)| (*u, r.nodes())).collect();
+        let by_node: Vec<(u32, Vec<u32>)> = results.iter().map(|(u, r)| (*u, r.nodes())).collect();
         assert_eq!(by_node[0], (0, vec![0]), "only node 0 roots a full chain");
         assert_eq!(by_node[1], (1, vec![2]), "node 3 lacks a c-child");
         assert_eq!(by_node[2], (2, vec![4]));
@@ -75,11 +74,8 @@ mod tests {
     /// Per-output answers agree with Match on the re-targeted pattern.
     #[test]
     fn agrees_with_match_per_output() {
-        let g = graph_from_parts(
-            &[0, 0, 1, 1, 2, 2],
-            &[(0, 2), (0, 3), (2, 4), (3, 5), (1, 3)],
-        )
-        .unwrap();
+        let g = graph_from_parts(&[0, 0, 1, 1, 2, 2], &[(0, 2), (0, 3), (2, 4), (3, 5), (1, 3)])
+            .unwrap();
         let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
         for u in 0..3u32 {
             let rq = with_output(&q, u);

@@ -47,6 +47,19 @@ impl RunStats {
     }
 }
 
+/// Ranks `(node, δr)` entries the way every topKP algorithm reports them —
+/// descending relevance, ties by ascending node id — and keeps the best
+/// `k`. The re-entrant entry point for maintained states (the incremental
+/// `DynamicMatcher` re-ranks from its relevance cache through this), kept
+/// next to [`TopKResult`] so the orderings can never drift apart.
+pub fn rank_top_k(rel: impl IntoIterator<Item = (NodeId, u64)>, k: usize) -> Vec<RankedMatch> {
+    let mut ranked: Vec<RankedMatch> =
+        rel.into_iter().map(|(node, relevance)| RankedMatch { node, relevance }).collect();
+    ranked.sort_by(|a, b| b.relevance.cmp(&a.relevance).then(a.node.cmp(&b.node)));
+    ranked.truncate(k);
+    ranked
+}
+
 /// Result of a topKP run.
 #[derive(Debug, Clone)]
 pub struct TopKResult {

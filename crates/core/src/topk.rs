@@ -39,11 +39,8 @@ pub fn top_k(g: &DiGraph, q: &Pattern, cfg: &TopKConfig) -> TopKResult {
 
     loop {
         if let Some(selection) = current_selection(&eng, cfg.k) {
-            let min_l = selection
-                .iter()
-                .map(|&i| eng.output_l(i))
-                .min()
-                .expect("selection nonempty");
+            let min_l =
+                selection.iter().map(|&i| eng.output_l(i)).min().expect("selection nonempty");
             if min_l >= eng.best_rest_bound(&selection) {
                 eng.stats_mut().early_terminated = true;
                 eng.stats_mut().inspected_matches = eng.matched_count();

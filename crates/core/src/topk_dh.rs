@@ -47,11 +47,8 @@ pub fn top_k_diversified_heuristic(g: &DiGraph, q: &Pattern, cfg: &DivConfig) ->
 
     loop {
         // Offer newly confirmed matches to S.
-        let newcomers: Vec<usize> = eng
-            .matched_outputs()
-            .filter(|&(i, _, _)| !seen[i])
-            .map(|(i, _, _)| i)
-            .collect();
+        let newcomers: Vec<usize> =
+            eng.matched_outputs().filter(|&(i, _, _)| !seen[i]).map(|(i, _, _)| i).collect();
         for i in newcomers {
             seen[i] = true;
             offer(&mut s, i, k, &objective, &eng, &empty);
@@ -119,7 +116,7 @@ fn offer(
         alt[pos] = cand;
         let f_alt = f_partial(&alt, obj, eng, empty);
         let gain = f_alt - f_cur;
-        if gain > 1e-12 && best.map_or(true, |(g, _)| gain > g) {
+        if gain > 1e-12 && best.is_none_or(|(g, _)| gain > g) {
             best = Some((gain, pos));
         }
     }
@@ -149,11 +146,8 @@ mod tests {
 
     #[test]
     fn returns_k_valid_matches() {
-        let g = graph_from_parts(
-            &[0, 0, 0, 1, 1, 1, 1],
-            &[(0, 3), (0, 4), (1, 4), (1, 5), (2, 6)],
-        )
-        .unwrap();
+        let g = graph_from_parts(&[0, 0, 0, 1, 1, 1, 1], &[(0, 3), (0, 4), (1, 4), (1, 5), (2, 6)])
+            .unwrap();
         let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
         let r = top_k_diversified_heuristic(&g, &q, &DivConfig::new(2, 0.5));
         assert_eq!(r.matches.len(), 2);

@@ -53,43 +53,7 @@ pub fn top_k_diversified_with(
     let d = |i: usize, j: usize| dist.distance(&info(i), &info(j));
     let rel: Vec<f64> = (0..n).map(|i| rs.relevance(i) as f64).collect();
 
-    // Greedy pair selection.
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut selected: Vec<usize> = Vec::with_capacity(k);
-    while selected.len() + 2 <= k && remaining.len() >= 2 {
-        let mut best: Option<(f64, usize, usize)> = None;
-        for a in 0..remaining.len() {
-            for b in (a + 1)..remaining.len() {
-                let (i, j) = (remaining[a], remaining[b]);
-                let score = objective.f_pair(rel[i], rel[j], d(i, j));
-                if best.map_or(true, |(s, _, _)| score > s) {
-                    best = Some((score, a, b));
-                }
-            }
-        }
-        let Some((_, a, b)) = best else { break };
-        // Remove b first (higher index) to keep positions valid.
-        let j = remaining.remove(b);
-        let i = remaining.remove(a);
-        selected.push(i);
-        selected.push(j);
-    }
-    // Odd k (or leftovers): greedily add the single best marginal match.
-    while selected.len() < k && !remaining.is_empty() {
-        let mut best: Option<(f64, usize)> = None;
-        for (pos, &i) in remaining.iter().enumerate() {
-            let mut with: Vec<usize> = selected.clone();
-            with.push(i);
-            let f = f_of(&objective, &with, &rel, &d);
-            if best.map_or(true, |(s, _)| f > s) {
-                best = Some((f, pos));
-            }
-        }
-        let Some((_, pos)) = best else { break };
-        selected.push(remaining.remove(pos));
-    }
-
-    let f_value = f_of(&objective, &selected, &rel, &d);
+    let (selected, f_value) = greedy_diversified(&objective, &rel, &d);
     let matches: Vec<RankedMatch> = selected
         .iter()
         .map(|&i| RankedMatch { node: rs.matches()[i], relevance: rs.relevance(i) })
@@ -107,6 +71,59 @@ pub fn top_k_diversified_with(
             ..Default::default()
         },
     }
+}
+
+/// The `TopKDiv` greedy itself, decoupled from where the relevance values
+/// and distances come from: `rel[i]` is the raw `δr` of the `i`-th match
+/// and `d(i, j)` its pairwise `δd`. Returns the selected indices (pairs in
+/// pick order) and `F(S)`. The static pipeline and the incremental
+/// [`DynamicMatcher`](https://docs.rs/gpm-incremental) both call this, so a
+/// maintained state and a from-scratch run produce identical selections —
+/// ties included.
+pub fn greedy_diversified(
+    objective: &Objective,
+    rel: &[f64],
+    d: &impl Fn(usize, usize) -> f64,
+) -> (Vec<usize>, f64) {
+    let n = rel.len();
+    let k = objective.k;
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    // Greedy pair selection.
+    while selected.len() + 2 <= k && remaining.len() >= 2 {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for a in 0..remaining.len() {
+            for b in (a + 1)..remaining.len() {
+                let (i, j) = (remaining[a], remaining[b]);
+                let score = objective.f_pair(rel[i], rel[j], d(i, j));
+                if best.is_none_or(|(s, _, _)| score > s) {
+                    best = Some((score, a, b));
+                }
+            }
+        }
+        let Some((_, a, b)) = best else { break };
+        // Remove b first (higher index) to keep positions valid.
+        let j = remaining.remove(b);
+        let i = remaining.remove(a);
+        selected.push(i);
+        selected.push(j);
+    }
+    // Odd k (or leftovers): greedily add the single best marginal match.
+    while selected.len() < k && !remaining.is_empty() {
+        let mut best: Option<(f64, usize)> = None;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let mut with: Vec<usize> = selected.clone();
+            with.push(i);
+            let f = f_of(objective, &with, rel, d);
+            if best.is_none_or(|(s, _)| f > s) {
+                best = Some((f, pos));
+            }
+        }
+        let Some((_, pos)) = best else { break };
+        selected.push(remaining.remove(pos));
+    }
+    let f_value = f_of(objective, &selected, rel, d);
+    (selected, f_value)
 }
 
 /// Exact topKDP by exhaustive enumeration — exponential, test/verification
@@ -128,7 +145,7 @@ pub fn optimal_diversified(g: &DiGraph, q: &Pattern, cfg: &DivConfig) -> DivResu
         let mut comb: Vec<usize> = (0..k).collect();
         loop {
             let f = f_of(&objective, &comb, &rel, &d);
-            if best.as_ref().map_or(true, |(s, _)| f > *s) {
+            if best.as_ref().is_none_or(|(s, _)| f > *s) {
                 best = Some((f, comb.clone()));
             }
             if !next_combination(&mut comb, n) {
@@ -171,12 +188,7 @@ fn next_combination(comb: &mut [usize], n: usize) -> bool {
     false
 }
 
-fn f_of(
-    obj: &Objective,
-    set: &[usize],
-    rel: &[f64],
-    d: &impl Fn(usize, usize) -> f64,
-) -> f64 {
+fn f_of(obj: &Objective, set: &[usize], rel: &[f64], d: &impl Fn(usize, usize) -> f64) -> f64 {
     let rels: Vec<f64> = set.iter().map(|&i| rel[i]).collect();
     obj.f_score(&rels, |a, b| d(set[a], set[b]))
 }
@@ -193,11 +205,8 @@ mod tests {
     /// Star-ish fixture with overlapping reaches so diversity matters.
     fn fixture() -> (gpm_graph::DiGraph, gpm_pattern::Pattern) {
         // a-roots: 0 → {b3, b4}; 1 → {b4, b5}; 2 → {b6}.
-        let g = graph_from_parts(
-            &[0, 0, 0, 1, 1, 1, 1],
-            &[(0, 3), (0, 4), (1, 4), (1, 5), (2, 6)],
-        )
-        .unwrap();
+        let g = graph_from_parts(&[0, 0, 0, 1, 1, 1, 1], &[(0, 3), (0, 4), (1, 4), (1, 5), (2, 6)])
+            .unwrap();
         let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
         (g, q)
     }

@@ -57,10 +57,7 @@ fn example_4_relevant_sets() {
         names(&g, &ids)
     };
     assert_eq!(set("PM1"), vec!["DB1", "PRG1", "ST1", "ST2"]);
-    assert_eq!(
-        set("PM2"),
-        vec!["DB2", "DB3", "PRG2", "PRG3", "PRG4", "ST2", "ST3", "ST4"]
-    );
+    assert_eq!(set("PM2"), vec!["DB2", "DB3", "PRG2", "PRG3", "PRG4", "ST2", "ST3", "ST4"]);
     let expected34 = vec!["DB2", "DB3", "PRG2", "PRG3", "ST3", "ST4"];
     assert_eq!(set("PM3"), expected34);
     assert_eq!(set("PM4"), expected34);
@@ -76,10 +73,7 @@ fn example_4_relevant_sets() {
     // relevant set: R(DB, DB3) = {ST3, ST4, DB2, DB3, PRG2, PRG3}.
     let db = q.node_by_name("DB").unwrap();
     let r_db3 = relevant_set_of_pair(&g, &q, &sim, db, node(&g, "DB3")).unwrap();
-    assert_eq!(
-        names(&g, &r_db3),
-        vec!["DB2", "DB3", "PRG2", "PRG3", "ST3", "ST4"]
-    );
+    assert_eq!(names(&g, &r_db3), vec!["DB2", "DB3", "PRG2", "PRG3", "ST3", "ST4"]);
 }
 
 /// Example 5: pairwise distances δd.
@@ -199,10 +193,7 @@ fn example_9_topkdiv() {
     let r = top_k_diversified(&g, &q, &DivConfig::new(2, 0.5));
     assert!((r.f_value - 16.0 / 11.0).abs() < 1e-9, "F = {}", r.f_value);
     let set = names(&g, &r.nodes());
-    assert!(
-        set == ["PM1", "PM2"] || set == ["PM1", "PM3"] || set == ["PM1", "PM4"],
-        "got {set:?}"
-    );
+    assert!(set == ["PM1", "PM2"] || set == ["PM1", "PM3"] || set == ["PM1", "PM4"], "got {set:?}");
     // 2-approximation sanity against the brute-force optimum.
     let opt = gpm_core::topk_div::optimal_diversified(&g, &q, &DivConfig::new(2, 0.5));
     assert!(r.f_value * 2.0 >= opt.f_value - 1e-9);

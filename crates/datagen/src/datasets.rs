@@ -158,10 +158,7 @@ fn attach_attrs(
 
 /// Label id of a YouTube category name (for pattern construction).
 pub fn youtube_label(category: &str) -> Option<u32> {
-    YOUTUBE_CATEGORIES
-        .iter()
-        .position(|&c| c == category)
-        .map(|i| i as u32)
+    YOUTUBE_CATEGORIES.iter().position(|&c| c == category).map(|i| i as u32)
 }
 
 #[allow(unused)]

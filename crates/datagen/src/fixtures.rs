@@ -93,14 +93,9 @@ pub fn fig1_pattern() -> Pattern {
     b.node("DB", Predicate::Label(DB));
     b.node("PRG", Predicate::Label(PRG));
     b.node("ST", Predicate::Label(ST));
-    for (f, t) in [
-        ("PM", "DB"),
-        ("PM", "PRG"),
-        ("DB", "PRG"),
-        ("PRG", "DB"),
-        ("DB", "ST"),
-        ("PRG", "ST"),
-    ] {
+    for (f, t) in
+        [("PM", "DB"), ("PM", "PRG"), ("DB", "PRG"), ("PRG", "DB"), ("DB", "ST"), ("PRG", "ST")]
+    {
         b.edge_by_name(f, t).expect("nodes exist");
     }
     b.output_by_name("PM").expect("PM exists");
@@ -159,11 +154,7 @@ mod tests {
         assert_eq!(two_cycles, vec![(db1, prg1)]);
         // … and DB1, PRG1 share no common ST child.
         let st_children = |v: u32| -> Vec<u32> {
-            g.successors(v)
-                .iter()
-                .copied()
-                .filter(|&w| g.label(w) == labels::ST)
-                .collect()
+            g.successors(v).iter().copied().filter(|&w| g.label(w) == labels::ST).collect()
         };
         let a = st_children(db1);
         let b = st_children(prg1);

@@ -14,14 +14,18 @@
 //!   attribute schemas the paper describes;
 //! * [`patterns`] — pattern generation: extraction-based (guarantees a
 //!   nonempty `Mu`, like the paper's hand-constructed queries), plus the
-//!   Fig. 4 queries `Q1`/`Q2`.
+//!   Fig. 4 queries `Q1`/`Q2`;
+//! * [`update_stream`] — delta-batch generation for the dynamic-graph
+//!   workloads served by `gpm-incremental`.
 
 pub mod datasets;
 pub mod fixtures;
 pub mod patterns;
 pub mod synthetic;
+pub mod update_stream;
 
 pub use datasets::{amazon_like, citation_like, youtube_like, Scale};
 pub use fixtures::{fig1_graph, fig1_pattern, fig1_pattern_q1};
 pub use patterns::{extract_pattern, PatternGenConfig};
 pub use synthetic::{synthetic_graph, SyntheticConfig};
+pub use update_stream::{update_stream, UpdateStreamConfig};

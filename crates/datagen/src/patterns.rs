@@ -53,15 +53,29 @@ pub struct PatternGenConfig {
 impl PatternGenConfig {
     /// Default configuration for a `(nodes, edges)` size.
     pub fn new(nodes: usize, edges: usize, dag: bool, seed: u64) -> Self {
-        PatternGenConfig { nodes, edges, dag, seed, max_tries: 200, min_matches: 1, attr_selectivity: None }
+        PatternGenConfig {
+            nodes,
+            edges,
+            dag,
+            seed,
+            max_tries: 200,
+            min_matches: 1,
+            attr_selectivity: None,
+        }
     }
 }
 
 /// Extracts a pattern with a verified nonempty `Mu(Q,G,uo)`.
 pub fn extract_pattern(g: &DiGraph, cfg: &PatternGenConfig) -> Option<Pattern> {
+    // The start pool depends only on the graph — compute it once, not per
+    // retry (the sweep is the expensive part of a proposal).
+    let pool = density_start_pool(g);
+    if pool.is_empty() {
+        return None;
+    }
     for attempt in 0..cfg.max_tries {
         let seed = cfg.seed.wrapping_add(attempt as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        if let Some(q) = propose_pattern(g, cfg, seed) {
+        if let Some(q) = propose_with_pool(g, cfg, seed, &pool) {
             let sim = compute_simulation(g, &q);
             if sim.graph_matches() && sim.output_matches(&q).len() >= cfg.min_matches.max(1) {
                 return Some(q);
@@ -69,6 +83,57 @@ pub fn extract_pattern(g: &DiGraph, cfg: &PatternGenConfig) -> Option<Pattern> {
         }
     }
     None
+}
+
+/// Start candidates for dense-subgraph proposals. Dense pattern shapes
+/// (`|Ep| ≈ 2|Vp|`) only embed into near-cliques, which are *rare* —
+/// random probing misses them — so build a deterministic hot pool from two
+/// global sweeps (top nodes by reciprocal out-degree, which finds
+/// mutual-link clusters, and top nodes by total degree, which finds
+/// hub-anchored ones), then keep the densest tier by the density of a
+/// small successor window (reciprocal + successor-successor links). Raw
+/// out-degree alone favors mega-hubs whose neighborhoods are broad but
+/// sparse. Triangle-free graphs (e.g. citation DAGs) score everything 0
+/// and degrade to the degree ordering, which is the right bias there.
+pub fn density_start_pool(g: &DiGraph) -> Vec<u32> {
+    const POOL: usize = 64;
+    let n = g.node_count();
+    let window_density = |v: u32| -> usize {
+        let succs = g.successors(v);
+        let window = &succs[..succs.len().min(12)];
+        let mut score = 0usize;
+        for (i, &w) in window.iter().enumerate() {
+            score += usize::from(g.has_edge(w, v)); // reciprocal
+            for &x in &window[i + 1..] {
+                score += usize::from(g.has_edge(w, x)) + usize::from(g.has_edge(x, w));
+            }
+        }
+        score
+    };
+    let mut by_recip: Vec<(usize, u32)> = (0..n as u32)
+        .filter(|&v| g.out_degree(v) > 0)
+        .map(|v| {
+            let recip = g.successors(v).iter().filter(|&&w| g.has_edge(w, v)).count();
+            (recip, v)
+        })
+        .collect();
+    if by_recip.is_empty() {
+        return Vec::new();
+    }
+    let mut by_degree = by_recip.clone();
+    for e in by_degree.iter_mut() {
+        e.0 = g.out_degree(e.1) + g.in_degree(e.1);
+    }
+    by_recip.sort_unstable_by(|a, b| b.cmp(a));
+    by_degree.sort_unstable_by(|a, b| b.cmp(a));
+    let mut pool: Vec<u32> =
+        by_recip.iter().take(POOL).chain(by_degree.iter().take(POOL)).map(|&(_, v)| v).collect();
+    pool.sort_unstable();
+    pool.dedup();
+    let mut scored: Vec<(usize, u32)> = pool.into_iter().map(|v| (window_density(v), v)).collect();
+    scored.sort_unstable_by(|a, b| b.cmp(a));
+    scored.truncate(24);
+    scored.into_iter().map(|(_, v)| v).collect()
 }
 
 /// One dense-subgraph proposal (unverified; public for diagnostics).
@@ -83,47 +148,68 @@ pub fn extract_pattern(g: &DiGraph, cfg: &PatternGenConfig) -> Option<Pattern> {
 /// slot images, `Mu(Q,G,uo)` is nonempty **by construction** (the
 /// verification pass in [`extract_pattern`] is a safety net).
 pub fn propose_pattern(g: &DiGraph, cfg: &PatternGenConfig, seed: u64) -> Option<Pattern> {
+    propose_with_pool(g, cfg, seed, &density_start_pool(g))
+}
+
+/// [`propose_pattern`] with a precomputed [`density_start_pool`] (the pool
+/// is graph-determined; callers that retry share one sweep).
+fn propose_with_pool(
+    g: &DiGraph,
+    cfg: &PatternGenConfig,
+    seed: u64,
+    pool: &[u32],
+) -> Option<Pattern> {
     let n = g.node_count();
-    if n == 0 || cfg.nodes == 0 || cfg.edges + 1 < cfg.nodes {
+    if n == 0 || cfg.nodes == 0 || cfg.edges + 1 < cfg.nodes || pool.is_empty() {
         return None;
     }
     let mut rng = StdRng::seed_from_u64(seed);
     const MAX_MULT: usize = 2; // copies of one data node
     const SCAN_CAP: usize = 96;
 
-    // Hub-biased start: best out-degree among a handful of random probes.
-    let start = (0..30)
-        .map(|_| rng.random_range(0..n as u32))
-        .max_by_key(|&v| g.out_degree(v))?;
+    // The seed picks a pool member; retries in `extract_pattern` land on
+    // different near-clique anchors.
+    let start = pool[rng.random_range(0..pool.len())];
     if g.out_degree(start) == 0 {
         return None;
     }
 
-    // Slot growth.
+    // Slot growth. Candidates come from successors *and* predecessors of
+    // the current slots (dense clusters are entered from either side); a
+    // candidate is only eligible when some slot has an edge **to** it, so
+    // the spanning tree from the output node stays constructible.
     let mut slot_data: Vec<u32> = vec![start];
     let mut parent_edge: Vec<(u32, u32)> = Vec::new(); // spanning tree over slots
     while slot_data.len() < cfg.nodes {
         let mut best: Option<(usize, u32, u32)> = None; // (gain, parent slot, data node)
-        for (pi, &v) in slot_data.iter().enumerate() {
-            let succs = g.successors(v);
-            let take = succs.len().min(SCAN_CAP);
-            let offset = if succs.len() > take {
-                rng.random_range(0..succs.len() - take + 1)
-            } else {
-                0
+        let consider = |w: u32, slot_data: &[u32], best: &mut Option<(usize, u32, u32)>| {
+            if slot_data.iter().filter(|&&s| s == w).count() >= MAX_MULT {
+                return;
+            }
+            // A tree parent: some existing slot with a data edge to w.
+            let Some(pi) = slot_data.iter().position(|&s| s != w && g.has_edge(s, w)) else {
+                return;
             };
-            for &w in &succs[offset..offset + take] {
-                if slot_data.iter().filter(|&&s| s == w).count() >= MAX_MULT {
-                    continue;
-                }
-                // Pattern edges a w-slot could realize against existing slots.
-                let gain = slot_data
-                    .iter()
-                    .filter(|&&s| s != w)
-                    .map(|&s| usize::from(g.has_edge(s, w)) + usize::from(g.has_edge(w, s)))
-                    .sum::<usize>();
-                if best.map_or(true, |(d, _, _)| gain > d) {
-                    best = Some((gain, pi as u32, w));
+            // Pattern edges a w-slot could realize against existing slots.
+            let gain = slot_data
+                .iter()
+                .filter(|&&s| s != w)
+                .map(|&s| usize::from(g.has_edge(s, w)) + usize::from(g.has_edge(w, s)))
+                .sum::<usize>();
+            if best.is_none_or(|(d, _, _)| gain > d) {
+                *best = Some((gain, pi as u32, w));
+            }
+        };
+        for &v in slot_data.clone().iter() {
+            for neigh in [g.successors(v), g.predecessors(v)] {
+                let take = neigh.len().min(SCAN_CAP);
+                let offset = if neigh.len() > take {
+                    rng.random_range(0..neigh.len() - take + 1)
+                } else {
+                    0
+                };
+                for &w in &neigh[offset..offset + take] {
+                    consider(w, &slot_data, &mut best);
                 }
             }
         }
@@ -151,11 +237,8 @@ pub fn propose_pattern(g: &DiGraph, cfg: &PatternGenConfig, seed: u64) -> Option
     // No edges into slot 0: the output node stays outside every cycle (as
     // in the paper's patterns, e.g. PM), so output matches keep distinct
     // relevant sets instead of collapsing into one shared cycle set.
-    let mut extras: Vec<(u32, u32)> = internal
-        .iter()
-        .copied()
-        .filter(|e| !chosen.contains(e) && e.1 != 0)
-        .collect();
+    let mut extras: Vec<(u32, u32)> =
+        internal.iter().copied().filter(|e| !chosen.contains(e) && e.1 != 0).collect();
     for i in (1..extras.len()).rev() {
         let j = rng.random_range(0..i + 1);
         extras.swap(i, j);
@@ -215,10 +298,8 @@ fn attr_condition(
     rng: &mut StdRng,
 ) -> Option<Predicate> {
     let attrs = g.attributes(v)?;
-    let numeric: Vec<(&str, f64)> = attrs
-        .iter()
-        .filter_map(|(k, a)| a.as_f64().map(|x| (k, x)))
-        .collect();
+    let numeric: Vec<(&str, f64)> =
+        attrs.iter().filter_map(|(k, a)| a.as_f64().map(|x| (k, x))).collect();
     if numeric.is_empty() {
         return None;
     }
@@ -349,7 +430,10 @@ mod tests {
 
     #[test]
     fn extracts_verified_cyclic_pattern() {
-        let g = synthetic_graph(&SyntheticConfig::paper(3_000, 9_000, 5));
+        // 4·|V| edges: at 3·|V| the existence of a rooted (4,8) near-clique
+        // is a coin flip of the generator stream; at this density it is
+        // robust across seeds (checked for seeds 1–10).
+        let g = synthetic_graph(&SyntheticConfig::paper(3_000, 12_000, 5));
         let cfg = PatternGenConfig::new(4, 8, false, 17);
         if let Some(q) = extract_pattern(&g, &cfg) {
             assert_eq!(q.node_count(), 4);
@@ -377,7 +461,8 @@ mod tests {
 
     #[test]
     fn suite_generation() {
-        let g = synthetic_graph(&SyntheticConfig::paper(2_000, 6_000, 8));
+        // 4·|V| edges — see extracts_verified_cyclic_pattern.
+        let g = synthetic_graph(&SyntheticConfig::paper(2_000, 8_000, 8));
         let suite = pattern_suite(&g, (4, 8), false, 3, 99);
         assert!(!suite.is_empty(), "at least one verified pattern");
         for q in &suite {
@@ -403,7 +488,8 @@ mod tests {
 
     #[test]
     fn cycle_helpers() {
-        assert!(creates_cycle(&[(0, 1), (1, 2)], 3, 0, 2) || true);
+        assert!(creates_cycle(&[(0, 1), (1, 2)], 3, 2, 0), "closing edge makes a cycle");
+        assert!(!creates_cycle(&[(0, 1), (1, 2)], 3, 0, 2), "forward chord keeps it acyclic");
         assert!(has_cycle(&[(0, 1), (1, 0)], 2));
         assert!(!has_cycle(&[(0, 1), (1, 2)], 3));
     }

@@ -104,8 +104,7 @@ pub fn synthetic_graph(cfg: &SyntheticConfig) -> DiGraph {
     // Pass 1: growth — each node beyond the first attaches edges to
     // already-present nodes (new → old: acyclic backbone). A
     // `back_edge_fraction` share of the budget is reserved for pass 2.
-    let pass1_budget =
-        ((cfg.edges as f64) * (1.0 - cfg.back_edge_fraction)) as usize;
+    let pass1_budget = ((cfg.edges as f64) * (1.0 - cfg.back_edge_fraction)) as usize;
     let per_node = pass1_budget / n.max(1);
     for v in 1..n as NodeId {
         // Heavy-tailed out-degree (real citation / co-purchase out-degrees
@@ -130,7 +129,9 @@ pub fn synthetic_graph(cfg: &SyntheticConfig) -> DiGraph {
             // Triadic closure: attach to a successor of the previous target
             // (all older than v, so the backbone stays acyclic).
             let mut t = match prev_target {
-                Some(pt) if rng.random::<f64>() < cfg.closure && !out_of[pt as usize].is_empty() => {
+                Some(pt)
+                    if rng.random::<f64>() < cfg.closure && !out_of[pt as usize].is_empty() =>
+                {
                     let outs = &out_of[pt as usize];
                     outs[rng.random_range(0..outs.len())]
                 }

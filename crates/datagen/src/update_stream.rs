@@ -1,0 +1,170 @@
+//! Update-stream generation for dynamic-graph workloads.
+//!
+//! Produces sequences of [`GraphDelta`] batches against a base graph,
+//! mirroring how the target domain (social networks) actually changes:
+//! mostly edge churn with preferential attachment on insertions, a
+//! sprinkle of node arrivals/departures. Streams are generated against a
+//! [`DynGraph`] mirror so every batch is consistent with the state the
+//! previous batches left behind (deletions target edges that exist,
+//! removals target live nodes).
+
+use gpm_graph::dynamic::DynGraph;
+use gpm_graph::{DiGraph, GraphDelta, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of an update stream.
+#[derive(Debug, Clone)]
+pub struct UpdateStreamConfig {
+    /// Number of delta batches.
+    pub batches: usize,
+    /// Operations per batch (the "delta size" the scaling bench sweeps).
+    pub batch_size: usize,
+    /// Fraction of operations that are insertions (the rest delete).
+    pub insert_fraction: f64,
+    /// Fraction of operations that touch nodes instead of edges.
+    pub node_churn: f64,
+    /// Label alphabet for inserted nodes.
+    pub labels: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UpdateStreamConfig {
+    /// A balanced stream: `batches` batches of `batch_size` ops, 60%
+    /// insertions, 10% node churn.
+    pub fn new(batches: usize, batch_size: usize, seed: u64) -> Self {
+        UpdateStreamConfig {
+            batches,
+            batch_size,
+            insert_fraction: 0.6,
+            node_churn: 0.1,
+            labels: 15,
+            seed,
+        }
+    }
+
+    /// Insert-only variant (graph only grows).
+    pub fn insert_only(mut self) -> Self {
+        self.insert_fraction = 1.0;
+        self
+    }
+
+    /// Delete-only variant (graph only shrinks).
+    pub fn delete_only(mut self) -> Self {
+        self.insert_fraction = 0.0;
+        self
+    }
+}
+
+/// Generates `cfg.batches` consecutive deltas for `base`. Applying them in
+/// order through [`DynGraph::apply`] (or a `DynamicMatcher`) is guaranteed
+/// to succeed; each delta is built against the graph state its
+/// predecessors produce.
+pub fn update_stream(base: &DiGraph, cfg: &UpdateStreamConfig) -> Vec<GraphDelta> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut mirror = DynGraph::from_digraph(base);
+    // Endpoint pool for degree-proportional insertion targets (the same
+    // linkage-model trick the synthetic generator uses).
+    let mut pool: Vec<NodeId> = base.edges().flat_map(|e| [e.source, e.target]).collect();
+
+    let mut out = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        let mut delta = GraphDelta::new();
+        for _ in 0..cfg.batch_size {
+            let insert = rng.random::<f64>() < cfg.insert_fraction;
+            let node_op = rng.random::<f64>() < cfg.node_churn;
+            let n = mirror.node_count() as u32;
+            if insert && node_op {
+                delta = delta.add_node(rng.random_range(0..cfg.labels.max(1)));
+            } else if insert {
+                // Degree-biased target, uniform source (new links attach to
+                // popular nodes).
+                let s = rng.random_range(0..n);
+                let t = if pool.is_empty() || rng.random::<f64>() < 0.3 {
+                    rng.random_range(0..n)
+                } else {
+                    pool[rng.random_range(0..pool.len())]
+                };
+                if s != t && !mirror.is_removed(s) && !mirror.is_removed(t) {
+                    delta = delta.add_edge(s, t);
+                    pool.push(s);
+                    pool.push(t);
+                }
+            } else if node_op {
+                let v = rng.random_range(0..n);
+                if !mirror.is_removed(v) {
+                    delta = delta.remove_node(v);
+                }
+            } else {
+                // Delete a real edge: sample a source until one with
+                // out-degree shows up (bounded probes keep this O(1)-ish).
+                for _ in 0..16 {
+                    let s = rng.random_range(0..n);
+                    let deg = mirror.out_degree(s);
+                    if deg > 0 {
+                        let k = rng.random_range(0..deg);
+                        let t = mirror.successors(s).nth(k).unwrap();
+                        delta = delta.remove_edge(s, t);
+                        break;
+                    }
+                }
+            }
+        }
+        mirror.apply(&delta).expect("generated deltas are valid");
+        out.push(delta);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_graph, SyntheticConfig};
+    use gpm_graph::apply_delta;
+
+    fn base() -> DiGraph {
+        synthetic_graph(&SyntheticConfig::paper(300, 900, 11))
+    }
+
+    #[test]
+    fn streams_apply_cleanly_and_deterministically() {
+        let g = base();
+        let cfg = UpdateStreamConfig::new(6, 20, 42);
+        let stream = update_stream(&g, &cfg);
+        assert_eq!(stream.len(), 6);
+        let again = update_stream(&g, &cfg);
+        for (a, b) in stream.iter().zip(&again) {
+            assert_eq!(a.ops, b.ops, "same seed, same stream");
+        }
+        // Both application paths accept every batch.
+        let mut dynamic = DynGraph::from_digraph(&g);
+        let mut immutable = g.clone();
+        let mut churn = 0;
+        for delta in &stream {
+            churn += dynamic.apply(delta).unwrap().edge_churn();
+            immutable = apply_delta(&immutable, delta).unwrap();
+        }
+        assert!(churn > 0, "stream does something");
+        assert_eq!(dynamic.edge_count(), immutable.edge_count());
+        assert_eq!(dynamic.node_count(), immutable.node_count());
+    }
+
+    #[test]
+    fn insert_only_grows_delete_only_shrinks() {
+        let g = base();
+        let grow = update_stream(&g, &UpdateStreamConfig::new(3, 30, 7).insert_only());
+        let mut dg = DynGraph::from_digraph(&g);
+        for d in &grow {
+            dg.apply(d).unwrap();
+        }
+        assert!(dg.edge_count() >= g.edge_count());
+
+        let shrink = update_stream(&g, &UpdateStreamConfig::new(3, 30, 7).delete_only());
+        let mut dg = DynGraph::from_digraph(&g);
+        for d in &shrink {
+            dg.apply(d).unwrap();
+        }
+        assert!(dg.edge_count() < g.edge_count());
+    }
+}

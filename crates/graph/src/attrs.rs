@@ -112,10 +112,7 @@ impl Attributes {
 
     /// Looks a key up.
     pub fn get(&self, key: &str) -> Option<&AttrValue> {
-        self.entries
-            .binary_search_by(|(k, _)| k.as_str().cmp(key))
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key)).ok().map(|i| &self.entries[i].1)
     }
 
     /// Number of attributes.

@@ -127,20 +127,12 @@ impl BitSet {
 
     /// `|self ∩ other|` without allocating.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// `|self ∪ other|` without allocating.
     pub fn union_count(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a | b).count_ones() as usize).sum()
     }
 
     /// Jaccard distance `1 - |A∩B| / |A∪B|`; two empty sets have distance 0.
@@ -168,7 +160,11 @@ impl BitSet {
 
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter(&self) -> BitIter<'_> {
-        BitIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Memory footprint of the payload in bytes (for budget accounting).

@@ -61,10 +61,7 @@ impl GraphBuilder {
 
     /// Sets attributes of an existing node.
     pub fn set_attrs(&mut self, v: NodeId, attrs: Attributes) -> Result<(), GraphError> {
-        let slot = self
-            .attrs
-            .get_mut(v as usize)
-            .ok_or(GraphError::UnknownNode(v))?;
+        let slot = self.attrs.get_mut(v as usize).ok_or(GraphError::UnknownNode(v))?;
         if !attrs.is_empty() {
             self.any_attrs = true;
         }
@@ -129,7 +126,10 @@ impl GraphBuilder {
 }
 
 /// Builds a graph directly from label and edge slices (fixture helper).
-pub fn graph_from_parts(labels: &[Label], edges: &[(NodeId, NodeId)]) -> Result<DiGraph, GraphError> {
+pub fn graph_from_parts(
+    labels: &[Label],
+    edges: &[(NodeId, NodeId)],
+) -> Result<DiGraph, GraphError> {
     let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
     for &l in labels {
         b.add_node(l);
@@ -174,14 +174,8 @@ mod tests {
         assert!(b.set_attrs(9, Attributes::new()).is_err());
         let g = b.build();
         assert!(g.has_attributes());
-        assert_eq!(
-            g.attributes(v).unwrap().get("views").and_then(|x| x.as_f64()),
-            Some(10.0)
-        );
-        assert_eq!(
-            g.attributes(w).unwrap().get("views").and_then(|x| x.as_f64()),
-            Some(3.0)
-        );
+        assert_eq!(g.attributes(v).unwrap().get("views").and_then(|x| x.as_f64()), Some(10.0));
+        assert_eq!(g.attributes(w).unwrap().get("views").and_then(|x| x.as_f64()), Some(3.0));
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Graph deltas: batched updates for dynamic data graphs.
+//!
+//! Social networks — the paper's target domain — change continuously, so
+//! the serving layer maintains matches **incrementally** instead of
+//! recomputing `M(Q,G)` from scratch (see the `gpm-incremental` crate). A
+//! [`GraphDelta`] is one batch of updates; [`DynGraph`] (in
+//! [`crate::dynamic`]) applies it in place, and [`apply_delta`] rebuilds an
+//! immutable [`DiGraph`](crate::DiGraph) for from-scratch baselines and
+//! equivalence tests.
+//!
+//! Semantics:
+//!
+//! * **`AddNode(label)`** — appends a node; ids stay dense, so the `i`-th
+//!   added node of a batch gets id `node_count + i` (with `node_count`
+//!   taken *before* the batch).
+//! * **`AddEdge(s, t)`** / **`RemoveEdge(s, t)`** — idempotent: inserting
+//!   an existing edge or removing a missing one is a no-op, recorded as
+//!   such in the [`AppliedDelta`].
+//! * **`RemoveNode(v)`** — tombstone semantics: node ids must stay dense
+//!   (every index in the CSR, candidate bitmasks and relevant-set universes
+//!   is an id), so removal drops all incident edges and relabels the node
+//!   to the reserved [`TOMBSTONE_LABEL`], which no pattern may use. The
+//!   slot is never reused.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::{DiGraph, Label, NodeId};
+use crate::error::GraphError;
+use crate::Result;
+
+/// Reserved label for removed nodes. Patterns must not use it; both the
+/// dynamic path and [`apply_delta`] reject deltas that would add a node
+/// with this label.
+pub const TOMBSTONE_LABEL: Label = Label::MAX;
+
+/// One update operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Append a node with the given label (id = next dense id).
+    AddNode(Label),
+    /// Insert the edge `(s, t)`.
+    AddEdge(NodeId, NodeId),
+    /// Remove the edge `(s, t)`.
+    RemoveEdge(NodeId, NodeId),
+    /// Tombstone node `v`: drop incident edges, relabel to
+    /// [`TOMBSTONE_LABEL`].
+    RemoveNode(NodeId),
+}
+
+/// A batch of updates, applied in order.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    /// The operations, in application order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl GraphDelta {
+    /// Empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: append a node addition.
+    pub fn add_node(mut self, label: Label) -> Self {
+        self.ops.push(DeltaOp::AddNode(label));
+        self
+    }
+
+    /// Builder-style: append an edge insertion.
+    pub fn add_edge(mut self, s: NodeId, t: NodeId) -> Self {
+        self.ops.push(DeltaOp::AddEdge(s, t));
+        self
+    }
+
+    /// Builder-style: append an edge removal.
+    pub fn remove_edge(mut self, s: NodeId, t: NodeId) -> Self {
+        self.ops.push(DeltaOp::RemoveEdge(s, t));
+        self
+    }
+
+    /// Builder-style: append a node removal.
+    pub fn remove_node(mut self, v: NodeId) -> Self {
+        self.ops.push(DeltaOp::RemoveNode(v));
+        self
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when there is nothing to apply.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One *effective* (normalized) update: what actually changed, in
+/// application order. `RemoveNode` expands into its incident
+/// `EdgeRemoved`s followed by a `NodeRemoved`. Incremental consumers
+/// replay this stream op-by-op, in lockstep with the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectiveOp {
+    /// A node appeared with this id and label.
+    NodeAdded(NodeId, Label),
+    /// An edge appeared.
+    EdgeAdded(NodeId, NodeId),
+    /// An edge disappeared.
+    EdgeRemoved(NodeId, NodeId),
+    /// A node was tombstoned (after its incident edges were removed).
+    NodeRemoved(NodeId),
+}
+
+/// The *effective* updates of a batch after normalization: duplicate edge
+/// inserts, removals of absent edges, and edges already dropped by an
+/// earlier `RemoveNode` are filtered out. Incremental consumers replay
+/// these without re-deriving idempotency.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedDelta {
+    /// The normalized update stream, in application order.
+    pub effects: Vec<EffectiveOp>,
+    /// Ids assigned to `AddNode` ops, in op order.
+    pub added_nodes: Vec<(NodeId, Label)>,
+    /// Edges that actually appeared.
+    pub added_edges: Vec<(NodeId, NodeId)>,
+    /// Edges that actually disappeared (including those dropped by
+    /// `RemoveNode`), in removal order.
+    pub removed_edges: Vec<(NodeId, NodeId)>,
+    /// Nodes tombstoned by this batch.
+    pub removed_nodes: Vec<NodeId>,
+    /// The graph version after application.
+    pub version: u64,
+}
+
+impl AppliedDelta {
+    /// The normalized update stream, in application order.
+    pub fn effects(&self) -> impl Iterator<Item = EffectiveOp> + '_ {
+        self.effects.iter().copied()
+    }
+
+    /// Number of effective edge changes (the "delta size" the incremental
+    /// engine's fallback heuristics reason about).
+    pub fn edge_churn(&self) -> usize {
+        self.added_edges.len() + self.removed_edges.len()
+    }
+
+    /// `true` when the batch changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.added_nodes.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.removed_nodes.is_empty()
+    }
+}
+
+/// Applies `delta` to an immutable graph, producing the updated graph.
+///
+/// This is the from-scratch path (used by baselines and the equivalence
+/// property tests); the incremental path lives in
+/// [`DynGraph::apply`](crate::dynamic::DynGraph::apply). Names and
+/// attributes are dropped — dynamic workloads are topology/label driven.
+pub fn apply_delta(g: &DiGraph, delta: &GraphDelta) -> Result<DiGraph> {
+    let mut labels: Vec<Label> = g.labels().to_vec();
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|e| (e.source, e.target)).collect();
+
+    for op in &delta.ops {
+        match *op {
+            DeltaOp::AddNode(label) => {
+                if label == TOMBSTONE_LABEL {
+                    return Err(GraphError::Parse {
+                        line: 0,
+                        msg: "cannot add a node with the reserved tombstone label".into(),
+                    });
+                }
+                labels.push(label);
+            }
+            DeltaOp::AddEdge(s, t) => {
+                check_node(s, labels.len())?;
+                check_node(t, labels.len())?;
+                edges.push((s, t)); // GraphBuilder deduplicates
+            }
+            DeltaOp::RemoveEdge(s, t) => {
+                check_node(s, labels.len())?;
+                check_node(t, labels.len())?;
+                edges.retain(|&e| e != (s, t));
+            }
+            DeltaOp::RemoveNode(v) => {
+                check_node(v, labels.len())?;
+                labels[v as usize] = TOMBSTONE_LABEL;
+                edges.retain(|&(s, t)| s != v && t != v);
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    for &l in &labels {
+        b.add_node(l);
+    }
+    for (s, t) in edges {
+        b.add_edge(s, t)?;
+    }
+    Ok(b.build())
+}
+
+fn check_node(v: NodeId, n: usize) -> Result<()> {
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(GraphError::UnknownNode(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    #[test]
+    fn add_and_remove_edges() {
+        let g = graph_from_parts(&[0, 1, 2], &[(0, 1)]).unwrap();
+        let d = GraphDelta::new().add_edge(1, 2).remove_edge(0, 1);
+        let g2 = apply_delta(&g, &d).unwrap();
+        assert!(!g2.has_edge(0, 1));
+        assert!(g2.has_edge(1, 2));
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn add_nodes_get_dense_ids() {
+        let g = graph_from_parts(&[0], &[]).unwrap();
+        let d = GraphDelta::new().add_node(7).add_node(8).add_edge(1, 2);
+        let g2 = apply_delta(&g, &d).unwrap();
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(g2.label(1), 7);
+        assert_eq!(g2.label(2), 8);
+        assert!(g2.has_edge(1, 2));
+    }
+
+    #[test]
+    fn remove_node_tombstones() {
+        let g = graph_from_parts(&[0, 1, 0], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let d = GraphDelta::new().remove_node(1);
+        let g2 = apply_delta(&g, &d).unwrap();
+        assert_eq!(g2.node_count(), 3, "ids stay dense");
+        assert_eq!(g2.label(1), TOMBSTONE_LABEL);
+        assert_eq!(g2.edge_count(), 1, "only (2,0) survives");
+        assert!(g2.has_edge(2, 0));
+        assert!(g2.nodes_with_label(1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_missing_edges_are_idempotent() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+        let d = GraphDelta::new().add_edge(0, 1).remove_edge(1, 0);
+        let g2 = apply_delta(&g, &d).unwrap();
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let g = graph_from_parts(&[0], &[]).unwrap();
+        assert!(apply_delta(&g, &GraphDelta::new().add_edge(0, 5)).is_err());
+        assert!(apply_delta(&g, &GraphDelta::new().remove_node(9)).is_err());
+        assert!(apply_delta(&g, &GraphDelta::new().add_node(TOMBSTONE_LABEL)).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! [`DynGraph`]: a mutable adjacency structure for incremental maintenance.
+//!
+//! The CSR [`DiGraph`](crate::DiGraph) is immutable by design — the static
+//! algorithms want packed, cache-friendly adjacency. The dynamic path
+//! instead keeps per-node sorted edge sets that support `O(log d)` insert,
+//! remove and membership while preserving deterministic iteration order,
+//! applies [`GraphDelta`] batches in place with a monotonically increasing
+//! **version**, and can snapshot back into a `DiGraph` whenever a
+//! from-scratch baseline or fallback recompute needs one.
+//!
+//! The label index (`nodes_with_label`) is maintained incrementally too:
+//! candidate enumeration after node additions must not rescan the graph.
+
+use std::collections::BTreeSet;
+
+use crate::builder::GraphBuilder;
+use crate::delta::{AppliedDelta, DeltaOp, EffectiveOp, GraphDelta, TOMBSTONE_LABEL};
+use crate::digraph::{DiGraph, Label, NodeId};
+use crate::error::GraphError;
+use crate::Result;
+
+/// A directed labeled graph under updates.
+#[derive(Debug, Clone)]
+pub struct DynGraph {
+    labels: Vec<Label>,
+    fwd: Vec<BTreeSet<NodeId>>,
+    rev: Vec<BTreeSet<NodeId>>,
+    /// Sorted node ids per label (tombstoned nodes excluded).
+    by_label: std::collections::BTreeMap<Label, BTreeSet<NodeId>>,
+    edge_count: usize,
+    version: u64,
+}
+
+impl DynGraph {
+    /// Builds the dynamic mirror of `g` at version 0.
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let mut fwd = vec![BTreeSet::new(); n];
+        let mut rev = vec![BTreeSet::new(); n];
+        for e in g.edges() {
+            fwd[e.source as usize].insert(e.target);
+            rev[e.target as usize].insert(e.source);
+        }
+        let mut by_label: std::collections::BTreeMap<Label, BTreeSet<NodeId>> =
+            std::collections::BTreeMap::new();
+        for v in g.nodes() {
+            by_label.entry(g.label(v)).or_default().insert(v);
+        }
+        DynGraph {
+            labels: g.labels().to_vec(),
+            fwd,
+            rev,
+            by_label,
+            edge_count: g.edge_count(),
+            version: 0,
+        }
+    }
+
+    /// Number of node slots (tombstones included — ids stay dense).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Current version (one increment per applied batch).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Label of `v` ([`TOMBSTONE_LABEL`] when removed).
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// `true` when `v` has been tombstoned.
+    #[inline]
+    pub fn is_removed(&self, v: NodeId) -> bool {
+        self.labels[v as usize] == TOMBSTONE_LABEL
+    }
+
+    /// Successor set of `v` (sorted ascending).
+    #[inline]
+    pub fn successors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.fwd[v as usize].iter().copied()
+    }
+
+    /// Predecessor set of `v` (sorted ascending).
+    #[inline]
+    pub fn predecessors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.rev[v as usize].iter().copied()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.fwd[v as usize].len()
+    }
+
+    /// `true` iff the edge `(s, t)` exists.
+    #[inline]
+    pub fn has_edge(&self, s: NodeId, t: NodeId) -> bool {
+        self.fwd[s as usize].contains(&t)
+    }
+
+    /// Live nodes with `label`, ascending.
+    pub fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_label.get(&label).into_iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Applies one batch in place, returning the normalized effective
+    /// updates. On error the graph is left **unchanged** (the batch is
+    /// validated before any mutation).
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<AppliedDelta> {
+        self.apply_with(delta, |_, _| {})
+    }
+
+    /// As [`Self::apply`], invoking `hook` after **every single effective
+    /// mutation** with the graph in exactly that intermediate state. This
+    /// is the contract incremental consumers need: a `RemoveNode` expands
+    /// into one hook call per dropped edge (each observing the edge
+    /// already gone but later edges still present) before the tombstone
+    /// call — cascade algorithms that walk current adjacency stay in
+    /// lockstep.
+    pub fn apply_with(
+        &mut self,
+        delta: &GraphDelta,
+        mut hook: impl FnMut(&DynGraph, EffectiveOp),
+    ) -> Result<AppliedDelta> {
+        // Validation pass: node references must be in range at the point
+        // their op executes (additions extend the range mid-batch).
+        let mut n = self.node_count();
+        for op in &delta.ops {
+            match *op {
+                DeltaOp::AddNode(label) => {
+                    if label == TOMBSTONE_LABEL {
+                        return Err(GraphError::Parse {
+                            line: 0,
+                            msg: "cannot add a node with the reserved tombstone label".into(),
+                        });
+                    }
+                    n += 1;
+                }
+                DeltaOp::AddEdge(s, t) | DeltaOp::RemoveEdge(s, t) => {
+                    for v in [s, t] {
+                        if v as usize >= n {
+                            return Err(GraphError::UnknownNode(v));
+                        }
+                    }
+                }
+                DeltaOp::RemoveNode(v) => {
+                    if v as usize >= n {
+                        return Err(GraphError::UnknownNode(v));
+                    }
+                }
+            }
+        }
+
+        let mut out = AppliedDelta::default();
+        macro_rules! emit {
+            ($self:ident, $eff:expr) => {{
+                let eff = $eff;
+                out.effects.push(eff);
+                hook(&*$self, eff);
+            }};
+        }
+        for op in &delta.ops {
+            match *op {
+                DeltaOp::AddNode(label) => {
+                    let id = self.labels.len() as NodeId;
+                    self.labels.push(label);
+                    self.fwd.push(BTreeSet::new());
+                    self.rev.push(BTreeSet::new());
+                    self.by_label.entry(label).or_default().insert(id);
+                    out.added_nodes.push((id, label));
+                    emit!(self, EffectiveOp::NodeAdded(id, label));
+                }
+                DeltaOp::AddEdge(s, t) => {
+                    if self.fwd[s as usize].insert(t) {
+                        self.rev[t as usize].insert(s);
+                        self.edge_count += 1;
+                        out.added_edges.push((s, t));
+                        emit!(self, EffectiveOp::EdgeAdded(s, t));
+                    }
+                }
+                DeltaOp::RemoveEdge(s, t) => {
+                    if self.fwd[s as usize].remove(&t) {
+                        self.rev[t as usize].remove(&s);
+                        self.edge_count -= 1;
+                        out.removed_edges.push((s, t));
+                        emit!(self, EffectiveOp::EdgeRemoved(s, t));
+                    }
+                }
+                DeltaOp::RemoveNode(v) => {
+                    if self.is_removed(v) {
+                        continue;
+                    }
+                    // Strip incident edges one at a time — the hook must
+                    // observe each intermediate adjacency state.
+                    let outgoing: Vec<NodeId> = self.fwd[v as usize].iter().copied().collect();
+                    for t in outgoing {
+                        self.fwd[v as usize].remove(&t);
+                        self.rev[t as usize].remove(&v);
+                        self.edge_count -= 1;
+                        out.removed_edges.push((v, t));
+                        emit!(self, EffectiveOp::EdgeRemoved(v, t));
+                    }
+                    let incoming: Vec<NodeId> = self.rev[v as usize].iter().copied().collect();
+                    for s in incoming {
+                        self.rev[v as usize].remove(&s);
+                        self.fwd[s as usize].remove(&v);
+                        self.edge_count -= 1;
+                        out.removed_edges.push((s, v));
+                        emit!(self, EffectiveOp::EdgeRemoved(s, v));
+                    }
+                    let label = self.labels[v as usize];
+                    if let Some(set) = self.by_label.get_mut(&label) {
+                        set.remove(&v);
+                    }
+                    self.labels[v as usize] = TOMBSTONE_LABEL;
+                    out.removed_nodes.push(v);
+                    emit!(self, EffectiveOp::NodeRemoved(v));
+                }
+            }
+        }
+        self.version += 1;
+        out.version = self.version;
+        Ok(out)
+    }
+
+    /// Packs the current state into an immutable [`DiGraph`].
+    pub fn snapshot(&self) -> DiGraph {
+        let mut b = GraphBuilder::with_capacity(self.node_count(), self.edge_count);
+        for &l in &self.labels {
+            b.add_node(l);
+        }
+        for (s, succs) in self.fwd.iter().enumerate() {
+            for &t in succs {
+                b.add_edge(s as NodeId, t).expect("dynamic edges are in range");
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    fn sample() -> DiGraph {
+        graph_from_parts(&[0, 1, 0, 2], &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn mirror_and_snapshot_roundtrip() {
+        let g = sample();
+        let dg = DynGraph::from_digraph(&g);
+        assert_eq!(dg.node_count(), 4);
+        assert_eq!(dg.edge_count(), 4);
+        assert_eq!(dg.version(), 0);
+        let snap = dg.snapshot();
+        assert_eq!(snap.node_count(), g.node_count());
+        assert_eq!(snap.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(snap.label(v), g.label(v));
+            assert_eq!(snap.successors(v), g.successors(v));
+        }
+    }
+
+    #[test]
+    fn apply_matches_immutable_apply_delta() {
+        let g = sample();
+        let delta = GraphDelta::new()
+            .add_node(1)
+            .add_edge(3, 4)
+            .remove_edge(0, 1)
+            .remove_node(2)
+            .add_edge(4, 0);
+        let mut dg = DynGraph::from_digraph(&g);
+        let applied = dg.apply(&delta).unwrap();
+        let expect = crate::delta::apply_delta(&g, &delta).unwrap();
+
+        assert_eq!(dg.version(), 1);
+        assert_eq!(applied.added_nodes, vec![(4, 1)]);
+        assert_eq!(applied.removed_nodes, vec![2]);
+        // (1,2) and (2,3) disappear via RemoveNode, (0,1) explicitly.
+        assert_eq!(applied.removed_edges.len(), 3);
+        assert_eq!(applied.edge_churn(), 5);
+
+        let snap = dg.snapshot();
+        assert_eq!(snap.node_count(), expect.node_count());
+        assert_eq!(snap.edge_count(), expect.edge_count());
+        for v in expect.nodes() {
+            assert_eq!(snap.label(v), expect.label(v));
+            assert_eq!(snap.successors(v), expect.successors(v));
+        }
+    }
+
+    #[test]
+    fn label_index_tracks_updates() {
+        let g = sample();
+        let mut dg = DynGraph::from_digraph(&g);
+        assert_eq!(dg.nodes_with_label(0).collect::<Vec<_>>(), vec![0, 2]);
+        dg.apply(&GraphDelta::new().add_node(0).remove_node(0)).unwrap();
+        assert_eq!(dg.nodes_with_label(0).collect::<Vec<_>>(), vec![2, 4]);
+        assert!(dg.is_removed(0));
+        assert_eq!(dg.nodes_with_label(TOMBSTONE_LABEL).count(), 0, "tombstones unindexed");
+    }
+
+    #[test]
+    fn failed_batch_leaves_graph_unchanged() {
+        let g = sample();
+        let mut dg = DynGraph::from_digraph(&g);
+        let bad = GraphDelta::new().add_edge(0, 2).add_edge(0, 99);
+        assert!(dg.apply(&bad).is_err());
+        assert_eq!(dg.version(), 0);
+        assert!(!dg.has_edge(0, 2), "earlier ops of a failed batch are not applied");
+    }
+
+    #[test]
+    fn idempotent_ops_are_filtered() {
+        let g = sample();
+        let mut dg = DynGraph::from_digraph(&g);
+        let applied =
+            dg.apply(&GraphDelta::new().add_edge(0, 1).remove_edge(1, 0).remove_node(3)).unwrap();
+        assert!(applied.added_edges.is_empty());
+        assert_eq!(applied.removed_edges, vec![(0, 3), (2, 3)], "incoming in source order");
+        let applied2 = dg.apply(&GraphDelta::new().remove_node(3)).unwrap();
+        assert!(applied2.is_noop() || applied2.removed_nodes.is_empty());
+    }
+}

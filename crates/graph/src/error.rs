@@ -54,7 +54,7 @@ mod tests {
         assert!(GraphError::TooManyNodes(99).to_string().contains("99"));
         let p = GraphError::Parse { line: 7, msg: "bad".into() };
         assert!(p.to_string().contains("line 7"));
-        let io = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = GraphError::from(std::io::Error::other("x"));
         assert!(io.to_string().contains("i/o"));
         assert!(GraphError::Corrupt("hdr".into()).to_string().contains("hdr"));
     }

@@ -28,7 +28,9 @@ pub mod attrs;
 pub mod bitset;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod digraph;
+pub mod dynamic;
 pub mod error;
 pub mod io;
 pub mod reach;
@@ -38,7 +40,9 @@ pub mod stats;
 pub use attrs::{AttrValue, Attributes};
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
+pub use delta::{apply_delta, AppliedDelta, DeltaOp, EffectiveOp, GraphDelta, TOMBSTONE_LABEL};
 pub use digraph::{DiGraph, EdgeRef, Label, NodeId};
+pub use dynamic::DynGraph;
 pub use error::GraphError;
 pub use scc::{Condensation, SccIndex};
 

@@ -234,7 +234,8 @@ impl Condensation {
 
     /// Members of component `c` (sorted by insertion during grouping).
     pub fn members(&self, c: u32) -> &[NodeId] {
-        let (a, b) = (self.member_off[c as usize] as usize, self.member_off[c as usize + 1] as usize);
+        let (a, b) =
+            (self.member_off[c as usize] as usize, self.member_off[c as usize + 1] as usize);
         &self.member_flat[a..b]
     }
 

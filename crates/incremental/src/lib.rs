@@ -1,0 +1,46 @@
+//! # gpm-incremental
+//!
+//! Incremental maintenance of (diversified) top-k graph pattern matches
+//! under graph updates.
+//!
+//! The paper targets social networks — graphs that change continuously —
+//! yet its algorithms (and this repository's static pipeline) recompute
+//! `M(Q,G)`, the relevant sets and the top-k from scratch per call. This
+//! crate keeps all three **materialized** and pays cost proportional to
+//! the delta:
+//!
+//! * the maximum simulation survives updates through
+//!   [`gpm_simulation::IncSimState`] (counter cascades for deletions,
+//!   localized revival regions for insertions);
+//! * relevant sets survive through a [`gpm_ranking::RelevanceCache`];
+//!   after each batch only matches whose `δr` could have changed —
+//!   found by a backward sweep from the touched pairs — are re-derived;
+//! * the top-k answer is re-ranked from the cache via
+//!   [`gpm_core::rank_top_k`], and the diversified answer via
+//!   [`gpm_core::greedy_diversified`], so results are **identical** to a
+//!   from-scratch run on the updated graph (property-tested).
+//!
+//! Past a configurable dirtiness threshold incremental stops paying off
+//! and [`DynamicMatcher`] falls back to a full recompute of the affected
+//! layer — per layer: a huge delta rebuilds the simulation state, a dirty
+//! ranking sweep rebuilds only the relevant sets.
+//!
+//! ```
+//! use gpm_graph::{builder::graph_from_parts, GraphDelta};
+//! use gpm_incremental::{DynamicMatcher, IncrementalConfig};
+//! use gpm_pattern::builder::label_pattern;
+//!
+//! // Two authors (label 0) citing papers (label 1).
+//! let g = graph_from_parts(&[0, 0, 1, 1], &[(0, 2), (1, 2), (1, 3)]).unwrap();
+//! let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+//! let mut m = DynamicMatcher::new(&g, q, IncrementalConfig::new(2)).unwrap();
+//! assert_eq!(m.top_k().nodes(), vec![1, 0]); // author 1 reaches 2 papers
+//!
+//! // A new paper appears and author 0 cites it: the ranking flips.
+//! let top = m.apply(&GraphDelta::new().add_node(1).add_edge(0, 4)).unwrap();
+//! assert_eq!(top.nodes(), vec![0, 1]);
+//! ```
+
+mod matcher;
+
+pub use matcher::{ApplyStats, DynamicMatcher, IncrementalConfig, IncrementalError};

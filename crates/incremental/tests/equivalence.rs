@@ -1,0 +1,211 @@
+//! Equivalence: a `DynamicMatcher` maintained across random delta streams
+//! must answer exactly like the static pipeline on the final graph —
+//! matches, relevances, and diversified `F`-values alike.
+
+use gpm_core::config::{DivConfig, TopKConfig};
+use gpm_core::{top_k_by_match, top_k_cyclic, top_k_diversified};
+use gpm_graph::builder::graph_from_parts;
+use gpm_graph::{DiGraph, GraphDelta};
+use gpm_incremental::{DynamicMatcher, IncrementalConfig};
+use gpm_pattern::builder::label_pattern;
+use gpm_pattern::Pattern;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn assert_agrees(m: &DynamicMatcher, k: usize, lambda: f64, ctx: &str) {
+    let snap = m.snapshot();
+    let q = m.pattern();
+
+    let base = top_k_by_match(&snap, q, &TopKConfig::new(k));
+    let inc = m.top_k();
+    assert_eq!(inc.nodes(), base.nodes(), "top-k nodes diverged: {ctx}");
+    let base_rel: Vec<u64> = base.matches.iter().map(|r| r.relevance).collect();
+    let inc_rel: Vec<u64> = inc.matches.iter().map(|r| r.relevance).collect();
+    assert_eq!(inc_rel, base_rel, "δr diverged: {ctx}");
+
+    // The early-terminating algorithm agrees on the relevance multiset.
+    let fast = top_k_cyclic(&snap, q, &TopKConfig::new(k));
+    assert_eq!(fast.total_relevance(), inc.total_relevance(), "vs top_k_cyclic: {ctx}");
+
+    // Diversified: identical selection and F-value (same greedy, same ties).
+    let div_base = top_k_diversified(&snap, q, &DivConfig::new(k, lambda));
+    let div_inc = m.diversified(lambda);
+    assert_eq!(div_inc.nodes(), div_base.nodes(), "diversified set diverged: {ctx}");
+    assert!(
+        (div_inc.f_value - div_base.f_value).abs() < 1e-9,
+        "F diverged: {} vs {} ({ctx})",
+        div_inc.f_value,
+        div_base.f_value
+    );
+}
+
+fn random_graph(rng: &mut StdRng, n: usize, labels: u32, density: usize) -> DiGraph {
+    let node_labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..labels)).collect();
+    let m = rng.random_range(0..n * density + 1);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    graph_from_parts(&node_labels, &edges).unwrap()
+}
+
+fn random_pattern(rng: &mut StdRng, labels: u32) -> Pattern {
+    let pn = rng.random_range(1..5usize);
+    let plabels: Vec<u32> = (0..pn).map(|_| rng.random_range(0..labels)).collect();
+    let mut pedges: Vec<(u32, u32)> = (1..pn as u32).map(|i| (i - 1, i)).collect();
+    for _ in 0..rng.random_range(0..pn * 2) {
+        let a = rng.random_range(0..pn as u32);
+        let b = rng.random_range(0..pn as u32);
+        if a != b && !pedges.contains(&(a, b)) {
+            pedges.push((a, b));
+        }
+    }
+    label_pattern(&plabels, &pedges, 0).unwrap()
+}
+
+/// Kind-restricted random delta batches.
+#[derive(Clone, Copy)]
+enum StreamKind {
+    InsertOnly,
+    DeleteOnly,
+    Mixed,
+}
+
+fn random_delta(rng: &mut StdRng, g: &gpm_graph::DynGraph, kind: StreamKind) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    let n = g.node_count() as u32;
+    for _ in 0..rng.random_range(1..5usize) {
+        let insert = match kind {
+            StreamKind::InsertOnly => true,
+            StreamKind::DeleteOnly => false,
+            StreamKind::Mixed => rng.random::<f64>() < 0.5,
+        };
+        if insert {
+            match rng.random_range(0..4u32) {
+                0 => delta = delta.add_node(rng.random_range(0..3u32)),
+                _ => {
+                    let a = rng.random_range(0..n);
+                    let b = rng.random_range(0..n);
+                    if a != b {
+                        delta = delta.add_edge(a, b);
+                    }
+                }
+            }
+        } else {
+            match rng.random_range(0..5u32) {
+                0 => delta = delta.remove_node(rng.random_range(0..n)),
+                _ => {
+                    // Bias towards existing edges so deletions actually land.
+                    let a = rng.random_range(0..n);
+                    let b = g.successors(a).next().unwrap_or_else(|| rng.random_range(0..n));
+                    delta = delta.remove_edge(a, b);
+                }
+            }
+        }
+    }
+    delta
+}
+
+fn run_stream(kind: StreamKind, seed: u64, trials: usize, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for trial in 0..trials {
+        let n = rng.random_range(4..18usize);
+        let g = random_graph(&mut rng, n, 3, 2);
+        let q = random_pattern(&mut rng, 3);
+        let k = rng.random_range(1..5usize);
+        let lambda = rng.random_range(0.0..1.0f64);
+        let mut m =
+            DynamicMatcher::new(&g, q.clone(), IncrementalConfig::new(k).lambda(lambda)).unwrap();
+        assert_agrees(&m, k, lambda, &format!("trial {trial} init"));
+        for step in 0..steps {
+            let delta = random_delta(&mut rng, m.graph(), kind);
+            m.apply(&delta).unwrap();
+            assert_agrees(&m, k, lambda, &format!("trial {trial} step {step}: {delta:?}"));
+        }
+    }
+}
+
+#[test]
+fn insert_only_streams_agree_with_from_scratch() {
+    run_stream(StreamKind::InsertOnly, 0xA11CE, 30, 8);
+}
+
+#[test]
+fn delete_only_streams_agree_with_from_scratch() {
+    run_stream(StreamKind::DeleteOnly, 0xB0B, 30, 8);
+}
+
+#[test]
+fn mixed_streams_agree_with_from_scratch() {
+    run_stream(StreamKind::Mixed, 0xC0FFEE, 40, 10);
+}
+
+#[test]
+fn forced_incremental_path_agrees() {
+    // Thresholds maxed out so the incremental path is always taken (no
+    // full-rebuild safety net hiding bugs).
+    let mut rng = StdRng::seed_from_u64(7);
+    for trial in 0..25 {
+        let g = random_graph(&mut rng, 12, 3, 2);
+        let q = random_pattern(&mut rng, 3);
+        let mut cfg = IncrementalConfig::new(3);
+        cfg.max_delta_fraction = f64::INFINITY;
+        cfg.max_dirty_fraction = f64::INFINITY;
+        let mut m = DynamicMatcher::new(&g, q, cfg).unwrap();
+        for step in 0..10 {
+            let delta = random_delta(&mut rng, m.graph(), StreamKind::Mixed);
+            m.apply(&delta).unwrap();
+            assert_agrees(&m, 3, 0.5, &format!("forced trial {trial} step {step}"));
+        }
+        assert_eq!(m.stats().full_rebuilds, 0);
+        assert_eq!(m.stats().full_rank_refreshes, 0);
+        assert_eq!(m.stats().incremental_applies, 10);
+    }
+}
+
+#[test]
+fn forced_rebuild_path_agrees() {
+    // Zero thresholds: every batch goes through the full-rebuild fallback;
+    // the answers must be the same ones the incremental path produces.
+    let mut rng = StdRng::seed_from_u64(9);
+    for trial in 0..10 {
+        let g = random_graph(&mut rng, 12, 3, 2);
+        let q = random_pattern(&mut rng, 3);
+        let mut cfg = IncrementalConfig::new(3);
+        cfg.max_delta_fraction = 0.0;
+        let mut m = DynamicMatcher::new(&g, q, cfg).unwrap();
+        let mut nonempty = 0;
+        for step in 0..6 {
+            let delta = random_delta(&mut rng, m.graph(), StreamKind::Mixed);
+            if !delta.is_empty() {
+                nonempty += 1;
+            }
+            m.apply(&delta).unwrap();
+            assert_agrees(&m, 3, 0.5, &format!("rebuild trial {trial} step {step}"));
+        }
+        assert_eq!(m.stats().full_rebuilds, nonempty, "every non-empty batch rebuilds");
+    }
+}
+
+#[test]
+fn attribute_patterns_are_rejected() {
+    use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
+    let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+    let mut b = PatternBuilder::new();
+    b.node("V", Predicate::labeled(0, [Predicate::attr("views", CmpOp::Gt, 10i64)]));
+    b.output(0).unwrap();
+    let q = b.build().unwrap();
+    assert!(DynamicMatcher::new(&g, q, IncrementalConfig::new(2)).is_err());
+}
+
+#[test]
+fn invalid_delta_leaves_state_intact() {
+    let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let mut m = DynamicMatcher::new(&g, q, IncrementalConfig::new(2)).unwrap();
+    let before = m.top_k();
+    assert!(m.apply(&GraphDelta::new().add_edge(0, 99)).is_err());
+    assert_eq!(m.top_k().nodes(), before.nodes());
+    assert_eq!(m.graph().version(), 0);
+    assert_agrees(&m, 2, 0.5, "after rejected delta");
+}

@@ -100,12 +100,7 @@ impl PatternBuilder {
         for (f, t) in self.edges {
             g.add_edge(f, t).expect("edges validated at insertion");
         }
-        Ok(Pattern {
-            topology: g.build(),
-            predicates: self.predicates,
-            names: self.names,
-            output,
-        })
+        Ok(Pattern { topology: g.build(), predicates: self.predicates, names: self.names, output })
     }
 }
 
@@ -164,14 +159,8 @@ mod tests {
 
         let mut b = PatternBuilder::new();
         b.node("A", Predicate::Label(0));
-        assert_eq!(
-            b.edge_by_name("A", "B").unwrap_err(),
-            PatternError::UnknownNode("B".into())
-        );
-        assert_eq!(
-            b.output_by_name("Z").unwrap_err(),
-            PatternError::UnknownNode("Z".into())
-        );
+        assert_eq!(b.edge_by_name("A", "B").unwrap_err(), PatternError::UnknownNode("B".into()));
+        assert_eq!(b.output_by_name("Z").unwrap_err(), PatternError::UnknownNode("Z".into()));
     }
 
     #[test]

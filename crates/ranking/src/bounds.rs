@@ -102,10 +102,9 @@ pub fn output_upper_bounds(
             let b = global_bound(q, space);
             OutputBounds { h: vec![b; n_out], used: BoundStrategy::Global }
         }
-        BoundStrategy::DescLabelCount => OutputBounds {
-            h: desc_count_bounds(g, q, space),
-            used: BoundStrategy::DescLabelCount,
-        },
+        BoundStrategy::DescLabelCount => {
+            OutputBounds { h: desc_count_bounds(g, q, space), used: BoundStrategy::DescLabelCount }
+        }
         BoundStrategy::ProductReach => OutputBounds {
             h: product_reach_bounds(g, q, space, &cfg.reach),
             used: BoundStrategy::ProductReach,
@@ -153,9 +152,8 @@ fn global_bound(q: &Pattern, space: &CandidateSpace) -> u64 {
 /// `|strict-descendants(v) ∩ can(u')|`, capped per class and globally.
 fn desc_count_bounds(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> Vec<u64> {
     let mask = reachable_mask(q);
-    let classes: Vec<u32> = (0..q.node_count() as u32)
-        .filter(|&u| mask & (1u64 << u) != 0)
-        .collect();
+    let classes: Vec<u32> =
+        (0..q.node_count() as u32).filter(|&u| mask & (1u64 << u) != 0).collect();
     let out_cands = space.candidates(q.output());
     let gb = global_bound(q, space);
     if classes.is_empty() {
@@ -174,8 +172,7 @@ fn desc_count_bounds(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> Vec<u6
         for &sc in cond.comp_successors(c) {
             let sbase = sc as usize * k;
             for j in 0..k {
-                full[base + j] =
-                    full[base + j].saturating_add(full[sbase + j]).min(caps[j]);
+                full[base + j] = full[base + j].saturating_add(full[sbase + j]).min(caps[j]);
             }
         }
         for &v in cond.members(c) {
@@ -224,9 +221,7 @@ fn product_reach_bounds(
     let pg = MatchGraph::over_candidates(g, q, space);
     let uo = q.output();
     let sources: Vec<u32> = (0..space.candidate_count(uo))
-        .map(|i| {
-            pg.compact_of(space.pair_at(uo, i)).expect("all candidate pairs included")
-        })
+        .map(|i| pg.compact_of(space.pair_at(uo, i)).expect("all candidate pairs included"))
         .collect();
     strict_reach_counts(&pg, space, &sources, reach)
 }
@@ -234,10 +229,10 @@ fn product_reach_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::relevant_set::RelevantSets;
     use gpm_graph::builder::graph_from_parts;
     use gpm_pattern::builder::label_pattern;
     use gpm_simulation::compute_simulation;
-    use crate::relevant_set::RelevantSets;
 
     fn check_valid_bounds(
         g: &DiGraph,
@@ -248,11 +243,8 @@ mod tests {
         let space = sim.space();
         let bounds = output_upper_bounds(g, q, space, strategy, &BoundConfig::default());
         let rs = RelevantSets::compute(g, q, &sim);
-        let deltas: Vec<Option<u64>> = space
-            .candidates(q.output())
-            .iter()
-            .map(|&v| rs.relevance_of(v))
-            .collect();
+        let deltas: Vec<Option<u64>> =
+            space.candidates(q.output()).iter().map(|&v| rs.relevance_of(v)).collect();
         for (i, d) in deltas.iter().enumerate() {
             if let Some(d) = d {
                 assert!(
@@ -288,11 +280,9 @@ mod tests {
     fn tightness_ordering() {
         // ProductReach ≤ DescLabelCount ≤ Global, candidate-wise, on a DAG
         // with diamonds (where the DP overcounts).
-        let g = graph_from_parts(
-            &[0, 1, 1, 2, 2],
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)],
-        )
-        .unwrap();
+        let g =
+            graph_from_parts(&[0, 1, 1, 2, 2], &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)])
+                .unwrap();
         let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
         let sim = compute_simulation(&g, &q);
         let space = sim.space();
@@ -313,13 +303,8 @@ mod tests {
         let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
         let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
         let sim = compute_simulation(&g, &q);
-        let b = output_upper_bounds(
-            &g,
-            &q,
-            sim.space(),
-            BoundStrategy::Auto,
-            &BoundConfig::default(),
-        );
+        let b =
+            output_upper_bounds(&g, &q, sim.space(), BoundStrategy::Auto, &BoundConfig::default());
         assert_eq!(b.strategy_used(), BoundStrategy::ProductReach);
         let small = BoundConfig { auto_pair_limit: 0, ..BoundConfig::default() };
         let b2 = output_upper_bounds(&g, &q, sim.space(), BoundStrategy::Auto, &small);
@@ -331,13 +316,9 @@ mod tests {
         let g = graph_from_parts(&[0, 0], &[(0, 1)]).unwrap();
         let q = label_pattern(&[0], &[], 0).unwrap();
         let sim = compute_simulation(&g, &q);
-        for s in [
-            BoundStrategy::Global,
-            BoundStrategy::DescLabelCount,
-            BoundStrategy::ProductReach,
-        ] {
-            let b =
-                output_upper_bounds(&g, &q, sim.space(), s, &BoundConfig::default());
+        for s in [BoundStrategy::Global, BoundStrategy::DescLabelCount, BoundStrategy::ProductReach]
+        {
+            let b = output_upper_bounds(&g, &q, sim.space(), s, &BoundConfig::default());
             assert_eq!(b.as_slice(), &[0, 0], "{s:?}: no reachable query nodes");
         }
     }

@@ -1,0 +1,152 @@
+//! Relevant-set cache with partial invalidation.
+//!
+//! The static pipeline rebuilds [`crate::relevant_set::RelevantSets`] from
+//! scratch per query. Under graph deltas most output matches keep their
+//! relevant set, so the dynamic path caches one bitset per output match —
+//! over **data-node ids** rather than a per-query compact universe, because
+//! node ids are stable across updates while universes are not — and the
+//! maintenance layer invalidates and recomputes only the dirty entries.
+//!
+//! Relevance and Jaccard distance values are identical to the
+//! universe-encoded ones (both encodings are bijective on the same sets),
+//! so every ranking quantity derived from this cache matches the static
+//! pipeline bit for bit.
+
+use std::collections::BTreeMap;
+
+use gpm_graph::{BitSet, NodeId};
+
+/// Cached relevant sets `R(uo, v)` keyed by output match, bitsets over
+/// data-node ids.
+#[derive(Debug, Clone, Default)]
+pub struct RelevanceCache {
+    sets: BTreeMap<NodeId, BitSet>,
+    /// Bit width of the stored sets (≥ graph node count; grows by
+    /// headroom-rounding so node additions rarely force a migration).
+    width: usize,
+}
+
+/// Round a width up with headroom so repeated node additions amortize.
+fn padded(width: usize) -> usize {
+    (width + 256).next_multiple_of(256)
+}
+
+impl RelevanceCache {
+    /// Empty cache sized for a graph of `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        RelevanceCache { sets: BTreeMap::new(), width: padded(node_count) }
+    }
+
+    /// Current bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Ensures sets can hold bit `node_count - 1`, migrating every stored
+    /// set when the width grows (rare: widths are padded).
+    pub fn ensure_width(&mut self, node_count: usize) {
+        if node_count <= self.width {
+            return;
+        }
+        let new_width = padded(node_count);
+        for set in self.sets.values_mut() {
+            let mut bigger = BitSet::new(new_width);
+            for b in set.iter() {
+                bigger.insert(b);
+            }
+            *set = bigger;
+        }
+        self.width = new_width;
+    }
+
+    /// Inserts or replaces the relevant set of `v`.
+    pub fn upsert(&mut self, v: NodeId, bits: impl IntoIterator<Item = usize>) {
+        let set = BitSet::from_iter(self.width, bits);
+        self.sets.insert(v, set);
+    }
+
+    /// Drops the entry of `v` (the match disappeared).
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        self.sets.remove(&v).is_some()
+    }
+
+    /// Drops every entry, keeping the width.
+    pub fn clear(&mut self) {
+        self.sets.clear();
+    }
+
+    /// `true` iff `v` has a cached set.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.sets.contains_key(&v)
+    }
+
+    /// Number of cached matches.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Cached matches, ascending by node id (the order
+    /// [`crate::relevant_set::RelevantSets::matches`] uses).
+    pub fn matches(&self) -> Vec<NodeId> {
+        self.sets.keys().copied().collect()
+    }
+
+    /// `δr(uo, v)` from the cache.
+    pub fn relevance_of(&self, v: NodeId) -> Option<u64> {
+        self.sets.get(&v).map(|s| s.count() as u64)
+    }
+
+    /// The cached set of `v`.
+    pub fn set_of(&self, v: NodeId) -> Option<&BitSet> {
+        self.sets.get(&v)
+    }
+
+    /// Jaccard distance `δd` between two cached matches.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        Some(self.sets.get(&a)?.jaccard_distance(self.sets.get(&b)?))
+    }
+
+    /// `(node, δr)` for every cached match, ascending by node id.
+    pub fn relevances(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.sets.iter().map(|(&v, s)| (v, s.count() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_query_remove() {
+        let mut c = RelevanceCache::new(10);
+        c.upsert(3, [1usize, 2, 5]);
+        c.upsert(7, [2usize, 5, 6, 9]);
+        assert_eq!(c.relevance_of(3), Some(3));
+        assert_eq!(c.relevance_of(7), Some(4));
+        assert_eq!(c.matches(), vec![3, 7]);
+        // |∩| = 2, |∪| = 5 → δd = 1 - 2/5.
+        assert!((c.distance(3, 7).unwrap() - 0.6).abs() < 1e-12);
+        assert!(c.remove(3));
+        assert!(!c.remove(3));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.relevance_of(3), None);
+    }
+
+    #[test]
+    fn width_growth_preserves_sets() {
+        let mut c = RelevanceCache::new(4);
+        c.upsert(0, [1usize, 3]);
+        let w0 = c.width();
+        c.ensure_width(w0 + 1); // force an actual migration
+        assert!(c.width() > w0);
+        c.upsert(1, [w0]);
+        assert_eq!(c.relevance_of(0), Some(2));
+        assert_eq!(c.set_of(0).unwrap().iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(c.relevance_of(1), Some(1));
+    }
+}

@@ -132,11 +132,8 @@ mod tests {
             BitSet::new(12),
             BitSet::from_iter(12, [0, 1, 2, 3]),
         ];
-        let infos: Vec<MatchInfo<'_>> = sets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| MatchInfo { node: i as u32, r_set: s })
-            .collect();
+        let infos: Vec<MatchInfo<'_>> =
+            sets.iter().enumerate().map(|(i, s)| MatchInfo { node: i as u32, r_set: s }).collect();
         assert!(satisfies_metric_axioms(&JaccardDistance, &infos));
     }
 
@@ -145,10 +142,7 @@ mod tests {
         let a = BitSet::from_iter(8, [0, 1, 2]);
         let b = BitSet::from_iter(8, [1, 2, 3]);
         let f = NeighborhoodDiversity { node_count: 8 };
-        let d = f.distance(
-            &MatchInfo { node: 0, r_set: &a },
-            &MatchInfo { node: 1, r_set: &b },
-        );
+        let d = f.distance(&MatchInfo { node: 0, r_set: &a }, &MatchInfo { node: 1, r_set: &b });
         assert!((d - (1.0 - 2.0 / 8.0)).abs() < 1e-12);
         let z = NeighborhoodDiversity { node_count: 0 };
         assert_eq!(

@@ -26,6 +26,7 @@
 //!   fallback.
 
 pub mod bounds;
+pub mod cache;
 pub mod distance;
 pub mod objective;
 pub mod reach_sets;
@@ -33,6 +34,7 @@ pub mod relevance;
 pub mod relevant_set;
 
 pub use bounds::{output_upper_bounds, BoundStrategy, OutputBounds};
+pub use cache::RelevanceCache;
 pub use distance::{DistanceFn, JaccardDistance, MatchInfo, NeighborhoodDiversity};
 pub use objective::{c_uo, Objective};
 pub use relevance::{RelevanceCtx, RelevanceFn, RelevantSetSize};

@@ -27,10 +27,7 @@ use gpm_simulation::CandidateSpace;
 /// `|can(u')|` (with multiplicity — two query nodes sharing candidates count
 /// twice, matching Example 6's `3 + 4 + 4 = 11`).
 pub fn c_uo(q: &Pattern, space: &CandidateSpace) -> u64 {
-    q.reachable_from_output()
-        .iter()
-        .map(|u| space.candidate_count(u as u32) as u64)
-        .sum()
+    q.reachable_from_output().iter().map(|u| space.candidate_count(u as u32) as u64).sum()
 }
 
 /// The bi-criteria objective with fixed `λ`, `k` and normalizer.

@@ -111,9 +111,7 @@ pub fn strict_reach_sets(
         // Union of successors' Full.
         let mut succ_union = BitSet::new(m);
         for &sc in cond.comp_successors(c) {
-            let f = full[sc as usize]
-                .as_ref()
-                .expect("successor processed before predecessor");
+            let f = full[sc as usize].as_ref().expect("successor processed before predecessor");
             succ_union.union_with(f);
             // Release the successor once its last pending predecessor is done.
             pending_preds[sc as usize] -= 1;
@@ -154,10 +152,7 @@ pub fn strict_reach_counts(
     sources: &[u32],
     cfg: &ReachConfig,
 ) -> Vec<u64> {
-    strict_reach_sets(mg, space, sources, cfg)
-        .iter()
-        .map(|s| s.count() as u64)
-        .collect()
+    strict_reach_sets(mg, space, sources, cfg).iter().map(|s| s.count() as u64).collect()
 }
 
 /// Per-source BFS fallback: bounded memory, embarrassingly parallel.
@@ -178,9 +173,9 @@ fn bfs_fallback(
 
     let mut out: Vec<BitSet> = (0..sources.len()).map(|_| BitSet::new(m)).collect();
     let chunk = sources.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (src_chunk, out_chunk) in sources.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut visited = BitSet::new(n);
                 let mut queue = std::collections::VecDeque::new();
                 for (&s, set) in src_chunk.iter().zip(out_chunk.iter_mut()) {
@@ -193,9 +188,8 @@ fn bfs_fallback(
                         }
                     }
                     while let Some(p) = queue.pop_front() {
-                        let pos = space
-                            .universe_pos(mg.data_node(p))
-                            .expect("candidates in universe");
+                        let pos =
+                            space.universe_pos(mg.data_node(p)).expect("candidates in universe");
                         set.insert(pos as usize);
                         for &w in mg.successors(p) {
                             if visited.insert(w as usize) {
@@ -206,8 +200,7 @@ fn bfs_fallback(
                 }
             });
         }
-    })
-    .expect("reachability worker panicked");
+    });
     out
 }
 
@@ -221,11 +214,8 @@ mod tests {
     /// Chain a→b→c with an extra b: R((A,0)) should be {1,2}, etc.
     #[test]
     fn dp_and_bfs_agree() {
-        let g = graph_from_parts(
-            &[0, 1, 2, 1, 0],
-            &[(0, 1), (1, 2), (0, 3), (3, 2), (4, 3)],
-        )
-        .unwrap();
+        let g =
+            graph_from_parts(&[0, 1, 2, 1, 0], &[(0, 1), (1, 2), (0, 3), (3, 2), (4, 3)]).unwrap();
         let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
         let sim = compute_simulation(&g, &q);
         let mg = MatchGraph::over_matches(&g, &q, &sim);
@@ -271,8 +261,7 @@ mod tests {
         let sets = strict_reach_sets(&mg, sim.space(), &[leaf, root], &ReachConfig::default());
         assert!(sets[0].is_empty());
         assert_eq!(sets[1].count(), 1);
-        let counts =
-            strict_reach_counts(&mg, sim.space(), &[leaf, root], &ReachConfig::default());
+        let counts = strict_reach_counts(&mg, sim.space(), &[leaf, root], &ReachConfig::default());
         assert_eq!(counts, vec![0, 1]);
     }
 

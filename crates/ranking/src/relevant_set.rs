@@ -36,12 +36,7 @@ impl RelevantSets {
     }
 
     /// As [`RelevantSets::compute`] with an explicit memory/thread policy.
-    pub fn compute_with(
-        g: &DiGraph,
-        q: &Pattern,
-        sim: &SimRelation,
-        cfg: &ReachConfig,
-    ) -> Self {
+    pub fn compute_with(g: &DiGraph, q: &Pattern, sim: &SimRelation, cfg: &ReachConfig) -> Self {
         let universe_size = sim.space().universe_size();
         if !sim.graph_matches() {
             return RelevantSets { matches: Vec::new(), sets: Vec::new(), universe_size };
@@ -107,10 +102,7 @@ impl RelevantSets {
 
     /// Decodes the `i`-th relevant set back to data-node ids (ascending).
     pub fn set_node_ids(&self, sim: &SimRelation, i: usize) -> Vec<NodeId> {
-        self.sets[i]
-            .iter()
-            .map(|pos| sim.space().universe_node(pos as u32))
-            .collect()
+        self.sets[i].iter().map(|pos| sim.space().universe_node(pos as u32)).collect()
     }
 }
 
@@ -131,10 +123,8 @@ pub fn relevant_set_of_pair(
     let p = sim.space().pair_id(u, v)?;
     let c = mg.compact_of(p)?;
     let sets = strict_reach_sets(&mg, sim.space(), &[c], &ReachConfig::default());
-    let mut ids: Vec<NodeId> = sets[0]
-        .iter()
-        .map(|pos| sim.space().universe_node(pos as u32))
-        .collect();
+    let mut ids: Vec<NodeId> =
+        sets[0].iter().map(|pos| sim.space().universe_node(pos as u32)).collect();
     ids.sort_unstable();
     Some(ids)
 }
@@ -154,11 +144,8 @@ mod tests {
         //   3(a) → 1(b)
         // So R(A,0) = R(A,3) = {1,2}? No: 3→1→2 too. Add a second chain:
         //   4(a) → 5(b) → 2(c)
-        let g = graph_from_parts(
-            &[0, 1, 2, 0, 0, 1],
-            &[(0, 1), (1, 2), (3, 1), (4, 5), (5, 2)],
-        )
-        .unwrap();
+        let g = graph_from_parts(&[0, 1, 2, 0, 0, 1], &[(0, 1), (1, 2), (3, 1), (4, 5), (5, 2)])
+            .unwrap();
         let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
         let sim = compute_simulation(&g, &q);
         let rs = RelevantSets::compute(&g, &q, &sim);
@@ -166,7 +153,7 @@ mod tests {
         assert_eq!(rs.relevance_of(0), Some(2)); // {1,2}
         assert_eq!(rs.relevance_of(3), Some(2)); // {1,2}
         assert_eq!(rs.relevance_of(4), Some(2)); // {5,2}
-        // Distances: R(0) == R(3) → 0; R(0) vs R(4) share {2} → 1 - 1/3.
+                                                 // Distances: R(0) == R(3) → 0; R(0) vs R(4) share {2} → 1 - 1/3.
         let i0 = rs.index_of(0).unwrap();
         let i3 = rs.index_of(3).unwrap();
         let i4 = rs.index_of(4).unwrap();

@@ -53,12 +53,9 @@ impl CandidateSpace {
             let pred = q.predicate(u);
             let list: Vec<NodeId> = match pred.primary_label() {
                 Some(l) if pred.is_pure_label() => g.nodes_with_label(l).to_vec(),
-                Some(l) => g
-                    .nodes_with_label(l)
-                    .iter()
-                    .copied()
-                    .filter(|&v| pred.matches(g, v))
-                    .collect(),
+                Some(l) => {
+                    g.nodes_with_label(l).iter().copied().filter(|&v| pred.matches(g, v)).collect()
+                }
                 None => g.nodes().filter(|&v| pred.matches(g, v)).collect(),
             };
             cand.push(list);
@@ -258,10 +255,7 @@ mod tests {
         b.add_node(1);
         let g = b.build();
         let mut pb = PatternBuilder::new();
-        pb.node(
-            "V",
-            Predicate::labeled(0, [Predicate::attr("views", CmpOp::Gt, 50i64)]),
-        );
+        pb.node("V", Predicate::labeled(0, [Predicate::attr("views", CmpOp::Gt, 50i64)]));
         pb.output(0).unwrap();
         let q = pb.build().unwrap();
         let cs = CandidateSpace::compute(&g, &q);

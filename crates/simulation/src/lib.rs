@@ -22,6 +22,7 @@
 //! for early termination (Section 4).
 
 pub mod candidates;
+pub mod incremental;
 pub mod match_graph;
 pub mod naive;
 pub mod refine;
@@ -29,6 +30,7 @@ pub mod relation;
 pub mod result_graph;
 
 pub use candidates::CandidateSpace;
+pub use incremental::IncSimState;
 pub use match_graph::MatchGraph;
-pub use refine::compute_simulation;
+pub use refine::{compute_simulation, refine_state, RefineState};
 pub use relation::SimRelation;

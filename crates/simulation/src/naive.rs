@@ -26,9 +26,9 @@ pub fn naive_simulation(g: &DiGraph, q: &Pattern) -> SimRelation {
                     continue;
                 }
                 let ok = q.successors(u).iter().all(|&uc| {
-                    g.successors(v).iter().any(|&w| {
-                        space.pair_id(uc, w).is_some_and(|pw| alive[pw as usize])
-                    })
+                    g.successors(v)
+                        .iter()
+                        .any(|&w| space.pair_id(uc, w).is_some_and(|pw| alive[pw as usize]))
                 });
                 if !ok {
                     alive[p] = false;
@@ -70,9 +70,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
+    type GraphParts = (Vec<u32>, Vec<(u32, u32)>);
+
     #[test]
     fn agrees_on_fixed_cases() {
-        let cases: Vec<(Vec<u32>, Vec<(u32, u32)>)> = vec![
+        let cases: Vec<GraphParts> = vec![
             (vec![0, 1, 2], vec![(0, 1), (1, 2)]),
             (vec![0, 1, 0, 1], vec![(0, 1), (1, 0), (2, 3)]),
             (vec![0; 5], vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),

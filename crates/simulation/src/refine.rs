@@ -22,13 +22,36 @@ pub fn compute_simulation(g: &DiGraph, q: &Pattern) -> SimRelation {
     SimRelation::new(space, alive, q)
 }
 
+/// The full fixpoint state of a refinement run: survival flags plus the
+/// support counters, **maintained for dead pairs too** (a dead pair's
+/// counters keep tracking its alive children). The incremental engine
+/// ([`crate::incremental`]) resumes from this state instead of recomputing
+/// it, which is what makes `DynamicMatcher` construction cheap.
+#[derive(Debug, Clone)]
+pub struct RefineState {
+    /// Per-pair survival (no emptiness rule applied).
+    pub alive: Vec<bool>,
+    /// Flattened counters: pair `(u, i)` with `d = outdeg(u)` owns
+    /// `counters[ebase[u] + i*d .. +d]`, one slot per pattern edge of `u`
+    /// in successor order; slot `j` counts the alive children under the
+    /// `j`-th pattern edge.
+    pub counters: Vec<u32>,
+    /// Per-pattern-node offsets into `counters` (length `|Vp| + 1`).
+    pub ebase: Vec<usize>,
+}
+
 /// Runs the refinement over a precomputed candidate space, returning the
 /// per-pair survival flags (no emptiness rule applied).
 pub fn refine(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> Vec<bool> {
+    refine_state(g, q, space).alive
+}
+
+/// As [`refine`], but returns the full counter state for incremental resume.
+pub fn refine_state(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> RefineState {
     let pair_count = space.pair_count();
     let mut alive = vec![true; pair_count];
     if pair_count == 0 {
-        return alive;
+        return RefineState { alive, counters: Vec::new(), ebase: vec![0; q.node_count() + 1] };
     }
 
     // Flattened counters: pair (u, i) with outdeg(u) = d(u) owns the slice
@@ -75,12 +98,12 @@ pub fn refine(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> Vec<bool> {
 
     // Edge index of (u, u') in u's successor list (successors are sorted).
     let edge_index = |u: PNodeId, uc: PNodeId| -> usize {
-        q.successors(u)
-            .binary_search(&uc)
-            .expect("pattern edge must exist")
+        q.successors(u).binary_search(&uc).expect("pattern edge must exist")
     };
 
-    // Cascade deaths.
+    // Cascade deaths. Dead pairs keep receiving decrements so that, at the
+    // fixpoint, every counter equals its pair's current alive-child count —
+    // the invariant the incremental engine resumes from.
     while let Some(p) = dead.pop() {
         let (uc, vc) = space.pair_info(p);
         for &u in q.predecessors(uc) {
@@ -91,17 +114,10 @@ pub fn refine(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> Vec<bool> {
                     continue;
                 }
                 let pw = space.pair_id(u, w).expect("mask and list agree");
-                if !alive[pw as usize] {
-                    continue;
-                }
-                let (_, i0) = {
-                    // local index of w within can(u)
-                    let local = pw - space.pair_at(u, 0);
-                    (u, local as usize)
-                };
-                let slot = ebase[u as usize] + i0 * d + j;
+                let local = (pw - space.pair_at(u, 0)) as usize;
+                let slot = ebase[u as usize] + local * d + j;
                 cnt[slot] -= 1;
-                if cnt[slot] == 0 {
+                if cnt[slot] == 0 && alive[pw as usize] {
                     alive[pw as usize] = false;
                     dead.push(pw);
                 }
@@ -109,7 +125,7 @@ pub fn refine(g: &DiGraph, q: &Pattern, space: &CandidateSpace) -> Vec<bool> {
         }
     }
 
-    alive
+    RefineState { alive, counters: cnt, ebase }
 }
 
 #[cfg(test)]

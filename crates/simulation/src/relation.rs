@@ -20,9 +20,9 @@ pub struct SimRelation {
 
 impl SimRelation {
     pub(crate) fn new(space: CandidateSpace, alive: Vec<bool>, q: &Pattern) -> Self {
-        let matched = q.nodes().all(|u| {
-            (0..space.candidate_count(u)).any(|i| alive[space.pair_at(u, i) as usize])
-        });
+        let matched = q
+            .nodes()
+            .all(|u| (0..space.candidate_count(u)).any(|i| alive[space.pair_at(u, i) as usize]));
         SimRelation { space, alive, matched }
     }
 
@@ -39,11 +39,7 @@ impl SimRelation {
 
     /// `(u,v) ∈ M(Q,G)`?
     pub fn contains(&self, u: PNodeId, v: NodeId) -> bool {
-        self.matched
-            && self
-                .space
-                .pair_id(u, v)
-                .is_some_and(|p| self.alive[p as usize])
+        self.matched && self.space.pair_id(u, v).is_some_and(|p| self.alive[p as usize])
     }
 
     /// Raw per-pair survival (ignores the emptiness rule; used by engines).
@@ -96,9 +92,7 @@ impl SimRelation {
                 }
                 for &uc in q.successors(u) {
                     let supported = g.successors(v).iter().any(|&w| {
-                        self.space
-                            .pair_id(uc, w)
-                            .is_some_and(|p| self.alive[p as usize])
+                        self.space.pair_id(uc, w).is_some_and(|p| self.alive[p as usize])
                     });
                     if !supported {
                         return false;
@@ -121,11 +115,9 @@ impl SimRelation {
                 }
                 // A dead pair must violate some pattern edge.
                 let violates = q.successors(u).iter().any(|&uc| {
-                    !g.successors(v).iter().any(|&w| {
-                        self.space
-                            .pair_id(uc, w)
-                            .is_some_and(|p| self.alive[p as usize])
-                    })
+                    !g.successors(v)
+                        .iter()
+                        .any(|&w| self.space.pair_id(uc, w).is_some_and(|p| self.alive[p as usize]))
                 });
                 if !violates {
                     return false;

@@ -24,7 +24,8 @@ fn main() {
     b.node("DB", Predicate::Label(1));
     b.node("PRG", Predicate::Label(2));
     b.node("ST", Predicate::Label(3));
-    for (f, t) in [("PM", "DB"), ("PM", "PRG"), ("DB", "PRG"), ("PRG", "DB"), ("DB", "ST"), ("PRG", "ST")]
+    for (f, t) in
+        [("PM", "DB"), ("PM", "PRG"), ("DB", "PRG"), ("PRG", "DB"), ("DB", "ST"), ("PRG", "ST")]
     {
         b.edge_by_name(f, t).unwrap();
     }
@@ -37,7 +38,10 @@ fn main() {
     let base = top_k_by_match(&g, &q, &TopKConfig::new(k));
     let match_time = t.elapsed();
     let total = base.stats.total_matches.unwrap_or(0);
-    println!("\nMatch baseline: |Mu| = {total} PM matches, top-{k} total δr = {}", base.total_relevance());
+    println!(
+        "\nMatch baseline: |Mu| = {total} PM matches, top-{k} total δr = {}",
+        base.total_relevance()
+    );
     println!("  time: {match_time:?} (computes and ranks everything)");
 
     for (name, cfg) in [

@@ -55,5 +55,7 @@ fn print_video(g: &DiGraph, v: NodeId, relevance: u64) {
     let cat = attrs.get("category").and_then(|a| a.as_str()).unwrap_or("?");
     let views = attrs.get("views").and_then(|a| a.as_f64()).unwrap_or(0.0);
     let rate = attrs.get("rate").and_then(|a| a.as_f64()).unwrap_or(0.0);
-    println!("  video #{v:<7} category={cat:<14} views={views:<8} rate={rate:<3}  δr = {relevance}");
+    println!(
+        "  video #{v:<7} category={cat:<14} views={views:<8} rate={rate:<3}  δr = {relevance}"
+    );
 }

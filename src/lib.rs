@@ -37,7 +37,8 @@
 //! | [`simulation`] | maximum simulation `M(Q,G)`, match graph |
 //! | [`ranking`] | relevant sets, `δr`/`δd`/`F`, bound indexes |
 //! | [`core`] | `Match`, `TopKDAG`, `TopK`, `TopKDiv`, `TopKDH` |
-//! | [`datagen`] | Fig. 1 fixture, synthetic generator, dataset emulators |
+//! | [`incremental`] | `DynamicMatcher`: top-k maintained under graph deltas |
+//! | [`datagen`] | Fig. 1 fixture, synthetic generator, dataset emulators, update streams |
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index
 //! mapping every figure of the paper's evaluation to a reproduction target,
@@ -46,6 +47,7 @@
 pub use gpm_core as core;
 pub use gpm_datagen as datagen;
 pub use gpm_graph as graph;
+pub use gpm_incremental as incremental;
 pub use gpm_pattern as pattern;
 pub use gpm_ranking as ranking;
 pub use gpm_simulation as simulation;
@@ -53,12 +55,13 @@ pub use gpm_simulation as simulation;
 /// The commonly-used surface of the library.
 pub mod prelude {
     pub use gpm_core::config::{DivConfig, SelectionStrategy, TopKConfig};
+    pub use gpm_core::result::{DivResult, RankedMatch, RunStats, TopKResult};
     pub use gpm_core::{
         top_k, top_k_by_match, top_k_cyclic, top_k_dag, top_k_diversified,
         top_k_diversified_heuristic,
     };
-    pub use gpm_core::result::{DivResult, RankedMatch, RunStats, TopKResult};
-    pub use gpm_graph::{BitSet, DiGraph, GraphBuilder, NodeId};
+    pub use gpm_graph::{BitSet, DiGraph, GraphBuilder, GraphDelta, NodeId};
+    pub use gpm_incremental::{DynamicMatcher, IncrementalConfig};
     pub use gpm_pattern::{CmpOp, Pattern, PatternBuilder, Predicate};
     pub use gpm_ranking::bounds::BoundStrategy;
     pub use gpm_simulation::compute_simulation;

@@ -36,12 +36,8 @@ fn pattern_self_loop() {
 #[test]
 fn two_disjoint_pattern_cycles() {
     // Q: A* → (B ⇄ C), A → (D ⇄ E): two separate nontrivial SCCs below uo.
-    let q = label_pattern(
-        &[0, 1, 2, 3, 4],
-        &[(0, 1), (1, 2), (2, 1), (0, 3), (3, 4), (4, 3)],
-        0,
-    )
-    .unwrap();
+    let q = label_pattern(&[0, 1, 2, 3, 4], &[(0, 1), (1, 2), (2, 1), (0, 3), (3, 4), (4, 3)], 0)
+        .unwrap();
     // Data: one node satisfying both cycles, one satisfying only the first.
     let g = graph_from_parts(
         &[0, 1, 2, 3, 4, 0],
@@ -111,11 +107,9 @@ fn deep_chain_pattern() {
 
 #[test]
 fn nopt_batch_divisor_variants() {
-    let g = graph_from_parts(
-        &[0, 0, 0, 1, 1, 1],
-        &[(0, 3), (0, 4), (0, 5), (1, 4), (1, 5), (2, 5)],
-    )
-    .unwrap();
+    let g =
+        graph_from_parts(&[0, 0, 0, 1, 1, 1], &[(0, 3), (0, 4), (0, 5), (1, 4), (1, 5), (2, 5)])
+            .unwrap();
     let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
     let base = top_k_by_match(&g, &q, &TopKConfig::new(2));
     for divisor in [1, 2, 8, 1000] {

@@ -1,0 +1,172 @@
+//! Property tests for the incremental subsystem: a `DynamicMatcher`
+//! maintained across random delta streams must agree with a from-scratch
+//! `top_k_cyclic` / `top_k_diversified` run on the final graph — for
+//! insert-only, delete-only, and mixed streams.
+
+use diversified_topk::prelude::*;
+use gpm_core::config::DivConfig;
+use gpm_core::{top_k_by_match, top_k_cyclic, top_k_diversified};
+use gpm_graph::builder::graph_from_parts;
+use gpm_graph::DynGraph;
+use gpm_pattern::builder::label_pattern;
+use proptest::prelude::*;
+
+/// A random small labeled digraph (same shape as `properties.rs`).
+fn arb_graph() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
+    (4usize..20).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..3, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2);
+        (labels, edges)
+    })
+}
+
+/// A small pattern over the same alphabet; node 0 is the output.
+fn arb_pattern() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
+    (1usize..5).prop_flat_map(|k| {
+        let labels = proptest::collection::vec(0u32..3, k);
+        let extra = proptest::collection::vec((0u32..k as u32, 0u32..k as u32), 0..k * 2);
+        (labels, extra).prop_map(move |(labels, extra)| {
+            let mut edges: Vec<(u32, u32)> = (1..k as u32).map(|i| (i - 1, i)).collect();
+            edges.extend(extra.into_iter().filter(|(a, b)| a != b));
+            edges.sort_unstable();
+            edges.dedup();
+            (labels, edges)
+        })
+    })
+}
+
+/// Raw op codes decoded into a `GraphDelta` against the current graph
+/// state (so deletions target real ids even after node churn).
+type RawOps = Vec<(u8, u32, u32)>;
+
+fn arb_ops(batches: usize) -> impl Strategy<Value = Vec<RawOps>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u8..8, 0u32..64, 0u32..64), 1..5),
+        batches,
+    )
+}
+
+#[derive(Clone, Copy)]
+enum Stream {
+    Insert,
+    Delete,
+    Mixed,
+}
+
+/// Decodes one raw batch into a valid delta for the current graph.
+fn decode(g: &DynGraph, ops: &RawOps, kind: Stream) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    let n = g.node_count() as u32;
+    for &(code, a, b) in ops {
+        let insert = match kind {
+            Stream::Insert => true,
+            Stream::Delete => false,
+            Stream::Mixed => code % 2 == 0,
+        };
+        let (a, b) = (a % n, b % n);
+        if insert {
+            if code >= 6 {
+                delta = delta.add_node(a % 3);
+            } else if a != b {
+                delta = delta.add_edge(a, b);
+            }
+        } else if code >= 6 {
+            delta = delta.remove_node(a);
+        } else {
+            // Target a real edge when one exists at this source.
+            let t = g.successors(a).nth(b as usize % g.out_degree(a).max(1));
+            delta = delta.remove_edge(a, t.unwrap_or(b));
+        }
+    }
+    delta
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_stream(
+    labels: &[u32],
+    edges: &[(u32, u32)],
+    plabels: &[u32],
+    pedges: &[(u32, u32)],
+    batches: &[RawOps],
+    kind: Stream,
+    k: usize,
+    lambda: f64,
+) -> Result<(), String> {
+    let g = graph_from_parts(labels, edges).map_err(|e| e.to_string())?;
+    let q = label_pattern(plabels, pedges, 0).map_err(|e| e.to_string())?;
+    let mut m = DynamicMatcher::new(&g, q.clone(), IncrementalConfig::new(k).lambda(lambda))
+        .map_err(|e| e.to_string())?;
+    for raw in batches {
+        let delta = decode(m.graph(), raw, kind);
+        m.apply(&delta).map_err(|e| e.to_string())?;
+    }
+    let snap = m.snapshot();
+
+    // Relevance ranking: exact agreement with the find-all baseline, and
+    // total-relevance agreement with the early-terminating algorithm.
+    let base = top_k_by_match(&snap, &q, &TopKConfig::new(k));
+    let inc = m.top_k();
+    if inc.nodes() != base.nodes() {
+        return Err(format!("nodes {:?} != {:?}", inc.nodes(), base.nodes()));
+    }
+    let base_rel: Vec<u64> = base.matches.iter().map(|r| r.relevance).collect();
+    let inc_rel: Vec<u64> = inc.matches.iter().map(|r| r.relevance).collect();
+    if inc_rel != base_rel {
+        return Err(format!("relevances {inc_rel:?} != {base_rel:?}"));
+    }
+    let fast = top_k_cyclic(&snap, &q, &TopKConfig::new(k));
+    if fast.total_relevance() != inc.total_relevance() {
+        return Err("top_k_cyclic disagrees".into());
+    }
+
+    // Diversified: identical set and F-value (shared greedy).
+    let div_base = top_k_diversified(&snap, &q, &DivConfig::new(k, lambda));
+    let div_inc = m.diversified(lambda);
+    if div_inc.nodes() != div_base.nodes() {
+        return Err(format!("div {:?} != {:?}", div_inc.nodes(), div_base.nodes()));
+    }
+    if (div_inc.f_value - div_base.f_value).abs() > 1e-9 {
+        return Err(format!("F {} != {}", div_inc.f_value, div_base.f_value));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn insert_only_streams(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+        batches in arb_ops(5),
+        k in 1usize..5,
+        lambda in 0.0f64..1.0,
+    ) {
+        let r = check_stream(&labels, &edges, &plabels, &pedges, &batches, Stream::Insert, k, lambda);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn delete_only_streams(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+        batches in arb_ops(5),
+        k in 1usize..5,
+        lambda in 0.0f64..1.0,
+    ) {
+        let r = check_stream(&labels, &edges, &plabels, &pedges, &batches, Stream::Delete, k, lambda);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn mixed_streams(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+        batches in arb_ops(6),
+        k in 1usize..5,
+        lambda in 0.0f64..1.0,
+    ) {
+        let r = check_stream(&labels, &edges, &plabels, &pedges, &batches, Stream::Mixed, k, lambda);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+}
