@@ -200,7 +200,7 @@ fn propose_with_pool(
                 *best = Some((gain, pi as u32, w));
             }
         };
-        for &v in slot_data.clone().iter() {
+        for &v in slot_data.iter() {
             for neigh in [g.successors(v), g.predecessors(v)] {
                 let take = neigh.len().min(SCAN_CAP);
                 let offset = if neigh.len() > take {

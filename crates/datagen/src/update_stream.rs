@@ -4,9 +4,10 @@
 //! mirroring how the target domain (social networks) actually changes:
 //! mostly edge churn with preferential attachment on insertions, a
 //! sprinkle of node arrivals/departures. Streams are generated against a
-//! [`DynGraph`] mirror so every batch is consistent with the state the
-//! previous batches left behind (deletions target edges that exist,
-//! removals target live nodes).
+//! [`DynGraph`] mirror advanced op by op, so every emitted op is effective
+//! against the state the ops before it produce (deletions target edges
+//! that exist, insertions never duplicate, removals target live nodes) —
+//! batch sizes mean what they say.
 
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{DiGraph, GraphDelta, NodeId};
@@ -72,46 +73,61 @@ pub fn update_stream(base: &DiGraph, cfg: &UpdateStreamConfig) -> Vec<GraphDelta
     for _ in 0..cfg.batches {
         let mut delta = GraphDelta::new();
         for _ in 0..cfg.batch_size {
-            let insert = rng.random::<f64>() < cfg.insert_fraction;
-            let node_op = rng.random::<f64>() < cfg.node_churn;
-            let n = mirror.node_count() as u32;
-            if insert && node_op {
-                delta = delta.add_node(rng.random_range(0..cfg.labels.max(1)));
-            } else if insert {
-                // Degree-biased target, uniform source (new links attach to
-                // popular nodes).
-                let s = rng.random_range(0..n);
-                let t = if pool.is_empty() || rng.random::<f64>() < 0.3 {
-                    rng.random_range(0..n)
+            // Retry the slot until an op lands that is *effective against
+            // the intra-batch state* (no self-loops, duplicate edges,
+            // tombstoned endpoints, double-deletes), so the realized batch
+            // size stays the configured one — the delta-scaling bench
+            // labels its data points with it. Each landed op is applied to
+            // the mirror immediately, keeping later slots' sampling (and
+            // AddNode id assignment) in lockstep. Bounded probes: a slot
+            // that cannot land anything (e.g. delete-only on an edgeless
+            // graph) is dropped rather than spun on.
+            'slot: for _ in 0..16 {
+                let insert = rng.random::<f64>() < cfg.insert_fraction;
+                let node_op = rng.random::<f64>() < cfg.node_churn;
+                let n = mirror.node_count() as u32;
+                let op = if insert && node_op {
+                    Some(GraphDelta::new().add_node(rng.random_range(0..cfg.labels.max(1))))
+                } else if insert {
+                    // Degree-biased target, uniform source (new links attach
+                    // to popular nodes).
+                    let s = rng.random_range(0..n);
+                    let t = if pool.is_empty() || rng.random::<f64>() < 0.3 {
+                        rng.random_range(0..n)
+                    } else {
+                        pool[rng.random_range(0..pool.len())]
+                    };
+                    if s != t
+                        && !mirror.is_removed(s)
+                        && !mirror.is_removed(t)
+                        && !mirror.has_edge(s, t)
+                    {
+                        pool.push(s);
+                        pool.push(t);
+                        Some(GraphDelta::new().add_edge(s, t))
+                    } else {
+                        None
+                    }
+                } else if node_op {
+                    let v = rng.random_range(0..n);
+                    (!mirror.is_removed(v)).then(|| GraphDelta::new().remove_node(v))
                 } else {
-                    pool[rng.random_range(0..pool.len())]
-                };
-                if s != t && !mirror.is_removed(s) && !mirror.is_removed(t) {
-                    delta = delta.add_edge(s, t);
-                    pool.push(s);
-                    pool.push(t);
-                }
-            } else if node_op {
-                let v = rng.random_range(0..n);
-                if !mirror.is_removed(v) {
-                    delta = delta.remove_node(v);
-                }
-            } else {
-                // Delete a real edge: sample a source until one with
-                // out-degree shows up (bounded probes keep this O(1)-ish).
-                for _ in 0..16 {
+                    // Delete a real edge: sample a source with out-degree.
                     let s = rng.random_range(0..n);
                     let deg = mirror.out_degree(s);
-                    if deg > 0 {
+                    (deg > 0).then(|| {
                         let k = rng.random_range(0..deg);
                         let t = mirror.successors(s).nth(k).unwrap();
-                        delta = delta.remove_edge(s, t);
-                        break;
-                    }
+                        GraphDelta::new().remove_edge(s, t)
+                    })
+                };
+                if let Some(op) = op {
+                    mirror.apply(&op).expect("generated ops are valid");
+                    delta.ops.extend(op.ops);
+                    break 'slot;
                 }
             }
         }
-        mirror.apply(&delta).expect("generated deltas are valid");
         out.push(delta);
     }
     out

@@ -15,7 +15,9 @@
 //!   taken *before* the batch).
 //! * **`AddEdge(s, t)`** / **`RemoveEdge(s, t)`** — idempotent: inserting
 //!   an existing edge or removing a missing one is a no-op, recorded as
-//!   such in the [`AppliedDelta`].
+//!   such in the [`AppliedDelta`]. Edge ops whose endpoints are tombstoned
+//!   (even by an earlier op of the same batch) are no-ops too — a removed
+//!   node's slot never accrues new edges.
 //! * **`RemoveNode(v)`** — tombstone semantics: node ids must stay dense
 //!   (every index in the CSR, candidate bitmasks and relevant-set universes
 //!   is an id), so removal drops all incident edges and relabels the node
@@ -176,7 +178,11 @@ pub fn apply_delta(g: &DiGraph, delta: &GraphDelta) -> Result<DiGraph> {
             DeltaOp::AddEdge(s, t) => {
                 check_node(s, labels.len())?;
                 check_node(t, labels.len())?;
-                edges.push((s, t)); // GraphBuilder deduplicates
+                // Mirror DynGraph: edges onto tombstoned nodes are
+                // ineffective, never materialized.
+                if labels[s as usize] != TOMBSTONE_LABEL && labels[t as usize] != TOMBSTONE_LABEL {
+                    edges.push((s, t)); // GraphBuilder deduplicates
+                }
             }
             DeltaOp::RemoveEdge(s, t) => {
                 check_node(s, labels.len())?;
@@ -253,6 +259,15 @@ mod tests {
         let d = GraphDelta::new().add_edge(0, 1).remove_edge(1, 0);
         let g2 = apply_delta(&g, &d).unwrap();
         assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_onto_tombstones_are_dropped() {
+        let g = graph_from_parts(&[0, 1, 0], &[(0, 1)]).unwrap();
+        let d = GraphDelta::new().remove_node(1).add_edge(2, 1).add_edge(1, 0).add_edge(2, 0);
+        let g2 = apply_delta(&g, &d).unwrap();
+        assert_eq!(g2.edge_count(), 1, "only the live-endpoint edge lands");
+        assert!(g2.has_edge(2, 0));
     }
 
     #[test]

@@ -183,6 +183,16 @@ impl DynGraph {
                     emit!(self, EffectiveOp::NodeAdded(id, label));
                 }
                 DeltaOp::AddEdge(s, t) => {
+                    // Tombstoned endpoints: the slot is never reused, so
+                    // attaching a new edge to a dead node would contradict
+                    // removal semantics. Treated as ineffective (not an
+                    // error) because generated streams may legitimately
+                    // batch a RemoveNode ahead of an AddEdge to the same
+                    // node. RemoveEdge needs no such guard — a tombstone
+                    // has no edges left to remove.
+                    if self.is_removed(s) || self.is_removed(t) {
+                        continue;
+                    }
                     if self.fwd[s as usize].insert(t) {
                         self.rev[t as usize].insert(s);
                         self.edge_count += 1;
@@ -313,6 +323,28 @@ mod tests {
         assert_eq!(dg.nodes_with_label(0).collect::<Vec<_>>(), vec![2, 4]);
         assert!(dg.is_removed(0));
         assert_eq!(dg.nodes_with_label(TOMBSTONE_LABEL).count(), 0, "tombstones unindexed");
+    }
+
+    #[test]
+    fn edges_onto_tombstones_are_noops() {
+        let g = sample();
+        let mut dg = DynGraph::from_digraph(&g);
+        // Same batch: RemoveNode ahead of AddEdge to the dead node (the
+        // shape datagen's pre-batch validation can emit).
+        let applied =
+            dg.apply(&GraphDelta::new().remove_node(1).add_edge(0, 1).add_edge(1, 2)).unwrap();
+        assert!(applied.added_edges.is_empty(), "tombstoned endpoints accrue no edges");
+        assert_eq!(dg.successors(1).count() + dg.predecessors(1).count(), 0);
+        // Later batch: still a no-op, and the immutable path agrees.
+        let applied2 = dg.apply(&GraphDelta::new().add_edge(3, 1)).unwrap();
+        assert!(applied2.added_edges.is_empty());
+        let expect = crate::delta::apply_delta(
+            &g,
+            &GraphDelta::new().remove_node(1).add_edge(0, 1).add_edge(1, 2).add_edge(3, 1),
+        )
+        .unwrap();
+        assert_eq!(dg.edge_count(), expect.edge_count());
+        assert_eq!(dg.snapshot().edge_count(), expect.edge_count());
     }
 
     #[test]

@@ -150,11 +150,15 @@ impl DynamicMatcher {
     /// On error the graph and all maintained state are unchanged.
     pub fn apply(&mut self, delta: &GraphDelta) -> Result<TopKResult, IncrementalError> {
         let t0 = Instant::now();
-        self.stats.applies += 1;
 
-        // Worst-case churn of this batch, judged before touching anything:
+        // Estimated churn of this batch, judged before touching anything:
         // every op changes at most one edge, except RemoveNode which drops
-        // the node's whole incidence list.
+        // the node's whole incidence list. A heuristic, not a bound:
+        // self-loops and edges an earlier op already removed are counted
+        // twice, while edges added and then dropped by a later RemoveNode
+        // of the same batch are undercounted (RemoveNode sees pre-batch
+        // degrees). A borderline batch can land on either side of the
+        // threshold — that costs time, never correctness.
         let worst_churn: usize = delta
             .ops
             .iter()
@@ -172,6 +176,7 @@ impl DynamicMatcher {
             // Whole-state rebuild: apply the batch graph-only, then refine
             // from scratch and refill the cache.
             self.graph.apply(delta)?;
+            self.stats.applies += 1; // rejected batches are not applies
             self.sim = IncSimState::new(&self.graph, &self.pattern)
                 .expect("pattern validated at construction");
             self.rebuild_cache();
@@ -190,10 +195,17 @@ impl DynamicMatcher {
             EffectiveOp::EdgeRemoved(s, t) => sim.on_edge_removed(g, q, s, t),
             EffectiveOp::NodeRemoved(v) => sim.on_node_removed(q, v),
         })?;
+        self.stats.applies += 1; // rejected batches are not applies
 
         // Seeds of the dirtiness sweep: every alive-flip, plus the source
         // pairs of every changed data edge (an edge between two alive pairs
         // changes match-graph reachability without flipping anybody).
+        // Target candidacy is tested with the ever-candidate map, not the
+        // valid flag: for edges dropped by a node tombstone the target's
+        // valid flag is already cleared by the time this runs, but the
+        // surviving source pairs still lost a relevant descendant. Sources
+        // tombstoned in the same batch need no seed of their own — their
+        // incoming edges were removed too, seeding every live ancestor.
         let mut seeds: Vec<DynPair> = self.sim.take_dirty();
         for &(v, w) in applied.added_edges.iter().chain(&applied.removed_edges) {
             for u in self.pattern.nodes() {
@@ -201,7 +213,7 @@ impl DynamicMatcher {
                     continue;
                 }
                 let touches =
-                    self.pattern.successors(u).iter().any(|&uc| self.sim.is_candidate(uc, w));
+                    self.pattern.successors(u).iter().any(|&uc| self.sim.ever_candidate(uc, w));
                 if touches {
                     seeds.push((u, v));
                 }
@@ -306,9 +318,8 @@ impl DynamicMatcher {
             .map(|u| self.sim.candidate_count(u as PNodeId) as u64)
             .sum();
         let objective = Objective::new(lambda, self.cfg.k, c_uo);
-        let matches = self.cache.matches();
-        let rel: Vec<f64> =
-            matches.iter().map(|&v| self.cache.relevance_of(v).expect("cached") as f64).collect();
+        let (matches, rel): (Vec<NodeId>, Vec<f64>) =
+            self.cache.relevances().map(|(v, r)| (v, r as f64)).unzip();
         let d = |i: usize, j: usize| self.cache.distance(matches[i], matches[j]).expect("cached");
         let (selected, f_value) = greedy_diversified(&objective, &rel, &d);
         let picked: Vec<RankedMatch> = selected

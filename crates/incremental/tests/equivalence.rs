@@ -188,6 +188,31 @@ fn forced_rebuild_path_agrees() {
 }
 
 #[test]
+fn tombstone_keeps_surviving_ancestors_fresh() {
+    // Regression: node 0 has children 1 and 2 (both B-candidates);
+    // tombstoning node 1 on the forced-incremental path must shrink 0's
+    // relevant set from {1, 2} to {2}. The seed computation runs after the
+    // batch, when (B, 1)'s valid flag is already cleared — seeding must use
+    // the ever-candidate map or (A, 0) is never swept and its cached
+    // relevance stays 2.
+    let g = graph_from_parts(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let mut cfg = IncrementalConfig::new(2);
+    cfg.max_delta_fraction = f64::INFINITY;
+    cfg.max_dirty_fraction = f64::INFINITY;
+    let mut m = DynamicMatcher::new(&g, q, cfg).unwrap();
+    assert_eq!(m.top_k().matches[0].relevance, 2);
+
+    m.apply(&GraphDelta::new().remove_node(1)).unwrap();
+    assert_eq!(m.stats().full_rebuilds, 0, "must exercise the incremental path");
+    assert_eq!(m.stats().full_rank_refreshes, 0);
+    let top = m.top_k();
+    assert_eq!(top.nodes(), vec![0]);
+    assert_eq!(top.matches[0].relevance, 1, "relevant set still counts the tombstoned node");
+    assert_agrees(&m, 2, 0.5, "after tombstoning a leaf with a surviving sibling");
+}
+
+#[test]
 fn attribute_patterns_are_rejected() {
     use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
     let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();

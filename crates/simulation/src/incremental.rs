@@ -140,6 +140,17 @@ impl IncSimState {
         }
     }
 
+    /// `true` iff `v` has **ever** been a candidate of `u` — candidate
+    /// slots are never deleted, so this includes tombstoned candidates.
+    /// The ranking layer seeds its dirtiness sweep with this test: when a
+    /// batch tombstones a node, the node's valid flags are already cleared
+    /// by the time post-batch seeds are computed, yet the source pairs of
+    /// its dropped edges still need sweeping.
+    #[inline]
+    pub fn ever_candidate(&self, u: PNodeId, v: NodeId) -> bool {
+        self.idx[u as usize].contains_key(&v)
+    }
+
     /// `|can(u)|` of the current graph.
     #[inline]
     pub fn candidate_count(&self, u: PNodeId) -> usize {
@@ -151,14 +162,7 @@ impl IncSimState {
         if !self.graph_matches(q) {
             return Vec::new();
         }
-        let mut m: Vec<NodeId> = self.cand[u as usize]
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| self.alive[u as usize][i])
-            .map(|(_, &v)| v)
-            .collect();
-        m.sort_unstable();
-        m
+        self.structural_matches_of(u)
     }
 
     /// Alive matches of the output node, ascending.
@@ -418,11 +422,9 @@ impl IncSimState {
         delta: i32,
         kill: &mut Vec<DynPair>,
     ) {
-        let preds: Vec<PNodeId> = q.predecessors(u).to_vec();
-        for t in preds {
+        for &t in q.predecessors(u) {
             let j = q.successors(t).binary_search(&u).expect("pattern edge must exist");
-            let ys: Vec<NodeId> = g.predecessors(x).collect();
-            for y in ys {
+            for y in g.predecessors(x) {
                 let Some(iy) = self.valid_index(t, y) else { continue };
                 if delta > 0 {
                     self.inc_counter(t, iy, j);
@@ -443,9 +445,9 @@ impl IncSimState {
     /// Debug validation: every **valid** pair's counters equal its true
     /// alive-child count and `alive ⇔ zeros == 0`; invalid (tombstoned)
     /// pairs are dead and their counters frozen — the update hooks never
-    /// read or write them again, so later edges incident to a tombstoned
-    /// node (which contribute nothing to matching either way) leave them
-    /// stale by design. `O(|pairs| · deg)`.
+    /// read or write them again, and the graph layer drops edge insertions
+    /// onto tombstoned nodes as no-ops, so no future op can reference
+    /// them. `O(|pairs| · deg)`.
     pub fn check_invariants(&self, g: &DynGraph, q: &Pattern) -> bool {
         for u in q.nodes() {
             let ui = u as usize;
