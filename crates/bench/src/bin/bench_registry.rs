@@ -1,0 +1,95 @@
+//! Multi-pattern serving benchmark CLI: one shared `PatternRegistry` vs N
+//! independent `DynamicMatcher`s, sweeping the number of registered
+//! patterns.
+//!
+//! ```text
+//! bench_registry [--nodes N] [--k K] [--seed S] [--batch B] [--batches C]
+//!                [--threads T] [--max-patterns P] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_registry.json` (repo root by default) and prints the
+//! table. The sweep doubles N up to `--max-patterns` (default 16).
+
+use gpm_bench::registry_bench;
+
+fn main() {
+    let mut nodes = 8_000usize;
+    let mut k = 10usize;
+    let mut seed = 20130826u64;
+    let mut batch = 50usize;
+    let mut batches = 20usize;
+    let mut threads = gpm_incremental::PatternRegistry::default_threads();
+    let mut max_patterns = 16usize;
+    let mut out = String::from("BENCH_registry.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |what: &str, v: Option<&String>| -> String {
+            v.cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        let parse_num = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got {v:?}");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--nodes" => nodes = parse_num("--nodes", need("--nodes", args.get(i + 1))) as usize,
+            "--k" => k = parse_num("--k", need("--k", args.get(i + 1))) as usize,
+            "--seed" => seed = parse_num("--seed", need("--seed", args.get(i + 1))),
+            "--batch" => batch = parse_num("--batch", need("--batch", args.get(i + 1))) as usize,
+            "--batches" => {
+                batches = parse_num("--batches", need("--batches", args.get(i + 1))) as usize
+            }
+            "--threads" => {
+                threads = parse_num("--threads", need("--threads", args.get(i + 1))) as usize
+            }
+            "--max-patterns" => {
+                max_patterns =
+                    parse_num("--max-patterns", need("--max-patterns", args.get(i + 1))) as usize
+            }
+            "--out" => out = need("--out", args.get(i + 1)),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!("building workload: |V|={nodes}, pattern pool of {max_patterns}");
+    let g = registry_bench::registry_graph(nodes, seed);
+    let pool = registry_bench::registry_patterns(max_patterns, 15, seed);
+    println!("graph |V|={} |E|={}", g.node_count(), g.edge_count());
+
+    let mut counts: Vec<usize> = Vec::new();
+    let mut n = 1usize;
+    while n < max_patterns {
+        counts.push(n);
+        n *= 2;
+    }
+    counts.push(max_patterns);
+
+    let result = registry_bench::run(&g, &pool, k, &counts, batches, batch, threads);
+    println!("{}", registry_bench::as_table(&result).render());
+
+    let json = serde_json::to_string_pretty(&result).expect("serializable");
+    std::fs::write(&out, json).expect("write BENCH_registry.json");
+    println!("wrote {out}");
+
+    // The acceptance bar: shared ingestion wins once enough patterns are
+    // registered (N ≥ 8).
+    for p in &result.points {
+        if p.patterns >= 8 && p.speedup() < 1.0 {
+            eprintln!(
+                "WARNING: N = {} registry not faster than N independent matchers ({:.2}x)",
+                p.patterns,
+                p.speedup()
+            );
+        }
+    }
+}

@@ -115,6 +115,26 @@ impl DynGraph {
         self.by_label.get(&label).into_iter().flat_map(|s| s.iter().copied())
     }
 
+    /// Number of live nodes carrying `label` — the candidate count a
+    /// label-only predicate enumerates. O(log labels), no scan; this is
+    /// the shared index the multi-pattern registry sizes its candidate
+    /// universe from.
+    pub fn label_count(&self, label: Label) -> usize {
+        self.by_label.get(&label).map_or(0, |s| s.len())
+    }
+
+    /// `(label, live node count)` for every label currently present,
+    /// ascending by label. Tombstoned nodes are excluded; labels whose
+    /// last node was removed report as absent.
+    pub fn live_labels(&self) -> impl Iterator<Item = (Label, usize)> + '_ {
+        self.by_label.iter().filter(|(_, s)| !s.is_empty()).map(|(&l, s)| (l, s.len()))
+    }
+
+    /// Number of live (non-tombstoned) nodes.
+    pub fn live_node_count(&self) -> usize {
+        self.by_label.values().map(|s| s.len()).sum()
+    }
+
     /// Applies one batch in place, returning the normalized effective
     /// updates. On error the graph is left **unchanged** (the batch is
     /// validated before any mutation).
@@ -319,10 +339,20 @@ mod tests {
         let g = sample();
         let mut dg = DynGraph::from_digraph(&g);
         assert_eq!(dg.nodes_with_label(0).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(dg.label_count(0), 2);
+        assert_eq!(dg.live_node_count(), 4);
         dg.apply(&GraphDelta::new().add_node(0).remove_node(0)).unwrap();
         assert_eq!(dg.nodes_with_label(0).collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(dg.label_count(0), 2);
+        assert_eq!(dg.live_node_count(), 4, "one added, one tombstoned");
         assert!(dg.is_removed(0));
         assert_eq!(dg.nodes_with_label(TOMBSTONE_LABEL).count(), 0, "tombstones unindexed");
+        assert_eq!(dg.label_count(TOMBSTONE_LABEL), 0);
+        assert_eq!(
+            dg.live_labels().collect::<Vec<_>>(),
+            vec![(0, 2), (1, 1), (2, 1)],
+            "histogram over live nodes only"
+        );
     }
 
     #[test]

@@ -41,6 +41,37 @@
 //! assert_eq!(top.nodes(), vec![0, 1]);
 //! ```
 
+//! ## Multi-query serving
+//!
+//! One graph usually serves many query shapes at once. [`PatternRegistry`]
+//! maintains N registered patterns over a **single** shared [`gpm_graph::DynGraph`]:
+//! each delta batch mutates the graph once, a shared label index prunes the
+//! per-pattern fan-out, and the independent per-pattern ranking refreshes
+//! run on a small thread pool with a deterministic merge. Answers are
+//! bit-identical to N independent [`DynamicMatcher`]s (differentially
+//! property-tested in `tests/registry_differential.rs`).
+//!
+//! ```
+//! use gpm_graph::{builder::graph_from_parts, GraphDelta};
+//! use gpm_incremental::{IncrementalConfig, PatternRegistry};
+//! use gpm_pattern::builder::label_pattern;
+//!
+//! let g = graph_from_parts(&[0, 0, 1, 1], &[(0, 2), (1, 2), (1, 3)]).unwrap();
+//! let mut reg = PatternRegistry::new(&g);
+//! let authors = reg.register(label_pattern(&[0, 1], &[(0, 1)], 0).unwrap(),
+//!                            IncrementalConfig::new(2)).unwrap();
+//! let papers = reg.register(label_pattern(&[1], &[], 0).unwrap(),
+//!                           IncrementalConfig::new(3)).unwrap();
+//!
+//! // One batch, both answers refreshed.
+//! reg.apply(&GraphDelta::new().add_node(1).add_edge(0, 4)).unwrap();
+//! assert_eq!(reg.top_k(authors).unwrap().nodes(), vec![0, 1]);
+//! assert_eq!(reg.top_k(papers).unwrap().nodes(), vec![2, 3, 4]);
+//! ```
+
 mod matcher;
+mod registry;
+mod state;
 
 pub use matcher::{ApplyStats, DynamicMatcher, IncrementalConfig, IncrementalError};
+pub use registry::{PatternId, PatternRegistry, RegistryStats};

@@ -1,19 +1,16 @@
 //! [`DynamicMatcher`]: materialized top-k matching under graph deltas.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
-use gpm_core::result::{rank_top_k, DivResult, RankedMatch, RunStats, TopKResult};
-use gpm_core::topk_div::greedy_diversified;
+use gpm_core::result::{DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
-use gpm_graph::{DiGraph, EffectiveOp, GraphDelta, GraphError, NodeId};
-use gpm_pattern::{PNodeId, Pattern};
-use gpm_ranking::objective::Objective;
-use gpm_ranking::RelevanceCache;
-use gpm_simulation::incremental::DynPair;
-use gpm_simulation::IncSimState;
+use gpm_graph::{DiGraph, GraphDelta, GraphError};
+use gpm_pattern::Pattern;
 
-/// Configuration of a [`DynamicMatcher`].
+use crate::state::{worst_churn, PatternState};
+
+/// Configuration of a [`DynamicMatcher`] (and of each pattern registered
+/// in a [`PatternRegistry`](crate::PatternRegistry)).
 #[derive(Debug, Clone)]
 pub struct IncrementalConfig {
     /// Number of matches to return.
@@ -74,7 +71,7 @@ impl From<GraphError> for IncrementalError {
     }
 }
 
-/// Counters describing how the matcher has been maintaining its state —
+/// Counters describing how one pattern's state has been maintained —
 /// the observability the delta-scaling bench and ops dashboards read.
 #[derive(Debug, Clone, Default)]
 pub struct ApplyStats {
@@ -97,31 +94,21 @@ pub struct ApplyStats {
 
 /// A matcher that owns a graph + pattern and keeps the top-k answer fresh
 /// across [`GraphDelta`] batches. See the crate docs for the architecture.
+///
+/// Internally this is one [`PatternState`] married to its own [`DynGraph`];
+/// to serve many patterns over a single shared graph, use a
+/// [`PatternRegistry`](crate::PatternRegistry) instead.
 pub struct DynamicMatcher {
     graph: DynGraph,
-    pattern: Pattern,
-    cfg: IncrementalConfig,
-    sim: IncSimState,
-    cache: RelevanceCache,
-    stats: ApplyStats,
+    state: PatternState,
 }
 
 impl DynamicMatcher {
     /// Materializes the state for `q` over `g`.
     pub fn new(g: &DiGraph, q: Pattern, cfg: IncrementalConfig) -> Result<Self, IncrementalError> {
         let graph = DynGraph::from_digraph(g);
-        let sim = IncSimState::new(&graph, &q).ok_or(IncrementalError::UnsupportedPattern)?;
-        let mut matcher = DynamicMatcher {
-            cache: RelevanceCache::new(graph.node_count()),
-            graph,
-            pattern: q,
-            cfg,
-            sim,
-            stats: ApplyStats::default(),
-        };
-        matcher.rebuild_cache();
-        matcher.sim.take_dirty();
-        Ok(matcher)
+        let state = PatternState::new(&graph, q, cfg)?;
+        Ok(DynamicMatcher { graph, state })
     }
 
     /// The maintained graph.
@@ -131,12 +118,12 @@ impl DynamicMatcher {
 
     /// The pattern being served.
     pub fn pattern(&self) -> &Pattern {
-        &self.pattern
+        self.state.pattern()
     }
 
     /// Maintenance counters.
     pub fn stats(&self) -> &ApplyStats {
-        &self.stats
+        self.state.stats()
     }
 
     /// Immutable snapshot of the maintained graph (fallbacks, baselines,
@@ -151,261 +138,47 @@ impl DynamicMatcher {
     pub fn apply(&mut self, delta: &GraphDelta) -> Result<TopKResult, IncrementalError> {
         let t0 = Instant::now();
 
-        // Estimated churn of this batch, judged before touching anything:
-        // every op changes at most one edge, except RemoveNode which drops
-        // the node's whole incidence list. A heuristic, not a bound:
-        // self-loops and edges an earlier op already removed are counted
-        // twice, while edges added and then dropped by a later RemoveNode
-        // of the same batch are undercounted (RemoveNode sees pre-batch
-        // degrees). A borderline batch can land on either side of the
-        // threshold — that costs time, never correctness.
-        let worst_churn: usize = delta
-            .ops
-            .iter()
-            .map(|op| match *op {
-                gpm_graph::DeltaOp::RemoveNode(v) if (v as usize) < self.graph.node_count() => {
-                    (self.graph.successors(v).count() + self.graph.predecessors(v).count()).max(1)
-                }
-                _ => 1,
-            })
-            .sum();
-        let big = worst_churn as f64
-            > self.cfg.max_delta_fraction * (self.graph.edge_count().max(1) as f64);
-
-        if big {
+        let churn = worst_churn(&self.graph, delta);
+        if self.state.needs_rebuild(churn, self.graph.edge_count()) {
             // Whole-state rebuild: apply the batch graph-only, then refine
             // from scratch and refill the cache.
             self.graph.apply(delta)?;
-            self.stats.applies += 1; // rejected batches are not applies
-            self.sim = IncSimState::new(&self.graph, &self.pattern)
-                .expect("pattern validated at construction");
-            self.rebuild_cache();
-            self.sim.take_dirty();
-            self.stats.full_rebuilds += 1;
-            return Ok(self.top_k_timed(t0));
+            self.state.note_apply(); // rejected batches are not applies
+            self.state.rebuild(&self.graph);
+            return Ok(self.state.top_k_timed(t0));
         }
 
         // Incremental path: replay each effective mutation through the
         // simulation state in lockstep with the graph.
-        let sim = &mut self.sim;
-        let q = &self.pattern;
-        let applied = self.graph.apply_with(delta, |g, eff| match eff {
-            EffectiveOp::NodeAdded(v, _) => sim.on_node_added(g, q, v),
-            EffectiveOp::EdgeAdded(s, t) => sim.on_edge_inserted(g, q, s, t),
-            EffectiveOp::EdgeRemoved(s, t) => sim.on_edge_removed(g, q, s, t),
-            EffectiveOp::NodeRemoved(v) => sim.on_node_removed(q, v),
-        })?;
-        self.stats.applies += 1; // rejected batches are not applies
-
-        // Seeds of the dirtiness sweep: every alive-flip, plus the source
-        // pairs of every changed data edge (an edge between two alive pairs
-        // changes match-graph reachability without flipping anybody).
-        // Target candidacy is tested with the ever-candidate map, not the
-        // valid flag: for edges dropped by a node tombstone the target's
-        // valid flag is already cleared by the time this runs, but the
-        // surviving source pairs still lost a relevant descendant. Sources
-        // tombstoned in the same batch need no seed of their own — their
-        // incoming edges were removed too, seeding every live ancestor.
-        let mut seeds: Vec<DynPair> = self.sim.take_dirty();
-        for &(v, w) in applied.added_edges.iter().chain(&applied.removed_edges) {
-            for u in self.pattern.nodes() {
-                if !self.sim.is_candidate(u, v) {
-                    continue;
-                }
-                let touches =
-                    self.pattern.successors(u).iter().any(|&uc| self.sim.ever_candidate(uc, w));
-                if touches {
-                    seeds.push((u, v));
-                }
-            }
-        }
-        self.cache.ensure_width(self.graph.node_count());
-
-        if seeds.is_empty() {
-            self.stats.incremental_applies += 1;
-            self.stats.last_swept_pairs = 0;
-            self.stats.last_dirty_outputs = 0;
-            return Ok(self.top_k_timed(t0));
-        }
-
-        // Backward sweep: every valid candidate pair that can reach a seed
-        // in the candidate-pair graph (alive-agnostic — old paths may run
-        // through freshly dead pairs) might have gained or lost relevant
-        // descendants.
-        let uo = self.pattern.output();
-        let total_pairs: usize = self.pattern.nodes().map(|u| self.sim.candidate_count(u)).sum();
-        let sweep_cap = (self.cfg.max_dirty_fraction * total_pairs.max(1) as f64).ceil() as usize;
-        let mut visited: HashSet<DynPair> = seeds.iter().copied().collect();
-        let mut queue: Vec<DynPair> = visited.iter().copied().collect();
-        let mut overflow = false;
-        let mut cursor = 0;
-        while cursor < queue.len() {
-            if visited.len() > sweep_cap {
-                overflow = true;
-                break;
-            }
-            let (u, x) = queue[cursor];
-            cursor += 1;
-            for &t in self.pattern.predecessors(u) {
-                for y in self.graph.predecessors(x) {
-                    if self.sim.is_candidate(t, y) && visited.insert((t, y)) {
-                        queue.push((t, y));
-                    }
-                }
-            }
-        }
-        self.stats.last_swept_pairs = visited.len();
-
-        if overflow {
-            // The affected region is most of the graph: rebuild the whole
-            // cache (simulation stays incremental — it already converged).
-            self.rebuild_cache();
-            self.stats.full_rank_refreshes += 1;
-            return Ok(self.top_k_timed(t0));
-        }
-
-        // Partial refresh: re-derive only the affected output matches.
-        let dirty_outputs: Vec<NodeId> =
-            visited.iter().filter(|&&(u, _)| u == uo).map(|&(_, v)| v).collect();
-        self.stats.last_dirty_outputs = dirty_outputs.len();
-        for v in dirty_outputs {
-            if self.sim.pair_alive(uo, v) {
-                let set = self.relevant_set_bfs(v);
-                self.cache.upsert(v, set);
-                self.stats.sets_recomputed += 1;
-            } else {
-                self.cache.remove(v);
-            }
-        }
-        self.stats.incremental_applies += 1;
-        Ok(self.top_k_timed(t0))
+        let state = &mut self.state;
+        let applied = self.graph.apply_with(delta, |g, eff| state.replay(g, eff))?;
+        state.note_apply(); // rejected batches are not applies
+        state.refresh_ranking(&self.graph, &applied);
+        Ok(state.top_k_timed(t0))
     }
 
     /// The current top-k by relevance — identical to running
     /// `top_k_by_match`/`top_k_cyclic` on [`Self::snapshot`].
     pub fn top_k(&self) -> TopKResult {
-        self.top_k_timed(Instant::now())
+        self.state.top_k()
     }
 
     /// The current diversified top-k (`λ` from the config) — identical to
     /// running `top_k_diversified` on [`Self::snapshot`].
     pub fn top_k_diversified(&self) -> DivResult {
-        self.diversified(self.cfg.lambda)
+        self.state.diversified(self.state.cfg().lambda)
     }
 
     /// As [`Self::top_k_diversified`] with an explicit `λ`.
     pub fn diversified(&self, lambda: f64) -> DivResult {
-        let t0 = Instant::now();
-        let q = &self.pattern;
-        if !self.sim.graph_matches(q) {
-            // Mirror the static pipeline's stats: Mu(Q,G,uo) = ∅, known.
-            return DivResult {
-                matches: Vec::new(),
-                f_value: 0.0,
-                stats: RunStats {
-                    output_candidates: self.sim.candidate_count(q.output()),
-                    total_matches: Some(0),
-                    elapsed: t0.elapsed(),
-                    ..Default::default()
-                },
-            };
-        }
-        // Same objective as the static pipeline: Cuo sums |can(u')| over
-        // query nodes reachable from the output.
-        let c_uo: u64 = q
-            .reachable_from_output()
-            .iter()
-            .map(|u| self.sim.candidate_count(u as PNodeId) as u64)
-            .sum();
-        let objective = Objective::new(lambda, self.cfg.k, c_uo);
-        let (matches, rel): (Vec<NodeId>, Vec<f64>) =
-            self.cache.relevances().map(|(v, r)| (v, r as f64)).unzip();
-        let d = |i: usize, j: usize| self.cache.distance(matches[i], matches[j]).expect("cached");
-        let (selected, f_value) = greedy_diversified(&objective, &rel, &d);
-        let picked: Vec<RankedMatch> = selected
-            .iter()
-            .map(|&i| RankedMatch { node: matches[i], relevance: rel[i] as u64 })
-            .collect();
-        DivResult {
-            matches: picked,
-            f_value,
-            stats: RunStats {
-                output_candidates: self.sim.candidate_count(q.output()),
-                inspected_matches: matches.len(),
-                total_matches: Some(matches.len()),
-                elapsed: t0.elapsed(),
-                ..Default::default()
-            },
-        }
+        self.state.diversified(lambda)
     }
 
-    // ---------------------------------------------------------- internals
-
-    fn top_k_timed(&self, t0: Instant) -> TopKResult {
-        let q = &self.pattern;
-        // Under the paper's emptiness rule Mu(Q,G,uo) = ∅ even though the
-        // cache stays structurally maintained — report stats the way the
-        // static pipeline would (total known to be 0).
-        let (matches, total) = if self.sim.graph_matches(q) {
-            (rank_top_k(self.cache.relevances(), self.cfg.k), self.cache.len())
-        } else {
-            (Vec::new(), 0)
-        };
-        TopKResult {
-            matches,
-            stats: RunStats {
-                output_candidates: self.sim.candidate_count(q.output()),
-                inspected_matches: total,
-                total_matches: Some(total),
-                waves: 1,
-                early_terminated: false,
-                elapsed: t0.elapsed(),
-                ..Default::default()
-            },
-        }
-    }
-
-    /// Relevant set of output match `v` by forward BFS over the alive
-    /// match graph (adjacency derived on the fly from the dynamic graph
-    /// and the simulation state). Strict reachability: seeded from the
-    /// pair's successors, so `v` itself only enters through a cycle.
-    fn relevant_set_bfs(&self, v: NodeId) -> Vec<usize> {
-        let q = &self.pattern;
-        let uo = q.output();
-        let mut visited: HashSet<DynPair> = HashSet::new();
-        let mut queue: Vec<DynPair> = Vec::new();
-        let push_children =
-            |from: DynPair, visited: &mut HashSet<DynPair>, queue: &mut Vec<DynPair>| {
-                let (u, x) = from;
-                for &uc in q.successors(u) {
-                    for w in self.graph.successors(x) {
-                        if self.sim.pair_alive(uc, w) && visited.insert((uc, w)) {
-                            queue.push((uc, w));
-                        }
-                    }
-                }
-            };
-        push_children((uo, v), &mut visited, &mut queue);
-        let mut cursor = 0;
-        while cursor < queue.len() {
-            let p = queue[cursor];
-            cursor += 1;
-            push_children(p, &mut visited, &mut queue);
-        }
-        let nodes: HashSet<usize> = visited.iter().map(|&(_, x)| x as usize).collect();
-        let mut out: Vec<usize> = nodes.into_iter().collect();
-        out.sort_unstable();
-        out
-    }
-
-    /// Recomputes every output match's relevant set.
-    fn rebuild_cache(&mut self) {
-        self.cache = RelevanceCache::new(self.graph.node_count());
-        let q = &self.pattern;
-        for v in self.sim.structural_matches_of(q.output()) {
-            let set = self.relevant_set_bfs(v);
-            self.cache.upsert(v, set);
-            self.stats.sets_recomputed += 1;
-        }
+    /// The normalizer `Cuo` currently feeding the diversified objective —
+    /// maintained incrementally, but by the same
+    /// [`gpm_ranking::objective::c_uo_with`] definition the static
+    /// pipeline evaluates, so the two can be drift-checked.
+    pub fn normalizer(&self) -> u64 {
+        self.state.normalizer()
     }
 }

@@ -1,0 +1,356 @@
+//! [`PatternRegistry`]: many patterns maintained over **one** dynamic graph.
+//!
+//! A serving system rarely answers a single query shape: N registered
+//! patterns watch the same evolving graph. Running N independent
+//! [`DynamicMatcher`](crate::DynamicMatcher)s works, but wastes the work
+//! they would share — each one mirrors the whole graph, applies every
+//! delta to its private copy, and replays every mutation through its own
+//! simulation even when the mutation provably cannot touch its pattern.
+//!
+//! The registry amortizes all three:
+//!
+//! * **one graph**: a single [`DynGraph`] is mutated per batch; per-pattern
+//!   state follows it by reference (the
+//!   [`PatternState`](crate::state::PatternState) layer is graph-agnostic);
+//! * **one shared candidate index**: the graph's label index plus each
+//!   pattern's label-interest sets let the fan-out skip replaying
+//!   mutations whose labels the pattern never names — the *shared-index
+//!   hit rate* in [`RegistryStats`] reports how much that saves;
+//! * **parallel ranking maintenance**: after the (inherently sequential)
+//!   lockstep replay, per-pattern dirtiness sweeps and relevant-set
+//!   refreshes are independent, so they are dispatched across a small
+//!   thread pool and merged back in registration order — answers are
+//!   deterministic regardless of interleaving because no worker touches
+//!   another pattern's state.
+//!
+//! Answers are **bit-identical** to N independent matchers and to the
+//! static pipeline on a snapshot (property-tested by
+//! `tests/registry_differential.rs`).
+
+use gpm_core::result::{DivResult, TopKResult};
+use gpm_graph::dynamic::DynGraph;
+use gpm_graph::{DiGraph, GraphDelta, Label};
+use gpm_pattern::Pattern;
+use parking_lot::Mutex;
+
+use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
+use crate::state::{removed_label_map, worst_churn, PatternState};
+
+/// Stable handle of a registered pattern. Ids are never reused, so a
+/// handle kept across a deregistration simply stops resolving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternId(u64);
+
+impl std::fmt::Display for PatternId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern#{}", self.0)
+    }
+}
+
+/// Registry-level maintenance counters: the multi-pattern extension of the
+/// per-pattern [`ApplyStats`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistryStats {
+    /// Batches applied to the shared graph.
+    pub batches: u64,
+    /// Patterns ever registered.
+    pub registrations: u64,
+    /// Patterns deregistered.
+    pub deregistrations: u64,
+    /// Effective mutations replayed into some pattern's simulation.
+    pub ops_replayed: u64,
+    /// Effective mutations skipped for some pattern because the shared
+    /// label index proved them irrelevant to it.
+    pub ops_skipped: u64,
+    /// Patterns whose state the last batch actually touched (replayed at
+    /// least one mutation into, or rebuilt).
+    pub last_patterns_touched: usize,
+    /// Patterns the last batch rebuilt wholesale (per-pattern churn
+    /// threshold exceeded).
+    pub last_rebuilds: usize,
+}
+
+impl RegistryStats {
+    /// Fraction of (mutation × pattern) fan-out edges the shared index
+    /// pruned; 0.0 before any batch. High values mean the registry is
+    /// doing the per-pattern work N independent matchers would all repeat.
+    pub fn shared_index_hit_rate(&self) -> f64 {
+        let total = self.ops_replayed + self.ops_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.ops_skipped as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    id: PatternId,
+    /// Interior mutability so phase-2 workers can refresh disjoint slots
+    /// through a shared borrow of the slot list.
+    state: Mutex<PatternState>,
+}
+
+/// Many patterns served over one dynamic graph. See the module docs.
+pub struct PatternRegistry {
+    graph: DynGraph,
+    slots: Vec<Slot>,
+    next_id: u64,
+    threads: usize,
+    stats: RegistryStats,
+}
+
+impl PatternRegistry {
+    /// An empty registry over (a dynamic mirror of) `g`, with the thread
+    /// pool sized by [`Self::default_threads`].
+    pub fn new(g: &DiGraph) -> Self {
+        Self::with_threads(g, Self::default_threads())
+    }
+
+    /// The maintenance-pool size [`Self::new`] picks: the machine's
+    /// parallelism capped at 4 — ranking refreshes are short; more workers
+    /// than that just contend on spawn overhead. Benchmarks and CLIs
+    /// should default to this so recorded thread counts match the library.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(4)
+    }
+
+    /// An empty registry with an explicit maintenance-pool size
+    /// (`threads = 1` forces fully sequential fan-out).
+    pub fn with_threads(g: &DiGraph, threads: usize) -> Self {
+        PatternRegistry {
+            graph: DynGraph::from_digraph(g),
+            slots: Vec::new(),
+            next_id: 0,
+            threads: threads.max(1),
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Immutable snapshot of the shared graph (baselines, equivalence
+    /// tests, late registrations elsewhere).
+    pub fn snapshot(&self) -> DiGraph {
+        self.graph.snapshot()
+    }
+
+    /// Registry-level counters.
+    pub fn stats(&self) -> &RegistryStats {
+        &self.stats
+    }
+
+    /// Number of registered patterns.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no pattern is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Registered ids in registration order.
+    pub fn pattern_ids(&self) -> Vec<PatternId> {
+        self.slots.iter().map(|s| s.id).collect()
+    }
+
+    /// Registers `q`, materializing its state from the **current** graph —
+    /// a pattern registered mid-stream answers exactly as if it had been
+    /// built from [`Self::snapshot`]. Duplicate registrations are allowed
+    /// and independent (two subscribers may serve the same shape with
+    /// different configs).
+    pub fn register(
+        &mut self,
+        q: Pattern,
+        cfg: IncrementalConfig,
+    ) -> Result<PatternId, IncrementalError> {
+        let state = PatternState::new(&self.graph, q, cfg)?;
+        let id = PatternId(self.next_id);
+        self.next_id += 1;
+        self.slots.push(Slot { id, state: Mutex::new(state) });
+        self.stats.registrations += 1;
+        Ok(id)
+    }
+
+    /// Drops a pattern and all its maintained state (pending dirtiness
+    /// included — per-pattern state is self-contained, so this is safe at
+    /// any point between batches). Returns `false` for unknown ids.
+    pub fn deregister(&mut self, id: PatternId) -> bool {
+        match self.slots.iter().position(|s| s.id == id) {
+            Some(i) => {
+                self.slots.remove(i);
+                self.stats.deregistrations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies one update batch to the shared graph and fans it out to
+    /// every registered pattern, returning the fresh answers of the
+    /// patterns the batch **touched** (replayed into or rebuilt), in
+    /// registration order. An untouched pattern's answer provably did not
+    /// change — the shared index only skips mutations that are no-ops for
+    /// it — so omitting it both tells subscribers whose answers moved and
+    /// avoids re-ranking N cached match sets per batch. [`Self::answers`]
+    /// (or [`Self::top_k`]) reads any answer on demand.
+    ///
+    /// On error (invalid delta) the graph and every pattern's state are
+    /// unchanged. An empty registry still advances the graph.
+    pub fn apply(
+        &mut self,
+        delta: &GraphDelta,
+    ) -> Result<Vec<(PatternId, TopKResult)>, IncrementalError> {
+        let churn = worst_churn(&self.graph, delta);
+        let edges = self.graph.edge_count();
+        let removed_labels = removed_label_map(&self.graph, delta);
+        let n = self.slots.len();
+
+        // Phase 1 (sequential): mutate the shared graph ONCE, replaying
+        // each effective mutation through the interested patterns in
+        // lockstep — the hook observes exactly the intermediate graph
+        // states a private DynamicMatcher replay would. Patterns whose
+        // churn threshold the batch exceeds skip the replay entirely and
+        // rebuild from the final graph in phase 2.
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        let mut touched = vec![false; n];
+        let (applied, rebuild) = {
+            let mut guards: Vec<_> = self.slots.iter().map(|s| s.state.lock()).collect();
+            let rebuild: Vec<bool> = guards.iter().map(|g| g.needs_rebuild(churn, edges)).collect();
+            let applied = self.graph.apply_with(delta, |g, eff| {
+                for (i, st) in guards.iter_mut().enumerate() {
+                    if rebuild[i] {
+                        continue;
+                    }
+                    if st.wants(g, eff, &removed_labels) {
+                        st.replay(g, eff);
+                        touched[i] = true;
+                        replayed += 1;
+                    } else {
+                        skipped += 1;
+                    }
+                }
+            })?;
+            (applied, rebuild)
+        };
+
+        // Phase 2 (parallel): per-pattern ranking maintenance is
+        // independent given the final graph. Workers claim whole slots
+        // from a shared cursor; since no slot is shared, the per-pattern
+        // result is identical under any interleaving, and answers are
+        // merged in registration order below. Patterns the index proved
+        // the whole batch irrelevant to skip the seed scan entirely; for
+        // the rest, the fresh answer is ranked under the same lock the
+        // refresh already holds, so the return-value work parallelizes
+        // with the maintenance.
+        let graph = &self.graph;
+        let slots = &self.slots;
+        let touched_ref = &touched;
+        let fresh: Vec<Mutex<Option<TopKResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let refresh = |i: usize| {
+            let mut st = slots[i].state.lock();
+            st.note_apply();
+            if rebuild[i] {
+                st.rebuild(graph);
+            } else if touched_ref[i] {
+                st.refresh_ranking(graph, &applied);
+            } else {
+                st.refresh_untouched(graph);
+                return;
+            }
+            *fresh[i].lock() = Some(st.top_k());
+        };
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            (0..n).for_each(refresh);
+        } else {
+            let cursor = Mutex::new(0usize);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = {
+                            let mut c = cursor.lock();
+                            let i = *c;
+                            *c += 1;
+                            i
+                        };
+                        if i >= n {
+                            break;
+                        }
+                        refresh(i);
+                    });
+                }
+            });
+        }
+
+        self.stats.batches += 1;
+        self.stats.ops_replayed += replayed;
+        self.stats.ops_skipped += skipped;
+        self.stats.last_rebuilds = rebuild.iter().filter(|&&r| r).count();
+        self.stats.last_patterns_touched =
+            touched.iter().zip(&rebuild).filter(|&(&t, &r)| t || r).count();
+
+        Ok(fresh
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.into_inner().map(|top| (self.slots[i].id, top)))
+            .collect())
+    }
+
+    /// Current top-k of every registered pattern, in registration order.
+    pub fn answers(&self) -> Vec<(PatternId, TopKResult)> {
+        self.slots.iter().map(|s| (s.id, s.state.lock().top_k())).collect()
+    }
+
+    /// Current top-k of one pattern (`None` for unknown ids).
+    pub fn top_k(&self, id: PatternId) -> Option<TopKResult> {
+        self.with_slot(id, |st| st.top_k())
+    }
+
+    /// Current diversified top-k of one pattern with its configured `λ`.
+    pub fn top_k_diversified(&self, id: PatternId) -> Option<DivResult> {
+        self.with_slot(id, |st| st.diversified(st.cfg().lambda))
+    }
+
+    /// As [`Self::top_k_diversified`] with an explicit `λ`.
+    pub fn diversified(&self, id: PatternId, lambda: f64) -> Option<DivResult> {
+        self.with_slot(id, |st| st.diversified(lambda))
+    }
+
+    /// The registered pattern behind `id`.
+    pub fn pattern(&self, id: PatternId) -> Option<Pattern> {
+        self.with_slot(id, |st| st.pattern().clone())
+    }
+
+    /// Per-pattern maintenance counters.
+    pub fn stats_of(&self, id: PatternId) -> Option<ApplyStats> {
+        self.with_slot(id, |st| st.stats().clone())
+    }
+
+    /// The diversification normalizer `Cuo` one pattern currently serves
+    /// with (drift checks against the static pipeline).
+    pub fn normalizer(&self, id: PatternId) -> Option<u64> {
+        self.with_slot(id, |st| st.normalizer())
+    }
+
+    /// Estimated candidate count of a label under the shared index —
+    /// what one pattern node with that label would enumerate today.
+    pub fn candidates_for_label(&self, label: Label) -> usize {
+        self.graph.label_count(label)
+    }
+
+    /// Live-label histogram of the shared graph (observability; sizes the
+    /// shared candidate index).
+    pub fn label_histogram(&self) -> Vec<(Label, usize)> {
+        self.graph.live_labels().collect()
+    }
+
+    fn with_slot<T>(&self, id: PatternId, f: impl FnOnce(&PatternState) -> T) -> Option<T> {
+        self.slots.iter().find(|s| s.id == id).map(|s| f(&s.state.lock()))
+    }
+}

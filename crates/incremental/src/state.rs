@@ -1,0 +1,431 @@
+//! [`PatternState`]: the per-pattern maintenance state shared by
+//! [`DynamicMatcher`](crate::DynamicMatcher) (one pattern, own graph) and
+//! [`PatternRegistry`](crate::PatternRegistry) (many patterns, one graph).
+//!
+//! Everything here is **graph-agnostic**: methods take the [`DynGraph`]
+//! they maintain against as a parameter, so N states can follow one shared
+//! graph. A state bundles the incremental simulation ([`IncSimState`]),
+//! the relevant-set cache ([`RelevanceCache`]) and the per-pattern
+//! [`ApplyStats`], plus the **label interest sets** the registry's shared
+//! candidate index consults to skip replaying mutations that provably
+//! cannot touch this pattern (a pure-label pattern only reacts to nodes
+//! whose label it names and to edges whose endpoint-label pair matches one
+//! of its own edges).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
+
+use gpm_core::result::{rank_top_k, DivResult, RankedMatch, RunStats, TopKResult};
+use gpm_core::topk_div::greedy_diversified;
+use gpm_graph::dynamic::DynGraph;
+use gpm_graph::{AppliedDelta, DeltaOp, EffectiveOp, GraphDelta, Label, NodeId, TOMBSTONE_LABEL};
+use gpm_pattern::Pattern;
+use gpm_ranking::objective::{c_uo_with, Objective};
+use gpm_ranking::RelevanceCache;
+use gpm_simulation::incremental::DynPair;
+use gpm_simulation::IncSimState;
+
+use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
+
+/// Estimated effective edge churn of `delta` against the current `g`,
+/// judged before touching anything: every op changes at most one edge,
+/// except `RemoveNode` which drops the node's whole incidence list. A
+/// heuristic, not a bound: self-loops and edges an earlier op already
+/// removed are counted twice, while edges added and then dropped by a
+/// later `RemoveNode` of the same batch are undercounted (`RemoveNode`
+/// sees pre-batch degrees). A borderline batch can land on either side of
+/// the rebuild threshold — that costs time, never correctness.
+pub(crate) fn worst_churn(g: &DynGraph, delta: &GraphDelta) -> usize {
+    delta
+        .ops
+        .iter()
+        .map(|op| match *op {
+            DeltaOp::RemoveNode(v) if (v as usize) < g.node_count() => {
+                (g.successors(v).count() + g.predecessors(v).count()).max(1)
+            }
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Pre-batch labels of the nodes `delta` removes, keyed by node id. By the
+/// time the `NodeRemoved` effective op reaches a hook the slot is already
+/// tombstoned, so interest filtering needs the label captured up front —
+/// including for nodes the same batch adds (their ids are simulated).
+pub(crate) fn removed_label_map(g: &DynGraph, delta: &GraphDelta) -> HashMap<NodeId, Label> {
+    let mut next = g.node_count() as NodeId;
+    let mut added: HashMap<NodeId, Label> = HashMap::new();
+    let mut out = HashMap::new();
+    for op in &delta.ops {
+        match *op {
+            DeltaOp::AddNode(label) => {
+                added.insert(next, label);
+                next += 1;
+            }
+            DeltaOp::RemoveNode(v) => {
+                let label = added.get(&v).copied().unwrap_or_else(|| {
+                    if (v as usize) < g.node_count() {
+                        g.label(v)
+                    } else {
+                        TOMBSTONE_LABEL // out of range: the batch will be rejected
+                    }
+                });
+                out.insert(v, label);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Materialized simulation + ranking state of one pattern, maintained
+/// against a [`DynGraph`] owned by the caller.
+#[derive(Debug, Clone)]
+pub(crate) struct PatternState {
+    pattern: Pattern,
+    cfg: IncrementalConfig,
+    sim: IncSimState,
+    cache: RelevanceCache,
+    stats: ApplyStats,
+    /// Labels the pattern's nodes carry (pure-label patterns only).
+    node_labels: BTreeSet<Label>,
+    /// `(label(u), label(u'))` for every pattern edge `(u, u')`.
+    edge_label_pairs: BTreeSet<(Label, Label)>,
+}
+
+impl PatternState {
+    /// Materializes the state for `q` over the current contents of `g`.
+    pub(crate) fn new(
+        g: &DynGraph,
+        pattern: Pattern,
+        cfg: IncrementalConfig,
+    ) -> Result<Self, IncrementalError> {
+        let sim = IncSimState::new(g, &pattern).ok_or(IncrementalError::UnsupportedPattern)?;
+        let node_labels: BTreeSet<Label> =
+            pattern.nodes().filter_map(|u| pattern.predicate(u).primary_label()).collect();
+        let edge_label_pairs: BTreeSet<(Label, Label)> = pattern
+            .edges()
+            .filter_map(|(u, uc)| {
+                Some((
+                    pattern.predicate(u).primary_label()?,
+                    pattern.predicate(uc).primary_label()?,
+                ))
+            })
+            .collect();
+        let mut state = PatternState {
+            cache: RelevanceCache::new(g.node_count()),
+            pattern,
+            cfg,
+            sim,
+            stats: ApplyStats::default(),
+            node_labels,
+            edge_label_pairs,
+        };
+        state.rebuild_cache(g);
+        state.sim.take_dirty();
+        Ok(state)
+    }
+
+    /// The pattern being served.
+    pub(crate) fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The maintenance configuration.
+    pub(crate) fn cfg(&self) -> &IncrementalConfig {
+        &self.cfg
+    }
+
+    /// Maintenance counters.
+    pub(crate) fn stats(&self) -> &ApplyStats {
+        &self.stats
+    }
+
+    /// Counts one applied batch (rejected batches are not applies).
+    pub(crate) fn note_apply(&mut self) {
+        self.stats.applies += 1;
+    }
+
+    /// `true` when a batch of `churn` effective edge changes against a
+    /// graph of `edge_count` edges should rebuild this pattern's state
+    /// wholesale instead of replaying — the single definition of the
+    /// rebuild policy, shared by `DynamicMatcher` and the registry.
+    pub(crate) fn needs_rebuild(&self, churn: usize, edge_count: usize) -> bool {
+        churn as f64 > self.cfg.max_delta_fraction * (edge_count.max(1) as f64)
+    }
+
+    /// `true` when `eff` can possibly affect this pattern's simulation —
+    /// the shared-index test the registry uses to skip replays. Skipping a
+    /// mutation this returns `false` for is a provable no-op: candidates
+    /// are label-matched, so a node whose label the pattern never names
+    /// has no pairs, and an edge whose endpoint-label pair matches no
+    /// pattern edge touches no support counter and seeds no revival.
+    pub(crate) fn wants(
+        &self,
+        g: &DynGraph,
+        eff: EffectiveOp,
+        removed_labels: &HashMap<NodeId, Label>,
+    ) -> bool {
+        match eff {
+            EffectiveOp::NodeAdded(_, label) => self.node_labels.contains(&label),
+            EffectiveOp::EdgeAdded(s, t) | EffectiveOp::EdgeRemoved(s, t) => {
+                // Labels are still intact here: RemoveNode strips incident
+                // edges (emitting these ops) before tombstoning the slot.
+                self.edge_label_pairs.contains(&(g.label(s), g.label(t)))
+            }
+            EffectiveOp::NodeRemoved(v) => match removed_labels.get(&v) {
+                Some(label) => self.node_labels.contains(label),
+                None => true, // unknown pre-batch label: dispatch conservatively
+            },
+        }
+    }
+
+    /// Replays one effective mutation through the simulation state, with
+    /// `g` in exactly the intermediate state the mutation produced.
+    pub(crate) fn replay(&mut self, g: &DynGraph, eff: EffectiveOp) {
+        let q = &self.pattern;
+        match eff {
+            EffectiveOp::NodeAdded(v, _) => self.sim.on_node_added(g, q, v),
+            EffectiveOp::EdgeAdded(s, t) => self.sim.on_edge_inserted(g, q, s, t),
+            EffectiveOp::EdgeRemoved(s, t) => self.sim.on_edge_removed(g, q, s, t),
+            EffectiveOp::NodeRemoved(v) => self.sim.on_node_removed(q, v),
+        }
+    }
+
+    /// Discards the materialized state and re-derives it from the current
+    /// contents of `g` (the past-the-churn-threshold fallback).
+    pub(crate) fn rebuild(&mut self, g: &DynGraph) {
+        self.sim = IncSimState::new(g, &self.pattern).expect("pattern validated at construction");
+        self.rebuild_cache(g);
+        self.sim.take_dirty();
+        self.stats.full_rebuilds += 1;
+    }
+
+    /// Post-batch bookkeeping for a pattern the shared index proved the
+    /// whole batch irrelevant to: no mutation was replayed, so no pair
+    /// flipped and — because a seedable changed edge needs a pattern edge
+    /// with its exact endpoint-label pair, the same test [`Self::wants`]
+    /// applies — the edge scan of [`Self::refresh_ranking`] could not
+    /// yield a seed either. Only the width guard and the per-batch
+    /// counters remain.
+    pub(crate) fn refresh_untouched(&mut self, g: &DynGraph) {
+        let seeds = self.sim.take_dirty();
+        debug_assert!(seeds.is_empty(), "untouched pattern has no flips");
+        self.cache.ensure_width(g.node_count());
+        self.stats.incremental_applies += 1;
+        self.stats.last_swept_pairs = 0;
+        self.stats.last_dirty_outputs = 0;
+    }
+
+    /// Post-batch ranking maintenance: derives the dirty seeds from the
+    /// simulation flips and the changed data edges, sweeps backward to the
+    /// affected output matches, and re-derives only those relevant sets
+    /// (or, past the dirtiness threshold, all of them). `g` must already
+    /// be in the post-batch state described by `applied`.
+    pub(crate) fn refresh_ranking(&mut self, g: &DynGraph, applied: &AppliedDelta) {
+        // Seeds of the dirtiness sweep: every alive-flip, plus the source
+        // pairs of every changed data edge (an edge between two alive pairs
+        // changes match-graph reachability without flipping anybody).
+        // Target candidacy is tested with the ever-candidate map, not the
+        // valid flag: for edges dropped by a node tombstone the target's
+        // valid flag is already cleared by the time this runs, but the
+        // surviving source pairs still lost a relevant descendant. Sources
+        // tombstoned in the same batch need no seed of their own — their
+        // incoming edges were removed too, seeding every live ancestor.
+        let mut seeds: Vec<DynPair> = self.sim.take_dirty();
+        for &(v, w) in applied.added_edges.iter().chain(&applied.removed_edges) {
+            for u in self.pattern.nodes() {
+                if !self.sim.is_candidate(u, v) {
+                    continue;
+                }
+                let touches =
+                    self.pattern.successors(u).iter().any(|&uc| self.sim.ever_candidate(uc, w));
+                if touches {
+                    seeds.push((u, v));
+                }
+            }
+        }
+        self.cache.ensure_width(g.node_count());
+
+        if seeds.is_empty() {
+            self.stats.incremental_applies += 1;
+            self.stats.last_swept_pairs = 0;
+            self.stats.last_dirty_outputs = 0;
+            return;
+        }
+
+        // Backward sweep: every valid candidate pair that can reach a seed
+        // in the candidate-pair graph (alive-agnostic — old paths may run
+        // through freshly dead pairs) might have gained or lost relevant
+        // descendants.
+        let uo = self.pattern.output();
+        let total_pairs: usize = self.pattern.nodes().map(|u| self.sim.candidate_count(u)).sum();
+        let sweep_cap = (self.cfg.max_dirty_fraction * total_pairs.max(1) as f64).ceil() as usize;
+        let mut visited: HashSet<DynPair> = seeds.iter().copied().collect();
+        let mut queue: Vec<DynPair> = visited.iter().copied().collect();
+        let mut overflow = false;
+        let mut cursor = 0;
+        while cursor < queue.len() {
+            if visited.len() > sweep_cap {
+                overflow = true;
+                break;
+            }
+            let (u, x) = queue[cursor];
+            cursor += 1;
+            for &t in self.pattern.predecessors(u) {
+                for y in g.predecessors(x) {
+                    if self.sim.is_candidate(t, y) && visited.insert((t, y)) {
+                        queue.push((t, y));
+                    }
+                }
+            }
+        }
+        self.stats.last_swept_pairs = visited.len();
+
+        if overflow {
+            // The affected region is most of the graph: rebuild the whole
+            // cache (simulation stays incremental — it already converged).
+            self.rebuild_cache(g);
+            self.stats.full_rank_refreshes += 1;
+            return;
+        }
+
+        // Partial refresh: re-derive only the affected output matches.
+        let dirty_outputs: Vec<NodeId> =
+            visited.iter().filter(|&&(u, _)| u == uo).map(|&(_, v)| v).collect();
+        self.stats.last_dirty_outputs = dirty_outputs.len();
+        for v in dirty_outputs {
+            if self.sim.pair_alive(uo, v) {
+                let set = self.relevant_set_bfs(g, v);
+                self.cache.upsert(v, set);
+                self.stats.sets_recomputed += 1;
+            } else {
+                self.cache.remove(v);
+            }
+        }
+        self.stats.incremental_applies += 1;
+    }
+
+    /// The current top-k by relevance.
+    pub(crate) fn top_k(&self) -> TopKResult {
+        self.top_k_timed(Instant::now())
+    }
+
+    /// As [`Self::top_k`] with timing measured from `t0` (so `apply`
+    /// latencies include the maintenance work).
+    pub(crate) fn top_k_timed(&self, t0: Instant) -> TopKResult {
+        let q = &self.pattern;
+        // Under the paper's emptiness rule Mu(Q,G,uo) = ∅ even though the
+        // cache stays structurally maintained — report stats the way the
+        // static pipeline would (total known to be 0).
+        let (matches, total) = if self.sim.graph_matches(q) {
+            (rank_top_k(self.cache.relevances(), self.cfg.k), self.cache.len())
+        } else {
+            (Vec::new(), 0)
+        };
+        TopKResult {
+            matches,
+            stats: RunStats {
+                output_candidates: self.sim.candidate_count(q.output()),
+                inspected_matches: total,
+                total_matches: Some(total),
+                waves: 1,
+                early_terminated: false,
+                elapsed: t0.elapsed(),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The normalizer `Cuo` the diversified objective divides `δr` by —
+    /// computed from the maintained candidate counts through the same
+    /// [`c_uo_with`] definition the static pipeline uses.
+    pub(crate) fn normalizer(&self) -> u64 {
+        c_uo_with(&self.pattern, |u| self.sim.candidate_count(u))
+    }
+
+    /// The current diversified top-k with an explicit `λ`.
+    pub(crate) fn diversified(&self, lambda: f64) -> DivResult {
+        let t0 = Instant::now();
+        let q = &self.pattern;
+        if !self.sim.graph_matches(q) {
+            // Mirror the static pipeline's stats: Mu(Q,G,uo) = ∅, known.
+            return DivResult {
+                matches: Vec::new(),
+                f_value: 0.0,
+                stats: RunStats {
+                    output_candidates: self.sim.candidate_count(q.output()),
+                    total_matches: Some(0),
+                    elapsed: t0.elapsed(),
+                    ..Default::default()
+                },
+            };
+        }
+        let objective = Objective::new(lambda, self.cfg.k, self.normalizer());
+        let (matches, rel): (Vec<NodeId>, Vec<f64>) =
+            self.cache.relevances().map(|(v, r)| (v, r as f64)).unzip();
+        let d = |i: usize, j: usize| self.cache.distance(matches[i], matches[j]).expect("cached");
+        let (selected, f_value) = greedy_diversified(&objective, &rel, &d);
+        let picked: Vec<RankedMatch> = selected
+            .iter()
+            .map(|&i| RankedMatch { node: matches[i], relevance: rel[i] as u64 })
+            .collect();
+        DivResult {
+            matches: picked,
+            f_value,
+            stats: RunStats {
+                output_candidates: self.sim.candidate_count(q.output()),
+                inspected_matches: matches.len(),
+                total_matches: Some(matches.len()),
+                elapsed: t0.elapsed(),
+                ..Default::default()
+            },
+        }
+    }
+
+    // ---------------------------------------------------------- internals
+
+    /// Relevant set of output match `v` by forward BFS over the alive
+    /// match graph (adjacency derived on the fly from the dynamic graph
+    /// and the simulation state). Strict reachability: seeded from the
+    /// pair's successors, so `v` itself only enters through a cycle.
+    fn relevant_set_bfs(&self, g: &DynGraph, v: NodeId) -> Vec<usize> {
+        let q = &self.pattern;
+        let uo = q.output();
+        let mut visited: HashSet<DynPair> = HashSet::new();
+        let mut queue: Vec<DynPair> = Vec::new();
+        let push_children =
+            |from: DynPair, visited: &mut HashSet<DynPair>, queue: &mut Vec<DynPair>| {
+                let (u, x) = from;
+                for &uc in q.successors(u) {
+                    for w in g.successors(x) {
+                        if self.sim.pair_alive(uc, w) && visited.insert((uc, w)) {
+                            queue.push((uc, w));
+                        }
+                    }
+                }
+            };
+        push_children((uo, v), &mut visited, &mut queue);
+        let mut cursor = 0;
+        while cursor < queue.len() {
+            let p = queue[cursor];
+            cursor += 1;
+            push_children(p, &mut visited, &mut queue);
+        }
+        let nodes: HashSet<usize> = visited.iter().map(|&(_, x)| x as usize).collect();
+        let mut out: Vec<usize> = nodes.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Recomputes every output match's relevant set.
+    fn rebuild_cache(&mut self, g: &DynGraph) {
+        self.cache = RelevanceCache::new(g.node_count());
+        let q = &self.pattern;
+        for v in self.sim.structural_matches_of(q.output()) {
+            let set = self.relevant_set_bfs(g, v);
+            self.cache.upsert(v, set);
+            self.stats.sets_recomputed += 1;
+        }
+    }
+}

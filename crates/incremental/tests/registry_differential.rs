@@ -1,0 +1,305 @@
+//! Differential property harness for [`PatternRegistry`].
+//!
+//! The registry's one promise: sharing graph application, candidate
+//! indexing and the maintenance pool across N patterns changes **nothing**
+//! about any answer. For generated update streams (insert-only /
+//! delete-only / mixed, via `gpm_datagen::update_stream`), after **every**
+//! batch and for **every** registered pattern, the registry must agree
+//! bit-for-bit with
+//!
+//! 1. an independent [`DynamicMatcher`] serving the same pattern over its
+//!    own private graph, and
+//! 2. the static pipeline (`top_k_by_match` / `top_k_cyclic` /
+//!    `top_k_diversified`) recomputing from scratch on `snapshot()`,
+//!
+//! including patterns registered mid-stream (which must answer as if built
+//! from the snapshot at registration time) and after deregistrations.
+
+use gpm_core::config::{DivConfig, TopKConfig};
+use gpm_core::{top_k_by_match, top_k_cyclic, top_k_diversified};
+use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
+use gpm_graph::builder::graph_from_parts;
+use gpm_graph::DiGraph;
+use gpm_incremental::{DynamicMatcher, IncrementalConfig, PatternId, PatternRegistry};
+use gpm_pattern::builder::label_pattern;
+use gpm_pattern::Pattern;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const LABELS: u32 = 4;
+
+fn random_graph(rng: &mut StdRng, n: usize, density: usize) -> DiGraph {
+    let node_labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..LABELS)).collect();
+    let m = rng.random_range(0..n * density + 1);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    graph_from_parts(&node_labels, &edges).unwrap()
+}
+
+fn random_pattern(rng: &mut StdRng) -> Pattern {
+    let pn = rng.random_range(1..5usize);
+    let plabels: Vec<u32> = (0..pn).map(|_| rng.random_range(0..LABELS)).collect();
+    let mut pedges: Vec<(u32, u32)> = (1..pn as u32).map(|i| (i - 1, i)).collect();
+    for _ in 0..rng.random_range(0..pn * 2) {
+        let a = rng.random_range(0..pn as u32);
+        let b = rng.random_range(0..pn as u32);
+        if a != b && !pedges.contains(&(a, b)) {
+            pedges.push((a, b));
+        }
+    }
+    label_pattern(&plabels, &pedges, 0).unwrap()
+}
+
+/// The differential oracle: one pattern's registry answer vs its
+/// independent matcher vs static recompute on the registry snapshot.
+fn assert_pattern_agrees(
+    reg: &PatternRegistry,
+    id: PatternId,
+    matcher: &DynamicMatcher,
+    snap: &DiGraph,
+    k: usize,
+    lambda: f64,
+    ctx: &str,
+) {
+    let q = matcher.pattern();
+
+    // Registry vs independent matcher: identical nodes AND δr values.
+    let reg_top = reg.top_k(id).expect("registered");
+    let ind_top = matcher.top_k();
+    assert_eq!(reg_top.nodes(), ind_top.nodes(), "registry vs matcher nodes: {ctx}");
+    let reg_rel: Vec<u64> = reg_top.matches.iter().map(|r| r.relevance).collect();
+    let ind_rel: Vec<u64> = ind_top.matches.iter().map(|r| r.relevance).collect();
+    assert_eq!(reg_rel, ind_rel, "registry vs matcher δr: {ctx}");
+
+    // Registry vs static recompute on the shared snapshot.
+    let base = top_k_by_match(snap, q, &TopKConfig::new(k));
+    assert_eq!(reg_top.nodes(), base.nodes(), "registry vs static nodes: {ctx}");
+    let base_rel: Vec<u64> = base.matches.iter().map(|r| r.relevance).collect();
+    assert_eq!(reg_rel, base_rel, "registry vs static δr: {ctx}");
+
+    // The early-terminating static algorithm agrees on the total.
+    let fast = top_k_cyclic(snap, q, &TopKConfig::new(k));
+    assert_eq!(fast.total_relevance(), reg_top.total_relevance(), "vs top_k_cyclic: {ctx}");
+
+    // Diversified: identical selection and F-value (same greedy, same
+    // ties, same normalizer) across all three paths.
+    let reg_div = reg.diversified(id, lambda).expect("registered");
+    let ind_div = matcher.diversified(lambda);
+    let base_div = top_k_diversified(snap, q, &DivConfig::new(k, lambda));
+    assert_eq!(reg_div.nodes(), ind_div.nodes(), "diversified registry vs matcher: {ctx}");
+    assert_eq!(reg_div.nodes(), base_div.nodes(), "diversified registry vs static: {ctx}");
+    assert!(
+        (reg_div.f_value - base_div.f_value).abs() < 1e-9,
+        "F diverged: {} vs {} ({ctx})",
+        reg_div.f_value,
+        base_div.f_value
+    );
+    assert!(
+        (reg_div.f_value - ind_div.f_value).abs() < 1e-9,
+        "F registry vs matcher: {} vs {} ({ctx})",
+        reg_div.f_value,
+        ind_div.f_value
+    );
+}
+
+struct StreamSpec {
+    insert_fraction: f64,
+    node_churn: f64,
+}
+
+const INSERT_ONLY: StreamSpec = StreamSpec { insert_fraction: 1.0, node_churn: 0.15 };
+const DELETE_ONLY: StreamSpec = StreamSpec { insert_fraction: 0.0, node_churn: 0.15 };
+const MIXED: StreamSpec = StreamSpec { insert_fraction: 0.55, node_churn: 0.15 };
+
+/// One end-to-end differential trial: N patterns, one generated stream,
+/// full oracle after every batch. `forced` maxes the thresholds so the
+/// incremental path has no rebuild safety net to hide behind.
+fn run_differential(spec: &StreamSpec, seed: u64, trials: usize, forced: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for trial in 0..trials {
+        let n = rng.random_range(8..30usize);
+        let g = random_graph(&mut rng, n, 3);
+        let n_patterns = rng.random_range(2..6usize);
+
+        let mut reg = PatternRegistry::with_threads(&g, 3);
+        let mut matchers: Vec<DynamicMatcher> = Vec::new();
+        let mut handles: Vec<(PatternId, usize, f64)> = Vec::new();
+        for _ in 0..n_patterns {
+            let q = random_pattern(&mut rng);
+            let k = rng.random_range(1..5usize);
+            let lambda = rng.random_range(0.0..1.0f64);
+            let mut cfg = IncrementalConfig::new(k).lambda(lambda);
+            if forced {
+                cfg.max_delta_fraction = f64::INFINITY;
+                cfg.max_dirty_fraction = f64::INFINITY;
+            }
+            let id = reg.register(q.clone(), cfg.clone()).unwrap();
+            matchers.push(DynamicMatcher::new(&g, q, cfg).unwrap());
+            handles.push((id, k, lambda));
+        }
+
+        let stream_cfg = UpdateStreamConfig {
+            batches: rng.random_range(4..8usize),
+            batch_size: rng.random_range(1..6usize),
+            insert_fraction: spec.insert_fraction,
+            node_churn: spec.node_churn,
+            labels: LABELS,
+            seed: seed ^ (trial as u64) << 7,
+        };
+        for (step, delta) in update_stream(&g, &stream_cfg).iter().enumerate() {
+            reg.apply(delta).unwrap();
+            let snap = reg.snapshot();
+            for (i, m) in matchers.iter_mut().enumerate() {
+                m.apply(delta).unwrap();
+                // The shared graph and the private mirrors stay in lockstep.
+                assert_eq!(reg.graph().edge_count(), m.graph().edge_count());
+                assert_eq!(reg.graph().node_count(), m.graph().node_count());
+                let (id, k, lambda) = handles[i];
+                let ctx =
+                    format!("trial {trial} step {step} pattern {i} (forced={forced}): {delta:?}");
+                assert_pattern_agrees(&reg, id, m, &snap, k, lambda, &ctx);
+            }
+        }
+        if forced {
+            // No rebuild fallback may have fired on any pattern.
+            for &(id, _, _) in &handles {
+                let st = reg.stats_of(id).unwrap();
+                assert_eq!(st.full_rebuilds, 0, "forced-incremental trial hit a rebuild");
+                assert_eq!(st.full_rank_refreshes, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn insert_only_streams_registry_agrees_with_matchers_and_static() {
+    run_differential(&INSERT_ONLY, 0x5EED_0001, 10, false);
+}
+
+#[test]
+fn delete_only_streams_registry_agrees_with_matchers_and_static() {
+    run_differential(&DELETE_ONLY, 0x5EED_0002, 10, false);
+}
+
+#[test]
+fn mixed_streams_registry_agrees_with_matchers_and_static() {
+    run_differential(&MIXED, 0x5EED_0003, 14, false);
+}
+
+#[test]
+fn forced_incremental_registry_agrees() {
+    run_differential(&MIXED, 0x5EED_0004, 10, true);
+    run_differential(&DELETE_ONLY, 0x5EED_0005, 6, true);
+}
+
+#[test]
+fn midstream_register_and_deregister_agree() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0006);
+    for trial in 0..8 {
+        let n = rng.random_range(10..25usize);
+        let g = random_graph(&mut rng, n, 3);
+        let mut reg = PatternRegistry::with_threads(&g, 2);
+
+        // Start with two patterns.
+        let mut live: Vec<(PatternId, DynamicMatcher, usize, f64)> = Vec::new();
+        for _ in 0..2 {
+            let q = random_pattern(&mut rng);
+            let (k, lambda) = (rng.random_range(1..4usize), 0.5);
+            let cfg = IncrementalConfig::new(k).lambda(lambda);
+            let id = reg.register(q.clone(), cfg.clone()).unwrap();
+            live.push((id, DynamicMatcher::new(&g, q, cfg).unwrap(), k, lambda));
+        }
+
+        let stream = update_stream(
+            &g,
+            &UpdateStreamConfig {
+                batches: 8,
+                batch_size: 3,
+                insert_fraction: 0.5,
+                node_churn: 0.2,
+                labels: LABELS,
+                seed: 77 + trial,
+            },
+        );
+        for (step, delta) in stream.iter().enumerate() {
+            reg.apply(delta).unwrap();
+            for (_, m, _, _) in live.iter_mut() {
+                m.apply(delta).unwrap();
+            }
+
+            if step == 2 {
+                // Mid-stream registration: the new pattern must answer as
+                // if built from the *current* snapshot — its independent
+                // twin is constructed from exactly that.
+                let q = random_pattern(&mut rng);
+                let (k, lambda) = (rng.random_range(1..4usize), rng.random_range(0.0..1.0f64));
+                let cfg = IncrementalConfig::new(k).lambda(lambda);
+                let id = reg.register(q.clone(), cfg.clone()).unwrap();
+                let twin = DynamicMatcher::new(&reg.snapshot(), q, cfg).unwrap();
+                live.push((id, twin, k, lambda));
+            }
+            if step == 5 {
+                // Mid-stream deregistration: survivors must be unaffected.
+                let (id, _, _, _) = live.remove(0);
+                assert!(reg.deregister(id));
+                assert!(!reg.deregister(id), "ids are never reused");
+                assert!(reg.top_k(id).is_none());
+            }
+
+            let snap = reg.snapshot();
+            for (i, (id, m, k, lambda)) in live.iter().enumerate() {
+                let ctx = format!("midstream trial {trial} step {step} pattern {i}");
+                assert_pattern_agrees(&reg, *id, m, &snap, *k, *lambda, &ctx);
+            }
+        }
+        assert_eq!(reg.len(), live.len());
+        assert_eq!(reg.stats().deregistrations, 1);
+    }
+}
+
+#[test]
+fn registry_normalizers_never_drift_from_static() {
+    // The drift-regression for the shared `Cuo` definition: the registry's
+    // incrementally-maintained normalizer must equal the one the static
+    // pipeline derives from a fresh CandidateSpace on every snapshot.
+    use gpm_ranking::objective::c_uo;
+    use gpm_simulation::CandidateSpace;
+
+    let mut rng = StdRng::seed_from_u64(0x5EED_0007);
+    for trial in 0..8 {
+        let n = rng.random_range(8..24usize);
+        let g = random_graph(&mut rng, n, 3);
+        let mut reg = PatternRegistry::new(&g);
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let q = random_pattern(&mut rng);
+            ids.push(reg.register(q, IncrementalConfig::new(3)).unwrap());
+        }
+        let stream = update_stream(
+            &g,
+            &UpdateStreamConfig {
+                batches: 6,
+                batch_size: 4,
+                insert_fraction: 0.5,
+                node_churn: 0.2,
+                labels: LABELS,
+                seed: 1234 + trial,
+            },
+        );
+        for (step, delta) in stream.iter().enumerate() {
+            reg.apply(delta).unwrap();
+            let snap = reg.snapshot();
+            for &id in &ids {
+                let q = reg.pattern(id).unwrap();
+                let space = CandidateSpace::compute(&snap, &q);
+                assert_eq!(
+                    reg.normalizer(id),
+                    Some(c_uo(&q, &space)),
+                    "Cuo drifted: trial {trial} step {step}"
+                );
+            }
+        }
+    }
+}

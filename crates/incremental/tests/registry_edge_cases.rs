@@ -1,0 +1,214 @@
+//! Edge cases of the [`PatternRegistry`] lifecycle: empty registries,
+//! duplicate registrations, deregistration under pending dirtiness, and a
+//! tombstone-heavy stream replaying PR 1's
+//! `tombstone_keeps_surviving_ancestors_fresh` regression through the
+//! registry path.
+
+use gpm_core::config::TopKConfig;
+use gpm_core::top_k_by_match;
+use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
+use gpm_graph::builder::graph_from_parts;
+use gpm_graph::GraphDelta;
+use gpm_incremental::{DynamicMatcher, IncrementalConfig, PatternRegistry};
+use gpm_pattern::builder::label_pattern;
+
+/// Forced-incremental config: thresholds maxed so no rebuild safety net
+/// can mask maintenance bugs.
+fn forced(k: usize) -> IncrementalConfig {
+    let mut cfg = IncrementalConfig::new(k);
+    cfg.max_delta_fraction = f64::INFINITY;
+    cfg.max_dirty_fraction = f64::INFINITY;
+    cfg
+}
+
+#[test]
+fn empty_registry_still_advances_the_graph() {
+    let g = graph_from_parts(&[0, 1, 1], &[(0, 1)]).unwrap();
+    let mut reg = PatternRegistry::new(&g);
+    assert!(reg.is_empty());
+
+    let answers = reg.apply(&GraphDelta::new().add_edge(0, 2)).unwrap();
+    assert!(answers.is_empty());
+    assert_eq!(reg.graph().version(), 1);
+    assert_eq!(reg.graph().edge_count(), 2);
+    assert_eq!(reg.stats().batches, 1);
+    assert_eq!(reg.stats().ops_replayed + reg.stats().ops_skipped, 0, "nobody to fan out to");
+
+    // A pattern registered after the fact sees the advanced graph.
+    let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let id = reg.register(q, IncrementalConfig::new(2)).unwrap();
+    let top = reg.top_k(id).unwrap();
+    assert_eq!(top.nodes(), vec![0]);
+    assert_eq!(top.matches[0].relevance, 2, "both edges present at registration");
+}
+
+#[test]
+fn duplicate_registrations_are_independent() {
+    let g = graph_from_parts(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let mut reg = PatternRegistry::new(&g);
+
+    // Same shape twice, different k — distinct ids, both served.
+    let a = reg.register(q.clone(), forced(1)).unwrap();
+    let b = reg.register(q.clone(), forced(2)).unwrap();
+    assert_ne!(a, b);
+    assert_eq!(reg.len(), 2);
+
+    reg.apply(&GraphDelta::new().add_node(1).add_edge(0, 3)).unwrap();
+    assert_eq!(reg.top_k(a).unwrap().matches[0].relevance, 3);
+    assert_eq!(reg.top_k(b).unwrap().matches[0].relevance, 3);
+
+    // Dropping one copy leaves the twin fully live.
+    assert!(reg.deregister(a));
+    assert!(reg.top_k(a).is_none());
+    reg.apply(&GraphDelta::new().remove_node(3)).unwrap();
+    let top = reg.top_k(b).unwrap();
+    assert_eq!(top.matches[0].relevance, 2);
+    let snap = reg.snapshot();
+    let base = top_k_by_match(&snap, &q, &TopKConfig::new(2));
+    assert_eq!(top.nodes(), base.nodes());
+}
+
+#[test]
+fn deregister_under_pending_dirtiness_leaves_survivors_consistent() {
+    // Two patterns over one graph; a batch that dirties both is applied,
+    // then one pattern is dropped *between* batches while the stream keeps
+    // flowing. The survivor must keep answering exactly.
+    let g =
+        graph_from_parts(&[0, 1, 1, 2, 2, 0], &[(0, 1), (0, 2), (1, 3), (2, 4), (5, 2), (5, 4)])
+            .unwrap();
+    let q_ab = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let q_abc = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+    let mut reg = PatternRegistry::with_threads(&g, 2);
+    let id_ab = reg.register(q_ab.clone(), forced(3)).unwrap();
+    let id_abc = reg.register(q_abc, forced(3)).unwrap();
+
+    // This batch flips pairs in both patterns (edge into a B node with a C
+    // successor) — both states carry fresh dirtiness through the sweep.
+    reg.apply(&GraphDelta::new().remove_edge(1, 3).add_edge(5, 1)).unwrap();
+    assert!(reg.stats().last_patterns_touched > 0);
+
+    // Drop the wider pattern right on top of that churn.
+    assert!(reg.deregister(id_abc));
+
+    // Keep streaming; the survivor stays bit-identical to static recompute.
+    for (step, delta) in [
+        GraphDelta::new().add_edge(1, 3),
+        GraphDelta::new().remove_node(2),
+        GraphDelta::new().add_node(1).add_edge(0, 6).add_edge(5, 6),
+    ]
+    .iter()
+    .enumerate()
+    {
+        reg.apply(delta).unwrap();
+        let snap = reg.snapshot();
+        let base = top_k_by_match(&snap, &q_ab, &TopKConfig::new(3));
+        let top = reg.top_k(id_ab).unwrap();
+        assert_eq!(top.nodes(), base.nodes(), "step {step}");
+        let st = reg.stats_of(id_ab).unwrap();
+        assert_eq!(st.full_rebuilds, 0, "forced-incremental path");
+    }
+}
+
+#[test]
+fn tombstone_keeps_surviving_ancestors_fresh_through_registry() {
+    // PR 1's stale-relevance regression, replayed through the registry's
+    // fan-out: node 0 has children 1 and 2 (both B-candidates); tombstoning
+    // node 1 on the forced-incremental path must shrink 0's relevant set
+    // from {1, 2} to {2} even though (B, 1)'s valid flag is already cleared
+    // when the ranking seeds are computed. A second registered pattern
+    // rides along to prove the fan-out isolates the scenario per pattern.
+    let g = graph_from_parts(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let q_b = label_pattern(&[1], &[], 0).unwrap();
+    let mut reg = PatternRegistry::with_threads(&g, 2);
+    let id = reg.register(q.clone(), forced(2)).unwrap();
+    let id_b = reg.register(q_b, forced(3)).unwrap();
+    assert_eq!(reg.top_k(id).unwrap().matches[0].relevance, 2);
+    assert_eq!(reg.top_k(id_b).unwrap().nodes(), vec![1, 2]);
+
+    reg.apply(&GraphDelta::new().remove_node(1)).unwrap();
+
+    let st = reg.stats_of(id).unwrap();
+    assert_eq!(st.full_rebuilds, 0, "must exercise the incremental path");
+    assert_eq!(st.full_rank_refreshes, 0);
+    let top = reg.top_k(id).unwrap();
+    assert_eq!(top.nodes(), vec![0]);
+    assert_eq!(top.matches[0].relevance, 1, "relevant set still counts the tombstoned node");
+    assert_eq!(reg.top_k(id_b).unwrap().nodes(), vec![2]);
+
+    let snap = reg.snapshot();
+    let base = top_k_by_match(&snap, &q, &TopKConfig::new(2));
+    assert_eq!(top.nodes(), base.nodes());
+}
+
+#[test]
+fn tombstone_heavy_stream_agrees_everywhere() {
+    // A delete-heavy, node-churn-heavy generated stream: the hardest diet
+    // for tombstone bookkeeping. Registry vs independent matcher vs static,
+    // forced-incremental, after every batch.
+    let base = graph_from_parts(
+        &[0, 1, 1, 2, 0, 2, 1, 0],
+        &[(0, 1), (0, 2), (1, 3), (2, 3), (4, 6), (6, 5), (4, 2), (7, 1), (7, 6)],
+    )
+    .unwrap();
+    let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+    let mut reg = PatternRegistry::with_threads(&base, 2);
+    let id = reg.register(q.clone(), forced(3)).unwrap();
+    let mut m = DynamicMatcher::new(&base, q.clone(), forced(3)).unwrap();
+
+    let stream = update_stream(
+        &base,
+        &UpdateStreamConfig {
+            batches: 10,
+            batch_size: 2,
+            insert_fraction: 0.25,
+            node_churn: 0.6,
+            labels: 3,
+            seed: 0x70B5,
+        },
+    );
+    let mut removed = 0usize;
+    for (step, delta) in stream.iter().enumerate() {
+        removed +=
+            delta.ops.iter().filter(|op| matches!(op, gpm_graph::DeltaOp::RemoveNode(_))).count();
+        reg.apply(delta).unwrap();
+        m.apply(delta).unwrap();
+        let snap = reg.snapshot();
+        let base_top = top_k_by_match(&snap, &q, &TopKConfig::new(3));
+        let reg_top = reg.top_k(id).unwrap();
+        assert_eq!(reg_top.nodes(), m.top_k().nodes(), "step {step}");
+        assert_eq!(reg_top.nodes(), base_top.nodes(), "step {step}");
+    }
+    assert!(removed > 0, "the stream actually tombstones nodes");
+    assert_eq!(reg.stats_of(id).unwrap().full_rebuilds, 0);
+}
+
+#[test]
+fn attribute_patterns_are_rejected_and_leave_registry_clean() {
+    use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
+    let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+    let mut b = PatternBuilder::new();
+    b.node("V", Predicate::labeled(0, [Predicate::attr("views", CmpOp::Gt, 10i64)]));
+    b.output(0).unwrap();
+    let q = b.build().unwrap();
+    let mut reg = PatternRegistry::new(&g);
+    assert!(reg.register(q, IncrementalConfig::new(2)).is_err());
+    assert!(reg.is_empty());
+    assert_eq!(reg.stats().registrations, 0, "failed registrations are not counted");
+}
+
+#[test]
+fn invalid_delta_leaves_every_pattern_intact() {
+    let g = graph_from_parts(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+    let mut reg = PatternRegistry::new(&g);
+    let id = reg.register(label_pattern(&[0, 1], &[(0, 1)], 0).unwrap(), forced(2)).unwrap();
+    let before = reg.top_k(id).unwrap();
+
+    assert!(reg.apply(&GraphDelta::new().add_edge(0, 99)).is_err());
+    assert_eq!(reg.graph().version(), 0);
+    assert_eq!(reg.stats().batches, 0, "rejected batches are not batches");
+    let after = reg.top_k(id).unwrap();
+    assert_eq!(after.nodes(), before.nodes());
+    assert_eq!(reg.stats_of(id).unwrap().applies, 0);
+}

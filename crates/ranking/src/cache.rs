@@ -16,11 +16,22 @@ use std::collections::BTreeMap;
 
 use gpm_graph::{BitSet, NodeId};
 
+/// One cached relevant set with its popcount `δr` stored beside the bits:
+/// relevance queries — `relevances()` in particular, which every `apply`
+/// re-ranks from — must not re-popcount `O(|V|/64)` words per match.
+#[derive(Debug, Clone)]
+struct CachedSet {
+    bits: BitSet,
+    /// `bits.count()`, computed once at [`RelevanceCache::upsert`]. Width
+    /// migrations preserve membership, so the count never goes stale.
+    delta_r: u64,
+}
+
 /// Cached relevant sets `R(uo, v)` keyed by output match, bitsets over
 /// data-node ids.
 #[derive(Debug, Clone, Default)]
 pub struct RelevanceCache {
-    sets: BTreeMap<NodeId, BitSet>,
+    sets: BTreeMap<NodeId, CachedSet>,
     /// Bit width of the stored sets (≥ graph node count; grows by
     /// headroom-rounding so node additions rarely force a migration).
     width: usize,
@@ -49,20 +60,21 @@ impl RelevanceCache {
             return;
         }
         let new_width = padded(node_count);
-        for set in self.sets.values_mut() {
+        for entry in self.sets.values_mut() {
             let mut bigger = BitSet::new(new_width);
-            for b in set.iter() {
+            for b in entry.bits.iter() {
                 bigger.insert(b);
             }
-            *set = bigger;
+            entry.bits = bigger;
         }
         self.width = new_width;
     }
 
-    /// Inserts or replaces the relevant set of `v`.
+    /// Inserts or replaces the relevant set of `v`, recording its popcount.
     pub fn upsert(&mut self, v: NodeId, bits: impl IntoIterator<Item = usize>) {
-        let set = BitSet::from_iter(self.width, bits);
-        self.sets.insert(v, set);
+        let bits = BitSet::from_iter(self.width, bits);
+        let delta_r = bits.count() as u64;
+        self.sets.insert(v, CachedSet { bits, delta_r });
     }
 
     /// Drops the entry of `v` (the match disappeared).
@@ -96,24 +108,26 @@ impl RelevanceCache {
         self.sets.keys().copied().collect()
     }
 
-    /// `δr(uo, v)` from the cache.
+    /// `δr(uo, v)` from the cache — the stored popcount, no bit scan.
     pub fn relevance_of(&self, v: NodeId) -> Option<u64> {
-        self.sets.get(&v).map(|s| s.count() as u64)
+        self.sets.get(&v).map(|s| s.delta_r)
     }
 
     /// The cached set of `v`.
     pub fn set_of(&self, v: NodeId) -> Option<&BitSet> {
-        self.sets.get(&v)
+        self.sets.get(&v).map(|s| &s.bits)
     }
 
     /// Jaccard distance `δd` between two cached matches.
     pub fn distance(&self, a: NodeId, b: NodeId) -> Option<f64> {
-        Some(self.sets.get(&a)?.jaccard_distance(self.sets.get(&b)?))
+        Some(self.sets.get(&a)?.bits.jaccard_distance(&self.sets.get(&b)?.bits))
     }
 
-    /// `(node, δr)` for every cached match, ascending by node id.
+    /// `(node, δr)` for every cached match, ascending by node id. Reads the
+    /// popcounts stored at `upsert`, so a query is `O(matches)` instead of
+    /// `O(matches · width/64)`.
     pub fn relevances(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.sets.iter().map(|(&v, s)| (v, s.count() as u64))
+        self.sets.iter().map(|(&v, s)| (v, s.delta_r))
     }
 }
 
@@ -135,6 +149,35 @@ mod tests {
         assert!(!c.remove(3));
         assert_eq!(c.len(), 1);
         assert_eq!(c.relevance_of(3), None);
+    }
+
+    #[test]
+    fn stored_popcount_tracks_set_lifecycle() {
+        // The stored δr must agree with a fresh popcount of the stored bits
+        // after every mutation: upsert, overwrite, remove, width migration.
+        let mut c = RelevanceCache::new(8);
+        let check = |c: &RelevanceCache| {
+            for (v, r) in c.relevances() {
+                assert_eq!(Some(r), c.set_of(v).map(|s| s.count() as u64), "match {v}");
+                assert_eq!(c.relevance_of(v), Some(r));
+            }
+        };
+        c.upsert(0, [1usize, 2, 3]);
+        c.upsert(5, [0usize, 7]);
+        check(&c);
+        c.upsert(0, [4usize]); // overwrite shrinks δr 3 → 1
+        assert_eq!(c.relevance_of(0), Some(1));
+        check(&c);
+        let w = c.width();
+        c.ensure_width(w + 1); // migration must carry the counts over
+        assert_eq!(c.relevance_of(0), Some(1));
+        assert_eq!(c.relevance_of(5), Some(2));
+        check(&c);
+        c.upsert(9, [w + 100]); // a bit only representable post-growth
+        assert_eq!(c.relevance_of(9), Some(1));
+        assert!(c.remove(5));
+        assert_eq!(c.relevance_of(5), None);
+        check(&c);
     }
 
     #[test]

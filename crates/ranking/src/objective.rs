@@ -20,14 +20,24 @@
 //! * `F''` — `F` evaluated with partial information (`v.l/Cuo` for
 //!   relevance, partial relevant sets for distance), used by `TopKDH`.
 
-use gpm_pattern::Pattern;
+use gpm_pattern::{PNodeId, Pattern};
 use gpm_simulation::CandidateSpace;
 
-/// `Cuo`: Σ over query nodes `u'` strictly reachable from `uo` of
-/// `|can(u')|` (with multiplicity — two query nodes sharing candidates count
-/// twice, matching Example 6's `3 + 4 + 4 = 11`).
+/// `Cuo` over an arbitrary candidate-count source: Σ over query nodes `u'`
+/// strictly reachable from `uo` of `|can(u')|` (with multiplicity — two
+/// query nodes sharing candidates count twice, matching Example 6's
+/// `3 + 4 + 4 = 11`).
+///
+/// This is the **single** definition of the normalizer; the static pipeline
+/// passes a [`CandidateSpace`] lookup (via [`c_uo`]) and the dynamic path
+/// passes `IncSimState::candidate_count`, so the two can never drift.
+pub fn c_uo_with(q: &Pattern, mut candidate_count: impl FnMut(PNodeId) -> usize) -> u64 {
+    q.reachable_from_output().iter().map(|u| candidate_count(u as PNodeId) as u64).sum()
+}
+
+/// `Cuo` from a static [`CandidateSpace`] (see [`c_uo_with`]).
 pub fn c_uo(q: &Pattern, space: &CandidateSpace) -> u64 {
-    q.reachable_from_output().iter().map(|u| space.candidate_count(u as u32) as u64).sum()
+    c_uo_with(q, |u| space.candidate_count(u))
 }
 
 /// The bi-criteria objective with fixed `λ`, `k` and normalizer.

@@ -61,7 +61,9 @@ pub mod prelude {
         top_k_diversified_heuristic,
     };
     pub use gpm_graph::{BitSet, DiGraph, GraphBuilder, GraphDelta, NodeId};
-    pub use gpm_incremental::{DynamicMatcher, IncrementalConfig};
+    pub use gpm_incremental::{
+        DynamicMatcher, IncrementalConfig, PatternId, PatternRegistry, RegistryStats,
+    };
     pub use gpm_pattern::{CmpOp, Pattern, PatternBuilder, Predicate};
     pub use gpm_ranking::bounds::BoundStrategy;
     pub use gpm_simulation::compute_simulation;
