@@ -1,14 +1,18 @@
 //! Delta-scaling benchmark CLI: incremental `DynamicMatcher::apply` vs
-//! from-scratch recompute, sweeping the delta size.
+//! from-scratch recompute, sweeping the delta size — plus the attr-churn
+//! workload sweeping the structural:attr op mix (attribute-flip
+//! maintenance cost vs rebuild).
 //!
 //! ```text
 //! bench_incremental [--nodes N] [--k K] [--seed S] [--out PATH]
 //! ```
 //!
 //! Writes `BENCH_incremental.json` (repo root by default) and prints the
-//! table. Delta sizes follow the issue spec: 1 / 10 / 100 / 1000.
+//! tables. Delta sizes follow the issue spec: 1 / 10 / 100 / 1000; attr
+//! mixes sweep 0 / 25% / 50% / 100% at a fixed batch size.
 
 use gpm_bench::delta_bench;
+use serde::{Serialize, Value};
 
 fn main() {
     let mut nodes = 20_000usize;
@@ -57,7 +61,24 @@ fn main() {
     let result = delta_bench::run(&g, &q, k, &[1, 10, 100, 1000]);
     println!("{}", delta_bench::as_table(&result).render());
 
-    let json = serde_json::to_string_pretty(&result).expect("serializable");
+    println!("building attr-churn workload: |V|={nodes}");
+    let (ga, qa) = delta_bench::attr_workload(nodes, seed);
+    println!(
+        "attr pattern ({}, {}), graph |V|={} |E|={}",
+        qa.node_count(),
+        qa.edge_count(),
+        ga.node_count(),
+        ga.edge_count()
+    );
+    let attr_result = delta_bench::run_attr_mix(&ga, &qa, k, 50, &[0.0, 0.25, 0.5, 1.0]);
+    println!("{}", delta_bench::attr_mix_table(&attr_result).render());
+
+    let combined = Value::Object(vec![
+        ("bench".into(), "incremental".to_value()),
+        ("delta_scaling".into(), result.to_value()),
+        ("attr_churn_mix".into(), attr_result.to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&combined).expect("serializable");
     std::fs::write(&out, json).expect("write BENCH_incremental.json");
     println!("wrote {out}");
 

@@ -97,13 +97,61 @@ pub fn delta_workload(nodes: usize, seed: u64) -> (DiGraph, Pattern) {
         &gpm_datagen::synthetic::SyntheticConfig::paper(nodes, 4 * nodes, seed),
     );
     let mut s = Settings::new(gpm_datagen::datasets::Scale::Small);
-    s.attr_selectivity = None; // DynamicMatcher maintains label-only patterns
+    s.attr_selectivity = None; // the delta-scaling sweep stays label-only
     s.min_matches = 10;
     let q = workloads::patterns_for(&g, (4, 8), false, &s)
         .into_iter()
         .next()
         .expect("workload pattern");
     (g, q)
+}
+
+/// Value range of the attr-churn workload's single attribute — matched by
+/// the stream config so generated `SetAttr`s actually cross predicate
+/// thresholds.
+const ATTR_RANGE: i64 = 100;
+
+/// Builds the attribute-churn workload: the same paper-style topology with
+/// an [`attr_key(0)`](gpm_datagen::update_stream::attr_key) integer
+/// attribute on every node, and a verified pattern that carries attribute
+/// conditions over it (so `SetAttr`/`UnsetAttr` churn actually flips
+/// candidacy).
+pub fn attr_workload(nodes: usize, seed: u64) -> (DiGraph, Pattern) {
+    use gpm_graph::{Attributes, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    let base = gpm_datagen::synthetic::synthetic_graph(
+        &gpm_datagen::synthetic::SyntheticConfig::paper(nodes, 4 * nodes, seed),
+    );
+    let key = gpm_datagen::update_stream::attr_key(0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA77);
+    let mut b = GraphBuilder::with_capacity(base.node_count(), base.edge_count());
+    for v in base.nodes() {
+        b.add_node_with_attrs(
+            base.label(v),
+            Attributes::from_pairs([(key.clone(), rng.random_range(0..ATTR_RANGE))]),
+        );
+    }
+    for e in base.edges() {
+        b.add_edge(e.source, e.target).expect("base edges are in range");
+    }
+    let g = b.build();
+
+    let mut s = Settings::new(gpm_datagen::datasets::Scale::Small);
+    s.min_matches = 10;
+    // Pattern extraction adds attr conditions probabilistically; insist on
+    // a pattern that actually mentions the churned key.
+    for round in 0..16u64 {
+        s.seed = seed.wrapping_add(round * 7919);
+        if let Some(q) = workloads::patterns_for(&g, (4, 8), false, &s)
+            .into_iter()
+            .find(|q| q.nodes().any(|u| q.predicate(u).mentions_key(&key)))
+        {
+            return (g, q);
+        }
+    }
+    panic!("no attribute-conditioned workload pattern found");
 }
 
 /// Runs the sweep. `k` is the served top-k size.
@@ -157,6 +205,159 @@ pub fn run(g: &DiGraph, q: &Pattern, k: usize, delta_sizes: &[usize]) -> DeltaBe
     }
 }
 
+/// One measured point of the structural:attr mix sweep.
+#[derive(Debug, Clone)]
+pub struct AttrMixPoint {
+    /// Fraction of stream ops that are attribute mutations.
+    pub attr_churn: f64,
+    /// Batches replayed.
+    pub batches: usize,
+    /// Mean `DynamicMatcher::apply` latency (ms/batch).
+    pub incremental_ms: f64,
+    /// Mean static-pipeline latency (ms/batch).
+    pub scratch_ms: f64,
+    /// Full rebuilds the incremental path fell back to (attr flips are
+    /// zero edge churn, so a pure-attr stream must report 0).
+    pub full_rebuilds: u64,
+}
+
+impl AttrMixPoint {
+    /// `scratch / incremental`.
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_ms <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.scratch_ms / self.incremental_ms
+    }
+}
+
+impl Serialize for AttrMixPoint {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("attr_churn".into(), self.attr_churn.to_value()),
+            ("batches".into(), self.batches.to_value()),
+            ("incremental_ms_per_batch".into(), self.incremental_ms.to_value()),
+            ("scratch_ms_per_batch".into(), self.scratch_ms.to_value()),
+            ("speedup".into(), self.speedup().to_value()),
+            ("full_rebuilds".into(), self.full_rebuilds.to_value()),
+        ])
+    }
+}
+
+/// The attr-churn experiment record: attribute-flip maintenance cost vs
+/// from-scratch recomputation across structural:attr op mixes.
+#[derive(Debug, Clone)]
+pub struct AttrMixResult {
+    /// `|V|`, `|E|` of the base graph.
+    pub nodes: usize,
+    pub edges: usize,
+    /// Pattern shape `(|Vp|, |Ep|)`.
+    pub pattern: (usize, usize),
+    /// Ops per batch (fixed across the sweep — only the mix varies).
+    pub batch_size: usize,
+    /// The sweep.
+    pub points: Vec<AttrMixPoint>,
+}
+
+impl Serialize for AttrMixResult {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("bench".into(), "incremental_attr_churn_mix".to_value()),
+            ("nodes".into(), self.nodes.to_value()),
+            ("edges".into(), self.edges.to_value()),
+            (
+                "pattern".into(),
+                Value::Array(vec![self.pattern.0.to_value(), self.pattern.1.to_value()]),
+            ),
+            ("batch_size".into(), self.batch_size.to_value()),
+            ("points".into(), self.points.to_value()),
+        ])
+    }
+}
+
+/// Runs the structural:attr mix sweep at a fixed batch size. `mixes` are
+/// attr-churn fractions (0.0 = pure structural, 1.0 = pure attribute).
+pub fn run_attr_mix(
+    g: &DiGraph,
+    q: &Pattern,
+    k: usize,
+    batch_size: usize,
+    mixes: &[f64],
+) -> AttrMixResult {
+    let mut points = Vec::new();
+    for &mix in mixes {
+        let batches = (1_500 / batch_size.max(1)).clamp(3, 30);
+        let cfg = UpdateStreamConfig {
+            attr_keys: 1,
+            attr_values: ATTR_RANGE,
+            ..UpdateStreamConfig::new(batches, batch_size, 0xA77B ^ (mix * 64.0) as u64)
+        }
+        .with_attr_churn(mix);
+        let stream = update_stream(g, &cfg);
+
+        // Incremental path.
+        let mut matcher = DynamicMatcher::new(g, q.clone(), IncrementalConfig::new(k))
+            .expect("attr patterns are maintainable");
+        let t0 = Instant::now();
+        for delta in &stream {
+            matcher.apply(delta).expect("stream is valid");
+        }
+        let incremental_ms = t0.elapsed().as_secs_f64() * 1e3 / batches as f64;
+        let full_rebuilds = matcher.stats().full_rebuilds;
+
+        // Static path: rebuild + re-rank per batch.
+        let mut current = g.clone();
+        let t0 = Instant::now();
+        let mut sink = 0u64;
+        for delta in &stream {
+            current = apply_delta(&current, delta).expect("stream is valid");
+            sink ^= top_k_by_match(&current, q, &TopKConfig::new(k)).total_relevance();
+        }
+        let scratch_ms = t0.elapsed().as_secs_f64() * 1e3 / batches as f64;
+        std::hint::black_box(sink);
+
+        // Cross-check: both pipelines agree on the final answer.
+        let inc = matcher.top_k();
+        let base = top_k_by_match(&current, q, &TopKConfig::new(k));
+        assert_eq!(inc.nodes(), base.nodes(), "pipelines diverged at mix = {mix}");
+
+        points.push(AttrMixPoint {
+            attr_churn: mix,
+            batches,
+            incremental_ms,
+            scratch_ms,
+            full_rebuilds,
+        });
+    }
+    AttrMixResult {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        pattern: (q.node_count(), q.edge_count()),
+        batch_size,
+        points,
+    }
+}
+
+/// Renders the mix sweep as a printable table.
+pub fn attr_mix_table(r: &AttrMixResult) -> Table {
+    let mut t = Table::new(
+        "attr_churn_mix",
+        format!(
+            "structural:attr op mix at |Δ|={}, |V|={} |E|={} Q=({},{})",
+            r.batch_size, r.nodes, r.edges, r.pattern.0, r.pattern.1
+        ),
+        "attr frac",
+        &["incr ms", "scratch ms", "speedup", "rebuilds"],
+    );
+    for p in &r.points {
+        t.push(
+            format!("{:.2}", p.attr_churn),
+            vec![p.incremental_ms, p.scratch_ms, p.speedup(), p.full_rebuilds as f64],
+        );
+    }
+    t
+}
+
 /// Renders the sweep as a printable table.
 pub fn as_table(r: &DeltaBenchResult) -> Table {
     let mut t = Table::new(
@@ -191,5 +392,21 @@ mod tests {
         assert!(json.contains("\"delta_size\": 1"));
         let rendered = as_table(&r).render();
         assert!(rendered.contains("delta_scaling"));
+    }
+
+    #[test]
+    fn tiny_attr_mix_runs_and_serializes() {
+        let (g, q) = attr_workload(1_200, 3);
+        assert!(g.has_attributes());
+        let key = gpm_datagen::update_stream::attr_key(0);
+        assert!(q.nodes().any(|u| q.predicate(u).mentions_key(&key)));
+        let r = run_attr_mix(&g, &q, 5, 8, &[0.0, 1.0]);
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.points[1].full_rebuilds, 0, "a pure-attr stream must never trigger a rebuild");
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(json.contains("incremental_attr_churn_mix"));
+        assert!(json.contains("\"attr_churn\": 1"));
+        let rendered = attr_mix_table(&r).render();
+        assert!(rendered.contains("attr_churn_mix"));
     }
 }

@@ -119,7 +119,7 @@ macro_rules! __proptest_impl {
                 let __cfg: $crate::test_runner::ProptestConfig = $cfg;
                 let mut __rng =
                     $crate::test_runner::TestRng::for_test(stringify!($name));
-                for __case in 0..__cfg.cases {
+                for __case in 0..__cfg.effective_cases() {
                     $(
                         let $pat = $crate::strategy::Strategy::generate(
                             &($strat), &mut __rng,

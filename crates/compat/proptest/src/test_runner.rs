@@ -15,6 +15,13 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// Cases to actually run: the `PROPTEST_CASES` environment variable
+    /// overrides the configured count (mirroring the real crate), so
+    /// stress jobs can crank every property suite up without code edits.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {

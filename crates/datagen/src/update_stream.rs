@@ -3,16 +3,28 @@
 //! Produces sequences of [`GraphDelta`] batches against a base graph,
 //! mirroring how the target domain (social networks) actually changes:
 //! mostly edge churn with preferential attachment on insertions, a
-//! sprinkle of node arrivals/departures. Streams are generated against a
-//! [`DynGraph`] mirror advanced op by op, so every emitted op is effective
-//! against the state the ops before it produce (deletions target edges
-//! that exist, insertions never duplicate, removals target live nodes) —
-//! batch sizes mean what they say.
+//! sprinkle of node arrivals/departures, and — when [`attr_churn`] is
+//! raised — attribute mutations (a video's `views` climbing, a product's
+//! `sales_rank` moving) mixed in with the structural ops. Streams are
+//! generated against a [`DynGraph`] mirror advanced op by op, so every
+//! emitted op is effective against the state the ops before it produce
+//! (deletions target edges that exist, insertions never duplicate,
+//! removals target live nodes, attr sets actually change the stored
+//! value) — batch sizes mean what they say.
+//!
+//! [`attr_churn`]: UpdateStreamConfig::attr_churn
 
 use gpm_graph::dynamic::DynGraph;
-use gpm_graph::{DiGraph, GraphDelta, NodeId};
+use gpm_graph::{AttrValue, DiGraph, GraphDelta, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// The attribute-key alphabet update streams draw from: key `i` is
+/// `attr{i}`. Pattern generators that want attr-churn streams to exercise
+/// their predicates should build conditions over the same keys.
+pub fn attr_key(i: u32) -> String {
+    format!("attr{i}")
+}
 
 /// Parameters of an update stream.
 #[derive(Debug, Clone)]
@@ -25,6 +37,18 @@ pub struct UpdateStreamConfig {
     pub insert_fraction: f64,
     /// Fraction of operations that touch nodes instead of edges.
     pub node_churn: f64,
+    /// Fraction of operations that are attribute mutations
+    /// (`SetAttr`/`UnsetAttr` on live nodes) instead of structural ops.
+    /// `0.0` (the default) draws no extra randomness, so structural-only
+    /// streams are bit-identical to what they were before attribute
+    /// support existed.
+    pub attr_churn: f64,
+    /// Attribute-key alphabet size (keys [`attr_key`]`(0..attr_keys)`).
+    pub attr_keys: u32,
+    /// Integer attribute values are drawn from `0..attr_values` (a small
+    /// fraction of sets store a short string instead, exercising the
+    /// cross-variant comparison rules).
+    pub attr_values: i64,
     /// Label alphabet for inserted nodes.
     pub labels: u32,
     /// RNG seed.
@@ -33,13 +57,16 @@ pub struct UpdateStreamConfig {
 
 impl UpdateStreamConfig {
     /// A balanced stream: `batches` batches of `batch_size` ops, 60%
-    /// insertions, 10% node churn.
+    /// insertions, 10% node churn, no attribute churn.
     pub fn new(batches: usize, batch_size: usize, seed: u64) -> Self {
         UpdateStreamConfig {
             batches,
             batch_size,
             insert_fraction: 0.6,
             node_churn: 0.1,
+            attr_churn: 0.0,
+            attr_keys: 3,
+            attr_values: 8,
             labels: 15,
             seed,
         }
@@ -54,6 +81,12 @@ impl UpdateStreamConfig {
     /// Delete-only variant (graph only shrinks).
     pub fn delete_only(mut self) -> Self {
         self.insert_fraction = 0.0;
+        self
+    }
+
+    /// Variant with `frac` of the ops mutating attributes.
+    pub fn with_attr_churn(mut self, frac: f64) -> Self {
+        self.attr_churn = frac;
         self
     }
 }
@@ -83,10 +116,39 @@ pub fn update_stream(base: &DiGraph, cfg: &UpdateStreamConfig) -> Vec<GraphDelta
             // that cannot land anything (e.g. delete-only on an edgeless
             // graph) is dropped rather than spun on.
             'slot: for _ in 0..16 {
+                // Gated draw: with attr_churn == 0.0 no randomness is
+                // consumed here, keeping structural-only streams
+                // bit-identical to the pre-attribute generator.
+                let attr_op = cfg.attr_churn > 0.0 && rng.random::<f64>() < cfg.attr_churn;
                 let insert = rng.random::<f64>() < cfg.insert_fraction;
                 let node_op = rng.random::<f64>() < cfg.node_churn;
                 let n = mirror.node_count() as u32;
-                let op = if insert && node_op {
+                let op = if attr_op {
+                    let v = rng.random_range(0..n);
+                    if mirror.is_removed(v) {
+                        None
+                    } else {
+                        let key = attr_key(rng.random_range(0..cfg.attr_keys.max(1)));
+                        if rng.random::<f64>() < 0.25 {
+                            // Unset an attribute that is actually present.
+                            mirror
+                                .attributes(v)
+                                .contains_key(&key)
+                                .then(|| GraphDelta::new().unset_attr(v, key.clone()))
+                        } else {
+                            // Set to a value that differs from the stored
+                            // one (else the op would be filtered as a
+                            // no-op); mostly ints, a sprinkle of strings.
+                            let value = if rng.random_range(0..8u32) == 0 {
+                                AttrValue::from(format!("s{}", rng.random_range(0..3u32)))
+                            } else {
+                                AttrValue::Int(rng.random_range(0..cfg.attr_values.max(1)))
+                            };
+                            (mirror.attr(v, &key) != Some(&value))
+                                .then(|| GraphDelta::new().set_attr(v, key.clone(), value))
+                        }
+                    }
+                } else if insert && node_op {
                     Some(GraphDelta::new().add_node(rng.random_range(0..cfg.labels.max(1))))
                 } else if insert {
                     // Degree-biased target, uniform source (new links attach
@@ -164,6 +226,77 @@ mod tests {
         assert!(churn > 0, "stream does something");
         assert_eq!(dynamic.edge_count(), immutable.edge_count());
         assert_eq!(dynamic.node_count(), immutable.node_count());
+    }
+
+    #[test]
+    fn attr_streams_are_effective_and_deterministic() {
+        use gpm_graph::DeltaOp;
+        let g = base();
+        let cfg = UpdateStreamConfig::new(5, 25, 99).with_attr_churn(0.5);
+        let stream = update_stream(&g, &cfg);
+        let again = update_stream(&g, &cfg);
+        for (a, b) in stream.iter().zip(&again) {
+            assert_eq!(a.ops, b.ops, "same seed, same stream");
+        }
+        let attr_ops: usize = stream
+            .iter()
+            .flat_map(|d| &d.ops)
+            .filter(|op| matches!(op, DeltaOp::SetAttr { .. } | DeltaOp::UnsetAttr { .. }))
+            .count();
+        assert!(attr_ops > 0, "attr churn emits attr ops");
+        let structural: usize = stream.iter().map(|d| d.len()).sum::<usize>() - attr_ops;
+        assert!(structural > 0, "attr churn < 1.0 keeps structural ops mixed in");
+
+        // Every emitted op is effective: replay records exactly as many
+        // attr changes as attr ops, and both application paths agree.
+        let mut dynamic = DynGraph::from_digraph(&g);
+        let mut immutable = g.clone();
+        let mut changes = 0;
+        for delta in &stream {
+            changes += dynamic.apply(delta).unwrap().attr_changes.len();
+            immutable = apply_delta(&immutable, delta).unwrap();
+        }
+        assert_eq!(changes, attr_ops, "no emitted attr op is a no-op");
+        let snap = dynamic.snapshot();
+        for v in immutable.nodes() {
+            assert_eq!(snap.attributes(v), immutable.attributes(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn zero_attr_churn_streams_are_unchanged() {
+        // The gated draw keeps structural-only streams bit-identical to
+        // the pre-attribute generator: with attr_churn == 0.0 the attr
+        // branch consumes NO randomness, so every downstream draw lands
+        // where it always did. Guarded two ways: no attr op is ever
+        // emitted, and a golden op-sequence pinned from the pre-attribute
+        // generator must reproduce exactly — an unconditional rng draw in
+        // the attr branch would shift every op and fail this loudly.
+        use gpm_graph::DeltaOp;
+        let g = base();
+        let stream = update_stream(&g, &UpdateStreamConfig::new(4, 15, 7));
+        assert!(stream
+            .iter()
+            .flat_map(|d| &d.ops)
+            .all(|op| !matches!(op, DeltaOp::SetAttr { .. } | DeltaOp::UnsetAttr { .. })));
+
+        let golden = update_stream(&g, &UpdateStreamConfig::new(1, 6, 42));
+        let rendered: Vec<String> = golden[0]
+            .ops
+            .iter()
+            .map(|op| match *op {
+                DeltaOp::AddNode(l) => format!("n{l}"),
+                DeltaOp::AddEdge(s, t) => format!("+{s}>{t}"),
+                DeltaOp::RemoveEdge(s, t) => format!("-{s}>{t}"),
+                DeltaOp::RemoveNode(v) => format!("x{v}"),
+                _ => "attr".into(),
+            })
+            .collect();
+        assert_eq!(
+            rendered,
+            ["-83>0", "+65>34", "-147>80", "+61>148", "+287>179", "x83"],
+            "structural stream drifted from the pre-attribute generator"
+        );
     }
 
     #[test]

@@ -115,6 +115,19 @@ impl Attributes {
         self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key)).ok().map(|i| &self.entries[i].1)
     }
 
+    /// Removes `key`, returning the previous value if it was present.
+    pub fn remove(&mut self, key: &str) -> Option<AttrValue> {
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// `true` when `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
     /// Number of attributes.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -167,5 +180,30 @@ mod tests {
     fn display() {
         assert_eq!(AttrValue::Int(7).to_string(), "7");
         assert_eq!(AttrValue::Str("a".into()).to_string(), "a");
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut a = Attributes::from_pairs([("views", 5i64), ("category", 2i64)]);
+        assert!(a.contains_key("views"));
+        assert_eq!(a.remove("views"), Some(AttrValue::Int(5)));
+        assert_eq!(a.remove("views"), None, "second remove is a no-op");
+        assert!(!a.contains_key("views"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove("missing"), None);
+    }
+
+    #[test]
+    fn cross_variant_equality_is_false() {
+        // `AttrValue` equality is *structural*: the derive compares variants
+        // first, so `Int(4) != Float(4.0)` and `Int(4) != Str("4")`. Numeric
+        // widening happens only inside predicate evaluation (gpm-pattern),
+        // never in the storage layer — SetAttr idempotency therefore keys on
+        // the exact stored representation.
+        assert_ne!(AttrValue::Int(4), AttrValue::Float(4.0));
+        assert_ne!(AttrValue::Int(4), AttrValue::Str("4".into()));
+        assert_ne!(AttrValue::Float(0.0), AttrValue::Str(String::new()));
+        assert_eq!(AttrValue::Int(4), AttrValue::Int(4));
+        assert_eq!(AttrValue::Str("x".into()), AttrValue::Str("x".into()));
     }
 }

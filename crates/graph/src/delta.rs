@@ -20,10 +20,19 @@
 //!   node's slot never accrues new edges.
 //! * **`RemoveNode(v)`** — tombstone semantics: node ids must stay dense
 //!   (every index in the CSR, candidate bitmasks and relevant-set universes
-//!   is an id), so removal drops all incident edges and relabels the node
-//!   to the reserved [`TOMBSTONE_LABEL`], which no pattern may use. The
-//!   slot is never reused.
+//!   is an id), so removal drops all incident edges, relabels the node
+//!   to the reserved [`TOMBSTONE_LABEL`], which no pattern may use, and
+//!   clears its attributes. The slot is never reused.
+//! * **`SetAttr { node, key, value }`** / **`UnsetAttr { node, key }`** —
+//!   node attribute mutations (the paper's real-life queries filter on
+//!   `category`, `views`, `sales rank`, …). Idempotent like the edge ops:
+//!   setting a key to its current value or unsetting an absent key is a
+//!   recorded no-op. Attr ops targeting a **tombstoned or never-added**
+//!   node are no-ops too, never errors — generated streams may batch a
+//!   `RemoveNode` ahead of a `SetAttr` to the same node, and a removed
+//!   slot accrues no state of any kind.
 
+use crate::attrs::{AttrValue, Attributes};
 use crate::builder::GraphBuilder;
 use crate::digraph::{DiGraph, Label, NodeId};
 use crate::error::GraphError;
@@ -35,7 +44,10 @@ use crate::Result;
 pub const TOMBSTONE_LABEL: Label = Label::MAX;
 
 /// One update operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Not `Copy` since the attribute variants carry owned keys/values; the
+/// structural variants stay cheap to clone.
+#[derive(Debug, Clone, PartialEq)]
 pub enum DeltaOp {
     /// Append a node with the given label (id = next dense id).
     AddNode(Label),
@@ -44,8 +56,24 @@ pub enum DeltaOp {
     /// Remove the edge `(s, t)`.
     RemoveEdge(NodeId, NodeId),
     /// Tombstone node `v`: drop incident edges, relabel to
-    /// [`TOMBSTONE_LABEL`].
+    /// [`TOMBSTONE_LABEL`], clear attributes.
     RemoveNode(NodeId),
+    /// Insert or overwrite one attribute of `node`.
+    SetAttr {
+        /// Target node.
+        node: NodeId,
+        /// Attribute key.
+        key: String,
+        /// New value.
+        value: AttrValue,
+    },
+    /// Remove one attribute of `node`.
+    UnsetAttr {
+        /// Target node.
+        node: NodeId,
+        /// Attribute key.
+        key: String,
+    },
 }
 
 /// A batch of updates, applied in order.
@@ -85,6 +113,23 @@ impl GraphDelta {
         self
     }
 
+    /// Builder-style: append an attribute insertion/overwrite.
+    pub fn set_attr(
+        mut self,
+        node: NodeId,
+        key: impl Into<String>,
+        value: impl Into<AttrValue>,
+    ) -> Self {
+        self.ops.push(DeltaOp::SetAttr { node, key: key.into(), value: value.into() });
+        self
+    }
+
+    /// Builder-style: append an attribute removal.
+    pub fn unset_attr(mut self, node: NodeId, key: impl Into<String>) -> Self {
+        self.ops.push(DeltaOp::UnsetAttr { node, key: key.into() });
+        self
+    }
+
     /// Number of operations.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -100,7 +145,7 @@ impl GraphDelta {
 /// application order. `RemoveNode` expands into its incident
 /// `EdgeRemoved`s followed by a `NodeRemoved`. Incremental consumers
 /// replay this stream op-by-op, in lockstep with the graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EffectiveOp {
     /// A node appeared with this id and label.
     NodeAdded(NodeId, Label),
@@ -110,6 +155,23 @@ pub enum EffectiveOp {
     EdgeRemoved(NodeId, NodeId),
     /// A node was tombstoned (after its incident edges were removed).
     NodeRemoved(NodeId),
+    /// An attribute of a live node changed to `value` (insert or
+    /// overwrite — same-value sets are filtered out as no-ops).
+    AttrSet {
+        /// Target node.
+        node: NodeId,
+        /// Attribute key.
+        key: String,
+        /// The value now stored.
+        value: AttrValue,
+    },
+    /// An attribute that was present on a live node disappeared.
+    AttrUnset {
+        /// Target node.
+        node: NodeId,
+        /// Attribute key.
+        key: String,
+    },
 }
 
 /// The *effective* updates of a batch after normalization: duplicate edge
@@ -129,18 +191,22 @@ pub struct AppliedDelta {
     pub removed_edges: Vec<(NodeId, NodeId)>,
     /// Nodes tombstoned by this batch.
     pub removed_nodes: Vec<NodeId>,
+    /// `(node, key)` of every attribute that effectively changed (set to a
+    /// new value or unset while present), in application order.
+    pub attr_changes: Vec<(NodeId, String)>,
     /// The graph version after application.
     pub version: u64,
 }
 
 impl AppliedDelta {
     /// The normalized update stream, in application order.
-    pub fn effects(&self) -> impl Iterator<Item = EffectiveOp> + '_ {
-        self.effects.iter().copied()
+    pub fn effects(&self) -> impl Iterator<Item = &EffectiveOp> + '_ {
+        self.effects.iter()
     }
 
     /// Number of effective edge changes (the "delta size" the incremental
-    /// engine's fallback heuristics reason about).
+    /// engine's fallback heuristics reason about — attribute flips change
+    /// no adjacency and therefore count zero here).
     pub fn edge_churn(&self) -> usize {
         self.added_edges.len() + self.removed_edges.len()
     }
@@ -151,6 +217,7 @@ impl AppliedDelta {
             && self.added_edges.is_empty()
             && self.removed_edges.is_empty()
             && self.removed_nodes.is_empty()
+            && self.attr_changes.is_empty()
     }
 }
 
@@ -158,15 +225,19 @@ impl AppliedDelta {
 ///
 /// This is the from-scratch path (used by baselines and the equivalence
 /// property tests); the incremental path lives in
-/// [`DynGraph::apply`](crate::dynamic::DynGraph::apply). Names and
-/// attributes are dropped — dynamic workloads are topology/label driven.
+/// [`DynGraph::apply`](crate::dynamic::DynGraph::apply). Attributes are
+/// carried through and mutated by the attr ops (the dynamic path evaluates
+/// predicates against them); display names are dropped — dynamic workloads
+/// never read them.
 pub fn apply_delta(g: &DiGraph, delta: &GraphDelta) -> Result<DiGraph> {
     let mut labels: Vec<Label> = g.labels().to_vec();
     let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|e| (e.source, e.target)).collect();
+    let mut attrs: Vec<Attributes> =
+        g.nodes().map(|v| g.attributes(v).cloned().unwrap_or_default()).collect();
 
     for op in &delta.ops {
-        match *op {
-            DeltaOp::AddNode(label) => {
+        match op {
+            &DeltaOp::AddNode(label) => {
                 if label == TOMBSTONE_LABEL {
                     return Err(GraphError::Parse {
                         line: 0,
@@ -174,8 +245,9 @@ pub fn apply_delta(g: &DiGraph, delta: &GraphDelta) -> Result<DiGraph> {
                     });
                 }
                 labels.push(label);
+                attrs.push(Attributes::new());
             }
-            DeltaOp::AddEdge(s, t) => {
+            &DeltaOp::AddEdge(s, t) => {
                 check_node(s, labels.len())?;
                 check_node(t, labels.len())?;
                 // Mirror DynGraph: edges onto tombstoned nodes are
@@ -184,22 +256,37 @@ pub fn apply_delta(g: &DiGraph, delta: &GraphDelta) -> Result<DiGraph> {
                     edges.push((s, t)); // GraphBuilder deduplicates
                 }
             }
-            DeltaOp::RemoveEdge(s, t) => {
+            &DeltaOp::RemoveEdge(s, t) => {
                 check_node(s, labels.len())?;
                 check_node(t, labels.len())?;
                 edges.retain(|&e| e != (s, t));
             }
-            DeltaOp::RemoveNode(v) => {
+            &DeltaOp::RemoveNode(v) => {
                 check_node(v, labels.len())?;
                 labels[v as usize] = TOMBSTONE_LABEL;
                 edges.retain(|&(s, t)| s != v && t != v);
+                attrs[v as usize] = Attributes::new();
+            }
+            // Attr ops onto tombstoned or out-of-range nodes are no-ops,
+            // not errors — mirror of the AddEdge-onto-tombstone rule.
+            DeltaOp::SetAttr { node, key, value } => {
+                let v = *node as usize;
+                if v < labels.len() && labels[v] != TOMBSTONE_LABEL {
+                    attrs[v].set(key.clone(), value.clone());
+                }
+            }
+            DeltaOp::UnsetAttr { node, key } => {
+                let v = *node as usize;
+                if v < labels.len() && labels[v] != TOMBSTONE_LABEL {
+                    attrs[v].remove(key);
+                }
             }
         }
     }
 
     let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
-    for &l in &labels {
-        b.add_node(l);
+    for (l, a) in labels.iter().zip(attrs) {
+        b.add_node_with_attrs(*l, a);
     }
     for (s, t) in edges {
         b.add_edge(s, t)?;
@@ -276,5 +363,57 @@ mod tests {
         assert!(apply_delta(&g, &GraphDelta::new().add_edge(0, 5)).is_err());
         assert!(apply_delta(&g, &GraphDelta::new().remove_node(9)).is_err());
         assert!(apply_delta(&g, &GraphDelta::new().add_node(TOMBSTONE_LABEL)).is_err());
+    }
+
+    #[test]
+    fn attrs_carried_through_and_mutated() {
+        use crate::attrs::Attributes;
+        use crate::builder::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_node_with_attrs(
+            0,
+            Attributes::from_pairs([("views", AttrValue::Int(5)), ("rate", AttrValue::Float(1.5))]),
+        );
+        b.add_node(1);
+        let g = b.build();
+        let d = GraphDelta::new()
+            .set_attr(0, "views", 9i64)
+            .unset_attr(0, "rate")
+            .set_attr(1, "category", "music")
+            .add_node(2)
+            .set_attr(2, "views", 1i64);
+        let g2 = apply_delta(&g, &d).unwrap();
+        let a0 = g2.attributes(0).unwrap();
+        assert_eq!(a0.get("views"), Some(&AttrValue::Int(9)));
+        assert_eq!(a0.get("rate"), None);
+        assert_eq!(
+            g2.attributes(1).unwrap().get("category").and_then(|v| v.as_str()),
+            Some("music")
+        );
+        assert_eq!(g2.attributes(2).unwrap().get("views"), Some(&AttrValue::Int(1)));
+    }
+
+    #[test]
+    fn attr_ops_on_dead_or_missing_nodes_are_noops() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+        // Tombstoned in the same batch, then attr ops on it, plus an attr
+        // op on a node that was never added: all silently ineffective.
+        let d = GraphDelta::new()
+            .remove_node(1)
+            .set_attr(1, "views", 3i64)
+            .unset_attr(1, "views")
+            .set_attr(99, "views", 3i64)
+            .unset_attr(99, "views");
+        let g2 = apply_delta(&g, &d).unwrap();
+        assert_eq!(g2.label(1), TOMBSTONE_LABEL);
+        assert!(!g2.has_attributes(), "no attribute ever landed");
+    }
+
+    #[test]
+    fn remove_node_clears_attrs() {
+        let g = graph_from_parts(&[0, 1], &[]).unwrap();
+        let d = GraphDelta::new().set_attr(0, "views", 3i64).remove_node(0);
+        let g2 = apply_delta(&g, &d).unwrap();
+        assert!(!g2.has_attributes(), "tombstoned slot keeps no attributes");
     }
 }

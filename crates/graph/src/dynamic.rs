@@ -13,6 +13,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::attrs::Attributes;
 use crate::builder::GraphBuilder;
 use crate::delta::{AppliedDelta, DeltaOp, EffectiveOp, GraphDelta, TOMBSTONE_LABEL};
 use crate::digraph::{DiGraph, Label, NodeId};
@@ -27,6 +28,9 @@ pub struct DynGraph {
     rev: Vec<BTreeSet<NodeId>>,
     /// Sorted node ids per label (tombstoned nodes excluded).
     by_label: std::collections::BTreeMap<Label, BTreeSet<NodeId>>,
+    /// Per-node attribute maps (empty for attribute-less nodes; cleared on
+    /// tombstone — a removed slot accrues no state of any kind).
+    attrs: Vec<Attributes>,
     edge_count: usize,
     version: u64,
 }
@@ -46,11 +50,14 @@ impl DynGraph {
         for v in g.nodes() {
             by_label.entry(g.label(v)).or_default().insert(v);
         }
+        let attrs: Vec<Attributes> =
+            g.nodes().map(|v| g.attributes(v).cloned().unwrap_or_default()).collect();
         DynGraph {
             labels: g.labels().to_vec(),
             fwd,
             rev,
             by_label,
+            attrs,
             edge_count: g.edge_count(),
             version: 0,
         }
@@ -84,6 +91,18 @@ impl DynGraph {
     #[inline]
     pub fn is_removed(&self, v: NodeId) -> bool {
         self.labels[v as usize] == TOMBSTONE_LABEL
+    }
+
+    /// Attributes of `v` (empty for attribute-less and tombstoned nodes).
+    #[inline]
+    pub fn attributes(&self, v: NodeId) -> &Attributes {
+        &self.attrs[v as usize]
+    }
+
+    /// One attribute of `v`.
+    #[inline]
+    pub fn attr(&self, v: NodeId, key: &str) -> Option<&crate::attrs::AttrValue> {
+        self.attrs[v as usize].get(key)
     }
 
     /// Successor set of `v` (sorted ascending).
@@ -152,10 +171,12 @@ impl DynGraph {
     pub fn apply_with(
         &mut self,
         delta: &GraphDelta,
-        mut hook: impl FnMut(&DynGraph, EffectiveOp),
+        mut hook: impl FnMut(&DynGraph, &EffectiveOp),
     ) -> Result<AppliedDelta> {
         // Validation pass: node references must be in range at the point
-        // their op executes (additions extend the range mid-batch).
+        // their op executes (additions extend the range mid-batch). Attr
+        // ops are exempt — on a tombstoned or never-added node they are
+        // recorded no-ops, never errors.
         let mut n = self.node_count();
         for op in &delta.ops {
             match *op {
@@ -180,6 +201,7 @@ impl DynGraph {
                         return Err(GraphError::UnknownNode(v));
                     }
                 }
+                DeltaOp::SetAttr { .. } | DeltaOp::UnsetAttr { .. } => {}
             }
         }
 
@@ -187,8 +209,8 @@ impl DynGraph {
         macro_rules! emit {
             ($self:ident, $eff:expr) => {{
                 let eff = $eff;
+                hook(&*$self, &eff);
                 out.effects.push(eff);
-                hook(&*$self, eff);
             }};
         }
         for op in &delta.ops {
@@ -198,6 +220,7 @@ impl DynGraph {
                     self.labels.push(label);
                     self.fwd.push(BTreeSet::new());
                     self.rev.push(BTreeSet::new());
+                    self.attrs.push(Attributes::new());
                     self.by_label.entry(label).or_default().insert(id);
                     out.added_nodes.push((id, label));
                     emit!(self, EffectiveOp::NodeAdded(id, label));
@@ -255,8 +278,38 @@ impl DynGraph {
                         set.remove(&v);
                     }
                     self.labels[v as usize] = TOMBSTONE_LABEL;
+                    self.attrs[v as usize] = Attributes::new();
                     out.removed_nodes.push(v);
                     emit!(self, EffectiveOp::NodeRemoved(v));
+                }
+                DeltaOp::SetAttr { node, ref key, ref value } => {
+                    // Tombstoned / never-added targets: recorded no-op
+                    // (mirror of the AddEdge-onto-tombstone rule — streams
+                    // may batch a RemoveNode ahead of a SetAttr). Setting
+                    // the stored value again is idempotent, so replays see
+                    // only *changes*.
+                    if node as usize >= self.labels.len() || self.is_removed(node) {
+                        continue;
+                    }
+                    if self.attrs[node as usize].get(key) == Some(value) {
+                        continue;
+                    }
+                    self.attrs[node as usize].set(key.clone(), value.clone());
+                    out.attr_changes.push((node, key.clone()));
+                    emit!(
+                        self,
+                        EffectiveOp::AttrSet { node, key: key.clone(), value: value.clone() }
+                    );
+                }
+                DeltaOp::UnsetAttr { node, ref key } => {
+                    if node as usize >= self.labels.len() || self.is_removed(node) {
+                        continue;
+                    }
+                    if self.attrs[node as usize].remove(key).is_none() {
+                        continue;
+                    }
+                    out.attr_changes.push((node, key.clone()));
+                    emit!(self, EffectiveOp::AttrUnset { node, key: key.clone() });
                 }
             }
         }
@@ -265,11 +318,13 @@ impl DynGraph {
         Ok(out)
     }
 
-    /// Packs the current state into an immutable [`DiGraph`].
+    /// Packs the current state into an immutable [`DiGraph`], attributes
+    /// included — static recomputes on the snapshot see exactly the
+    /// predicate environment the dynamic path maintains.
     pub fn snapshot(&self) -> DiGraph {
         let mut b = GraphBuilder::with_capacity(self.node_count(), self.edge_count);
-        for &l in &self.labels {
-            b.add_node(l);
+        for (&l, a) in self.labels.iter().zip(&self.attrs) {
+            b.add_node_with_attrs(l, a.clone());
         }
         for (s, succs) in self.fwd.iter().enumerate() {
             for &t in succs {
@@ -375,6 +430,83 @@ mod tests {
         .unwrap();
         assert_eq!(dg.edge_count(), expect.edge_count());
         assert_eq!(dg.snapshot().edge_count(), expect.edge_count());
+    }
+
+    #[test]
+    fn attr_mutations_roundtrip_and_mirror_immutable_path() {
+        use crate::attrs::AttrValue;
+        let g = sample();
+        let mut dg = DynGraph::from_digraph(&g);
+        let delta = GraphDelta::new()
+            .set_attr(0, "views", 10i64)
+            .set_attr(0, "views", 10i64) // idempotent: second set is a no-op
+            .set_attr(1, "category", "music")
+            .set_attr(0, "views", 12i64) // overwrite is effective
+            .unset_attr(1, "category")
+            .unset_attr(1, "category"); // unset of absent key is a no-op
+        let applied = dg.apply(&delta).unwrap();
+        assert_eq!(
+            applied.attr_changes,
+            vec![
+                (0, "views".to_string()),
+                (1, "category".to_string()),
+                (0, "views".to_string()),
+                (1, "category".to_string()),
+            ]
+        );
+        assert_eq!(applied.effects.len(), 4, "two of six ops were no-ops");
+        assert!(!applied.is_noop());
+        assert_eq!(applied.edge_churn(), 0, "attr flips are not edge churn");
+        assert_eq!(dg.attr(0, "views"), Some(&AttrValue::Int(12)));
+        assert_eq!(dg.attr(1, "category"), None);
+
+        // Snapshot carries the attributes; the immutable path agrees.
+        let snap = dg.snapshot();
+        assert_eq!(snap.attributes(0).unwrap().get("views"), Some(&AttrValue::Int(12)));
+        let expect = crate::delta::apply_delta(&g, &delta).unwrap();
+        for v in expect.nodes() {
+            assert_eq!(snap.attributes(v), expect.attributes(v), "node {v}");
+        }
+    }
+
+    /// Regression (mirror of the AddEdge-onto-tombstone fix): attr ops
+    /// targeting a tombstoned or never-added node are recorded no-ops in
+    /// both application paths, and a tombstone wipes existing attributes.
+    #[test]
+    fn attr_ops_on_tombstoned_or_missing_nodes_are_noops() {
+        let g = sample();
+        let mut dg = DynGraph::from_digraph(&g);
+        dg.apply(&GraphDelta::new().set_attr(1, "views", 7i64)).unwrap();
+        assert!(dg.attr(1, "views").is_some());
+
+        // Same batch: RemoveNode ahead of attr ops on the dead node, plus
+        // attr ops on an id that was never added.
+        let delta = GraphDelta::new()
+            .remove_node(1)
+            .set_attr(1, "views", 9i64)
+            .unset_attr(1, "views")
+            .set_attr(42, "views", 9i64)
+            .unset_attr(42, "views");
+        let mut hook_effects = 0usize;
+        let applied = dg.apply_with(&delta, |_, _| hook_effects += 1).unwrap();
+        assert!(applied.attr_changes.is_empty(), "dead/missing slots accrue no attr state");
+        assert_eq!(dg.attributes(1).len(), 0, "tombstone wiped the old attributes");
+        // Only the structural effects of RemoveNode reached the hook.
+        assert_eq!(hook_effects, applied.effects.len());
+        assert!(applied
+            .effects()
+            .all(|e| !matches!(e, EffectiveOp::AttrSet { .. } | EffectiveOp::AttrUnset { .. })));
+
+        // Later batch: still a no-op, and the immutable path agrees.
+        let applied2 = dg.apply(&GraphDelta::new().set_attr(1, "x", 1i64)).unwrap();
+        assert!(applied2.is_noop());
+        let expect = crate::delta::apply_delta(
+            &crate::delta::apply_delta(&g, &GraphDelta::new().set_attr(1, "views", 7i64)).unwrap(),
+            &delta,
+        )
+        .unwrap();
+        assert!(expect.attributes(1).is_none_or(|a| a.is_empty()));
+        assert_eq!(dg.snapshot().has_attributes(), expect.has_attributes());
     }
 
     #[test]

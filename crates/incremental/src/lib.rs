@@ -11,7 +11,9 @@
 //!
 //! * the maximum simulation survives updates through
 //!   [`gpm_simulation::IncSimState`] (counter cascades for deletions,
-//!   localized revival regions for insertions);
+//!   localized revival regions for insertions, predicate re-evaluation of
+//!   exactly the affected pattern nodes for attribute mutations — full
+//!   `Predicate` trees are supported, not just labels);
 //! * relevant sets survive through a [`gpm_ranking::RelevanceCache`];
 //!   after each batch only matches whose `δr` could have changed —
 //!   found by a backward sweep from the touched pairs — are re-derived;
@@ -45,8 +47,10 @@
 //!
 //! One graph usually serves many query shapes at once. [`PatternRegistry`]
 //! maintains N registered patterns over a **single** shared [`gpm_graph::DynGraph`]:
-//! each delta batch mutates the graph once, a shared label index prunes the
-//! per-pattern fan-out, and the independent per-pattern ranking refreshes
+//! each delta batch mutates the graph once, a shared interest index prunes
+//! the per-pattern fan-out (node labels and edge label-pairs for
+//! structural ops, per-pattern attribute-key interest for
+//! `SetAttr`/`UnsetAttr`), and the independent per-pattern ranking refreshes
 //! run on a small thread pool with a deterministic merge. Answers are
 //! bit-identical to N independent [`DynamicMatcher`]s (differentially
 //! property-tested in `tests/registry_differential.rs`).

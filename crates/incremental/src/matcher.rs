@@ -45,8 +45,9 @@ impl IncrementalConfig {
 /// Errors from matcher construction and delta application.
 #[derive(Debug)]
 pub enum IncrementalError {
-    /// The pattern uses attribute predicates; the dynamic path carries no
-    /// node attributes, so only pure-label patterns are maintainable.
+    /// The pattern exceeds the candidate-bitmask width (64 pattern nodes).
+    /// Attribute predicates are fully supported — `SetAttr`/`UnsetAttr`
+    /// deltas flip candidacy incrementally.
     UnsupportedPattern,
     /// The delta referenced nodes that do not exist (graph unchanged).
     Graph(GraphError),
@@ -56,7 +57,7 @@ impl std::fmt::Display for IncrementalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IncrementalError::UnsupportedPattern => {
-                write!(f, "only pure-label patterns can be maintained incrementally")
+                write!(f, "patterns with more than 64 nodes cannot be maintained incrementally")
             }
             IncrementalError::Graph(e) => write!(f, "delta rejected: {e}"),
         }

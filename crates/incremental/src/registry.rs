@@ -13,9 +13,11 @@
 //!   state follows it by reference (the
 //!   [`PatternState`](crate::state::PatternState) layer is graph-agnostic);
 //! * **one shared candidate index**: the graph's label index plus each
-//!   pattern's label-interest sets let the fan-out skip replaying
-//!   mutations whose labels the pattern never names — the *shared-index
-//!   hit rate* in [`RegistryStats`] reports how much that saves;
+//!   pattern's interest sets let the fan-out skip replaying mutations
+//!   that provably cannot touch it — structural ops whose labels the
+//!   pattern never names, and attribute ops on keys none of its
+//!   predicates mention — the *shared-index hit rate* in
+//!   [`RegistryStats`] reports how much that saves;
 //! * **parallel ranking maintenance**: after the (inherently sequential)
 //!   lockstep replay, per-pattern dirtiness sweeps and relevant-set
 //!   refreshes are independent, so they are dispatched across a small

@@ -6,11 +6,11 @@
 //! they maintain against as a parameter, so N states can follow one shared
 //! graph. A state bundles the incremental simulation ([`IncSimState`]),
 //! the relevant-set cache ([`RelevanceCache`]) and the per-pattern
-//! [`ApplyStats`], plus the **label interest sets** the registry's shared
+//! [`ApplyStats`], plus the **interest sets** the registry's shared
 //! candidate index consults to skip replaying mutations that provably
-//! cannot touch this pattern (a pure-label pattern only reacts to nodes
-//! whose label it names and to edges whose endpoint-label pair matches one
-//! of its own edges).
+//! cannot touch this pattern: a pattern only reacts to nodes whose label
+//! it names, to edges whose endpoint-label pair matches one of its own
+//! edges, and to attribute mutations on keys its predicates mention.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
@@ -29,12 +29,15 @@ use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
 
 /// Estimated effective edge churn of `delta` against the current `g`,
 /// judged before touching anything: every op changes at most one edge,
-/// except `RemoveNode` which drops the node's whole incidence list. A
-/// heuristic, not a bound: self-loops and edges an earlier op already
-/// removed are counted twice, while edges added and then dropped by a
-/// later `RemoveNode` of the same batch are undercounted (`RemoveNode`
-/// sees pre-batch degrees). A borderline batch can land on either side of
-/// the rebuild threshold — that costs time, never correctness.
+/// except `RemoveNode` which drops the node's whole incidence list, and
+/// attribute ops which change **no** adjacency and count zero — an
+/// attr-only batch must never trip the edge-churn rebuild threshold (the
+/// dirtiness-sweep cap still bounds its ranking cost). A heuristic, not a
+/// bound: self-loops and edges an earlier op already removed are counted
+/// twice, while edges added and then dropped by a later `RemoveNode` of
+/// the same batch are undercounted (`RemoveNode` sees pre-batch degrees).
+/// A borderline batch can land on either side of the rebuild threshold —
+/// that costs time, never correctness.
 pub(crate) fn worst_churn(g: &DynGraph, delta: &GraphDelta) -> usize {
     delta
         .ops
@@ -43,6 +46,7 @@ pub(crate) fn worst_churn(g: &DynGraph, delta: &GraphDelta) -> usize {
             DeltaOp::RemoveNode(v) if (v as usize) < g.node_count() => {
                 (g.successors(v).count() + g.predecessors(v).count()).max(1)
             }
+            DeltaOp::SetAttr { .. } | DeltaOp::UnsetAttr { .. } => 0,
             _ => 1,
         })
         .sum()
@@ -87,10 +91,21 @@ pub(crate) struct PatternState {
     sim: IncSimState,
     cache: RelevanceCache,
     stats: ApplyStats,
-    /// Labels the pattern's nodes carry (pure-label patterns only).
-    node_labels: BTreeSet<Label>,
-    /// `(label(u), label(u'))` for every pattern edge `(u, u')`.
-    edge_label_pairs: BTreeSet<(Label, Label)>,
+    /// Primary labels of the pattern's nodes — candidates of a node always
+    /// carry its primary label (candidate enumeration scans the label
+    /// class), so structural ops on other labels are no-ops. `None` when
+    /// some pattern node's predicate implies no label (e.g. a bare `Or`):
+    /// then *any* node could be its candidate and label filtering is
+    /// unsound — fall back to dispatching every structural op.
+    node_labels: Option<BTreeSet<Label>>,
+    /// `(label(u), label(u'))` for every pattern edge `(u, u')`; `None`
+    /// when some pattern edge has an endpoint without a primary label.
+    edge_label_pairs: Option<BTreeSet<(Label, Label)>>,
+    /// Attribute keys mentioned by any of the pattern's predicates — the
+    /// registry's *attribute-key interest*: a `SetAttr`/`UnsetAttr` on any
+    /// other key cannot change any candidacy, hence is a provable no-op
+    /// for this pattern.
+    attr_keys: BTreeSet<String>,
 }
 
 impl PatternState {
@@ -101,17 +116,21 @@ impl PatternState {
         cfg: IncrementalConfig,
     ) -> Result<Self, IncrementalError> {
         let sim = IncSimState::new(g, &pattern).ok_or(IncrementalError::UnsupportedPattern)?;
-        let node_labels: BTreeSet<Label> =
-            pattern.nodes().filter_map(|u| pattern.predicate(u).primary_label()).collect();
-        let edge_label_pairs: BTreeSet<(Label, Label)> = pattern
+        let node_labels: Option<BTreeSet<Label>> =
+            pattern.nodes().map(|u| pattern.predicate(u).primary_label()).collect();
+        let edge_label_pairs: Option<BTreeSet<(Label, Label)>> = pattern
             .edges()
-            .filter_map(|(u, uc)| {
+            .map(|(u, uc)| {
                 Some((
                     pattern.predicate(u).primary_label()?,
                     pattern.predicate(uc).primary_label()?,
                 ))
             })
             .collect();
+        let mut attr_keys = BTreeSet::new();
+        for u in pattern.nodes() {
+            pattern.predicate(u).collect_attr_keys(&mut attr_keys);
+        }
         let mut state = PatternState {
             cache: RelevanceCache::new(g.node_count()),
             pattern,
@@ -120,6 +139,7 @@ impl PatternState {
             stats: ApplyStats::default(),
             node_labels,
             edge_label_pairs,
+            attr_keys,
         };
         state.rebuild_cache(g);
         state.sim.take_dirty();
@@ -158,37 +178,50 @@ impl PatternState {
     /// the shared-index test the registry uses to skip replays. Skipping a
     /// mutation this returns `false` for is a provable no-op: candidates
     /// are label-matched, so a node whose label the pattern never names
-    /// has no pairs, and an edge whose endpoint-label pair matches no
-    /// pattern edge touches no support counter and seeds no revival.
+    /// has no pairs; an edge whose endpoint-label pair matches no pattern
+    /// edge touches no support counter and seeds no revival; and an
+    /// attribute mutation on a key no predicate mentions cannot change any
+    /// candidacy (candidacy is a pure function of `(label, attrs)`).
+    /// Patterns with label-free predicates degrade gracefully: their label
+    /// filters report interested for every structural op.
     pub(crate) fn wants(
         &self,
         g: &DynGraph,
-        eff: EffectiveOp,
+        eff: &EffectiveOp,
         removed_labels: &HashMap<NodeId, Label>,
     ) -> bool {
-        match eff {
-            EffectiveOp::NodeAdded(_, label) => self.node_labels.contains(&label),
+        match *eff {
+            EffectiveOp::NodeAdded(_, label) => {
+                self.node_labels.as_ref().is_none_or(|set| set.contains(&label))
+            }
             EffectiveOp::EdgeAdded(s, t) | EffectiveOp::EdgeRemoved(s, t) => {
                 // Labels are still intact here: RemoveNode strips incident
                 // edges (emitting these ops) before tombstoning the slot.
-                self.edge_label_pairs.contains(&(g.label(s), g.label(t)))
+                self.edge_label_pairs
+                    .as_ref()
+                    .is_none_or(|set| set.contains(&(g.label(s), g.label(t))))
             }
             EffectiveOp::NodeRemoved(v) => match removed_labels.get(&v) {
-                Some(label) => self.node_labels.contains(label),
+                Some(label) => self.node_labels.as_ref().is_none_or(|set| set.contains(label)),
                 None => true, // unknown pre-batch label: dispatch conservatively
             },
+            EffectiveOp::AttrSet { ref key, .. } | EffectiveOp::AttrUnset { ref key, .. } => {
+                self.attr_keys.contains(key)
+            }
         }
     }
 
     /// Replays one effective mutation through the simulation state, with
     /// `g` in exactly the intermediate state the mutation produced.
-    pub(crate) fn replay(&mut self, g: &DynGraph, eff: EffectiveOp) {
+    pub(crate) fn replay(&mut self, g: &DynGraph, eff: &EffectiveOp) {
         let q = &self.pattern;
-        match eff {
+        match *eff {
             EffectiveOp::NodeAdded(v, _) => self.sim.on_node_added(g, q, v),
             EffectiveOp::EdgeAdded(s, t) => self.sim.on_edge_inserted(g, q, s, t),
             EffectiveOp::EdgeRemoved(s, t) => self.sim.on_edge_removed(g, q, s, t),
             EffectiveOp::NodeRemoved(v) => self.sim.on_node_removed(q, v),
+            EffectiveOp::AttrSet { node, ref key, .. }
+            | EffectiveOp::AttrUnset { node, ref key } => self.sim.on_attr_changed(g, q, node, key),
         }
     }
 
@@ -204,10 +237,11 @@ impl PatternState {
     /// Post-batch bookkeeping for a pattern the shared index proved the
     /// whole batch irrelevant to: no mutation was replayed, so no pair
     /// flipped and — because a seedable changed edge needs a pattern edge
-    /// with its exact endpoint-label pair, the same test [`Self::wants`]
-    /// applies — the edge scan of [`Self::refresh_ranking`] could not
-    /// yield a seed either. Only the width guard and the per-batch
-    /// counters remain.
+    /// with its exact endpoint-label pair, and a candidacy-changing attr
+    /// flip needs a mentioned key (the same tests [`Self::wants`] applies)
+    /// — the edge scan of [`Self::refresh_ranking`] could not yield a
+    /// seed either. Only the width guard and the per-batch counters
+    /// remain.
     pub(crate) fn refresh_untouched(&mut self, g: &DynGraph) {
         let seeds = self.sim.take_dirty();
         debug_assert!(seeds.is_empty(), "untouched pattern has no flips");

@@ -213,11 +213,44 @@ fn tombstone_keeps_surviving_ancestors_fresh() {
 }
 
 #[test]
-fn attribute_patterns_are_rejected() {
+fn attribute_patterns_are_maintained() {
     use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
     let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
     let mut b = PatternBuilder::new();
     b.node("V", Predicate::labeled(0, [Predicate::attr("views", CmpOp::Gt, 10i64)]));
+    b.output(0).unwrap();
+    let q = b.build().unwrap();
+    let mut m = DynamicMatcher::new(&g, q, IncrementalConfig::new(2)).unwrap();
+    assert!(m.top_k().nodes().is_empty(), "no node carries `views` yet");
+    assert_agrees(&m, 2, 0.5, "attr pattern before any attribute lands");
+
+    // The attribute arriving creates the match; dropping it removes it.
+    let top = m.apply(&GraphDelta::new().set_attr(0, "views", 50i64)).unwrap();
+    assert_eq!(top.nodes(), vec![0]);
+    assert_agrees(&m, 2, 0.5, "after SetAttr creates the candidate");
+    let top = m.apply(&GraphDelta::new().set_attr(0, "views", 5i64)).unwrap();
+    assert!(top.nodes().is_empty(), "below the threshold candidacy is gone");
+    assert_agrees(&m, 2, 0.5, "after SetAttr leaves the candidate");
+    let top = m.apply(&GraphDelta::new().set_attr(0, "views", 11i64)).unwrap();
+    assert_eq!(top.nodes(), vec![0]);
+    let top = m.apply(&GraphDelta::new().unset_attr(0, "views")).unwrap();
+    assert!(top.nodes().is_empty());
+    assert_agrees(&m, 2, 0.5, "after UnsetAttr");
+    assert_eq!(m.stats().full_rebuilds, 0, "attr flips are handled incrementally");
+}
+
+#[test]
+fn oversized_patterns_are_rejected() {
+    // The real remaining restriction: the candidate bitmask is 64 bits.
+    use gpm_pattern::{PatternBuilder, Predicate};
+    let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+    let mut b = PatternBuilder::new();
+    for i in 0..65u32 {
+        b.node(format!("u{i}"), Predicate::Label(0));
+    }
+    for i in 1..65u32 {
+        b.edge(i - 1, i).unwrap();
+    }
     b.output(0).unwrap();
     let q = b.build().unwrap();
     assert!(DynamicMatcher::new(&g, q, IncrementalConfig::new(2)).is_err());

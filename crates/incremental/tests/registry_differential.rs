@@ -3,9 +3,10 @@
 //! The registry's one promise: sharing graph application, candidate
 //! indexing and the maintenance pool across N patterns changes **nothing**
 //! about any answer. For generated update streams (insert-only /
-//! delete-only / mixed, via `gpm_datagen::update_stream`), after **every**
-//! batch and for **every** registered pattern, the registry must agree
-//! bit-for-bit with
+//! delete-only / mixed, via `gpm_datagen::update_stream`, with or without
+//! attribute mutations mixed in), after **every** batch and for **every**
+//! registered pattern — label-only or carrying full attribute-predicate
+//! trees — the registry must agree bit-for-bit with
 //!
 //! 1. an independent [`DynamicMatcher`] serving the same pattern over its
 //!    own private graph, and
@@ -17,16 +18,21 @@
 
 use gpm_core::config::{DivConfig, TopKConfig};
 use gpm_core::{top_k_by_match, top_k_cyclic, top_k_diversified};
-use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
+use gpm_datagen::update_stream::{attr_key, update_stream, UpdateStreamConfig};
 use gpm_graph::builder::graph_from_parts;
-use gpm_graph::DiGraph;
+use gpm_graph::{AttrValue, Attributes, DiGraph, GraphBuilder};
 use gpm_incremental::{DynamicMatcher, IncrementalConfig, PatternId, PatternRegistry};
 use gpm_pattern::builder::label_pattern;
-use gpm_pattern::Pattern;
+use gpm_pattern::{CmpOp, Pattern, PatternBuilder, Predicate};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 const LABELS: u32 = 4;
+/// Attribute alphabet shared by graphs, streams and pattern predicates —
+/// streams mutate [`attr_key`]`(0..ATTR_KEYS)` with ints below
+/// `ATTR_VALUES`, so generated thresholds actually flip candidacy.
+const ATTR_KEYS: u32 = 3;
+const ATTR_VALUES: i64 = 8;
 
 fn random_graph(rng: &mut StdRng, n: usize, density: usize) -> DiGraph {
     let node_labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..LABELS)).collect();
@@ -36,6 +42,36 @@ fn random_graph(rng: &mut StdRng, n: usize, density: usize) -> DiGraph {
         .filter(|(a, b)| a != b)
         .collect();
     graph_from_parts(&node_labels, &edges).unwrap()
+}
+
+/// As [`random_graph`], with ~half the nodes carrying initial attributes
+/// over the shared alphabet (so attribute predicates have matches before
+/// the stream's first `SetAttr` lands).
+fn random_attr_graph(rng: &mut StdRng, n: usize, density: usize) -> DiGraph {
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        let label = rng.random_range(0..LABELS);
+        if rng.random_range(0..2u32) == 0 {
+            let mut pairs: Vec<(String, AttrValue)> = Vec::new();
+            for k in 0..ATTR_KEYS {
+                if rng.random_range(0..2u32) == 0 {
+                    pairs.push((attr_key(k), AttrValue::Int(rng.random_range(0..ATTR_VALUES))));
+                }
+            }
+            b.add_node_with_attrs(label, Attributes::from_pairs(pairs));
+        } else {
+            b.add_node(label);
+        }
+    }
+    let m = rng.random_range(0..n * density + 1);
+    for _ in 0..m {
+        let s = rng.random_range(0..n as u32);
+        let t = rng.random_range(0..n as u32);
+        if s != t {
+            b.add_edge(s, t).unwrap();
+        }
+    }
+    b.build()
 }
 
 fn random_pattern(rng: &mut StdRng) -> Pattern {
@@ -50,6 +86,53 @@ fn random_pattern(rng: &mut StdRng) -> Pattern {
         }
     }
     label_pattern(&plabels, &pedges, 0).unwrap()
+}
+
+/// A random condition over the shared attribute alphabet.
+fn random_attr_condition(rng: &mut StdRng) -> Predicate {
+    let key = attr_key(rng.random_range(0..ATTR_KEYS));
+    let op = match rng.random_range(0..4u32) {
+        0 => CmpOp::Ge,
+        1 => CmpOp::Lt,
+        2 => CmpOp::Eq,
+        _ => CmpOp::Ne,
+    };
+    Predicate::attr(key, op, rng.random_range(0..ATTR_VALUES))
+}
+
+/// As [`random_pattern`], but ~60% of the nodes carry attribute conditions
+/// on top of their label — single comparisons, conjunctions, and the
+/// occasional disjunction, over the keys the streams actually mutate.
+fn random_attr_pattern(rng: &mut StdRng) -> Pattern {
+    let pn = rng.random_range(1..5usize);
+    let mut b = PatternBuilder::new();
+    for i in 0..pn {
+        let label = rng.random_range(0..LABELS);
+        let pred = match rng.random_range(0..5u32) {
+            0 | 1 => Predicate::Label(label),
+            2 => Predicate::labeled(label, [random_attr_condition(rng)]),
+            3 => {
+                Predicate::labeled(label, [random_attr_condition(rng), random_attr_condition(rng)])
+            }
+            _ => Predicate::labeled(
+                label,
+                [Predicate::Or(vec![random_attr_condition(rng), random_attr_condition(rng)])],
+            ),
+        };
+        b.node(format!("u{i}"), pred);
+    }
+    for i in 1..pn as u32 {
+        b.edge(i - 1, i).unwrap();
+    }
+    for _ in 0..rng.random_range(0..pn * 2) {
+        let s = rng.random_range(0..pn as u32);
+        let t = rng.random_range(0..pn as u32);
+        if s != t {
+            let _ = b.edge(s, t);
+        }
+    }
+    b.output(0).unwrap();
+    b.build().unwrap()
 }
 
 /// The differential oracle: one pattern's registry answer vs its
@@ -107,27 +190,40 @@ fn assert_pattern_agrees(
 struct StreamSpec {
     insert_fraction: f64,
     node_churn: f64,
+    /// Fraction of stream ops that are attribute mutations; > 0.0 also
+    /// switches the trial to attribute-carrying graphs and patterns.
+    attr_churn: f64,
 }
 
-const INSERT_ONLY: StreamSpec = StreamSpec { insert_fraction: 1.0, node_churn: 0.15 };
-const DELETE_ONLY: StreamSpec = StreamSpec { insert_fraction: 0.0, node_churn: 0.15 };
-const MIXED: StreamSpec = StreamSpec { insert_fraction: 0.55, node_churn: 0.15 };
+const INSERT_ONLY: StreamSpec =
+    StreamSpec { insert_fraction: 1.0, node_churn: 0.15, attr_churn: 0.0 };
+const DELETE_ONLY: StreamSpec =
+    StreamSpec { insert_fraction: 0.0, node_churn: 0.15, attr_churn: 0.0 };
+const MIXED: StreamSpec = StreamSpec { insert_fraction: 0.55, node_churn: 0.15, attr_churn: 0.0 };
+/// Structural + attribute churn mixed in one stream.
+const ATTR_MIXED: StreamSpec =
+    StreamSpec { insert_fraction: 0.55, node_churn: 0.15, attr_churn: 0.45 };
+/// Every op is an attribute mutation (batches contain no structural op).
+const ATTR_ONLY: StreamSpec =
+    StreamSpec { insert_fraction: 0.55, node_churn: 0.0, attr_churn: 1.0 };
 
 /// One end-to-end differential trial: N patterns, one generated stream,
 /// full oracle after every batch. `forced` maxes the thresholds so the
 /// incremental path has no rebuild safety net to hide behind.
 fn run_differential(spec: &StreamSpec, seed: u64, trials: usize, forced: bool) {
+    let attrs = spec.attr_churn > 0.0;
     let mut rng = StdRng::seed_from_u64(seed);
     for trial in 0..trials {
         let n = rng.random_range(8..30usize);
-        let g = random_graph(&mut rng, n, 3);
+        let g =
+            if attrs { random_attr_graph(&mut rng, n, 3) } else { random_graph(&mut rng, n, 3) };
         let n_patterns = rng.random_range(2..6usize);
 
         let mut reg = PatternRegistry::with_threads(&g, 3);
         let mut matchers: Vec<DynamicMatcher> = Vec::new();
         let mut handles: Vec<(PatternId, usize, f64)> = Vec::new();
         for _ in 0..n_patterns {
-            let q = random_pattern(&mut rng);
+            let q = if attrs { random_attr_pattern(&mut rng) } else { random_pattern(&mut rng) };
             let k = rng.random_range(1..5usize);
             let lambda = rng.random_range(0.0..1.0f64);
             let mut cfg = IncrementalConfig::new(k).lambda(lambda);
@@ -145,6 +241,9 @@ fn run_differential(spec: &StreamSpec, seed: u64, trials: usize, forced: bool) {
             batch_size: rng.random_range(1..6usize),
             insert_fraction: spec.insert_fraction,
             node_churn: spec.node_churn,
+            attr_churn: spec.attr_churn,
+            attr_keys: ATTR_KEYS,
+            attr_values: ATTR_VALUES,
             labels: LABELS,
             seed: seed ^ (trial as u64) << 7,
         };
@@ -195,17 +294,171 @@ fn forced_incremental_registry_agrees() {
 }
 
 #[test]
+fn attr_mixed_streams_registry_agrees_with_matchers_and_static() {
+    run_differential(&ATTR_MIXED, 0x5EED_0A01, 14, false);
+}
+
+#[test]
+fn attr_only_streams_registry_agrees_with_matchers_and_static() {
+    run_differential(&ATTR_ONLY, 0x5EED_0A02, 10, false);
+}
+
+#[test]
+fn forced_incremental_attr_streams_agree() {
+    run_differential(&ATTR_MIXED, 0x5EED_0A03, 10, true);
+    run_differential(&ATTR_ONLY, 0x5EED_0A04, 6, true);
+}
+
+/// Stress variants for the nightly CI job: same oracles, an order of
+/// magnitude more trials. Run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "stress variant — run explicitly or via the nightly CI job"]
+fn stress_attr_differential() {
+    run_differential(&ATTR_MIXED, 0x5EED_5001, 80, false);
+    run_differential(&ATTR_ONLY, 0x5EED_5002, 50, false);
+    run_differential(&ATTR_MIXED, 0x5EED_5003, 50, true);
+}
+
+#[test]
+#[ignore = "stress variant — run explicitly or via the nightly CI job"]
+fn stress_structural_differential() {
+    run_differential(&MIXED, 0x5EED_5004, 80, false);
+    run_differential(&MIXED, 0x5EED_5005, 50, true);
+    run_differential(&INSERT_ONLY, 0x5EED_5006, 40, false);
+    run_differential(&DELETE_ONLY, 0x5EED_5007, 40, false);
+}
+
+/// An attr-only batch must be absorbed without any full rebuild: attribute
+/// flips contribute zero edge churn, so the rebuild threshold can never
+/// fire, and `ApplyStats`/`RegistryStats` must show the batches were
+/// handled incrementally while the answers still match the oracle.
+#[test]
+fn attr_only_batches_stay_incremental() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0A05);
+    for trial in 0..8 {
+        let n = rng.random_range(10..28usize);
+        let g = random_attr_graph(&mut rng, n, 3);
+        let mut reg = PatternRegistry::with_threads(&g, 2);
+        let mut pairs: Vec<(PatternId, DynamicMatcher)> = Vec::new();
+        for _ in 0..3 {
+            let q = random_attr_pattern(&mut rng);
+            let cfg = IncrementalConfig::new(3);
+            let id = reg.register(q.clone(), cfg.clone()).unwrap();
+            pairs.push((id, DynamicMatcher::new(&g, q, cfg).unwrap()));
+        }
+        let stream = update_stream(
+            &g,
+            &UpdateStreamConfig {
+                attr_keys: ATTR_KEYS,
+                attr_values: ATTR_VALUES,
+                labels: LABELS,
+                ..UpdateStreamConfig::new(6, 4, 0xA77 + trial).with_attr_churn(1.0)
+            },
+        );
+        let mut attr_effects = 0usize;
+        for (step, delta) in stream.iter().enumerate() {
+            assert!(
+                delta.ops.iter().all(|op| matches!(
+                    op,
+                    gpm_graph::DeltaOp::SetAttr { .. } | gpm_graph::DeltaOp::UnsetAttr { .. }
+                )),
+                "attr-only stream emitted a structural op"
+            );
+            attr_effects += delta.len();
+            reg.apply(delta).unwrap();
+            let snap = reg.snapshot();
+            for (i, (id, m)) in pairs.iter_mut().enumerate() {
+                m.apply(delta).unwrap();
+                let ctx = format!("attr-only trial {trial} step {step} pattern {i}");
+                assert_pattern_agrees(&reg, *id, m, &snap, 3, 0.5, &ctx);
+            }
+        }
+        assert!(attr_effects > 0, "stream mutated something");
+        for (id, m) in &pairs {
+            let st = reg.stats_of(*id).unwrap();
+            assert_eq!(st.full_rebuilds, 0, "attr flips must never trigger a full rebuild");
+            assert_eq!(m.stats().full_rebuilds, 0);
+            assert_eq!(st.applies, stream.len() as u64);
+        }
+    }
+}
+
+/// Satellite: a pure-attribute batch on keys **no registered pattern
+/// mentions** is pruned wholesale by the attribute-key interest index —
+/// every fan-out edge is a skip, no pattern is touched, and `apply`
+/// returns no fresh answers.
+#[test]
+fn uninterested_attr_keys_are_skipped_by_the_interest_index() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0A06);
+    let g = random_attr_graph(&mut rng, 20, 3);
+    let mut reg = PatternRegistry::with_threads(&g, 2);
+    // Two label-only patterns (mention no keys at all) and one attribute
+    // pattern over the shared alphabet (attr0..attr2).
+    let ids = [
+        reg.register(random_pattern(&mut rng), IncrementalConfig::new(3)).unwrap(),
+        reg.register(random_pattern(&mut rng), IncrementalConfig::new(3)).unwrap(),
+        reg.register(random_attr_pattern(&mut rng), IncrementalConfig::new(3)).unwrap(),
+    ];
+    let before: Vec<_> = ids.iter().map(|&id| reg.top_k(id).unwrap().nodes()).collect();
+
+    // Keys outside every pattern's interest: never replayed into anybody.
+    let delta = gpm_graph::GraphDelta::new()
+        .set_attr(0, "unwatched_a", 1i64)
+        .set_attr(3, "unwatched_b", 2i64)
+        .set_attr(5, "unwatched_a", 7i64);
+    let touched = reg.apply(&delta).unwrap();
+    assert!(touched.is_empty(), "no pattern cares about these keys");
+    let s = reg.stats();
+    assert_eq!(s.ops_replayed, 0);
+    assert_eq!(s.ops_skipped, 3 * ids.len() as u64, "3 effects × N patterns, all pruned");
+    assert_eq!(s.last_patterns_touched, 0);
+    assert_eq!(s.last_rebuilds, 0);
+    assert_eq!(s.shared_index_hit_rate(), 1.0);
+    for (id, nodes) in ids.iter().zip(&before) {
+        assert_eq!(&reg.top_k(*id).unwrap().nodes(), nodes, "answers unchanged");
+        let st = reg.stats_of(*id).unwrap();
+        assert_eq!(st.applies, 1, "the batch still counts as an apply");
+        assert_eq!(st.full_rebuilds, 0);
+        assert_eq!(st.last_swept_pairs, 0, "untouched patterns skip the seed scan");
+    }
+
+    // Contrast: the same keys with a watched key mixed in touch exactly
+    // the pattern(s) that mention it.
+    let watched = reg.pattern(ids[2]).unwrap();
+    let mut keys = std::collections::BTreeSet::new();
+    for u in watched.nodes() {
+        watched.predicate(u).collect_attr_keys(&mut keys);
+    }
+    if let Some(key) = keys.iter().next() {
+        // 999 is outside the generator's value range, so the set is
+        // guaranteed effective (an ineffective op would not fan out).
+        let delta = gpm_graph::GraphDelta::new().set_attr(1, "unwatched_a", 9i64).set_attr(
+            2,
+            key.clone(),
+            999i64,
+        );
+        reg.apply(&delta).unwrap();
+        let s = reg.stats();
+        assert_eq!(s.ops_replayed, 1, "only the attr pattern saw the watched key");
+        assert_eq!(s.ops_skipped, 3 * ids.len() as u64 + 2 * ids.len() as u64 - 1);
+    }
+}
+
+#[test]
 fn midstream_register_and_deregister_agree() {
     let mut rng = StdRng::seed_from_u64(0x5EED_0006);
     for trial in 0..8 {
         let n = rng.random_range(10..25usize);
-        let g = random_graph(&mut rng, n, 3);
+        // Attr graphs + a mix of label-only and attribute patterns: late
+        // registrations must pick the attribute tables up from the
+        // snapshot too.
+        let g = random_attr_graph(&mut rng, n, 3);
         let mut reg = PatternRegistry::with_threads(&g, 2);
 
         // Start with two patterns.
         let mut live: Vec<(PatternId, DynamicMatcher, usize, f64)> = Vec::new();
-        for _ in 0..2 {
-            let q = random_pattern(&mut rng);
+        for i in 0..2 {
+            let q = if i == 0 { random_pattern(&mut rng) } else { random_attr_pattern(&mut rng) };
             let (k, lambda) = (rng.random_range(1..4usize), 0.5);
             let cfg = IncrementalConfig::new(k).lambda(lambda);
             let id = reg.register(q.clone(), cfg.clone()).unwrap();
@@ -219,6 +472,9 @@ fn midstream_register_and_deregister_agree() {
                 batch_size: 3,
                 insert_fraction: 0.5,
                 node_churn: 0.2,
+                attr_churn: 0.3,
+                attr_keys: ATTR_KEYS,
+                attr_values: ATTR_VALUES,
                 labels: LABELS,
                 seed: 77 + trial,
             },
@@ -233,7 +489,7 @@ fn midstream_register_and_deregister_agree() {
                 // Mid-stream registration: the new pattern must answer as
                 // if built from the *current* snapshot — its independent
                 // twin is constructed from exactly that.
-                let q = random_pattern(&mut rng);
+                let q = random_attr_pattern(&mut rng);
                 let (k, lambda) = (rng.random_range(1..4usize), rng.random_range(0.0..1.0f64));
                 let cfg = IncrementalConfig::new(k).lambda(lambda);
                 let id = reg.register(q.clone(), cfg.clone()).unwrap();
@@ -270,11 +526,12 @@ fn registry_normalizers_never_drift_from_static() {
     let mut rng = StdRng::seed_from_u64(0x5EED_0007);
     for trial in 0..8 {
         let n = rng.random_range(8..24usize);
-        let g = random_graph(&mut rng, n, 3);
+        // Attribute candidacy feeds |can(u)| too: Cuo must track attr flips.
+        let g = random_attr_graph(&mut rng, n, 3);
         let mut reg = PatternRegistry::new(&g);
         let mut ids = Vec::new();
-        for _ in 0..3 {
-            let q = random_pattern(&mut rng);
+        for i in 0..3 {
+            let q = if i == 0 { random_pattern(&mut rng) } else { random_attr_pattern(&mut rng) };
             ids.push(reg.register(q, IncrementalConfig::new(3)).unwrap());
         }
         let stream = update_stream(
@@ -284,6 +541,9 @@ fn registry_normalizers_never_drift_from_static() {
                 batch_size: 4,
                 insert_fraction: 0.5,
                 node_churn: 0.2,
+                attr_churn: 0.35,
+                attr_keys: ATTR_KEYS,
+                attr_values: ATTR_VALUES,
                 labels: LABELS,
                 seed: 1234 + trial,
             },

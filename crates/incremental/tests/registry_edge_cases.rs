@@ -160,12 +160,10 @@ fn tombstone_heavy_stream_agrees_everywhere() {
     let stream = update_stream(
         &base,
         &UpdateStreamConfig {
-            batches: 10,
-            batch_size: 2,
             insert_fraction: 0.25,
             node_churn: 0.6,
             labels: 3,
-            seed: 0x70B5,
+            ..UpdateStreamConfig::new(10, 2, 0x70B5)
         },
     );
     let mut removed = 0usize;
@@ -185,7 +183,26 @@ fn tombstone_heavy_stream_agrees_everywhere() {
 }
 
 #[test]
-fn attribute_patterns_are_rejected_and_leave_registry_clean() {
+fn oversized_patterns_are_rejected_and_leave_registry_clean() {
+    use gpm_pattern::{PatternBuilder, Predicate};
+    let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
+    let mut b = PatternBuilder::new();
+    for i in 0..65u32 {
+        b.node(format!("u{i}"), Predicate::Label(0));
+    }
+    for i in 1..65u32 {
+        b.edge(i - 1, i).unwrap();
+    }
+    b.output(0).unwrap();
+    let q = b.build().unwrap();
+    let mut reg = PatternRegistry::new(&g);
+    assert!(reg.register(q, IncrementalConfig::new(2)).is_err());
+    assert!(reg.is_empty());
+    assert_eq!(reg.stats().registrations, 0, "failed registrations are not counted");
+}
+
+#[test]
+fn attribute_patterns_register_and_answer() {
     use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
     let g = graph_from_parts(&[0, 1], &[(0, 1)]).unwrap();
     let mut b = PatternBuilder::new();
@@ -193,9 +210,19 @@ fn attribute_patterns_are_rejected_and_leave_registry_clean() {
     b.output(0).unwrap();
     let q = b.build().unwrap();
     let mut reg = PatternRegistry::new(&g);
-    assert!(reg.register(q, IncrementalConfig::new(2)).is_err());
-    assert!(reg.is_empty());
-    assert_eq!(reg.stats().registrations, 0, "failed registrations are not counted");
+    let id = reg.register(q, IncrementalConfig::new(2)).unwrap();
+    assert!(reg.top_k(id).unwrap().nodes().is_empty());
+
+    // The attr landing touches the pattern (its answer changes)…
+    let touched = reg.apply(&GraphDelta::new().set_attr(0, "views", 99i64)).unwrap();
+    assert_eq!(touched.len(), 1);
+    assert_eq!(touched[0].1.nodes(), vec![0]);
+    // …while a mutation on a key the pattern never mentions is skipped by
+    // the attribute-key interest index.
+    let touched = reg.apply(&GraphDelta::new().set_attr(0, "age", 3i64)).unwrap();
+    assert!(touched.is_empty(), "uninterested key cannot touch the pattern");
+    assert_eq!(reg.top_k(id).unwrap().nodes(), vec![0]);
+    assert_eq!(reg.stats_of(id).unwrap().full_rebuilds, 0);
 }
 
 #[test]

@@ -5,7 +5,9 @@
 //! Real queries (Fig. 4) add attribute comparisons; `Predicate` closes both
 //! under conjunction and disjunction.
 
-use gpm_graph::{AttrValue, DiGraph, Label, NodeId};
+use std::collections::BTreeSet;
+
+use gpm_graph::{AttrValue, Attributes, DiGraph, Label, NodeId};
 
 /// Comparison operator for attribute predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,11 +77,23 @@ impl Predicate {
 
     /// Evaluates the predicate on node `v` of `g`.
     pub fn matches(&self, g: &DiGraph, v: NodeId) -> bool {
+        self.eval(g.label(v), g.attributes(v))
+    }
+
+    /// Evaluates the predicate against a node view: its label and (when the
+    /// graph carries an attribute table) its attributes. This is the single
+    /// evaluation both the static [`DiGraph`] path and the dynamic
+    /// `DynGraph` path go through — candidacy is a function of exactly
+    /// `(label, attrs)`, which is what makes attribute-key interest
+    /// filtering sound.
+    ///
+    /// `And`/`Or` short-circuit: conjunctions stop at the first failing
+    /// conjunct, disjunctions at the first holding disjunct.
+    pub fn eval(&self, label: Label, attrs: Option<&Attributes>) -> bool {
         match self {
-            Predicate::Label(l) => g.label(v) == *l,
+            Predicate::Label(l) => label == *l,
             Predicate::Attr { key, op, value } => {
-                let Some(attrs) = g.attributes(v) else { return false };
-                let Some(actual) = attrs.get(key) else { return false };
+                let Some(actual) = attrs.and_then(|a| a.get(key)) else { return false };
                 match (actual, value) {
                     (AttrValue::Str(a), AttrValue::Str(b)) => op.holds(a, b),
                     (a, b) => match (a.as_f64(), b.as_f64()) {
@@ -88,8 +102,8 @@ impl Predicate {
                     },
                 }
             }
-            Predicate::And(ps) => ps.iter().all(|p| p.matches(g, v)),
-            Predicate::Or(ps) => ps.iter().any(|p| p.matches(g, v)),
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(label, attrs)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(label, attrs)),
         }
     }
 
@@ -107,6 +121,40 @@ impl Predicate {
     /// `true` when the predicate is a bare label test.
     pub fn is_pure_label(&self) -> bool {
         matches!(self, Predicate::Label(_))
+    }
+
+    /// `true` when evaluating the predicate can read attribute `key`.
+    /// Mutating any *other* key provably cannot change the predicate's
+    /// value on any node — the test the dynamic path's attribute-interest
+    /// index relies on.
+    pub fn mentions_key(&self, key: &str) -> bool {
+        match self {
+            Predicate::Label(_) => false,
+            Predicate::Attr { key: k, .. } => k == key,
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().any(|p| p.mentions_key(key)),
+        }
+    }
+
+    /// Collects every attribute key the predicate mentions into `out`.
+    pub fn collect_attr_keys(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Predicate::Label(_) => {}
+            Predicate::Attr { key, .. } => {
+                out.insert(key.clone());
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_attr_keys(out);
+                }
+            }
+        }
+    }
+
+    /// The set of attribute keys the predicate mentions.
+    pub fn attr_keys(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_attr_keys(&mut out);
+        out
     }
 }
 
@@ -197,5 +245,108 @@ mod tests {
     fn cmp_display() {
         assert_eq!(CmpOp::Ge.to_string(), ">=");
         assert_eq!(CmpOp::Eq.to_string(), "=");
+    }
+
+    #[test]
+    fn eval_matches_graph_free_view() {
+        // `eval` over (label, attrs) is the single evaluation `matches`
+        // delegates to — the contract the dynamic path builds on.
+        let g = attributed_graph();
+        let p = Predicate::labeled(
+            0,
+            [
+                Predicate::attr("category", CmpOp::Eq, "music"),
+                Predicate::attr("views", CmpOp::Gt, 100i64),
+            ],
+        );
+        for v in g.nodes() {
+            assert_eq!(p.matches(&g, v), p.eval(g.label(v), g.attributes(v)), "node {v}");
+        }
+        // No attribute table at all: attr conditions fail, labels still work.
+        assert!(!p.eval(0, None));
+        assert!(Predicate::Label(0).eval(0, None));
+    }
+
+    #[test]
+    fn cross_variant_comparisons() {
+        let mut b = GraphBuilder::new();
+        b.add_node_with_attrs(
+            0,
+            Attributes::from_pairs([
+                ("views", AttrValue::Int(9000)),
+                ("rate", AttrValue::Float(9000.0)),
+                ("category", AttrValue::from("music")),
+            ]),
+        );
+        let g = b.build();
+        // Int widens to f64: Int(9000) stored vs Float(9000.0) queried (and
+        // vice versa) compare equal under every numeric operator.
+        assert!(Predicate::attr("views", CmpOp::Eq, 9000.0f64).matches(&g, 0));
+        assert!(Predicate::attr("rate", CmpOp::Eq, 9000i64).matches(&g, 0));
+        assert!(Predicate::attr("views", CmpOp::Le, 9000.0f64).matches(&g, 0));
+        assert!(!Predicate::attr("views", CmpOp::Ne, 9000.0f64).matches(&g, 0));
+        // Str vs numeric never holds, under equality, inequality *or*
+        // ordering — `Ne` included: a type mismatch is "no comparison",
+        // not "unequal".
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!Predicate::attr("category", op, 1i64).matches(&g, 0), "category {op} 1");
+            assert!(!Predicate::attr("views", op, "9000").matches(&g, 0), "views {op} '9000'");
+        }
+        // Str vs Str uses lexicographic ordering.
+        assert!(Predicate::attr("category", CmpOp::Lt, "news").matches(&g, 0));
+        assert!(!Predicate::attr("category", CmpOp::Gt, "news").matches(&g, 0));
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        let g = attributed_graph();
+        // A failing label conjunct decides the And before the attr
+        // conditions are reached; a holding first disjunct decides the Or.
+        // Observable contract: the combined value never depends on what
+        // comes after the deciding operand.
+        let fail_fast = Predicate::And(vec![
+            Predicate::Label(99),
+            Predicate::attr("category", CmpOp::Eq, "music"),
+        ]);
+        assert!(!fail_fast.matches(&g, 0), "And is false once any conjunct fails");
+        let hold_fast = Predicate::Or(vec![
+            Predicate::Label(0),
+            Predicate::attr("nonexistent", CmpOp::Gt, 1i64),
+        ]);
+        assert!(hold_fast.matches(&g, 0), "Or is true once any disjunct holds");
+        // Nested combinators reduce the same way.
+        let nested = Predicate::And(vec![
+            Predicate::Or(vec![Predicate::Label(1), Predicate::Label(0)]),
+            Predicate::Or(vec![
+                Predicate::attr("category", CmpOp::Eq, "podcast"),
+                Predicate::attr("rate", CmpOp::Ge, 3.0),
+            ]),
+        ]);
+        assert!(nested.matches(&g, 0));
+        assert!(!nested.matches(&g, 1), "rate 1.0 fails both inner disjuncts");
+        // Identity elements: And([]) = true, Or([]) = false, also nested.
+        assert!(Predicate::And(vec![Predicate::Or(vec![Predicate::And(vec![])])]).matches(&g, 2));
+        assert!(!Predicate::Or(vec![Predicate::And(vec![Predicate::Or(vec![])])]).matches(&g, 2));
+    }
+
+    #[test]
+    fn attr_key_introspection() {
+        let p = Predicate::labeled(
+            0,
+            [
+                Predicate::attr("views", CmpOp::Gt, 10i64),
+                Predicate::Or(vec![
+                    Predicate::attr("category", CmpOp::Eq, "music"),
+                    Predicate::attr("views", CmpOp::Lt, 100i64),
+                ]),
+            ],
+        );
+        assert!(p.mentions_key("views"));
+        assert!(p.mentions_key("category"));
+        assert!(!p.mentions_key("rate"));
+        let keys: Vec<String> = p.attr_keys().into_iter().collect();
+        assert_eq!(keys, vec!["category".to_string(), "views".to_string()]);
+        assert!(Predicate::Label(3).attr_keys().is_empty());
+        assert!(!Predicate::Label(3).mentions_key("views"));
     }
 }

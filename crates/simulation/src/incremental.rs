@@ -22,6 +22,15 @@
 //! * **Node removal** arrives after its incident edges were removed, so
 //!   pairs of the node are merely invalidated (dead + barred from
 //!   revival).
+//! * **Attribute mutation** can flip *candidacy* itself: a node that now
+//!   satisfies a pattern node's predicate enters `can(u)` (a fresh or
+//!   revalidated slot, revived through the same region machinery as edge
+//!   insertion — the node already has edges, so mutual-support cycles can
+//!   come alive at once), and a node that stops satisfying it leaves
+//!   `can(u)` (killed through the standard death cascade). Only pattern
+//!   nodes whose predicate **mentions the mutated key** are re-evaluated —
+//!   candidacy is a function of `(label, attrs)`, so any other predicate
+//!   is untouched by construction.
 //!
 //! Every alive-flip is recorded in a per-batch **dirty set** the ranking
 //! layer consumes to invalidate relevant sets.
@@ -66,11 +75,14 @@ pub struct IncSimState {
 
 impl IncSimState {
     /// Builds the state for `q` over the current contents of `g`, resuming
-    /// from a static refinement run. Returns `None` when the pattern uses
-    /// non-label predicates (attribute predicates need node attributes,
-    /// which the dynamic path does not carry).
+    /// from a static refinement run. Full [`Predicate`](gpm_pattern::Predicate)
+    /// trees are supported — the snapshot carries the graph's attribute
+    /// tables, so candidate enumeration evaluates attribute conditions
+    /// exactly like the static pipeline. Returns `None` only for patterns
+    /// beyond the candidate bitmask width
+    /// ([`CandidateSpace::MAX_PATTERN_NODES`]).
     pub fn new(g: &DynGraph, q: &Pattern) -> Option<Self> {
-        if q.nodes().any(|u| !q.predicate(u).is_pure_label()) {
+        if q.node_count() > CandidateSpace::MAX_PATTERN_NODES {
             return None;
         }
         let snapshot = g.snapshot();
@@ -205,31 +217,129 @@ impl IncSimState {
     // ------------------------------------------------------------ updates
 
     /// Reacts to a node addition (`g` already contains the node; it has no
-    /// edges yet — the batch's edge insertions arrive separately).
+    /// edges yet — the batch's edge insertions arrive separately, and
+    /// attribute conditions see the node's current — initially empty —
+    /// attribute map; later `SetAttr` ops of the batch arrive via
+    /// [`Self::on_attr_changed`]).
     pub fn on_node_added(&mut self, g: &DynGraph, q: &Pattern, v: NodeId) {
         let label = g.label(v);
+        let attrs = g.attributes(v);
         for u in q.nodes() {
-            let pred = q.predicate(u);
-            if pred.primary_label() != Some(label) {
+            if !q.predicate(u).eval(label, Some(attrs)) {
                 continue;
             }
-            let ui = u as usize;
+            debug_assert!(!self.idx[u as usize].contains_key(&v), "node ids are never reused");
             let d = q.successors(u).len();
-            debug_assert!(!self.idx[ui].contains_key(&v), "node ids are never reused");
-            let i = self.cand[ui].len();
-            self.cand[ui].push(v);
-            self.idx[ui].insert(v, i as u32);
-            self.valid[ui].push(true);
-            self.valid_count[ui] += 1;
-            self.cnt[ui].extend(std::iter::repeat_n(0, d));
-            self.zeros[ui].push(d as u32);
-            let alive = d == 0; // leaves are unconditionally alive
-            self.alive[ui].push(alive);
-            if alive {
+            self.push_candidate_slot(u, v, d);
+            if d == 0 {
+                // Leaves are unconditionally alive; a fresh node has no
+                // edges, so no counter references the pair yet and the
+                // flip cannot cascade.
+                let ui = u as usize;
+                let i = self.cand[ui].len() - 1;
+                self.alive[ui][i] = true;
                 self.alive_count[ui] += 1;
                 self.dirty.push((u, v));
             }
         }
+    }
+
+    /// Appends a fresh, **dead** candidate slot `(u, v)` across the
+    /// parallel per-pair arrays (`cand`/`idx`/`valid`/`cnt`/`zeros`/
+    /// `alive`) — the single allocation both node addition and attribute
+    /// candidacy entry go through, so the arrays can never desynchronize.
+    /// `d` is `outdeg(u)`; counters start at zero (node addition: the node
+    /// has no edges; attr entry: the revival recount re-derives them).
+    fn push_candidate_slot(&mut self, u: PNodeId, v: NodeId, d: usize) {
+        let ui = u as usize;
+        let i = self.cand[ui].len();
+        self.cand[ui].push(v);
+        self.idx[ui].insert(v, i as u32);
+        self.valid[ui].push(true);
+        self.valid_count[ui] += 1;
+        self.cnt[ui].extend(std::iter::repeat_n(0, d));
+        self.zeros[ui].push(d as u32);
+        self.alive[ui].push(false);
+    }
+
+    /// Reacts to a change of attribute `key` on live node `v` (`g` already
+    /// updated). Only pattern nodes whose predicate mentions `key` can
+    /// change their mind about `v`:
+    ///
+    /// * `v` **enters** `can(u)` — a fresh (or revalidated) candidate slot
+    ///   is added dead, then revived through the same optimistic
+    ///   region machinery as edge insertion: unlike a freshly added node,
+    ///   `v` already has edges, so it can complete mutual-support cycles
+    ///   the moment it becomes a candidate.
+    /// * `v` **leaves** `can(u)` — the pair is invalidated and, if alive,
+    ///   killed through the standard death cascade (its incident edges
+    ///   still exist, so parent counters must be decremented — unlike a
+    ///   tombstone, whose edge removals arrive first).
+    ///
+    /// A slot invalidated by an attribute flip can be revalidated by a
+    /// later flip; tombstoned slots never re-enter (attribute ops on
+    /// tombstones are filtered at the graph layer).
+    pub fn on_attr_changed(&mut self, g: &DynGraph, q: &Pattern, v: NodeId, key: &str) {
+        debug_assert!(!g.is_removed(v), "graph layer drops attr ops on tombstones");
+        let label = g.label(v);
+        let attrs = g.attributes(v);
+        // Decide first: which pattern nodes does `v` enter/leave? The two
+        // directions must not interleave — deaths have to cascade to their
+        // fixpoint before any fresh slot becomes valid, or the cascade
+        // could decrement a brand-new zero counter.
+        let mut leave: Vec<PNodeId> = Vec::new();
+        let mut enter: Vec<PNodeId> = Vec::new();
+        for u in q.nodes() {
+            let pred = q.predicate(u);
+            if !pred.mentions_key(key) {
+                continue; // candidacy is a function of (label, attrs[keys..])
+            }
+            let holds = pred.eval(label, Some(attrs));
+            let was =
+                self.idx[u as usize].get(&v).is_some_and(|&i| self.valid[u as usize][i as usize]);
+            if holds && !was {
+                enter.push(u);
+            } else if !holds && was {
+                leave.push(u);
+            }
+        }
+
+        // Departures: invalidate, then run the standard death cascade —
+        // `v` keeps its edges, so parent counters must be decremented
+        // (unlike a tombstone, whose edge removals arrive first).
+        let mut kill: Vec<DynPair> = Vec::new();
+        for &u in &leave {
+            let ui = u as usize;
+            let i = self.idx[ui][&v] as usize;
+            self.valid[ui][i] = false;
+            self.valid_count[ui] -= 1;
+            if self.alive[ui][i] {
+                self.alive[ui][i] = false;
+                self.alive_count[ui] -= 1;
+                self.dirty.push((u, v));
+                kill.push((u, v));
+            }
+        }
+        self.cascade_deaths(g, q, kill);
+
+        // Entries: create (or revalidate) the slot *dead*; the revival
+        // region recounts its counters against current adjacency — a
+        // revalidated slot's counters are stale (frozen while invalid),
+        // and a fresh slot starts at zero either way.
+        let mut seeds: Vec<DynPair> = Vec::new();
+        for &u in &enter {
+            let ui = u as usize;
+            match self.idx[ui].get(&v).copied() {
+                Some(i) => {
+                    debug_assert!(!self.alive[ui][i as usize], "invalid pairs are dead");
+                    self.valid[ui][i as usize] = true;
+                    self.valid_count[ui] += 1;
+                }
+                None => self.push_candidate_slot(u, v, q.successors(u).len()),
+            }
+            seeds.push((u, v));
+        }
+        self.revive_region(g, q, seeds);
     }
 
     /// Reacts to a node tombstone (`g` already dropped its incident edges,
@@ -282,20 +392,37 @@ impl IncSimState {
             }
         }
 
-        // 2. Revival region: dead pairs of `v` whose support may now exist,
-        //    expanded backward through dead candidate pairs.
-        let mut region: Vec<DynPair> = Vec::new();
-        let mut seen: std::collections::HashSet<DynPair> = std::collections::HashSet::new();
+        // 2. Revival seeds: dead pairs of `v` whose support may now exist.
+        let mut seeds: Vec<DynPair> = Vec::new();
         for u in q.nodes() {
             let Some(i) = self.valid_index(u, v) else { continue };
             if self.alive[u as usize][i] {
                 continue;
             }
             let touches = q.successors(u).iter().any(|&uc| self.valid_index(uc, w).is_some());
-            if touches && seen.insert((u, v)) {
-                region.push((u, v));
+            if touches {
+                seeds.push((u, v));
             }
         }
+        self.revive_region(g, q, seeds);
+    }
+
+    /// Optimistic revival from `seeds` (distinct **dead, valid** pairs that
+    /// may have gained support): expands the region backward through dead
+    /// candidate pairs, marks it alive (updating parent counters), recounts
+    /// the region's own counters from current adjacency, then cascades
+    /// deaths restricted to what cannot actually be supported. Pairs alive
+    /// before the triggering mutation can never die here (their counters
+    /// only ever gained), so this converges to the new greatest fixpoint.
+    /// Survivors are recorded as dirty flips.
+    ///
+    /// Shared by edge insertion and attribute-entry candidacy: both create
+    /// new potential support at specific pairs, and both need the region
+    /// treatment because mutually-dependent dead pairs (cyclic patterns)
+    /// must come alive together.
+    fn revive_region(&mut self, g: &DynGraph, q: &Pattern, seeds: Vec<DynPair>) {
+        let mut region = seeds;
+        let mut seen: std::collections::HashSet<DynPair> = region.iter().copied().collect();
         let mut cursor = 0;
         while cursor < region.len() {
             let (u, x) = region[cursor];
@@ -316,12 +443,9 @@ impl IncSimState {
             return;
         }
 
-        // 3. Optimistically revive the region: mark alive (updating parent
-        //    counters), recount the region's own counters, then cascade
-        //    deaths restricted to what cannot actually be supported. Pairs
-        //    alive before the insertion can never die here (their counters
-        //    only ever gained), so this converges to the new greatest
-        //    fixpoint.
+        // Optimistically revive the region: mark alive (updating parent
+        // counters), recount the region's own counters, then cascade
+        // deaths restricted to what cannot actually be supported.
         for &(u, x) in &region {
             let i = self.idx[u as usize][&x] as usize;
             self.alive[u as usize][i] = true;
@@ -364,7 +488,7 @@ impl IncSimState {
         }
         self.cascade_deaths(g, q, follow);
 
-        // 4. Record survivors as dirty flips.
+        // Record survivors as dirty flips.
         for &(u, x) in &region {
             let i = self.idx[u as usize][&x] as usize;
             if self.alive[u as usize][i] {
@@ -443,12 +567,41 @@ impl IncSimState {
     }
 
     /// Debug validation: every **valid** pair's counters equal its true
-    /// alive-child count and `alive ⇔ zeros == 0`; invalid (tombstoned)
-    /// pairs are dead and their counters frozen — the update hooks never
-    /// read or write them again, and the graph layer drops edge insertions
-    /// onto tombstoned nodes as no-ops, so no future op can reference
-    /// them. `O(|pairs| · deg)`.
+    /// alive-child count and `alive ⇔ zeros == 0`; invalid pairs
+    /// (tombstoned nodes or attr-flipped ex-candidates) are dead and their
+    /// counters frozen — the update hooks never read or write them while
+    /// invalid, and an attr re-entry recounts them before use. Candidacy
+    /// is also checked both ways: valid slots hold exactly the live nodes
+    /// satisfying the predicate (`O(|Vp| · |V|)` + `O(|pairs| · deg)`).
     pub fn check_invariants(&self, g: &DynGraph, q: &Pattern) -> bool {
+        for u in q.nodes() {
+            let ui = u as usize;
+            let pred = q.predicate(u);
+            for (i, &v) in self.cand[ui].iter().enumerate() {
+                let holds = !g.is_removed(v) && pred.eval(g.label(v), Some(g.attributes(v)));
+                if self.valid[ui][i] != holds {
+                    eprintln!(
+                        "candidate soundness: valid[{u}][{v}] = {} but predicate holds = {holds}",
+                        self.valid[ui][i]
+                    );
+                    return false;
+                }
+            }
+            let vc = self.valid[ui].iter().filter(|&&x| x).count();
+            if vc != self.valid_count[ui] {
+                eprintln!("valid_count[{u}] = {} but {vc} valid flags", self.valid_count[ui]);
+                return false;
+            }
+            for v in 0..g.node_count() as NodeId {
+                if !g.is_removed(v)
+                    && pred.eval(g.label(v), Some(g.attributes(v)))
+                    && !self.is_candidate(u, v)
+                {
+                    eprintln!("candidate completeness: live node {v} satisfies {u} but is absent");
+                    return false;
+                }
+            }
+        }
         for u in q.nodes() {
             let ui = u as usize;
             let d = q.successors(u).len();
@@ -509,10 +662,13 @@ mod tests {
     fn check_equiv(g: &mut DynGraph, state: &mut IncSimState, q: &Pattern, delta: &GraphDelta) {
         use gpm_graph::EffectiveOp;
         g.apply_with(delta, |g, eff| match eff {
-            EffectiveOp::NodeAdded(v, _) => state.on_node_added(g, q, v),
-            EffectiveOp::EdgeAdded(s, t) => state.on_edge_inserted(g, q, s, t),
-            EffectiveOp::EdgeRemoved(s, t) => state.on_edge_removed(g, q, s, t),
-            EffectiveOp::NodeRemoved(v) => state.on_node_removed(q, v),
+            EffectiveOp::NodeAdded(v, _) => state.on_node_added(g, q, *v),
+            EffectiveOp::EdgeAdded(s, t) => state.on_edge_inserted(g, q, *s, *t),
+            EffectiveOp::EdgeRemoved(s, t) => state.on_edge_removed(g, q, *s, *t),
+            EffectiveOp::NodeRemoved(v) => state.on_node_removed(q, *v),
+            EffectiveOp::AttrSet { node, key, .. } | EffectiveOp::AttrUnset { node, key } => {
+                state.on_attr_changed(g, q, *node, key)
+            }
         })
         .unwrap();
         if !state.check_invariants(g, q) {
@@ -625,6 +781,197 @@ mod tests {
                 }
                 // check_equiv validates invariants + from-scratch agreement.
                 let _ = (trial, step);
+                check_equiv(&mut g, &mut s, &q, &delta);
+            }
+        }
+    }
+
+    fn attr_chain_pattern() -> Pattern {
+        // A → B[k0 >= 5] → C, output A.
+        use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
+        let mut b = PatternBuilder::new();
+        b.node("A", Predicate::Label(0));
+        b.node("B", Predicate::labeled(1, [Predicate::attr("k0", CmpOp::Ge, 5i64)]));
+        b.node("C", Predicate::Label(2));
+        b.edge_by_name("A", "B").unwrap();
+        b.edge_by_name("B", "C").unwrap();
+        b.output(0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn attr_flip_enters_and_leaves_candidacy() {
+        let g0 = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let q = attr_chain_pattern();
+        let mut g = DynGraph::from_digraph(&g0);
+        let mut s = IncSimState::new(&g, &q).unwrap();
+        assert!(s.output_matches(&q).is_empty(), "node 1 has no k0 yet");
+        assert_eq!(s.candidate_count(1), 0);
+
+        // Entering candidacy revives the whole chain.
+        check_equiv(&mut g, &mut s, &q, &GraphDelta::new().set_attr(1, "k0", 7i64));
+        assert_eq!(s.output_matches(&q), vec![0]);
+        assert_eq!(s.candidate_count(1), 1);
+
+        // Overwriting below the threshold leaves candidacy and kills the
+        // ancestor — v keeps its edges, so the cascade runs through them.
+        check_equiv(&mut g, &mut s, &q, &GraphDelta::new().set_attr(1, "k0", 2i64));
+        assert!(s.output_matches(&q).is_empty());
+        assert_eq!(s.candidate_count(1), 0);
+
+        // Re-entry revalidates the same slot (ids are never reused).
+        check_equiv(&mut g, &mut s, &q, &GraphDelta::new().set_attr(1, "k0", 9i64));
+        assert_eq!(s.output_matches(&q), vec![0]);
+
+        // Unset leaves candidacy again.
+        check_equiv(&mut g, &mut s, &q, &GraphDelta::new().unset_attr(1, "k0"));
+        assert!(s.output_matches(&q).is_empty());
+    }
+
+    #[test]
+    fn attr_entry_revives_mutual_support_cycle() {
+        // Pattern A ⇄ B[k0 >= 1]. Data 0(a) ⇄ 1(b): the cycle exists
+        // structurally, but (B,1) is no candidate until the attr lands —
+        // then both pairs must come alive at once (the revival-region
+        // case counter increments alone cannot see).
+        use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
+        let mut b = PatternBuilder::new();
+        b.node("A", Predicate::Label(0));
+        b.node("B", Predicate::labeled(1, [Predicate::attr("k0", CmpOp::Ge, 1i64)]));
+        b.edge_by_name("A", "B").unwrap();
+        b.edge_by_name("B", "A").unwrap();
+        b.output(0).unwrap();
+        let q = b.build().unwrap();
+
+        let g0 = graph_from_parts(&[0, 1], &[(0, 1), (1, 0)]).unwrap();
+        let mut g = DynGraph::from_digraph(&g0);
+        let mut s = IncSimState::new(&g, &q).unwrap();
+        assert!(s.output_matches(&q).is_empty());
+        check_equiv(&mut g, &mut s, &q, &GraphDelta::new().set_attr(1, "k0", 1i64));
+        assert_eq!(s.output_matches(&q), vec![0]);
+        // And the attr leaving kills both again.
+        check_equiv(&mut g, &mut s, &q, &GraphDelta::new().unset_attr(1, "k0"));
+        assert!(s.output_matches(&q).is_empty());
+    }
+
+    #[test]
+    fn attr_set_on_fresh_node_in_same_batch() {
+        // AddNode emits NodeAdded with empty attrs (no candidate), then the
+        // batch's SetAttr flips it in — lockstep replay must handle both.
+        let g0 = graph_from_parts(&[0, 2], &[]).unwrap();
+        let q = attr_chain_pattern();
+        let mut g = DynGraph::from_digraph(&g0);
+        let mut s = IncSimState::new(&g, &q).unwrap();
+        check_equiv(
+            &mut g,
+            &mut s,
+            &q,
+            &GraphDelta::new().add_node(1).add_edge(0, 2).add_edge(2, 1).set_attr(2, "k0", 6i64),
+        );
+        assert_eq!(s.output_matches(&q), vec![0]);
+        // Tombstoning the attributed node: attrs are wiped with it, and a
+        // later set_attr on the dead slot is filtered by the graph layer.
+        check_equiv(&mut g, &mut s, &q, &GraphDelta::new().remove_node(2).set_attr(2, "k0", 9i64));
+        assert!(s.output_matches(&q).is_empty());
+    }
+
+    #[test]
+    fn randomized_attr_streams_match_from_scratch() {
+        use gpm_pattern::{CmpOp, PatternBuilder, Predicate};
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(20220413);
+        for _trial in 0..120 {
+            let n = rng.random_range(4..14usize);
+            let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..3u32)).collect();
+            let m = rng.random_range(0..n * 2);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let mut gb = gpm_graph::GraphBuilder::new();
+            for &l in &labels {
+                // Some nodes start with attributes already set.
+                if rng.random_range(0..3u32) == 0 {
+                    gb.add_node_with_attrs(
+                        l,
+                        gpm_graph::Attributes::from_pairs([("k0", rng.random_range(0..4i64))]),
+                    );
+                } else {
+                    gb.add_node(l);
+                }
+            }
+            for &(a, b) in &edges {
+                gb.add_edge(a, b).unwrap();
+            }
+            let g0 = gb.build();
+
+            // Random pattern: chain + extra edges; ~half the nodes carry a
+            // k0/k1 threshold condition on top of their label.
+            let pn = rng.random_range(1..4usize);
+            let mut pb = PatternBuilder::new();
+            for i in 0..pn {
+                let l = rng.random_range(0..3u32);
+                let pred = if rng.random_range(0..2u32) == 0 {
+                    let key = if rng.random_range(0..2u32) == 0 { "k0" } else { "k1" };
+                    let op = match rng.random_range(0..3u32) {
+                        0 => CmpOp::Ge,
+                        1 => CmpOp::Lt,
+                        _ => CmpOp::Eq,
+                    };
+                    Predicate::labeled(l, [Predicate::attr(key, op, rng.random_range(0..4i64))])
+                } else {
+                    Predicate::Label(l)
+                };
+                pb.node(format!("u{i}"), pred);
+            }
+            for i in 1..pn as u32 {
+                pb.edge(i - 1, i).unwrap();
+            }
+            for _ in 0..rng.random_range(0..pn) {
+                let a = rng.random_range(0..pn as u32);
+                let b = rng.random_range(0..pn as u32);
+                if a != b {
+                    let _ = pb.edge(a, b);
+                }
+            }
+            pb.output(0).unwrap();
+            let q = pb.build().unwrap();
+
+            let mut g = DynGraph::from_digraph(&g0);
+            let mut s = IncSimState::new(&g, &q).unwrap();
+            for _step in 0..8 {
+                let mut delta = GraphDelta::new();
+                for _ in 0..rng.random_range(1..4usize) {
+                    let cur = g.node_count() as u32;
+                    match rng.random_range(0..12u32) {
+                        0 => delta = delta.add_node(rng.random_range(0..3u32)),
+                        1 => delta = delta.remove_node(rng.random_range(0..cur)),
+                        2..=4 => {
+                            delta = delta
+                                .remove_edge(rng.random_range(0..cur), rng.random_range(0..cur))
+                        }
+                        5..=7 => {
+                            let a = rng.random_range(0..cur);
+                            let b = rng.random_range(0..cur);
+                            if a != b {
+                                delta = delta.add_edge(a, b);
+                            }
+                        }
+                        8..=10 => {
+                            let key = if rng.random_range(0..2u32) == 0 { "k0" } else { "k1" };
+                            delta = delta.set_attr(
+                                rng.random_range(0..cur),
+                                key,
+                                rng.random_range(0..4i64),
+                            );
+                        }
+                        _ => {
+                            let key = if rng.random_range(0..2u32) == 0 { "k0" } else { "k1" };
+                            delta = delta.unset_attr(rng.random_range(0..cur), key);
+                        }
+                    }
+                }
                 check_equiv(&mut g, &mut s, &q, &delta);
             }
         }

@@ -48,7 +48,7 @@ fn main() {
     );
 
     let mut m = DynamicMatcher::new(&g, q, IncrementalConfig::new(2).lambda(0.5))
-        .expect("Fig. 1 pattern is label-only");
+        .expect("Fig. 1 pattern is maintainable");
     let initial = m.top_k();
     assert_eq!(initial.total_relevance(), 14, "the paper's Example 3 numbers");
     show("initial network (paper Example 3)", m.graph(), &initial, &m);

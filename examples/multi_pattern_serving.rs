@@ -2,9 +2,11 @@
 //!
 //! A serving system rarely answers a single query shape. This example
 //! registers several patterns from the paper's domain (a collaboration
-//! network) in one `PatternRegistry`, replays a generated update stream
-//! through it, registers another pattern mid-stream and deregisters one —
-//! while every answer stays identical to a from-scratch recompute.
+//! network) in one `PatternRegistry` — including an **attribute-predicate**
+//! pattern (senior managers, filtered on an `experience` attribute the
+//! stream mutates with `SetAttr` deltas) — replays a generated update
+//! stream through it, registers another pattern mid-stream and deregisters
+//! one, while every answer stays identical to a from-scratch recompute.
 //!
 //! ```text
 //! cargo run --release --example multi_pattern_serving
@@ -72,14 +74,52 @@ fn main() {
             IncrementalConfig::new(3).lambda(0.3),
         )
         .unwrap();
+    // An attribute-predicate pattern: senior managers (experience ≥ 5
+    // years) leading a DB developer. Nobody carries the attribute yet —
+    // the stream's SetAttr deltas will create (and destroy) the matches.
+    let seniors = {
+        let mut b = PatternBuilder::new();
+        b.node(
+            "senior PM",
+            Predicate::labeled(PM, [Predicate::attr("experience", CmpOp::Ge, 5i64)]),
+        );
+        b.node("DB", Predicate::Label(DB));
+        b.edge_by_name("senior PM", "DB").unwrap();
+        b.output(0).unwrap();
+        reg.register(b.build().unwrap(), IncrementalConfig::new(3)).unwrap()
+    };
     let mut names = vec![
         (managers, "managers PM→DB→PRG"),
         (db_leads, "db leads DB→PRG"),
         (qa_loops, "qa loops PM→ST→PRG→PM"),
+        (seniors, "seniors PM[exp≥5]→DB"),
     ];
 
     println!("── initial answers ({} patterns registered)", reg.len());
     show(&reg, &names);
+
+    // Attribute deltas flow through the same apply() as structural ones:
+    // seniority arriving on a few PMs creates matches incrementally (no
+    // rebuild — attr flips are zero edge churn), and an attr batch on a
+    // key no pattern mentions is pruned wholesale by the interest index.
+    let pms: Vec<_> = reg.graph().nodes_with_label(PM).take(3).collect();
+    let mut promote = GraphDelta::new();
+    for (i, &pm) in pms.iter().enumerate() {
+        promote = promote.set_attr(pm, "experience", 3 + 2 * i as i64);
+    }
+    let touched = reg.apply(&promote).unwrap();
+    println!(
+        "\n── promoted {} PMs (experience 3/5/7): {} pattern(s) touched",
+        pms.len(),
+        touched.len()
+    );
+    show(&reg, &names);
+    let skipped_before = reg.stats().ops_skipped;
+    reg.apply(&GraphDelta::new().set_attr(pms[0], "office", 42i64)).unwrap();
+    println!(
+        "   an `office` attr batch touches nobody: {} fan-out skips added",
+        reg.stats().ops_skipped - skipped_before
+    );
 
     // Replay churn through the shared graph: every batch is applied once
     // and fanned out to all registered patterns.

@@ -1,14 +1,17 @@
 //! Property tests for the incremental subsystem: a `DynamicMatcher`
 //! maintained across random delta streams must agree with a from-scratch
 //! `top_k_cyclic` / `top_k_diversified` run on the final graph — for
-//! insert-only, delete-only, and mixed streams.
+//! insert-only, delete-only, and mixed streams, and for streams mixing
+//! attribute mutations (`SetAttr`/`UnsetAttr`) into the structural churn
+//! against attribute-predicate patterns.
 
 use diversified_topk::prelude::*;
 use gpm_core::config::DivConfig;
 use gpm_core::{top_k_by_match, top_k_cyclic, top_k_diversified};
 use gpm_graph::builder::graph_from_parts;
-use gpm_graph::DynGraph;
+use gpm_graph::{Attributes, DynGraph, GraphBuilder};
 use gpm_pattern::builder::label_pattern;
+use gpm_pattern::{CmpOp, Pattern, PatternBuilder, Predicate};
 use proptest::prelude::*;
 
 /// A random small labeled digraph (same shape as `properties.rs`).
@@ -18,6 +21,42 @@ fn arb_graph() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
         let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2);
         (labels, edges)
     })
+}
+
+/// Per-node initial attributes: bit 0 of the flag grants `k0`, bit 1
+/// grants `k1`, with the given small integer values.
+type AttrSpec = Vec<(u8, u8, u8)>;
+
+/// A random small digraph whose nodes may start with `k0`/`k1` attributes.
+fn arb_attr_graph() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>, AttrSpec)> {
+    (4usize..20).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..3, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2);
+        let attrs = proptest::collection::vec((0u8..4, 0u8..5, 0u8..5), n);
+        (labels, edges, attrs)
+    })
+}
+
+fn build_attr_graph(
+    labels: &[u32],
+    edges: &[(u32, u32)],
+    attrs: &AttrSpec,
+) -> Result<DiGraph, String> {
+    let mut b = GraphBuilder::new();
+    for (&l, &(flags, v0, v1)) in labels.iter().zip(attrs) {
+        let mut a = Attributes::new();
+        if flags & 1 != 0 {
+            a.set("k0", v0 as i64);
+        }
+        if flags & 2 != 0 {
+            a.set("k1", v1 as i64);
+        }
+        b.add_node_with_attrs(l, a);
+    }
+    for &(s, t) in edges {
+        b.add_edge(s, t).map_err(|e| e.to_string())?;
+    }
+    Ok(b.build())
 }
 
 /// A small pattern over the same alphabet; node 0 is the output.
@@ -35,6 +74,54 @@ fn arb_pattern() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
     })
 }
 
+/// Per-pattern-node attribute condition: `sel` 0 = label-only, 1 = on
+/// `k0`, 2 = on `k1`; `op` selects the comparison, `t` the threshold.
+type CondSpec = Vec<(u8, u8, u8)>;
+
+/// A pattern whose nodes may carry attribute conditions over `k0`/`k1`.
+fn arb_attr_pattern() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>, CondSpec)> {
+    (1usize..5).prop_flat_map(|k| {
+        let labels = proptest::collection::vec(0u32..3, k);
+        let extra = proptest::collection::vec((0u32..k as u32, 0u32..k as u32), 0..k * 2);
+        let conds = proptest::collection::vec((0u8..3, 0u8..4, 0u8..5), k);
+        (labels, extra, conds).prop_map(move |(labels, extra, conds)| {
+            let mut edges: Vec<(u32, u32)> = (1..k as u32).map(|i| (i - 1, i)).collect();
+            edges.extend(extra.into_iter().filter(|(a, b)| a != b));
+            edges.sort_unstable();
+            edges.dedup();
+            (labels, edges, conds)
+        })
+    })
+}
+
+fn build_attr_pattern(
+    plabels: &[u32],
+    pedges: &[(u32, u32)],
+    conds: &CondSpec,
+) -> Result<Pattern, String> {
+    let mut b = PatternBuilder::new();
+    for (i, (&l, &(sel, op, t))) in plabels.iter().zip(conds).enumerate() {
+        let pred = if sel == 0 {
+            Predicate::Label(l)
+        } else {
+            let key = if sel == 1 { "k0" } else { "k1" };
+            let op = match op {
+                0 => CmpOp::Ge,
+                1 => CmpOp::Lt,
+                2 => CmpOp::Eq,
+                _ => CmpOp::Ne,
+            };
+            Predicate::labeled(l, [Predicate::attr(key, op, t as i64)])
+        };
+        b.node(format!("u{i}"), pred);
+    }
+    for &(s, t) in pedges {
+        b.edge(s, t).map_err(|e| e.to_string())?;
+    }
+    b.output(0).map_err(|e| e.to_string())?;
+    b.build().map_err(|e| e.to_string())
+}
+
 /// Raw op codes decoded into a `GraphDelta` against the current graph
 /// state (so deletions target real ids even after node churn).
 type RawOps = Vec<(u8, u32, u32)>;
@@ -46,11 +133,22 @@ fn arb_ops(batches: usize) -> impl Strategy<Value = Vec<RawOps>> {
     )
 }
 
+/// Raw ops whose code range includes the attribute band (`8..12`).
+fn arb_attr_ops(batches: usize) -> impl Strategy<Value = Vec<RawOps>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u8..12, 0u32..64, 0u32..64), 1..5),
+        batches,
+    )
+}
+
 #[derive(Clone, Copy)]
 enum Stream {
     Insert,
     Delete,
     Mixed,
+    /// Structural churn with attribute mutations interleaved: raw codes in
+    /// `8..12` become `SetAttr`/`UnsetAttr` on `k0`/`k1`.
+    AttrMixed,
 }
 
 /// Decodes one raw batch into a valid delta for the current graph.
@@ -58,10 +156,21 @@ fn decode(g: &DynGraph, ops: &RawOps, kind: Stream) -> GraphDelta {
     let mut delta = GraphDelta::new();
     let n = g.node_count() as u32;
     for &(code, a, b) in ops {
+        if matches!(kind, Stream::AttrMixed) && code >= 8 {
+            // Attribute op; targeting a tombstoned node is a legal
+            // recorded no-op, so no liveness filtering is needed.
+            let key = if b % 2 == 0 { "k0" } else { "k1" };
+            delta = if code >= 11 {
+                delta.unset_attr(a % n, key)
+            } else {
+                delta.set_attr(a % n, key, (b % 5) as i64)
+            };
+            continue;
+        }
         let insert = match kind {
             Stream::Insert => true,
             Stream::Delete => false,
-            Stream::Mixed => code % 2 == 0,
+            Stream::Mixed | Stream::AttrMixed => code % 2 == 0,
         };
         let (a, b) = (a % n, b % n);
         if insert {
@@ -94,7 +203,20 @@ fn check_stream(
 ) -> Result<(), String> {
     let g = graph_from_parts(labels, edges).map_err(|e| e.to_string())?;
     let q = label_pattern(plabels, pedges, 0).map_err(|e| e.to_string())?;
-    let mut m = DynamicMatcher::new(&g, q.clone(), IncrementalConfig::new(k).lambda(lambda))
+    run_and_compare(&g, &q, batches, kind, k, lambda)
+}
+
+/// Replays the batches through a `DynamicMatcher` and compares every
+/// answer surface against the static pipeline on the final snapshot.
+fn run_and_compare(
+    g: &DiGraph,
+    q: &Pattern,
+    batches: &[RawOps],
+    kind: Stream,
+    k: usize,
+    lambda: f64,
+) -> Result<(), String> {
+    let mut m = DynamicMatcher::new(g, q.clone(), IncrementalConfig::new(k).lambda(lambda))
         .map_err(|e| e.to_string())?;
     for raw in batches {
         let delta = decode(m.graph(), raw, kind);
@@ -104,7 +226,7 @@ fn check_stream(
 
     // Relevance ranking: exact agreement with the find-all baseline, and
     // total-relevance agreement with the early-terminating algorithm.
-    let base = top_k_by_match(&snap, &q, &TopKConfig::new(k));
+    let base = top_k_by_match(&snap, q, &TopKConfig::new(k));
     let inc = m.top_k();
     if inc.nodes() != base.nodes() {
         return Err(format!("nodes {:?} != {:?}", inc.nodes(), base.nodes()));
@@ -114,13 +236,13 @@ fn check_stream(
     if inc_rel != base_rel {
         return Err(format!("relevances {inc_rel:?} != {base_rel:?}"));
     }
-    let fast = top_k_cyclic(&snap, &q, &TopKConfig::new(k));
+    let fast = top_k_cyclic(&snap, q, &TopKConfig::new(k));
     if fast.total_relevance() != inc.total_relevance() {
         return Err("top_k_cyclic disagrees".into());
     }
 
     // Diversified: identical set and F-value (shared greedy).
-    let div_base = top_k_diversified(&snap, &q, &DivConfig::new(k, lambda));
+    let div_base = top_k_diversified(&snap, q, &DivConfig::new(k, lambda));
     let div_inc = m.diversified(lambda);
     if div_inc.nodes() != div_base.nodes() {
         return Err(format!("div {:?} != {:?}", div_inc.nodes(), div_base.nodes()));
@@ -168,5 +290,49 @@ proptest! {
     ) {
         let r = check_stream(&labels, &edges, &plabels, &pedges, &batches, Stream::Mixed, k, lambda);
         prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn attr_mixed_streams(
+        (labels, edges, attrs) in arb_attr_graph(),
+        (plabels, pedges, conds) in arb_attr_pattern(),
+        batches in arb_attr_ops(6),
+        k in 1usize..5,
+        lambda in 0.0f64..1.0,
+    ) {
+        // Attribute-predicate patterns over graphs with initial attribute
+        // tables, driven by streams that interleave SetAttr/UnsetAttr with
+        // structural churn — the maintained answer must stay bit-identical
+        // to the static pipeline on the final snapshot.
+        let g = build_attr_graph(&labels, &edges, &attrs);
+        prop_assert!(g.is_ok(), "{}", g.unwrap_err());
+        let q = build_attr_pattern(&plabels, &pedges, &conds);
+        prop_assert!(q.is_ok(), "{}", q.unwrap_err());
+        let r = run_and_compare(&g.unwrap(), &q.unwrap(), &batches, Stream::AttrMixed, k, lambda);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn attr_only_streams_never_rebuild(
+        (labels, edges, attrs) in arb_attr_graph(),
+        (plabels, pedges, conds) in arb_attr_pattern(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((8u8..12, 0u32..64, 0u32..64), 1..5), 5),
+        k in 1usize..5,
+    ) {
+        // A pure-attribute stream must be absorbed without a single full
+        // rebuild (attr flips are zero edge churn) while still agreeing
+        // with the static recompute.
+        let g = build_attr_graph(&labels, &edges, &attrs).unwrap();
+        let q = build_attr_pattern(&plabels, &pedges, &conds).unwrap();
+        let mut m = DynamicMatcher::new(&g, q.clone(), IncrementalConfig::new(k)).unwrap();
+        for raw in &batches {
+            let delta = decode(m.graph(), raw, Stream::AttrMixed);
+            m.apply(&delta).unwrap();
+        }
+        prop_assert_eq!(m.stats().full_rebuilds, 0);
+        let snap = m.snapshot();
+        let base = top_k_by_match(&snap, &q, &TopKConfig::new(k));
+        prop_assert_eq!(m.top_k().nodes(), base.nodes());
     }
 }
