@@ -1,0 +1,93 @@
+//! Streaming-service benchmark CLI: end-to-end delta→notification latency
+//! and sustained throughput at N∈{1,8,16} subscribers.
+//!
+//! ```text
+//! bench_serving [--nodes N] [--k K] [--batch B] [--batches C]
+//!               [--threads T] [--max-subscribers S] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_serving.json` (repo root by default) and prints the
+//! table. Runs on the registry workload (same graph generator, pattern
+//! pool and stream seed as `bench_registry`) so the shared-index skip
+//! rate stays comparable across benches and PRs.
+
+use gpm_bench::{registry_bench, serving_bench};
+
+fn main() {
+    let mut nodes = 8_000usize;
+    let mut k = 10usize;
+    let mut seed = 20130826u64;
+    let mut batch = 50usize;
+    let mut batches = 40usize;
+    let mut threads = gpm_incremental::PatternRegistry::default_threads();
+    let mut max_subscribers = 16usize;
+    let mut out = String::from("BENCH_serving.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |what: &str, v: Option<&String>| -> String {
+            v.cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        let parse_num = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got {v:?}");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--nodes" => nodes = parse_num("--nodes", need("--nodes", args.get(i + 1))) as usize,
+            "--k" => k = parse_num("--k", need("--k", args.get(i + 1))) as usize,
+            "--seed" => seed = parse_num("--seed", need("--seed", args.get(i + 1))),
+            "--batch" => batch = parse_num("--batch", need("--batch", args.get(i + 1))) as usize,
+            "--batches" => {
+                batches = parse_num("--batches", need("--batches", args.get(i + 1))) as usize
+            }
+            "--threads" => {
+                threads = parse_num("--threads", need("--threads", args.get(i + 1))) as usize
+            }
+            "--max-subscribers" => {
+                max_subscribers =
+                    parse_num("--max-subscribers", need("--max-subscribers", args.get(i + 1)))
+                        as usize
+            }
+            "--out" => out = need("--out", args.get(i + 1)),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!("building workload: |V|={nodes}, subscriber sweep up to {max_subscribers}");
+    let g = registry_bench::registry_graph(nodes, seed);
+    let pool = registry_bench::registry_patterns(max_subscribers.max(1), 15, seed);
+    println!("graph |V|={} |E|={}", g.node_count(), g.edge_count());
+
+    // The acceptance sweep N ∈ {1, 8, 16}, clipped to --max-subscribers.
+    let mut counts: Vec<usize> =
+        [1usize, 8, 16].into_iter().filter(|&c| c <= max_subscribers).collect();
+    if counts.last() != Some(&max_subscribers) {
+        counts.push(max_subscribers.max(1));
+    }
+
+    let result = serving_bench::run(&g, &pool, k, &counts, batches, batch, threads);
+    println!("{}", serving_bench::as_table(&result).render());
+
+    let json = serde_json::to_string_pretty(&result).expect("serializable");
+    std::fs::write(&out, json).expect("write BENCH_serving.json");
+    println!("wrote {out}");
+
+    for p in &result.points {
+        if p.shared_index_hit_rate < 0.5 && p.subscribers >= 8 {
+            eprintln!(
+                "WARNING: shared-index hit rate collapsed at N = {} ({:.3})",
+                p.subscribers, p.shared_index_hit_rate
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@
 pub mod delta_bench;
 pub mod experiments;
 pub mod registry_bench;
+pub mod serving_bench;
 pub mod table;
 pub mod workloads;
 

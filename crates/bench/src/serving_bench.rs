@@ -1,0 +1,274 @@
+//! Streaming-service benchmark: end-to-end **delta → notification**
+//! latency and sustained ingestion throughput at N subscribers.
+//!
+//! The serving layer's claim is that push costs what the registry costs,
+//! plus a constant-ish fan-out: the delta log append, the change-set
+//! diff, and a queue push per materially-changed subscription. This bench
+//! measures it end to end on the registry workload — producer thread,
+//! service loop thread, one consumer thread per subscriber — in two
+//! phases over one generated stream:
+//!
+//! * **latency phase** (first half): batches are ingested synchronously;
+//!   each subscriber timestamps update arrival against the producer's
+//!   submit time — the unloaded delta→notification path;
+//! * **throughput phase** (second half): batches are flooded through the
+//!   async `submit` path and the wall clock measures sustained
+//!   batches/sec with all consumers draining concurrently.
+//!
+//! Results are printed as a table and written to `BENCH_serving.json`.
+//! The registry's shared-index skip rate is recorded per point — pushing
+//! to subscribers must not erode the ~97% pruning the pull path enjoys.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gpm_core::config::TopKConfig;
+use gpm_core::top_k_by_match;
+use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
+use gpm_graph::{DiGraph, GraphDelta};
+use gpm_incremental::IncrementalConfig;
+use gpm_pattern::Pattern;
+use gpm_serving::{AnswerService, NotifyMode, ServiceConfig, ServiceHandle};
+use serde::{Serialize, Value};
+
+use crate::table::Table;
+
+/// One measured point of the subscriber sweep.
+#[derive(Debug, Clone)]
+pub struct ServingPoint {
+    /// Live subscriptions during the run.
+    pub subscribers: usize,
+    /// Sustained ingestion rate of the flood phase (batches/sec).
+    pub batches_per_sec: f64,
+    /// Mean synchronous ingest round-trip (ms, latency phase): apply +
+    /// log append + fan-out, regardless of whether answers changed.
+    pub mean_ingest_ms: f64,
+    /// Mean delta→notification latency (ms, latency phase; 0 when no
+    /// answer changed during that phase).
+    pub mean_notify_ms: f64,
+    /// 95th-percentile delta→notification latency (ms).
+    pub p95_notify_ms: f64,
+    /// Worst observed delta→notification latency (ms).
+    pub max_notify_ms: f64,
+    /// Updates delivered across all subscribers (whole run).
+    pub updates: u64,
+    /// Updates merged away by queue-overflow coalescing.
+    pub coalesced: u64,
+    /// Notifications suppressed (touched pattern, unchanged answer).
+    pub suppressed: u64,
+    /// Shared-index skip rate of the underlying registry.
+    pub shared_index_hit_rate: f64,
+}
+
+impl Serialize for ServingPoint {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("subscribers".into(), self.subscribers.to_value()),
+            ("batches_per_sec".into(), self.batches_per_sec.to_value()),
+            ("mean_ingest_ms".into(), self.mean_ingest_ms.to_value()),
+            ("mean_notify_ms".into(), self.mean_notify_ms.to_value()),
+            ("p95_notify_ms".into(), self.p95_notify_ms.to_value()),
+            ("max_notify_ms".into(), self.max_notify_ms.to_value()),
+            ("updates".into(), self.updates.to_value()),
+            ("coalesced".into(), self.coalesced.to_value()),
+            ("suppressed".into(), self.suppressed.to_value()),
+            ("shared_index_hit_rate".into(), self.shared_index_hit_rate.to_value()),
+        ])
+    }
+}
+
+/// The whole experiment record written to `BENCH_serving.json`.
+#[derive(Debug, Clone)]
+pub struct ServingBenchResult {
+    pub nodes: usize,
+    pub edges: usize,
+    pub batch_size: usize,
+    pub batches: usize,
+    pub threads: usize,
+    pub queue_capacity: usize,
+    pub points: Vec<ServingPoint>,
+}
+
+impl Serialize for ServingBenchResult {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("bench".into(), "serving_stream".to_value()),
+            ("nodes".into(), self.nodes.to_value()),
+            ("edges".into(), self.edges.to_value()),
+            ("batch_size".into(), self.batch_size.to_value()),
+            ("batches".into(), self.batches.to_value()),
+            ("threads".into(), self.threads.to_value()),
+            ("queue_capacity".into(), self.queue_capacity.to_value()),
+            ("points".into(), self.points.to_value()),
+        ])
+    }
+}
+
+/// Runs the subscriber sweep over the registry workload (same base graph,
+/// pattern pool and stream seed as `registry_bench`, so the recorded
+/// skip rates are comparable across PRs).
+pub fn run(
+    g: &DiGraph,
+    pool: &[Pattern],
+    k: usize,
+    subscriber_counts: &[usize],
+    batches: usize,
+    batch_size: usize,
+    threads: usize,
+) -> ServingBenchResult {
+    let queue_capacity = 256usize;
+    let stream: Vec<GraphDelta> =
+        update_stream(g, &UpdateStreamConfig::new(batches, batch_size, 0x5EAC7));
+    let latency_until = (stream.len() / 2).max(1) as u64; // seqs 1..=this: paced phase
+
+    let mut points = Vec::new();
+    for &n in subscriber_counts {
+        let mut svc = AnswerService::new(
+            g,
+            ServiceConfig { queue_capacity, threads, ..ServiceConfig::default() },
+        );
+        let mut subs = Vec::new();
+        let mut pattern_ids = Vec::new();
+        for i in 0..n {
+            let sub = svc
+                .subscribe(
+                    pool[i % pool.len()].clone(),
+                    IncrementalConfig::new(k),
+                    NotifyMode::Relevance,
+                )
+                .expect("label-only pattern");
+            sub.try_recv().expect("bootstrap answer");
+            pattern_ids.push(sub.pattern());
+            subs.push(sub);
+        }
+
+        // Producer-visible submit timestamps, indexed by `seq - 1`,
+        // written before the batch enters the loop's channel.
+        let t_origin = Instant::now();
+        let send_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..stream.len()).map(|_| AtomicU64::new(0)).collect());
+
+        let handle = ServiceHandle::spawn(svc);
+        let consumers: Vec<std::thread::JoinHandle<Vec<(u64, f64)>>> = subs
+            .into_iter()
+            .map(|sub| {
+                let send_ns = Arc::clone(&send_ns);
+                std::thread::spawn(move || {
+                    let mut latencies = Vec::new();
+                    loop {
+                        match sub.recv_timeout(Duration::from_secs(5)) {
+                            Some(update) => {
+                                let sent =
+                                    send_ns[(update.seq - 1) as usize].load(Ordering::Acquire);
+                                let now = t_origin.elapsed().as_nanos() as u64;
+                                latencies.push((update.seq, (now - sent) as f64 / 1e6));
+                            }
+                            None => {
+                                if sub.is_closed() && sub.pending() == 0 {
+                                    return latencies;
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Phase 1 — paced: synchronous ingest, per-update latency.
+        let mut ingest_ms = Vec::with_capacity(latency_until as usize);
+        for (i, delta) in stream[..latency_until as usize].iter().enumerate() {
+            send_ns[i].store(t_origin.elapsed().as_nanos() as u64, Ordering::Release);
+            let t = Instant::now();
+            handle.ingest(delta.clone()).expect("stream is valid");
+            ingest_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+
+        // Phase 2 — flood: async submit, sustained throughput.
+        let t_flood = Instant::now();
+        for (i, delta) in stream.iter().enumerate().skip(latency_until as usize) {
+            send_ns[i].store(t_origin.elapsed().as_nanos() as u64, Ordering::Release);
+            handle.submit(delta.clone());
+        }
+        let head = handle.seq(); // barrier: all submitted batches applied
+        let flood_secs = t_flood.elapsed().as_secs_f64();
+        assert_eq!(head, stream.len() as u64);
+
+        let svc = handle.shutdown();
+        // Cross-check before tearing down: push state equals a static
+        // recompute on the final graph for every subscribed pattern.
+        let snap = svc.registry().snapshot();
+        for (i, id) in pattern_ids.iter().enumerate() {
+            let served = svc.current(*id).expect("still subscribed");
+            let expect = top_k_by_match(&snap, &pool[i % pool.len()], &TopKConfig::new(k));
+            assert_eq!(served.nodes(), expect.nodes(), "served answer drifted at N = {n}");
+        }
+        let stats = svc.stats().clone();
+        let hit_rate = svc.registry_stats().shared_index_hit_rate();
+        drop(svc); // closes queues; consumers drain and exit
+
+        let mut paced: Vec<f64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().expect("consumer thread"))
+            .filter(|&(seq, _)| seq <= latency_until)
+            .map(|(_, ms)| ms)
+            .collect();
+        paced.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean =
+            if paced.is_empty() { 0.0 } else { paced.iter().sum::<f64>() / paced.len() as f64 };
+        let p95 =
+            paced.get((paced.len().saturating_mul(95) / 100).min(paced.len().saturating_sub(1)));
+        let flood_batches = stream.len() - latency_until as usize;
+
+        points.push(ServingPoint {
+            subscribers: n,
+            batches_per_sec: if flood_secs > 0.0 { flood_batches as f64 / flood_secs } else { 0.0 },
+            mean_ingest_ms: ingest_ms.iter().sum::<f64>() / ingest_ms.len().max(1) as f64,
+            mean_notify_ms: mean,
+            p95_notify_ms: p95.copied().unwrap_or(0.0),
+            max_notify_ms: paced.last().copied().unwrap_or(0.0),
+            updates: stats.updates_pushed,
+            coalesced: stats.updates_coalesced,
+            suppressed: stats.suppressed,
+            shared_index_hit_rate: hit_rate,
+        });
+    }
+
+    ServingBenchResult {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        batch_size,
+        batches,
+        threads,
+        queue_capacity,
+        points,
+    }
+}
+
+/// Renders the sweep as a printable table.
+pub fn as_table(r: &ServingBenchResult) -> Table {
+    let mut t = Table::new(
+        "serving_stream",
+        format!(
+            "delta→notification latency and throughput, |V|={} |E|={} |Δ|={} threads={}",
+            r.nodes, r.edges, r.batch_size, r.threads
+        ),
+        "N subs",
+        &["batches/s", "ingest ms", "notify ms", "p95 ms", "max ms", "updates", "index hits"],
+    );
+    for p in &r.points {
+        t.push(
+            p.subscribers.to_string(),
+            vec![
+                p.batches_per_sec,
+                p.mean_ingest_ms,
+                p.mean_notify_ms,
+                p.p95_notify_ms,
+                p.max_notify_ms,
+                p.updates as f64,
+                p.shared_index_hit_rate,
+            ],
+        );
+    }
+    t
+}

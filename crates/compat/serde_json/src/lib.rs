@@ -1,19 +1,30 @@
 //! Offline drop-in replacement for the subset of `serde_json` this
 //! workspace uses: pretty-printing of [`serde::Value`] trees produced by the
-//! stubbed [`serde::Serialize`]. Non-finite numbers print as `null`, like
+//! stubbed [`serde::Serialize`], and a small recursive-descent [`from_str`]
+//! parser back into [`Value`] trees (the delta log's replay path reads
+//! JSON-lines records with it). Non-finite numbers print as `null`, like
 //! the real crate.
 
 use serde::Serialize;
 pub use serde::Value;
 
-/// Serialization never fails in the stub, but the real signature returns a
-/// `Result`, so callers keep their `.expect(...)`.
+/// Serialization never fails in the stub; parsing reports a byte offset and
+/// message. The single error type keeps call sites source-compatible with
+/// the real crate (`.expect(...)` / `?`).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serde_json stub error")
+        write!(f, "serde_json stub error: {}", self.msg)
     }
 }
 
@@ -26,9 +37,51 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
-/// Renders `value` as compact JSON.
+/// Renders `value` as compact single-line JSON (like the real crate's
+/// `to_string` — JSON-lines consumers depend on the one-line shape).
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    to_string_pretty(value)
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if !n.is_finite() {
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(key, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
 }
 
 fn write_value(v: &Value, indent: usize, out: &mut String) {
@@ -86,6 +139,174 @@ fn write_value(v: &Value, indent: usize, out: &mut String) {
     }
 }
 
+/// Parses one JSON document into a [`Value`] tree. Trailing whitespace is
+/// allowed; any other trailing content is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing content at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected {:?} at byte {}", c as char, *pos)))
+    }
+}
+
+/// Containers may nest at most this deep (the real crate's default);
+/// beyond it parsing fails cleanly instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::new(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos)));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos, depth + 1)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::new(format!("bad literal at byte {}", *pos)))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| Error::new(e.to_string()))?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| Error::new(format!("bad number {text:?} at byte {start}")))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|e| Error::new(e.to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new(format!("bad \\u escape {hex:?}")))?;
+                        // Surrogates are not paired up (the writer never
+                        // emits them — it escapes only control chars).
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new(format!("bad escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unmodified).
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|e| Error::new(e.to_string()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -123,5 +344,34 @@ mod tests {
     fn escapes_strings() {
         let s = to_string_pretty(&"a\"b\\c\nd").unwrap();
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("α \"quoted\"\n".into())),
+            ("xs".into(), Value::Array(vec![Value::Num(1.0), Value::Num(-2.5), Value::Null])),
+            ("ok".into(), Value::Bool(true)),
+            ("empty_arr".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accepts_compact_and_rejects_garbage() {
+        let v = from_str(r#"{"a":[1,2.5,"x"],"b":{"c":null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err(), "trailing content rejected");
+        assert!(from_str("\"unterminated").is_err());
+        let deep = "[".repeat(100_000);
+        assert!(from_str(&deep).is_err(), "bounded recursion, no stack overflow");
+        assert_eq!(from_str("  -3  ").unwrap().as_i64(), Some(-3));
+        assert_eq!(from_str(r#""Ab""#).unwrap().as_str(), Some("Ab"));
     }
 }

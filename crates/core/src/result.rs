@@ -60,6 +60,54 @@ pub fn rank_top_k(rel: impl IntoIterator<Item = (NodeId, u64)>, k: usize) -> Vec
     ranked
 }
 
+/// The difference between two ranked answers — what a streaming
+/// subscriber needs to reconcile its view after an update, and the test a
+/// serving layer applies to decide whether an answer **materially
+/// changed** (the diff is empty iff the two ranked lists are identical as
+/// `(node, δr)` sequences).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnswerDiff {
+    /// Nodes in the new answer that the old one did not contain, in new
+    /// rank order.
+    pub entered: Vec<NodeId>,
+    /// Nodes of the old answer no longer present, in old rank order.
+    pub left: Vec<NodeId>,
+    /// Nodes present in both whose rank position or relevance changed, in
+    /// new rank order.
+    pub reordered: Vec<NodeId>,
+}
+
+impl AnswerDiff {
+    /// Diffs two ranked lists (each sorted the way [`rank_top_k`] sorts).
+    pub fn between(old: &[RankedMatch], new: &[RankedMatch]) -> AnswerDiff {
+        let mut diff = AnswerDiff::default();
+        for (i, m) in new.iter().enumerate() {
+            match old.iter().position(|o| o.node == m.node) {
+                None => diff.entered.push(m.node),
+                Some(j) if j != i || old[j].relevance != m.relevance => diff.reordered.push(m.node),
+                Some(_) => {}
+            }
+        }
+        for o in old {
+            if !new.iter().any(|m| m.node == o.node) {
+                diff.left.push(o.node);
+            }
+        }
+        diff
+    }
+
+    /// `true` when nothing changed — equivalently, when the two lists
+    /// compare equal element-for-element.
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_empty() && self.left.is_empty() && self.reordered.is_empty()
+    }
+
+    /// Total number of differing entries.
+    pub fn len(&self) -> usize {
+        self.entered.len() + self.left.len() + self.reordered.len()
+    }
+}
+
 /// Result of a topKP run.
 #[derive(Debug, Clone)]
 pub struct TopKResult {
@@ -102,6 +150,33 @@ impl DivResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diff_is_empty_iff_lists_equal() {
+        let m = |node, relevance| RankedMatch { node, relevance };
+        let old = vec![m(1, 8), m(2, 6), m(3, 4)];
+        assert!(AnswerDiff::between(&old, &old).is_empty());
+
+        // A new head entry shifts everyone: 1 enters, 3 falls out, 1/2 move.
+        let new = vec![m(9, 9), m(1, 8), m(2, 6)];
+        let d = AnswerDiff::between(&old, &new);
+        assert_eq!(d.entered, vec![9]);
+        assert_eq!(d.left, vec![3]);
+        assert_eq!(d.reordered, vec![1, 2]);
+        assert_eq!(d.len(), 4);
+
+        // Same nodes, one relevance moved: reordered only.
+        let bumped = vec![m(1, 9), m(2, 6), m(3, 4)];
+        let d = AnswerDiff::between(&old, &bumped);
+        assert_eq!((d.entered.len(), d.left.len()), (0, 0));
+        assert_eq!(d.reordered, vec![1]);
+        assert!(!d.is_empty());
+
+        // Truncation: trailing nodes left, no reorder among survivors.
+        let d = AnswerDiff::between(&old, &old[..1]);
+        assert_eq!(d.left, vec![2, 3]);
+        assert!(d.entered.is_empty() && d.reordered.is_empty());
+    }
 
     #[test]
     fn totals_and_ratio() {

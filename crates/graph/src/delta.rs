@@ -32,6 +32,8 @@
 //!   `RemoveNode` ahead of a `SetAttr` to the same node, and a removed
 //!   slot accrues no state of any kind.
 
+use std::sync::Arc;
+
 use crate::attrs::{AttrValue, Attributes};
 use crate::builder::GraphBuilder;
 use crate::digraph::{DiGraph, Label, NodeId};
@@ -77,7 +79,7 @@ pub enum DeltaOp {
 }
 
 /// A batch of updates, applied in order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GraphDelta {
     /// The operations, in application order.
     pub ops: Vec<DeltaOp>,
@@ -145,6 +147,11 @@ impl GraphDelta {
 /// application order. `RemoveNode` expands into its incident
 /// `EdgeRemoved`s followed by a `NodeRemoved`. Incremental consumers
 /// replay this stream op-by-op, in lockstep with the graph.
+///
+/// Attribute keys are interned as `Arc<str>`: one allocation per effective
+/// mutation, shared by the recorded effect, the [`AppliedDelta::attr_changes`]
+/// entry and every interested per-pattern replay — the multi-pattern
+/// fan-out clones a pointer, never the string.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EffectiveOp {
     /// A node appeared with this id and label.
@@ -160,8 +167,8 @@ pub enum EffectiveOp {
     AttrSet {
         /// Target node.
         node: NodeId,
-        /// Attribute key.
-        key: String,
+        /// Attribute key (interned, pointer-cheap to clone).
+        key: Arc<str>,
         /// The value now stored.
         value: AttrValue,
     },
@@ -169,8 +176,8 @@ pub enum EffectiveOp {
     AttrUnset {
         /// Target node.
         node: NodeId,
-        /// Attribute key.
-        key: String,
+        /// Attribute key (interned, pointer-cheap to clone).
+        key: Arc<str>,
     },
 }
 
@@ -192,8 +199,9 @@ pub struct AppliedDelta {
     /// Nodes tombstoned by this batch.
     pub removed_nodes: Vec<NodeId>,
     /// `(node, key)` of every attribute that effectively changed (set to a
-    /// new value or unset while present), in application order.
-    pub attr_changes: Vec<(NodeId, String)>,
+    /// new value or unset while present), in application order. Keys are
+    /// shared with the corresponding [`EffectiveOp`] (same `Arc`).
+    pub attr_changes: Vec<(NodeId, Arc<str>)>,
     /// The graph version after application.
     pub version: u64,
 }

@@ -295,11 +295,10 @@ impl DynGraph {
                         continue;
                     }
                     self.attrs[node as usize].set(key.clone(), value.clone());
+                    // Intern once; the change record and the effect share it.
+                    let key: std::sync::Arc<str> = std::sync::Arc::from(key.as_str());
                     out.attr_changes.push((node, key.clone()));
-                    emit!(
-                        self,
-                        EffectiveOp::AttrSet { node, key: key.clone(), value: value.clone() }
-                    );
+                    emit!(self, EffectiveOp::AttrSet { node, key, value: value.clone() });
                 }
                 DeltaOp::UnsetAttr { node, ref key } => {
                     if node as usize >= self.labels.len() || self.is_removed(node) {
@@ -308,8 +307,9 @@ impl DynGraph {
                     if self.attrs[node as usize].remove(key).is_none() {
                         continue;
                     }
+                    let key: std::sync::Arc<str> = std::sync::Arc::from(key.as_str());
                     out.attr_changes.push((node, key.clone()));
-                    emit!(self, EffectiveOp::AttrUnset { node, key: key.clone() });
+                    emit!(self, EffectiveOp::AttrUnset { node, key });
                 }
             }
         }
@@ -445,15 +445,13 @@ mod tests {
             .unset_attr(1, "category")
             .unset_attr(1, "category"); // unset of absent key is a no-op
         let applied = dg.apply(&delta).unwrap();
-        assert_eq!(
-            applied.attr_changes,
-            vec![
-                (0, "views".to_string()),
-                (1, "category".to_string()),
-                (0, "views".to_string()),
-                (1, "category".to_string()),
-            ]
-        );
+        let want: Vec<(NodeId, std::sync::Arc<str>)> = vec![
+            (0, "views".into()),
+            (1, "category".into()),
+            (0, "views".into()),
+            (1, "category".into()),
+        ];
+        assert_eq!(applied.attr_changes, want);
         assert_eq!(applied.effects.len(), 4, "two of six ops were no-ops");
         assert!(!applied.is_noop());
         assert_eq!(applied.edge_churn(), 0, "attr flips are not edge churn");

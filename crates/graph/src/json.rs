@@ -1,0 +1,328 @@
+//! JSON (de)serialization for deltas and attribute-carrying graphs, via
+//! the workspace's serde stubs.
+//!
+//! The serving layer's **delta log** persists update batches so a crashed
+//! or late-joining service can replay the stream and reproduce identical
+//! versioned answers. The binary snapshot format in [`crate::io`] drops
+//! attribute tables (generators re-derive them), which is exactly wrong
+//! for replay — an attr-predicate answer depends on them — so this module
+//! provides a self-contained JSON encoding for
+//!
+//! * [`AttrValue`] — tagged by variant (`{"i": …}` / `{"f": …}` /
+//!   `{"s": …}`) so `Int(4)` and `Float(4.0)` round-trip distinguishably
+//!   (SetAttr idempotency keys on the exact stored representation);
+//! * [`DeltaOp`] / [`GraphDelta`] — one object per op, tagged by `"op"`;
+//! * [`DiGraph`] — labels, edges and attributes (display names are not
+//!   carried: dynamic workloads never read them).
+//!
+//! Numbers ride the stub's `f64` tree: integers are exact up to 2^53,
+//! far beyond any attribute value the workloads store. Non-finite floats
+//! are not representable (they would print as `null`).
+
+use serde::{Serialize, Value};
+
+use crate::attrs::{AttrValue, Attributes};
+use crate::builder::GraphBuilder;
+use crate::delta::{DeltaOp, GraphDelta};
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+use crate::Result;
+
+fn corrupt(what: &str) -> GraphError {
+    GraphError::Corrupt(format!("bad delta-log JSON: {what}"))
+}
+
+impl Serialize for AttrValue {
+    fn to_value(&self) -> Value {
+        match self {
+            AttrValue::Int(i) => Value::Object(vec![("i".into(), (*i).to_value())]),
+            // Non-finite floats would print as JSON `null` and fail to
+            // load — encode them as tagged strings so a log that saved
+            // always replays.
+            AttrValue::Float(f) if !f.is_finite() => {
+                Value::Object(vec![("f".into(), format!("{f}").to_value())])
+            }
+            AttrValue::Float(f) => Value::Object(vec![("f".into(), (*f).to_value())]),
+            AttrValue::Str(s) => Value::Object(vec![("s".into(), s.to_value())]),
+        }
+    }
+}
+
+/// Decodes a tagged [`AttrValue`].
+pub fn attr_value_from(v: &Value) -> Result<AttrValue> {
+    if let Some(i) = v.get("i") {
+        return i.as_i64().map(AttrValue::Int).ok_or_else(|| corrupt("non-integral \"i\" value"));
+    }
+    if let Some(f) = v.get("f") {
+        if let Some(s) = f.as_str() {
+            return match s {
+                "NaN" => Ok(AttrValue::Float(f64::NAN)),
+                "inf" => Ok(AttrValue::Float(f64::INFINITY)),
+                "-inf" => Ok(AttrValue::Float(f64::NEG_INFINITY)),
+                _ => Err(corrupt("unknown non-finite \"f\" value")),
+            };
+        }
+        return f.as_f64().map(AttrValue::Float).ok_or_else(|| corrupt("non-numeric \"f\" value"));
+    }
+    if let Some(s) = v.get("s") {
+        return s
+            .as_str()
+            .map(|s| AttrValue::Str(s.to_owned()))
+            .ok_or_else(|| corrupt("non-string \"s\" value"));
+    }
+    Err(corrupt("attr value missing its variant tag"))
+}
+
+impl Serialize for DeltaOp {
+    fn to_value(&self) -> Value {
+        match self {
+            DeltaOp::AddNode(label) => Value::Object(vec![
+                ("op".into(), "add_node".to_value()),
+                ("label".into(), label.to_value()),
+            ]),
+            DeltaOp::AddEdge(s, t) => Value::Object(vec![
+                ("op".into(), "add_edge".to_value()),
+                ("s".into(), s.to_value()),
+                ("t".into(), t.to_value()),
+            ]),
+            DeltaOp::RemoveEdge(s, t) => Value::Object(vec![
+                ("op".into(), "remove_edge".to_value()),
+                ("s".into(), s.to_value()),
+                ("t".into(), t.to_value()),
+            ]),
+            DeltaOp::RemoveNode(v) => Value::Object(vec![
+                ("op".into(), "remove_node".to_value()),
+                ("v".into(), v.to_value()),
+            ]),
+            DeltaOp::SetAttr { node, key, value } => Value::Object(vec![
+                ("op".into(), "set_attr".to_value()),
+                ("node".into(), node.to_value()),
+                ("key".into(), key.to_value()),
+                ("value".into(), value.to_value()),
+            ]),
+            DeltaOp::UnsetAttr { node, key } => Value::Object(vec![
+                ("op".into(), "unset_attr".to_value()),
+                ("node".into(), node.to_value()),
+                ("key".into(), key.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Serialize for GraphDelta {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("ops".into(), self.ops.to_value())])
+    }
+}
+
+fn node_id(v: &Value, what: &str) -> Result<NodeId> {
+    v.as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| corrupt(&format!("bad node id in {what}")))
+}
+
+fn field<'v>(v: &'v Value, key: &str, what: &str) -> Result<&'v Value> {
+    v.get(key).ok_or_else(|| corrupt(&format!("{what} missing {key:?}")))
+}
+
+/// Decodes one tagged [`DeltaOp`].
+pub fn delta_op_from(v: &Value) -> Result<DeltaOp> {
+    let op = field(v, "op", "delta op")?.as_str().ok_or_else(|| corrupt("non-string op tag"))?;
+    match op {
+        "add_node" => {
+            let label = field(v, "label", op)?
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| corrupt("bad label"))?;
+            Ok(DeltaOp::AddNode(label))
+        }
+        "add_edge" => {
+            Ok(DeltaOp::AddEdge(node_id(field(v, "s", op)?, op)?, node_id(field(v, "t", op)?, op)?))
+        }
+        "remove_edge" => Ok(DeltaOp::RemoveEdge(
+            node_id(field(v, "s", op)?, op)?,
+            node_id(field(v, "t", op)?, op)?,
+        )),
+        "remove_node" => Ok(DeltaOp::RemoveNode(node_id(field(v, "v", op)?, op)?)),
+        "set_attr" => Ok(DeltaOp::SetAttr {
+            node: node_id(field(v, "node", op)?, op)?,
+            key: field(v, "key", op)?.as_str().ok_or_else(|| corrupt("bad key"))?.to_owned(),
+            value: attr_value_from(field(v, "value", op)?)?,
+        }),
+        "unset_attr" => Ok(DeltaOp::UnsetAttr {
+            node: node_id(field(v, "node", op)?, op)?,
+            key: field(v, "key", op)?.as_str().ok_or_else(|| corrupt("bad key"))?.to_owned(),
+        }),
+        other => Err(corrupt(&format!("unknown op tag {other:?}"))),
+    }
+}
+
+/// Decodes a [`GraphDelta`] (`{"ops": [...]}`).
+pub fn delta_from_value(v: &Value) -> Result<GraphDelta> {
+    let ops = field(v, "ops", "delta")?.as_array().ok_or_else(|| corrupt("ops not an array"))?;
+    Ok(GraphDelta { ops: ops.iter().map(delta_op_from).collect::<Result<_>>()? })
+}
+
+/// Encodes a graph with labels, edges and attributes (names dropped).
+pub fn graph_to_value(g: &DiGraph) -> Value {
+    let labels: Vec<u32> = g.nodes().map(|v| g.label(v)).collect();
+    let edges: Vec<Value> =
+        g.edges().map(|e| Value::Array(vec![e.source.to_value(), e.target.to_value()])).collect();
+    let attrs: Vec<Value> = g
+        .nodes()
+        .filter_map(|v| g.attributes(v).filter(|a| !a.is_empty()).map(|a| (v, a)))
+        .map(|(v, a)| {
+            // Keys live in their own nested object so an attribute
+            // literally named "node" cannot collide with the id field.
+            let keys: Vec<(String, Value)> =
+                a.iter().map(|(k, val)| (k.to_owned(), val.to_value())).collect();
+            Value::Object(vec![
+                ("node".into(), v.to_value()),
+                ("attrs".into(), Value::Object(keys)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("labels".into(), labels.to_value()),
+        ("edges".into(), Value::Array(edges)),
+        ("attrs".into(), Value::Array(attrs)),
+    ])
+}
+
+/// Decodes a graph encoded by [`graph_to_value`].
+pub fn graph_from_value(v: &Value) -> Result<DiGraph> {
+    let labels =
+        field(v, "labels", "graph")?.as_array().ok_or_else(|| corrupt("labels not an array"))?;
+    let edges =
+        field(v, "edges", "graph")?.as_array().ok_or_else(|| corrupt("edges not an array"))?;
+    let attrs =
+        field(v, "attrs", "graph")?.as_array().ok_or_else(|| corrupt("attrs not an array"))?;
+
+    let mut per_node: Vec<Attributes> = vec![Attributes::new(); labels.len()];
+    for entry in attrs {
+        let node = node_id(field(entry, "node", "attr entry")?, "attr entry")? as usize;
+        if node >= per_node.len() {
+            return Err(corrupt("attr entry for out-of-range node"));
+        }
+        match field(entry, "attrs", "attr entry")? {
+            Value::Object(fields) => {
+                for (k, val) in fields {
+                    per_node[node].set(k.clone(), attr_value_from(val)?);
+                }
+            }
+            _ => return Err(corrupt("attr entry keys not an object")),
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    for (label, a) in labels.iter().zip(per_node) {
+        let label = label
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| corrupt("bad label"))?;
+        b.add_node_with_attrs(label, a);
+    }
+    for e in edges {
+        let pair = e.as_array().ok_or_else(|| corrupt("edge not a pair"))?;
+        if pair.len() != 2 {
+            return Err(corrupt("edge not a pair"));
+        }
+        b.add_edge(node_id(&pair[0], "edge")?, node_id(&pair[1], "edge")?)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    #[test]
+    fn delta_roundtrips_through_json_text() {
+        let d = GraphDelta::new()
+            .add_node(3)
+            .add_edge(0, 4)
+            .remove_edge(1, 2)
+            .remove_node(2)
+            .set_attr(0, "views", 41i64)
+            .set_attr(0, "rate", 2.5f64)
+            .set_attr(1, "category", "mu\"sic\n")
+            .unset_attr(0, "views");
+        let text = serde_json::to_string(&d).unwrap();
+        let back = delta_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn attr_value_tags_distinguish_variants() {
+        for v in [AttrValue::Int(4), AttrValue::Float(4.0), AttrValue::Str("4".into())] {
+            let text = serde_json::to_string(&v).unwrap();
+            let back = attr_value_from(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back, v, "via {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        // A log that saved must always load: NaN/±inf ride as tagged
+        // strings (plain JSON would print them as `null`).
+        for v in [f64::INFINITY, f64::NEG_INFINITY] {
+            let text = serde_json::to_string(&AttrValue::Float(v)).unwrap();
+            let back = attr_value_from(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back, AttrValue::Float(v), "via {text}");
+        }
+        let text = serde_json::to_string(&AttrValue::Float(f64::NAN)).unwrap();
+        match attr_value_from(&serde_json::from_str(&text).unwrap()).unwrap() {
+            AttrValue::Float(f) => assert!(f.is_nan()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_roundtrips_with_attributes() {
+        let mut b = GraphBuilder::new();
+        b.add_node_with_attrs(
+            7,
+            Attributes::from_pairs([("views", AttrValue::Int(9)), ("rate", AttrValue::Float(0.5))]),
+        );
+        b.add_node(2);
+        // Keys named like the envelope's own fields must survive too.
+        b.add_node_with_attrs(
+            7,
+            Attributes::from_pairs([
+                ("category", AttrValue::from("x")),
+                ("node", AttrValue::Int(7)),
+                ("attrs", AttrValue::Int(8)),
+            ]),
+        );
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 0).unwrap();
+        let g = b.build();
+
+        let text = serde_json::to_string(&graph_to_value(&g)).unwrap();
+        let back = graph_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(back.label(v), g.label(v));
+            assert_eq!(back.successors(v), g.successors(v));
+            assert_eq!(
+                back.attributes(v).cloned().unwrap_or_default(),
+                g.attributes(v).cloned().unwrap_or_default()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected() {
+        let bad = |s: &str| delta_from_value(&serde_json::from_str(s).unwrap());
+        assert!(bad(r#"{"ops":[{"op":"warp","v":1}]}"#).is_err());
+        assert!(bad(r#"{"ops":[{"op":"add_edge","s":1}]}"#).is_err());
+        assert!(bad(r#"{"ops":[{"op":"set_attr","node":0,"key":"k","value":{"q":1}}]}"#).is_err());
+        assert!(bad(r#"{"nope":[]}"#).is_err());
+        let g = graph_from_parts(&[0], &[]).unwrap();
+        let text = serde_json::to_string(&graph_to_value(&g)).unwrap();
+        assert!(graph_from_value(&serde_json::from_str(&text).unwrap()).is_ok());
+        assert!(graph_from_value(&serde_json::from_str(r#"{"labels":[0]}"#).unwrap()).is_err());
+    }
+}

@@ -19,6 +19,8 @@
 //!   distance-based diversity function of Section 3.4);
 //! * [`io`] — a line-oriented text format and a compact binary snapshot
 //!   format for graphs;
+//! * [`json`] — JSON encoding of deltas and attribute-carrying graphs
+//!   (the serving layer's replayable delta log persists through it);
 //! * [`stats`] — degree/label/SCC summaries used by the experiment harness.
 //!
 //! The substrate is deliberately free of third-party graph dependencies: the
@@ -33,6 +35,7 @@ pub mod digraph;
 pub mod dynamic;
 pub mod error;
 pub mod io;
+pub mod json;
 pub mod reach;
 pub mod scc;
 pub mod stats;

@@ -51,9 +51,13 @@
 //! the per-pattern fan-out (node labels and edge label-pairs for
 //! structural ops, per-pattern attribute-key interest for
 //! `SetAttr`/`UnsetAttr`), and the independent per-pattern ranking refreshes
-//! run on a small thread pool with a deterministic merge. Answers are
-//! bit-identical to N independent [`DynamicMatcher`]s (differentially
-//! property-tested in `tests/registry_differential.rs`).
+//! run on a **persistent** worker pool (spawned once, parked between
+//! batches) with a deterministic merge. [`PatternRegistry::apply`] surfaces
+//! an [`AnswerChange`] — fresh answer plus entered/left/reordered change
+//! set — per touched pattern, the hook the streaming serving layer
+//! (`gpm-serving`) fans out to subscribers. Answers are bit-identical to N
+//! independent [`DynamicMatcher`]s (differentially property-tested in
+//! `tests/registry_differential.rs`).
 //!
 //! ```
 //! use gpm_graph::{builder::graph_from_parts, GraphDelta};
@@ -74,8 +78,9 @@
 //! ```
 
 mod matcher;
+mod pool;
 mod registry;
 mod state;
 
 pub use matcher::{ApplyStats, DynamicMatcher, IncrementalConfig, IncrementalError};
-pub use registry::{PatternId, PatternRegistry, RegistryStats};
+pub use registry::{AnswerChange, PatternId, PatternRegistry, RegistryStats};

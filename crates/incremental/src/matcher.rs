@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use gpm_core::result::{DivResult, TopKResult};
+use gpm_core::result::{AnswerDiff, DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{DiGraph, GraphDelta, GraphError};
 use gpm_pattern::Pattern;
@@ -137,6 +137,16 @@ impl DynamicMatcher {
     ///
     /// On error the graph and all maintained state are unchanged.
     pub fn apply(&mut self, delta: &GraphDelta) -> Result<TopKResult, IncrementalError> {
+        self.apply_diffed(delta).map(|(top, _)| top)
+    }
+
+    /// As [`Self::apply`], also returning the [`AnswerDiff`] against the
+    /// answer served before the batch (empty ⇔ the top-k did not
+    /// materially change) — what a push consumer forwards to subscribers.
+    pub fn apply_diffed(
+        &mut self,
+        delta: &GraphDelta,
+    ) -> Result<(TopKResult, AnswerDiff), IncrementalError> {
         let t0 = Instant::now();
 
         let churn = worst_churn(&self.graph, delta);
@@ -146,7 +156,7 @@ impl DynamicMatcher {
             self.graph.apply(delta)?;
             self.state.note_apply(); // rejected batches are not applies
             self.state.rebuild(&self.graph);
-            return Ok(self.state.top_k_timed(t0));
+            return Ok(self.state.serve_timed(t0));
         }
 
         // Incremental path: replay each effective mutation through the
@@ -155,7 +165,7 @@ impl DynamicMatcher {
         let applied = self.graph.apply_with(delta, |g, eff| state.replay(g, eff))?;
         state.note_apply(); // rejected batches are not applies
         state.refresh_ranking(&self.graph, &applied);
-        Ok(state.top_k_timed(t0))
+        Ok(state.serve_timed(t0))
     }
 
     /// The current top-k by relevance — identical to running

@@ -1,0 +1,227 @@
+//! [`WorkerPool`]: a persistent indexed-task pool for per-batch fan-out.
+//!
+//! The registry's phase-2 ranking refreshes are independent per pattern,
+//! so they parallelize trivially — but spawning OS threads per batch
+//! (`std::thread::scope`, the PR 2 approach) pays thread creation and
+//! teardown on *every* delta, which dominates at serving batch rates.
+//! This pool spawns its workers **once**, parks them on a condvar, and
+//! hands each batch an indexed job: workers claim indices `0..items` from
+//! a shared cursor, run the job closure on each, and go back to sleep.
+//! Determinism is unaffected — the pool only decides *who* runs an index,
+//! never what order results are merged in (callers merge by index).
+//!
+//! Safety model: [`WorkerPool::run`] smuggles the borrowed job closure to
+//! the workers as a `'static` reference (one contained `transmute`), and
+//! does not return until every claimed index has **finished** executing —
+//! workers only dereference the closure between claiming an index and
+//! reporting it complete, and no index can be claimed after the job is
+//! cleared. The closure therefore never outlives the `run` call that
+//! borrowed it; this is the same contract `std::thread::scope` enforces,
+//! kept across a pool that outlives any single scope.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Task = dyn Fn(usize) + Sync;
+
+struct Job {
+    /// The borrowed closure, lifetime-erased; valid until `run` returns.
+    task: &'static Task,
+    /// Next unclaimed index.
+    next: usize,
+    /// One past the last index.
+    items: usize,
+    /// Indices whose execution has finished (panicked ones included — a
+    /// crash must never leave `run` waiting forever).
+    completed: usize,
+    /// Whether any task invocation panicked; `run` re-raises.
+    panicked: bool,
+}
+
+#[derive(Default)]
+struct PoolState {
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here; signaled on new jobs and shutdown.
+    work: Condvar,
+    /// `run` parks here; signaled when a job's last index completes.
+    done: Condvar,
+}
+
+/// A fixed-size pool executing indexed jobs. See the module docs.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1), parked until the first job.
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..=workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gpm-registry-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn registry worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `task(i)` for every `i in 0..items` across the pool, returning
+    /// once **all** invocations have finished. The caller's thread only
+    /// coordinates (the pool is sized to the parallelism wanted).
+    pub(crate) fn run(&self, items: usize, task: &(impl Fn(usize) + Sync)) {
+        if items == 0 {
+            return;
+        }
+        // SAFETY: the reference is only dereferenced by workers between
+        // claiming an index and marking it complete; we block below until
+        // `completed == items` and clear the job before returning, so no
+        // dereference can happen after this borrow ends.
+        let task: &(dyn Fn(usize) + Sync) = task;
+        let task: &'static Task =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static Task>(task) };
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(st.job.is_none(), "one job at a time");
+        st.job = Some(Job { task, next: 0, items, completed: 0, panicked: false });
+        drop(st);
+        self.shared.work.notify_all();
+
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.job.as_ref().is_some_and(|j| j.completed < j.items) {
+            st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let panicked = st.job.take().is_some_and(|j| j.panicked);
+        drop(st);
+        if panicked {
+            // Mirror std::thread::scope: a crashed task surfaces at the
+            // caller instead of wedging the pool (which stays usable).
+            panic!("a worker-pool task panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if st.shutdown {
+            return;
+        }
+        // Claim the next index of the current job, if any remain.
+        let claim = st.job.as_mut().and_then(|j| {
+            (j.next < j.items).then(|| {
+                let i = j.next;
+                j.next += 1;
+                (j.task, i)
+            })
+        });
+        match claim {
+            Some((task, i)) => {
+                drop(st);
+                // A panicking task must still count as completed, or the
+                // coordinator waits forever; the panic is recorded and
+                // re-raised by `run`, and this worker keeps serving.
+                let crashed =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))).is_err();
+                st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(j) = st.job.as_mut() {
+                    j.completed += 1;
+                    j.panicked |= crashed;
+                    if j.completed == j.items {
+                        shared.done.notify_all();
+                    }
+                }
+            }
+            None => {
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_index_exactly_once_across_batches() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        for round in 0..50 {
+            let n = 1 + round % 17;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1), "round {round}");
+        }
+        pool.run(0, &|_| panic!("empty jobs never dispatch"));
+    }
+
+    #[test]
+    fn results_can_be_merged_deterministically() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<Mutex<Option<usize>>> = (0..100).map(|_| Mutex::new(None)).collect();
+        pool.run(100, &|i| {
+            *out[i].lock().unwrap() = Some(i * i);
+        });
+        let merged: Vec<usize> = out.iter().map(|m| m.lock().unwrap().expect("all ran")).collect();
+        assert_eq!(merged, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let pool = WorkerPool::new(2);
+        pool.run(5, &|_| {});
+        drop(pool); // joins without deadlock
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, &|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(crashed.is_err(), "run re-raises the task panic");
+        // The pool is still serviceable afterwards.
+        let hits: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(6, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+}

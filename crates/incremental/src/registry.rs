@@ -29,13 +29,14 @@
 //! static pipeline on a snapshot (property-tested by
 //! `tests/registry_differential.rs`).
 
-use gpm_core::result::{DivResult, TopKResult};
+use gpm_core::result::{AnswerDiff, DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{DiGraph, GraphDelta, Label};
 use gpm_pattern::Pattern;
 use parking_lot::Mutex;
 
 use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
+use crate::pool::WorkerPool;
 use crate::state::{removed_label_map, worst_churn, PatternState};
 
 /// Stable handle of a registered pattern. Ids are never reused, so a
@@ -93,12 +94,39 @@ struct Slot {
     state: Mutex<PatternState>,
 }
 
+/// One pattern's outcome of a batch the shared index could not prove
+/// irrelevant to it: the fresh answer plus the **change set** against the
+/// answer the registry served before the batch. `diff.is_empty()` means
+/// the pattern was touched but its top-k survived unchanged — push
+/// consumers suppress those; the serving layer forwards only material
+/// changes to subscribers.
+#[derive(Debug, Clone)]
+pub struct AnswerChange {
+    /// The pattern whose state the batch touched.
+    pub id: PatternId,
+    /// Its fresh top-k answer.
+    pub top: TopKResult,
+    /// What moved relative to the previously served answer.
+    pub diff: AnswerDiff,
+}
+
+impl AnswerChange {
+    /// `true` when the answer materially changed (some node entered, left
+    /// or moved).
+    pub fn changed(&self) -> bool {
+        !self.diff.is_empty()
+    }
+}
+
 /// Many patterns served over one dynamic graph. See the module docs.
 pub struct PatternRegistry {
     graph: DynGraph,
     slots: Vec<Slot>,
     next_id: u64,
-    threads: usize,
+    /// Persistent phase-2 pool (`None` ⇒ fully sequential fan-out). Sized
+    /// once at construction; batches reuse the parked workers instead of
+    /// respawning scoped threads.
+    pool: Option<WorkerPool>,
     stats: RegistryStats,
 }
 
@@ -118,15 +146,21 @@ impl PatternRegistry {
     }
 
     /// An empty registry with an explicit maintenance-pool size
-    /// (`threads = 1` forces fully sequential fan-out).
+    /// (`threads = 1` forces fully sequential fan-out). The pool threads
+    /// are spawned **once** here and parked between batches.
     pub fn with_threads(g: &DiGraph, threads: usize) -> Self {
         PatternRegistry {
             graph: DynGraph::from_digraph(g),
             slots: Vec::new(),
             next_id: 0,
-            threads: threads.max(1),
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
             stats: RegistryStats::default(),
         }
+    }
+
+    /// The maintenance-pool size this registry runs with.
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::workers)
     }
 
     /// The shared graph.
@@ -193,20 +227,19 @@ impl PatternRegistry {
     }
 
     /// Applies one update batch to the shared graph and fans it out to
-    /// every registered pattern, returning the fresh answers of the
-    /// patterns the batch **touched** (replayed into or rebuilt), in
-    /// registration order. An untouched pattern's answer provably did not
-    /// change — the shared index only skips mutations that are no-ops for
-    /// it — so omitting it both tells subscribers whose answers moved and
-    /// avoids re-ranking N cached match sets per batch. [`Self::answers`]
-    /// (or [`Self::top_k`]) reads any answer on demand.
+    /// every registered pattern, returning an [`AnswerChange`] — fresh
+    /// answer **plus the change set** against the previously served one —
+    /// for each pattern the batch **touched** (replayed into or rebuilt),
+    /// in registration order. An untouched pattern's answer provably did
+    /// not change — the shared index only skips mutations that are no-ops
+    /// for it — so omitting it both tells subscribers whose answers moved
+    /// and avoids re-ranking N cached match sets per batch; a touched
+    /// pattern whose top-k survived intact reports with an empty diff.
+    /// [`Self::answers`] (or [`Self::top_k`]) reads any answer on demand.
     ///
     /// On error (invalid delta) the graph and every pattern's state are
     /// unchanged. An empty registry still advances the graph.
-    pub fn apply(
-        &mut self,
-        delta: &GraphDelta,
-    ) -> Result<Vec<(PatternId, TopKResult)>, IncrementalError> {
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<Vec<AnswerChange>, IncrementalError> {
         let churn = worst_churn(&self.graph, delta);
         let edges = self.graph.edge_count();
         let removed_labels = removed_label_map(&self.graph, delta);
@@ -242,18 +275,19 @@ impl PatternRegistry {
         };
 
         // Phase 2 (parallel): per-pattern ranking maintenance is
-        // independent given the final graph. Workers claim whole slots
-        // from a shared cursor; since no slot is shared, the per-pattern
-        // result is identical under any interleaving, and answers are
-        // merged in registration order below. Patterns the index proved
-        // the whole batch irrelevant to skip the seed scan entirely; for
-        // the rest, the fresh answer is ranked under the same lock the
-        // refresh already holds, so the return-value work parallelizes
-        // with the maintenance.
+        // independent given the final graph. The persistent pool's workers
+        // claim whole slots by index; since no slot is shared, the
+        // per-pattern result is identical under any interleaving, and
+        // answers are merged in registration order below. Patterns the
+        // index proved the whole batch irrelevant to skip the seed scan
+        // entirely; for the rest, the fresh answer is served (ranked +
+        // diffed) under the same lock the refresh already holds, so the
+        // return-value work parallelizes with the maintenance.
         let graph = &self.graph;
         let slots = &self.slots;
         let touched_ref = &touched;
-        let fresh: Vec<Mutex<Option<TopKResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let fresh: Vec<Mutex<Option<(TopKResult, AnswerDiff)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let refresh = |i: usize| {
             let mut st = slots[i].state.lock();
             st.note_apply();
@@ -265,29 +299,11 @@ impl PatternRegistry {
                 st.refresh_untouched(graph);
                 return;
             }
-            *fresh[i].lock() = Some(st.top_k());
+            *fresh[i].lock() = Some(st.serve());
         };
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            (0..n).for_each(refresh);
-        } else {
-            let cursor = Mutex::new(0usize);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = {
-                            let mut c = cursor.lock();
-                            let i = *c;
-                            *c += 1;
-                            i
-                        };
-                        if i >= n {
-                            break;
-                        }
-                        refresh(i);
-                    });
-                }
-            });
+        match &self.pool {
+            Some(pool) if n >= 2 => pool.run(n, &refresh),
+            _ => (0..n).for_each(refresh),
         }
 
         self.stats.batches += 1;
@@ -300,7 +316,13 @@ impl PatternRegistry {
         Ok(fresh
             .into_iter()
             .enumerate()
-            .filter_map(|(i, slot)| slot.into_inner().map(|top| (self.slots[i].id, top)))
+            .filter_map(|(i, slot)| {
+                slot.into_inner().map(|(top, diff)| AnswerChange {
+                    id: self.slots[i].id,
+                    top,
+                    diff,
+                })
+            })
             .collect())
     }
 

@@ -15,7 +15,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 
-use gpm_core::result::{rank_top_k, DivResult, RankedMatch, RunStats, TopKResult};
+use gpm_core::result::{rank_top_k, AnswerDiff, DivResult, RankedMatch, RunStats, TopKResult};
 use gpm_core::topk_div::greedy_diversified;
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{AppliedDelta, DeltaOp, EffectiveOp, GraphDelta, Label, NodeId, TOMBSTONE_LABEL};
@@ -106,6 +106,11 @@ pub(crate) struct PatternState {
     /// other key cannot change any candidacy, hence is a provable no-op
     /// for this pattern.
     attr_keys: BTreeSet<String>,
+    /// The ranked answer last surfaced through [`Self::serve_timed`] — the
+    /// baseline the next answer is diffed against, so consumers (the
+    /// registry's change sets, the serving layer's subscriptions) learn
+    /// *what moved*, not just the fresh list.
+    served: Vec<RankedMatch>,
 }
 
 impl PatternState {
@@ -140,9 +145,11 @@ impl PatternState {
             node_labels,
             edge_label_pairs,
             attr_keys,
+            served: Vec::new(),
         };
         state.rebuild_cache(g);
         state.sim.take_dirty();
+        state.served = state.top_k().matches;
         Ok(state)
     }
 
@@ -206,7 +213,7 @@ impl PatternState {
                 None => true, // unknown pre-batch label: dispatch conservatively
             },
             EffectiveOp::AttrSet { ref key, .. } | EffectiveOp::AttrUnset { ref key, .. } => {
-                self.attr_keys.contains(key)
+                self.attr_keys.contains(&**key)
             }
         }
     }
@@ -343,6 +350,24 @@ impl PatternState {
     /// The current top-k by relevance.
     pub(crate) fn top_k(&self) -> TopKResult {
         self.top_k_timed(Instant::now())
+    }
+
+    /// As [`Self::serve_timed`] measured from now.
+    pub(crate) fn serve(&mut self) -> (TopKResult, AnswerDiff) {
+        self.serve_timed(Instant::now())
+    }
+
+    /// Serves the current answer together with its diff against the
+    /// previously served one, advancing the served baseline. The diff is
+    /// empty exactly when the answer did not materially change (same
+    /// `(node, δr)` sequence) — the signal push consumers key on.
+    pub(crate) fn serve_timed(&mut self, t0: Instant) -> (TopKResult, AnswerDiff) {
+        let top = self.top_k_timed(t0);
+        let diff = AnswerDiff::between(&self.served, &top.matches);
+        if !diff.is_empty() {
+            self.served = top.matches.clone();
+        }
+        (top, diff)
     }
 
     /// As [`Self::top_k`] with timing measured from `t0` (so `apply`

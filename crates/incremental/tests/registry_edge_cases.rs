@@ -216,7 +216,9 @@ fn attribute_patterns_register_and_answer() {
     // The attr landing touches the pattern (its answer changes)…
     let touched = reg.apply(&GraphDelta::new().set_attr(0, "views", 99i64)).unwrap();
     assert_eq!(touched.len(), 1);
-    assert_eq!(touched[0].1.nodes(), vec![0]);
+    assert_eq!(touched[0].top.nodes(), vec![0]);
+    assert!(touched[0].changed(), "node 0 entered the answer");
+    assert_eq!(touched[0].diff.entered, vec![0]);
     // …while a mutation on a key the pattern never mentions is skipped by
     // the attribute-key interest index.
     let touched = reg.apply(&GraphDelta::new().set_attr(0, "age", 3i64)).unwrap();

@@ -1,0 +1,219 @@
+//! [`DeltaLog`]: the replayable update history behind the answer service.
+//!
+//! Every ingested batch is appended with a monotone **sequence number**;
+//! offset `base_seq` carries a full graph snapshot (labels, edges,
+//! attributes). That pair is the whole recovery story:
+//!
+//! * **replay from 0** — build the base graph, apply every entry in order:
+//!   a fresh service lands on byte-identical versioned answers;
+//! * **late join at `s`** — materialize [`DeltaLog::graph_at`]`(s)` (or
+//!   receive a snapshot from a live service), then consume entries with
+//!   `seq > s`;
+//! * **compaction** — once every consumer has passed offset `s`,
+//!   [`DeltaLog::compact_to`]`(s)` folds the prefix into the base
+//!   snapshot, bounding retention without ever tearing an answer.
+//!
+//! Persistence is JSON-lines through the workspace serde stubs
+//! ([`gpm_graph::json`]): a header line holding the base snapshot and its
+//! offset, then one line per batch — append-friendly, diffable, and
+//! attribute-complete (the binary snapshot format drops attribute tables,
+//! which replay cannot afford).
+
+use gpm_graph::json::{delta_from_value, graph_from_value, graph_to_value};
+use gpm_graph::{DiGraph, DynGraph, GraphDelta};
+use serde::{Serialize, Value};
+
+use crate::service::ServingError;
+
+/// One appended batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Sequence number (the graph state *after* this batch).
+    pub seq: u64,
+    /// The batch itself.
+    pub delta: GraphDelta,
+}
+
+/// An append-only, replayable sequence of [`GraphDelta`] batches anchored
+/// to a base graph snapshot. See the module docs.
+#[derive(Debug, Clone)]
+pub struct DeltaLog {
+    base: DiGraph,
+    base_seq: u64,
+    entries: Vec<LogEntry>,
+}
+
+impl DeltaLog {
+    /// A log whose offset 0 is `base`.
+    pub fn new(base: &DiGraph) -> Self {
+        Self::at_offset(base, 0)
+    }
+
+    /// A log anchored mid-stream: `base` is the graph state at `base_seq`
+    /// (a late joiner's starting snapshot).
+    pub fn at_offset(base: &DiGraph, base_seq: u64) -> Self {
+        DeltaLog { base: base.clone(), base_seq, entries: Vec::new() }
+    }
+
+    /// The anchored snapshot (graph state at [`Self::base_seq`]).
+    pub fn base(&self) -> &DiGraph {
+        &self.base
+    }
+
+    /// Offset of the anchored snapshot.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Sequence number of the newest appended batch (== `base_seq` while
+    /// empty).
+    pub fn head_seq(&self) -> u64 {
+        self.base_seq + self.entries.len() as u64
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entry is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends one batch, returning its sequence number.
+    pub fn append(&mut self, delta: GraphDelta) -> u64 {
+        let seq = self.head_seq() + 1;
+        self.entries.push(LogEntry { seq, delta });
+        seq
+    }
+
+    /// All retained entries, ascending by `seq`.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Retained entries with `seq > after` — what a consumer that has
+    /// processed offset `after` still needs. Errors if the log no longer
+    /// retains that suffix (`after` below the base offset) or has never
+    /// reached it (`after` beyond the head — a caught-up consumer passes
+    /// exactly `head_seq` and gets an empty slice, but anything further
+    /// means the consumer and this log disagree about history).
+    pub fn entries_after(&self, after: u64) -> Result<&[LogEntry], ServingError> {
+        if after < self.base_seq {
+            return Err(ServingError::OffsetCompacted { seq: after, retained_from: self.base_seq });
+        }
+        if after > self.head_seq() {
+            return Err(ServingError::OffsetInFuture { seq: after, head: self.head_seq() });
+        }
+        Ok(&self.entries[(after - self.base_seq) as usize..])
+    }
+
+    /// Materializes the graph state at offset `seq` by replaying the
+    /// retained prefix onto the base snapshot.
+    pub fn graph_at(&self, seq: u64) -> Result<DiGraph, ServingError> {
+        if seq < self.base_seq {
+            return Err(ServingError::OffsetCompacted { seq, retained_from: self.base_seq });
+        }
+        if seq > self.head_seq() {
+            return Err(ServingError::OffsetInFuture { seq, head: self.head_seq() });
+        }
+        if seq == self.base_seq {
+            return Ok(self.base.clone());
+        }
+        let mut g = DynGraph::from_digraph(&self.base);
+        for entry in &self.entries[..(seq - self.base_seq) as usize] {
+            g.apply(&entry.delta).map_err(ServingError::Graph)?;
+        }
+        Ok(g.snapshot())
+    }
+
+    /// Folds every entry with `seq <= upto` into the base snapshot and
+    /// drops it — retention bookkeeping for long-lived services. Offsets
+    /// below `upto` become unservable ([`ServingError::OffsetCompacted`]).
+    pub fn compact_to(&mut self, upto: u64) -> Result<(), ServingError> {
+        let upto = upto.min(self.head_seq());
+        if upto <= self.base_seq {
+            return Ok(()); // nothing retained below upto anyway
+        }
+        self.base = self.graph_at(upto)?;
+        self.entries.drain(..(upto - self.base_seq) as usize);
+        self.base_seq = upto;
+        // Entries carry absolute seqs, so the suffix needs no re-numbering.
+        debug_assert!(self.entries.first().is_none_or(|e| e.seq == self.base_seq + 1));
+        Ok(())
+    }
+
+    // ------------------------------------------------------- persistence
+
+    /// Serializes the whole log as JSON-lines: a header line with the
+    /// base snapshot, then one line per entry.
+    pub fn to_json_lines(&self) -> String {
+        let header = Value::Object(vec![
+            ("gpm_delta_log".into(), 1u32.to_value()),
+            ("base_seq".into(), self.base_seq.to_value()),
+            ("base".into(), graph_to_value(&self.base)),
+        ]);
+        let mut out = serde_json::to_string(&header).expect("stub never fails");
+        out.push('\n');
+        for entry in &self.entries {
+            let line = Value::Object(vec![
+                ("seq".into(), entry.seq.to_value()),
+                ("ops".into(), entry.delta.ops.to_value()),
+            ]);
+            out.push_str(&serde_json::to_string(&line).expect("stub never fails"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a log serialized by [`Self::to_json_lines`]. Sequence
+    /// numbers must be contiguous from the header's `base_seq`.
+    pub fn from_json_lines(text: &str) -> Result<Self, ServingError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| ServingError::corrupt("empty log"))?;
+        let header: Value =
+            serde_json::from_str(header).map_err(|e| ServingError::corrupt(e.to_string()))?;
+        if header.get("gpm_delta_log").and_then(Value::as_u64) != Some(1) {
+            return Err(ServingError::corrupt("missing/unsupported log header"));
+        }
+        let base_seq = header
+            .get("base_seq")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ServingError::corrupt("bad base_seq"))?;
+        let base = graph_from_value(
+            header.get("base").ok_or_else(|| ServingError::corrupt("missing base snapshot"))?,
+        )
+        .map_err(ServingError::Graph)?;
+        let mut log = DeltaLog::at_offset(&base, base_seq);
+        for line in lines {
+            let v: Value =
+                serde_json::from_str(line).map_err(|e| ServingError::corrupt(e.to_string()))?;
+            let seq = v
+                .get("seq")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ServingError::corrupt("bad seq"))?;
+            let delta = delta_from_value(&v).map_err(ServingError::Graph)?;
+            let assigned = log.append(delta);
+            if assigned != seq {
+                return Err(ServingError::corrupt(format!(
+                    "non-contiguous log: expected seq {assigned}, found {seq}"
+                )));
+            }
+        }
+        Ok(log)
+    }
+
+    /// Writes the JSON-lines form to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServingError> {
+        std::fs::write(path, self.to_json_lines())
+            .map_err(|e| ServingError::corrupt(format!("write log: {e}")))
+    }
+
+    /// Reads a log back from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ServingError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServingError::corrupt(format!("read log: {e}")))?;
+        Self::from_json_lines(&text)
+    }
+}

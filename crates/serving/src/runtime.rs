@@ -1,0 +1,106 @@
+//! [`ServiceHandle`]: the long-lived service **loop** as an owned thread.
+//!
+//! [`AnswerService`] itself is synchronous and deterministic — ideal for
+//! tests and embedding. Production ingestion instead runs the service on
+//! its own thread: producers submit batches over a channel and move on,
+//! subscribers block on their queues from any number of consumer threads,
+//! and control-plane calls (subscribe, query, stats) are serialized
+//! through the same loop so they always observe a consistency point —
+//! never a half-applied batch.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use gpm_graph::GraphDelta;
+
+use crate::service::{AnswerService, IngestReport, ServingError};
+
+enum Cmd {
+    Ingest(GraphDelta),
+    With(Box<dyn FnOnce(&mut AnswerService) + Send>),
+    Shutdown,
+}
+
+/// A handle to a service running on its own thread. Dropping the handle
+/// shuts the loop down (joining it); [`Self::shutdown`] does the same and
+/// hands the service back for inspection.
+pub struct ServiceHandle {
+    tx: mpsc::Sender<Cmd>,
+    join: Option<JoinHandle<AnswerService>>,
+}
+
+impl ServiceHandle {
+    /// Moves `service` onto a dedicated loop thread.
+    pub fn spawn(mut service: AnswerService) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let join = std::thread::Builder::new()
+            .name("gpm-serving".into())
+            .spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Ingest(delta) => {
+                            // Rejected batches leave all state (and the log)
+                            // unchanged; `ingest` counts them in stats.
+                            let _ = service.ingest(&delta);
+                        }
+                        Cmd::With(f) => f(&mut service),
+                        Cmd::Shutdown => break,
+                    }
+                }
+                service
+            })
+            .expect("spawn serving loop");
+        ServiceHandle { tx, join: Some(join) }
+    }
+
+    /// Fire-and-forget ingestion: enqueues the batch and returns
+    /// immediately (the producer path of the latency bench). Invalid
+    /// batches are counted in [`crate::ServiceStats::ingest_errors`].
+    pub fn submit(&self, delta: GraphDelta) {
+        let _ = self.tx.send(Cmd::Ingest(delta));
+    }
+
+    /// Synchronous ingestion: blocks until the batch is applied and fanned
+    /// out, returning its report.
+    pub fn ingest(&self, delta: GraphDelta) -> Result<IngestReport, ServingError> {
+        self.with(move |svc| svc.ingest(&delta))
+    }
+
+    /// Runs `f` on the loop thread against the service, between batches,
+    /// and returns its result — the control plane for subscribe /
+    /// unsubscribe / query_at / stats on a live service.
+    pub fn with<T, F>(&self, f: F) -> T
+    where
+        F: FnOnce(&mut AnswerService) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Cmd::With(Box::new(move |svc| {
+                let _ = rtx.send(f(svc));
+            })))
+            .expect("serving loop alive");
+        rrx.recv().expect("serving loop alive")
+    }
+
+    /// Current head sequence number.
+    pub fn seq(&self) -> u64 {
+        self.with(|svc| svc.seq())
+    }
+
+    /// Stops the loop (after draining already-queued commands) and returns
+    /// the service.
+    pub fn shutdown(mut self) -> AnswerService {
+        let _ = self.tx.send(Cmd::Shutdown);
+        self.join.take().expect("not yet joined").join().expect("serving loop panicked")
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.tx.send(Cmd::Shutdown);
+            let _ = join.join();
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! [`AnswerService`]: the long-lived loop that owns a [`PatternRegistry`],
+//! ingests delta batches into a [`DeltaLog`], and fans material answer
+//! changes out to subscriptions.
+//!
+//! One `ingest` is one consistency point: the batch is applied to the
+//! shared graph exactly once, appended to the log under the next sequence
+//! number, and every subscription whose view of its pattern's answer
+//! materially changed receives **one** [`AnswerUpdate`] carrying that
+//! sequence number. Per-pattern answer **versions** advance only on
+//! material change, and the retained history of versioned answers serves
+//! [`AnswerService::query_at`] — the pull-side view of the same timeline
+//! the push side streams.
+
+use std::collections::{HashMap, VecDeque};
+
+use gpm_core::result::{AnswerDiff, RankedMatch};
+use gpm_graph::{DiGraph, GraphDelta, GraphError};
+use gpm_incremental::{
+    IncrementalConfig, IncrementalError, PatternId, PatternRegistry, RegistryStats,
+};
+use gpm_pattern::Pattern;
+
+use crate::answer::{AnswerUpdate, VersionedAnswer};
+use crate::log::DeltaLog;
+use crate::subscription::{NotifyMode, SubShared, Subscription, SubscriptionId};
+
+/// Errors from the serving layer.
+#[derive(Debug)]
+pub enum ServingError {
+    /// The registry rejected the pattern or the delta.
+    Incremental(IncrementalError),
+    /// The graph layer rejected a delta or a serialized record.
+    Graph(GraphError),
+    /// The requested offset was compacted away (or predates the pattern).
+    OffsetCompacted {
+        /// The requested offset.
+        seq: u64,
+        /// The oldest still-servable offset.
+        retained_from: u64,
+    },
+    /// The requested offset has not been ingested yet.
+    OffsetInFuture {
+        /// The requested offset.
+        seq: u64,
+        /// The current head offset.
+        head: u64,
+    },
+    /// No such pattern is registered with the service.
+    UnknownPattern(PatternId),
+    /// A serialized log was malformed.
+    Corrupt(String),
+}
+
+impl ServingError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        ServingError::Corrupt(msg.into())
+    }
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::Incremental(e) => write!(f, "{e}"),
+            ServingError::Graph(e) => write!(f, "{e}"),
+            ServingError::OffsetCompacted { seq, retained_from } => {
+                write!(f, "offset {seq} compacted away (retained from {retained_from})")
+            }
+            ServingError::OffsetInFuture { seq, head } => {
+                write!(f, "offset {seq} not ingested yet (head is {head})")
+            }
+            ServingError::UnknownPattern(id) => write!(f, "unknown {id}"),
+            ServingError::Corrupt(msg) => write!(f, "corrupt delta log: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+impl From<IncrementalError> for ServingError {
+    fn from(e: IncrementalError) -> Self {
+        ServingError::Incremental(e)
+    }
+}
+
+/// Tuning knobs of an [`AnswerService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Per-subscription queue bound; overflow coalesces newest-wins.
+    pub queue_capacity: usize,
+    /// Versioned answers retained per pattern for [`AnswerService::query_at`]
+    /// (change points, not batches — an unchanged answer spans any number
+    /// of offsets for free).
+    pub retain_answers: usize,
+    /// Maintenance-pool size of the owned registry.
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            retain_answers: 1024,
+            threads: PatternRegistry::default_threads(),
+        }
+    }
+}
+
+/// Service-level counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Batches ingested (appended to the log and applied).
+    pub batches: u64,
+    /// Updates pushed into subscription queues.
+    pub updates_pushed: u64,
+    /// Updates merged away by queue-overflow coalescing.
+    pub updates_coalesced: u64,
+    /// Notifications withheld because a touched pattern's answer did not
+    /// materially change for that subscription ("no spurious wakeups").
+    pub suppressed: u64,
+    /// Ingests rejected (invalid deltas) — state and log unchanged.
+    pub ingest_errors: u64,
+}
+
+/// What one [`AnswerService::ingest`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestReport {
+    /// The sequence number assigned to the batch.
+    pub seq: u64,
+    /// Patterns the batch touched (replayed into or rebuilt).
+    pub touched: usize,
+    /// Updates pushed to subscriptions.
+    pub notified: usize,
+}
+
+struct PatternEntry {
+    /// Latest per-pattern answer version (1 at registration; +1 per
+    /// material change of the relevance-ranked answer).
+    version: u64,
+    /// Retained change points, ascending by `seq`.
+    history: VecDeque<VersionedAnswer>,
+}
+
+struct SubEntry {
+    id: SubscriptionId,
+    mode: NotifyMode,
+    /// Version of the last update pushed to this subscription.
+    version: u64,
+    /// Diversified mode: the answer last pushed, the per-sub diff
+    /// baseline. Relevance subscriptions ride the registry's served
+    /// baseline instead (their diff is the registry's own change set), so
+    /// for them this stays at the attach-time answer and is never read.
+    last: Vec<RankedMatch>,
+    shared: std::sync::Arc<SubShared>,
+}
+
+/// The streaming answer service. See the crate docs for the model and
+/// `tests/service_differential.rs` for the push ≡ pull proof.
+pub struct AnswerService {
+    registry: PatternRegistry,
+    log: DeltaLog,
+    /// Versioned answer history, by pattern.
+    patterns: HashMap<PatternId, PatternEntry>,
+    /// Subscriptions grouped by pattern, in attach order — fan-out work is
+    /// proportional to the subscribers of the patterns a batch touched,
+    /// not to the total subscriber population.
+    subs: HashMap<PatternId, Vec<SubEntry>>,
+    next_sub: u64,
+    cfg: ServiceConfig,
+    stats: ServiceStats,
+}
+
+impl AnswerService {
+    /// A service over `g`, with the delta log anchored at offset 0.
+    pub fn new(g: &DiGraph, cfg: ServiceConfig) -> Self {
+        Self::at_offset(g, 0, cfg)
+    }
+
+    /// A service anchored mid-stream: `g` is the graph state at offset
+    /// `seq` — the late-joiner / crash-recovery constructor. Re-subscribe,
+    /// then [`Self::catch_up`] against the source log.
+    pub fn at_offset(g: &DiGraph, seq: u64, cfg: ServiceConfig) -> Self {
+        AnswerService {
+            registry: PatternRegistry::with_threads(g, cfg.threads),
+            log: DeltaLog::at_offset(g, seq),
+            patterns: HashMap::new(),
+            subs: HashMap::new(),
+            next_sub: 0,
+            cfg,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The sequence number of the newest ingested batch.
+    pub fn seq(&self) -> u64 {
+        self.log.head_seq()
+    }
+
+    /// The owned registry (read-only; mutate through [`Self::ingest`]).
+    pub fn registry(&self) -> &PatternRegistry {
+        &self.registry
+    }
+
+    /// The owned delta log.
+    pub fn log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// Service-level counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The owned registry's counters (shared-index skip rate & co).
+    pub fn registry_stats(&self) -> &RegistryStats {
+        self.registry.stats()
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriptions(&self) -> usize {
+        self.subs.values().map(Vec::len).sum()
+    }
+
+    /// Registers `q` and attaches a subscription to it. The subscription's
+    /// queue starts with one update carrying the **consistent initial
+    /// answer** at the current offset (diff: everything `entered`), so a
+    /// consumer needs no separate bootstrap read.
+    pub fn subscribe(
+        &mut self,
+        q: Pattern,
+        cfg: IncrementalConfig,
+        mode: NotifyMode,
+    ) -> Result<Subscription, ServingError> {
+        let id = self.registry.register(q, cfg)?;
+        let initial = self.registry.top_k(id).expect("just registered").matches;
+        self.patterns.insert(
+            id,
+            PatternEntry {
+                version: 1,
+                history: VecDeque::from([VersionedAnswer {
+                    seq: self.seq(),
+                    version: 1,
+                    matches: initial,
+                }]),
+            },
+        );
+        self.attach(id, mode)
+    }
+
+    /// Attaches one more subscription to an already-registered pattern
+    /// (many consumers, one maintained state).
+    pub fn attach(
+        &mut self,
+        pattern: PatternId,
+        mode: NotifyMode,
+    ) -> Result<Subscription, ServingError> {
+        let entry = self.patterns.get(&pattern).ok_or(ServingError::UnknownPattern(pattern))?;
+        let (version, initial): (u64, Vec<RankedMatch>) = match mode {
+            // The newest history entry *is* the current relevance answer —
+            // no need to re-rank what the registry already served.
+            NotifyMode::Relevance => {
+                (entry.version, entry.history.back().expect("history never empty").matches.clone())
+            }
+            NotifyMode::Diversified => (
+                1,
+                self.registry
+                    .top_k_diversified(pattern)
+                    .ok_or(ServingError::UnknownPattern(pattern))?
+                    .matches,
+            ),
+        };
+        let id = SubscriptionId(self.next_sub);
+        self.next_sub += 1;
+        let shared = SubShared::new(self.cfg.queue_capacity);
+        shared.push(AnswerUpdate {
+            pattern,
+            version,
+            seq: self.seq(),
+            topk: initial.clone(),
+            diff: AnswerDiff::between(&[], &initial),
+        });
+        self.stats.updates_pushed += 1;
+        self.subs.entry(pattern).or_default().push(SubEntry {
+            id,
+            mode,
+            version,
+            last: initial,
+            shared: shared.clone(),
+        });
+        Ok(Subscription { id, pattern, mode, shared })
+    }
+
+    /// Drops a subscription: its queue is closed (pending updates remain
+    /// readable) and, when this was the pattern's last subscriber, the
+    /// pattern is deregistered and its answer history released. Returns
+    /// `false` for unknown (already-dropped) subscriptions.
+    pub fn unsubscribe(&mut self, sub: &Subscription) -> bool {
+        let pattern = sub.pattern();
+        let Some(list) = self.subs.get_mut(&pattern) else {
+            return false;
+        };
+        let Some(i) = list.iter().position(|s| s.id == sub.id()) else {
+            return false;
+        };
+        let entry = list.remove(i);
+        entry.shared.close();
+        if list.is_empty() {
+            self.subs.remove(&pattern);
+            self.patterns.remove(&pattern);
+            self.registry.deregister(pattern);
+        }
+        true
+    }
+
+    /// Ingests one batch: applies it to the shared graph, appends it to
+    /// the log under the next sequence number, advances per-pattern
+    /// versions/histories, and pushes one [`AnswerUpdate`] to every
+    /// subscription whose view materially changed. On error the graph,
+    /// the log and every queue are unchanged.
+    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<IngestReport, ServingError> {
+        let changes = match self.registry.apply(delta) {
+            Ok(changes) => changes,
+            Err(e) => {
+                self.stats.ingest_errors += 1;
+                return Err(e.into());
+            }
+        };
+        let seq = self.log.append(delta.clone());
+        self.stats.batches += 1;
+        let mut report = IngestReport { seq, touched: changes.len(), notified: 0 };
+
+        for change in &changes {
+            // Per-pattern versioned history: advance only on material
+            // change of the relevance answer (the registry's diff).
+            if change.changed() {
+                if let Some(entry) = self.patterns.get_mut(&change.id) {
+                    entry.version += 1;
+                    entry.history.push_back(VersionedAnswer {
+                        seq,
+                        version: entry.version,
+                        matches: change.top.matches.clone(),
+                    });
+                    while entry.history.len() > self.cfg.retain_answers.max(1) {
+                        entry.history.pop_front();
+                    }
+                }
+            }
+
+            // Subscriber fan-out. The diversified answer is computed at
+            // most once per touched pattern, and only if someone wants it:
+            // a touched pattern's diversified selection can move even when
+            // its relevance top-k survived (off-list relevances feed the
+            // greedy objective), so it is re-derived whenever touched.
+            let wants_div = self
+                .subs
+                .get(&change.id)
+                .is_some_and(|l| l.iter().any(|s| s.mode == NotifyMode::Diversified));
+            let div: Option<Vec<RankedMatch>> = wants_div
+                .then(|| self.registry.top_k_diversified(change.id).expect("registered").matches);
+            for sub in self.subs.get_mut(&change.id).map(Vec::as_mut_slice).unwrap_or_default() {
+                // Relevance subscriptions share the served baseline the
+                // registry already diffed against (attach seeds `last`
+                // from the same answer and both advance on the same
+                // material-change events), so the registry's diff is
+                // reused; only diversified views need a per-sub diff.
+                let (fresh, diff): (&[RankedMatch], AnswerDiff) = match sub.mode {
+                    NotifyMode::Relevance => {
+                        if !change.changed() {
+                            self.stats.suppressed += 1;
+                            continue;
+                        }
+                        (&change.top.matches, change.diff.clone())
+                    }
+                    NotifyMode::Diversified => {
+                        let fresh: &[RankedMatch] = div.as_deref().expect("computed above");
+                        let diff = AnswerDiff::between(&sub.last, fresh);
+                        if diff.is_empty() {
+                            self.stats.suppressed += 1;
+                            continue;
+                        }
+                        sub.last = fresh.to_vec();
+                        (fresh, diff)
+                    }
+                };
+                sub.version += 1;
+                let coalesced = sub.shared.push(AnswerUpdate {
+                    pattern: change.id,
+                    version: sub.version,
+                    seq,
+                    topk: fresh.to_vec(),
+                    diff,
+                });
+                self.stats.updates_pushed += 1;
+                if coalesced {
+                    self.stats.updates_coalesced += 1;
+                }
+                report.notified += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Replays every entry of `source` this service has not ingested yet
+    /// (entries with `seq >` [`Self::seq`]), in order. The late-joiner /
+    /// recovery path: a service anchored at `source`'s base (or any
+    /// mid-stream snapshot) converges on the exact same versioned answers
+    /// a service that lived through the whole stream holds. Returns the
+    /// number of batches replayed.
+    pub fn catch_up(&mut self, source: &DeltaLog) -> Result<u64, ServingError> {
+        let mut replayed = 0u64;
+        for entry in source.entries_after(self.seq())? {
+            debug_assert_eq!(entry.seq, self.seq() + 1, "logs are contiguous");
+            self.ingest(&entry.delta)?;
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
+    /// The versioned answer `pattern` served at offset `seq` — the newest
+    /// retained change point at or below `seq`. Consistent with the push
+    /// stream: between two updates, `query_at` returns the earlier one's
+    /// answer for every offset in the gap.
+    pub fn query_at(&self, pattern: PatternId, seq: u64) -> Result<VersionedAnswer, ServingError> {
+        let entry = self.patterns.get(&pattern).ok_or(ServingError::UnknownPattern(pattern))?;
+        if seq > self.seq() {
+            return Err(ServingError::OffsetInFuture { seq, head: self.seq() });
+        }
+        match entry.history.iter().rev().find(|a| a.seq <= seq) {
+            Some(a) => Ok(a.clone()),
+            None => Err(ServingError::OffsetCompacted {
+                seq,
+                retained_from: entry.history.front().map_or(self.seq(), |a| a.seq),
+            }),
+        }
+    }
+
+    /// The current versioned answer of `pattern`.
+    pub fn current(&self, pattern: PatternId) -> Result<VersionedAnswer, ServingError> {
+        self.query_at(pattern, self.seq())
+    }
+
+    /// Compacts the owned log up to `upto` (see [`DeltaLog::compact_to`]).
+    pub fn compact_log(&mut self, upto: u64) -> Result<(), ServingError> {
+        self.log.compact_to(upto)
+    }
+}
+
+impl Drop for AnswerService {
+    /// Closes every subscription queue so blocked consumers observe the
+    /// end of the stream (pending updates stay readable).
+    fn drop(&mut self) {
+        for sub in self.subs.values().flatten() {
+            sub.shared.close();
+        }
+    }
+}
+
+impl From<GraphError> for ServingError {
+    fn from(e: GraphError) -> Self {
+        ServingError::Graph(e)
+    }
+}

@@ -109,9 +109,10 @@ fn main() {
     }
     let touched = reg.apply(&promote).unwrap();
     println!(
-        "\n── promoted {} PMs (experience 3/5/7): {} pattern(s) touched",
+        "\n── promoted {} PMs (experience 3/5/7): {} pattern(s) touched, {} answer(s) moved",
         pms.len(),
-        touched.len()
+        touched.len(),
+        touched.iter().filter(|c| c.changed()).count()
     );
     show(&reg, &names);
     let skipped_before = reg.stats().ops_skipped;

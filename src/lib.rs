@@ -38,6 +38,7 @@
 //! | [`ranking`] | relevant sets, `δr`/`δd`/`F`, bound indexes |
 //! | [`core`] | `Match`, `TopKDAG`, `TopK`, `TopKDiv`, `TopKDH` |
 //! | [`incremental`] | `DynamicMatcher`: top-k maintained under graph deltas |
+//! | [`serving`] | streaming answer service: subscriptions, delta log, versioned answers |
 //! | [`datagen`] | Fig. 1 fixture, synthetic generator, dataset emulators, update streams |
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index
@@ -50,6 +51,7 @@ pub use gpm_graph as graph;
 pub use gpm_incremental as incremental;
 pub use gpm_pattern as pattern;
 pub use gpm_ranking as ranking;
+pub use gpm_serving as serving;
 pub use gpm_simulation as simulation;
 
 /// The commonly-used surface of the library.
@@ -62,9 +64,13 @@ pub mod prelude {
     };
     pub use gpm_graph::{BitSet, DiGraph, GraphBuilder, GraphDelta, NodeId};
     pub use gpm_incremental::{
-        DynamicMatcher, IncrementalConfig, PatternId, PatternRegistry, RegistryStats,
+        AnswerChange, DynamicMatcher, IncrementalConfig, PatternId, PatternRegistry, RegistryStats,
     };
     pub use gpm_pattern::{CmpOp, Pattern, PatternBuilder, Predicate};
     pub use gpm_ranking::bounds::BoundStrategy;
+    pub use gpm_serving::{
+        AnswerService, AnswerUpdate, DeltaLog, NotifyMode, ServiceConfig, ServiceHandle,
+        Subscription,
+    };
     pub use gpm_simulation::compute_simulation;
 }
