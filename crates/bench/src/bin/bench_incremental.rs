@@ -73,10 +73,21 @@ fn main() {
     let attr_result = delta_bench::run_attr_mix(&ga, &qa, k, 50, &[0.0, 0.25, 0.5, 1.0]);
     println!("{}", delta_bench::attr_mix_table(&attr_result).render());
 
+    println!("building dirty-region workload: |V|={nodes}");
+    let (gd, qd) = delta_bench::dirty_region_workload(nodes);
+    println!("cycle graph |V|={} |E|={}", gd.node_count(), gd.edge_count());
+    // ≥ 2 workers so the intra-pattern split engages even when the
+    // machine reports a single core (wall-clock gains need real cores;
+    // the split counter must not depend on them).
+    let threads = gpm_incremental::PatternRegistry::default_threads().max(2);
+    let dirty_result = delta_bench::run_dirty_region(&gd, &qd, k, threads, &[0.02, 0.25, 1.0]);
+    println!("{}", delta_bench::dirty_region_table(&dirty_result).render());
+
     let combined = Value::Object(vec![
         ("bench".into(), "incremental".to_value()),
         ("delta_scaling".into(), result.to_value()),
         ("attr_churn_mix".into(), attr_result.to_value()),
+        ("dirty_region".into(), dirty_result.to_value()),
     ]);
     let json = serde_json::to_string_pretty(&combined).expect("serializable");
     std::fs::write(&out, json).expect("write BENCH_incremental.json");
@@ -91,6 +102,23 @@ fn main() {
                 p.delta_size,
                 p.speedup()
             );
+        }
+    }
+    // And the dirty-region bar: on the largest dirty fraction the shared
+    // DP with the intra-pattern split must beat the old per-output BFS
+    // derivation, with the split actually observed on ≥ 2 workers.
+    if let Some(p) = dirty_result.points.last() {
+        if p.speedup_vs_bfs() < 1.0 {
+            eprintln!(
+                "WARNING: dirty fraction {:.2} not faster than per-output BFS ({:.2}x)",
+                p.dirty_fraction,
+                p.speedup_vs_bfs()
+            );
+        }
+        // At smoke sizes a single worker can drain every chunk before the
+        // rest wake, so only measurement-scale runs demand the proof.
+        if dirty_result.threads >= 2 && dirty_result.outputs >= 5_000 && p.intra_splits == 0 {
+            eprintln!("WARNING: intra-pattern split never engaged at the largest dirty fraction");
         }
     }
 }

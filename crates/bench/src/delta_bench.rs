@@ -15,7 +15,7 @@ use std::time::Instant;
 use gpm_core::config::TopKConfig;
 use gpm_core::top_k_by_match;
 use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
-use gpm_graph::{apply_delta, DiGraph};
+use gpm_graph::{apply_delta, DiGraph, GraphDelta};
 use gpm_incremental::{DynamicMatcher, IncrementalConfig};
 use gpm_pattern::Pattern;
 use serde::{Serialize, Value};
@@ -338,6 +338,285 @@ pub fn run_attr_mix(
     }
 }
 
+/// One measured point of the dirty-region sweep.
+#[derive(Debug, Clone)]
+pub struct DirtyRegionPoint {
+    /// Fraction of the graph's cycles each batch touches (≈ the fraction
+    /// of output matches whose relevant set the batch dirties).
+    pub dirty_fraction: f64,
+    /// Batches replayed per configuration.
+    pub batches: usize,
+    /// Mean dirty outputs per materializing batch (observed).
+    pub mean_dirty_outputs: f64,
+    /// Mean registry `apply` latency with the shared DP and the
+    /// intra-pattern pool split engaged (ms/batch). Only faster than the
+    /// sequential DP when the machine has real cores to split across.
+    pub dp_parallel_ms: f64,
+    /// Mean registry `apply` latency with the shared DP, single-threaded
+    /// (ms/batch) — isolates the engine win from the parallelism win.
+    pub dp_sequential_ms: f64,
+    /// Mean latency of the pre-refactor derivation shape: per-output BFS
+    /// extraction (reach budget 0), single-threaded (ms/batch).
+    pub bfs_sequential_ms: f64,
+    /// Mean static-pipeline latency (ms/batch).
+    pub scratch_ms: f64,
+    /// `RegistryStats::intra_pattern_splits` accumulated by the DP run —
+    /// refreshes observed on ≥ 2 distinct pool workers.
+    pub intra_splits: u64,
+}
+
+impl DirtyRegionPoint {
+    /// The DP configuration a deployment would pick on this machine:
+    /// the faster of the parallel and the sequential run.
+    pub fn dp_best_ms(&self) -> f64 {
+        self.dp_parallel_ms.min(self.dp_sequential_ms)
+    }
+
+    /// `bfs_sequential / dp_best` — above 1.0 the shared DP beats the
+    /// old per-output derivation.
+    pub fn speedup_vs_bfs(&self) -> f64 {
+        if self.dp_best_ms() <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.bfs_sequential_ms / self.dp_best_ms()
+    }
+
+    /// `scratch / dp_best`.
+    pub fn speedup_vs_scratch(&self) -> f64 {
+        if self.dp_best_ms() <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.scratch_ms / self.dp_best_ms()
+    }
+}
+
+impl Serialize for DirtyRegionPoint {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dirty_fraction".into(), self.dirty_fraction.to_value()),
+            ("batches".into(), self.batches.to_value()),
+            ("mean_dirty_outputs".into(), self.mean_dirty_outputs.to_value()),
+            ("dp_parallel_ms_per_batch".into(), self.dp_parallel_ms.to_value()),
+            ("dp_sequential_ms_per_batch".into(), self.dp_sequential_ms.to_value()),
+            ("bfs_sequential_ms_per_batch".into(), self.bfs_sequential_ms.to_value()),
+            ("scratch_ms_per_batch".into(), self.scratch_ms.to_value()),
+            ("speedup_vs_bfs".into(), self.speedup_vs_bfs().to_value()),
+            ("speedup_vs_scratch".into(), self.speedup_vs_scratch().to_value()),
+            ("intra_pattern_splits".into(), self.intra_splits.to_value()),
+        ])
+    }
+}
+
+/// The dirty-region experiment record: shared-DP refresh cost against the
+/// old per-output BFS derivation and against from-scratch recomputation,
+/// as the dirtied fraction of the output set grows.
+#[derive(Debug, Clone)]
+pub struct DirtyRegionResult {
+    /// `|V|`, `|E|` of the base graph.
+    pub nodes: usize,
+    pub edges: usize,
+    /// Cycle decomposition of the workload graph.
+    pub cycles: usize,
+    pub cycle_len: usize,
+    /// Output matches of the served pattern.
+    pub outputs: usize,
+    /// Pool size of the DP-parallel configuration.
+    pub threads: usize,
+    /// The sweep.
+    pub points: Vec<DirtyRegionPoint>,
+}
+
+impl Serialize for DirtyRegionResult {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("bench".into(), "incremental_dirty_region".to_value()),
+            ("nodes".into(), self.nodes.to_value()),
+            ("edges".into(), self.edges.to_value()),
+            ("cycles".into(), self.cycles.to_value()),
+            ("cycle_len".into(), self.cycle_len.to_value()),
+            ("outputs".into(), self.outputs.to_value()),
+            ("threads".into(), self.threads.to_value()),
+            ("points".into(), self.points.to_value()),
+        ])
+    }
+}
+
+/// Cycle length of the dirty-region workload (even: labels alternate).
+const DIRTY_CYCLE_LEN: usize = 50;
+
+/// Builds the dirty-region workload: `nodes / DIRTY_CYCLE_LEN` disjoint
+/// cycles of alternating labels, served by the cyclic pattern `A ⇄ B`.
+/// Every pair is alive and each output's relevant set is exactly its own
+/// cycle, so toggling one edge per cycle dirties that cycle's outputs and
+/// nothing else — the dirty fraction is controlled precisely by how many
+/// cycles a batch touches.
+pub fn dirty_region_workload(nodes: usize) -> (DiGraph, Pattern) {
+    let len = DIRTY_CYCLE_LEN;
+    let cycles = (nodes / len).max(1);
+    let mut labels = Vec::with_capacity(cycles * len);
+    let mut edges = Vec::with_capacity(cycles * len);
+    for c in 0..cycles {
+        let base = (c * len) as u32;
+        for i in 0..len {
+            labels.push((i % 2) as u32);
+            edges.push((base + i as u32, base + ((i + 1) % len) as u32));
+        }
+    }
+    let g = gpm_graph::builder::graph_from_parts(&labels, &edges).expect("well-formed cycles");
+    let q = gpm_pattern::builder::label_pattern(&[0, 1], &[(0, 1), (1, 0)], 0)
+        .expect("cyclic 2-pattern");
+    (g, q)
+}
+
+/// Replays the toggle stream for one registry configuration, returning
+/// `(ms/batch, mean dirty outputs per batch, intra splits)`.
+fn run_dirty_config(
+    g: &DiGraph,
+    q: &Pattern,
+    k: usize,
+    threads: usize,
+    reach: gpm_ranking::ReachConfig,
+    stream: &[GraphDelta],
+) -> (f64, f64, u64) {
+    use gpm_incremental::PatternRegistry;
+    let mut cfg = IncrementalConfig::new(k);
+    cfg.reach = reach;
+    let mut reg = PatternRegistry::with_threads(g, threads);
+    let id = reg.register(q.clone(), cfg).expect("cyclic 2-pattern registers");
+    // Registration already materialized every set once: count per-batch
+    // re-derivations from here (covers both the partial-plan path and the
+    // sweep-overflow full refresh).
+    let mut prev_sets = reg.stats_of(id).expect("registered").sets_recomputed;
+    let mut dirty_sum = 0u64;
+    let mut dirty_batches = 0usize;
+    let t0 = Instant::now();
+    for delta in stream {
+        reg.apply(delta).expect("stream is valid");
+        let sets = reg.stats_of(id).expect("registered").sets_recomputed;
+        if sets > prev_sets {
+            dirty_sum += sets - prev_sets;
+            dirty_batches += 1;
+        }
+        prev_sets = sets;
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / stream.len() as f64;
+
+    // Cross-check: the maintained answer equals a static recompute.
+    let base = top_k_by_match(&reg.snapshot(), q, &TopKConfig::new(k));
+    assert_eq!(reg.top_k(id).expect("registered").nodes(), base.nodes(), "pipelines diverged");
+
+    let mean_dirty = if dirty_batches == 0 { 0.0 } else { dirty_sum as f64 / dirty_batches as f64 };
+    (ms, mean_dirty, reg.stats().intra_pattern_splits)
+}
+
+/// Runs the dirty-region sweep: for each fraction, batches toggle one
+/// edge in that fraction of the cycles (kill the cycles, then revive
+/// them), so each revival batch re-derives exactly that share of the
+/// relevant sets. Three configurations per point: shared DP + pool split
+/// (`threads` workers — pass ≥ 2 so the intra-pattern split can engage
+/// even on single-core CI runners), the old derivation shape (per-output
+/// BFS, single thread), and the static pipeline.
+pub fn run_dirty_region(
+    g: &DiGraph,
+    q: &Pattern,
+    k: usize,
+    threads: usize,
+    fracs: &[f64],
+) -> DirtyRegionResult {
+    let len = DIRTY_CYCLE_LEN;
+    let cycles = g.node_count() / len;
+    let rounds = 3;
+    let mut points = Vec::new();
+    for &frac in fracs {
+        let touched = ((frac * cycles as f64).round() as usize).clamp(1, cycles);
+        // Toggle stream: remove one edge of each touched cycle, then put
+        // it back — `rounds` kill/revive rounds.
+        let mut stream: Vec<GraphDelta> = Vec::with_capacity(rounds * 2);
+        for _ in 0..rounds {
+            let mut kill = GraphDelta::new();
+            let mut revive = GraphDelta::new();
+            for c in 0..touched {
+                let base = (c * len) as u32;
+                kill = kill.remove_edge(base, base + 1);
+                revive = revive.add_edge(base, base + 1);
+            }
+            stream.push(kill);
+            stream.push(revive);
+        }
+
+        let (dp_ms, mean_dirty, splits) =
+            run_dirty_config(g, q, k, threads, gpm_ranking::ReachConfig::default(), &stream);
+        let (dp_seq_ms, _, _) =
+            run_dirty_config(g, q, k, 1, gpm_ranking::ReachConfig::default(), &stream);
+        let (bfs_ms, _, _) = run_dirty_config(
+            g,
+            q,
+            k,
+            1,
+            gpm_ranking::ReachConfig { budget_bytes: 0, threads: 1 },
+            &stream,
+        );
+
+        // Static path: rebuild + re-rank per batch.
+        let mut current = g.clone();
+        let t0 = Instant::now();
+        let mut sink = 0u64;
+        for delta in &stream {
+            current = apply_delta(&current, delta).expect("stream is valid");
+            sink ^= top_k_by_match(&current, q, &TopKConfig::new(k)).total_relevance();
+        }
+        let scratch_ms = t0.elapsed().as_secs_f64() * 1e3 / stream.len() as f64;
+        std::hint::black_box(sink);
+
+        points.push(DirtyRegionPoint {
+            dirty_fraction: frac,
+            batches: stream.len(),
+            mean_dirty_outputs: mean_dirty,
+            dp_parallel_ms: dp_ms,
+            dp_sequential_ms: dp_seq_ms,
+            bfs_sequential_ms: bfs_ms,
+            scratch_ms,
+            intra_splits: splits,
+        });
+    }
+    DirtyRegionResult {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        cycles,
+        cycle_len: len,
+        outputs: g.node_count() / 2,
+        threads,
+        points,
+    }
+}
+
+/// Renders the dirty-region sweep as a printable table.
+pub fn dirty_region_table(r: &DirtyRegionResult) -> Table {
+    let mut t = Table::new(
+        "dirty_region",
+        format!(
+            "shared DP vs per-output BFS vs scratch, {} cycles × {} nodes, {} outputs, {} threads",
+            r.cycles, r.cycle_len, r.outputs, r.threads
+        ),
+        "dirty frac",
+        &["dp par ms", "dp seq ms", "bfs ms", "scratch ms", "vs bfs", "splits"],
+    );
+    for p in &r.points {
+        t.push(
+            format!("{:.2}", p.dirty_fraction),
+            vec![
+                p.dp_parallel_ms,
+                p.dp_sequential_ms,
+                p.bfs_sequential_ms,
+                p.scratch_ms,
+                p.speedup_vs_bfs(),
+                p.intra_splits as f64,
+            ],
+        );
+    }
+    t
+}
+
 /// Renders the mix sweep as a printable table.
 pub fn attr_mix_table(r: &AttrMixResult) -> Table {
     let mut t = Table::new(
@@ -392,6 +671,23 @@ mod tests {
         assert!(json.contains("\"delta_size\": 1"));
         let rendered = as_table(&r).render();
         assert!(rendered.contains("delta_scaling"));
+    }
+
+    #[test]
+    fn tiny_dirty_region_runs_and_serializes() {
+        let (g, q) = dirty_region_workload(600);
+        assert_eq!(g.node_count(), 600);
+        let r = run_dirty_region(&g, &q, 5, 2, &[0.1, 1.0]);
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.cycles, 12);
+        // The largest fraction dirties every output on each revival batch.
+        assert!(r.points[1].mean_dirty_outputs >= r.outputs as f64 - 0.5);
+        assert!(r.points[0].mean_dirty_outputs < r.points[1].mean_dirty_outputs);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(json.contains("incremental_dirty_region"));
+        assert!(json.contains("intra_pattern_splits"));
+        let rendered = dirty_region_table(&r).render();
+        assert!(rendered.contains("dirty_region"));
     }
 
     #[test]

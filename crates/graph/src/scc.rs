@@ -33,6 +33,15 @@ impl Successors for DiGraph {
     }
 }
 
+impl<T: Successors + ?Sized> Successors for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn successors_of(&self, v: NodeId) -> &[NodeId] {
+        (**self).successors_of(v)
+    }
+}
+
 impl Successors for Csr {
     fn node_count(&self) -> usize {
         Csr::node_count(self)

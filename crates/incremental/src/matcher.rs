@@ -6,6 +6,7 @@ use gpm_core::result::{AnswerDiff, DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{DiGraph, GraphDelta, GraphError};
 use gpm_pattern::Pattern;
+use gpm_ranking::ReachConfig;
 
 use crate::state::{worst_churn, PatternState};
 
@@ -26,13 +27,24 @@ pub struct IncrementalConfig {
     /// of the candidate pairs, the relevant-set cache is rebuilt wholesale
     /// instead of entry by entry.
     pub max_dirty_fraction: f64,
+    /// Memory / thread policy of the shared reach engine when deriving
+    /// relevant sets — the same [`ReachConfig`] the static pipeline
+    /// honors; past the byte budget, dirty-set materialization degrades
+    /// to per-source BFS instead of the condensation DP.
+    pub reach: ReachConfig,
 }
 
 impl IncrementalConfig {
     /// Defaults for a given `k` (`λ = 0.5`, rebuild past 20% edge churn or
-    /// a 30% dirty sweep).
+    /// a 30% dirty sweep, default reach-engine budget).
     pub fn new(k: usize) -> Self {
-        IncrementalConfig { k, lambda: 0.5, max_delta_fraction: 0.2, max_dirty_fraction: 0.3 }
+        IncrementalConfig {
+            k,
+            lambda: 0.5,
+            max_delta_fraction: 0.2,
+            max_dirty_fraction: 0.3,
+            reach: ReachConfig::default(),
+        }
     }
 
     /// Same configuration with a different `λ`.
@@ -155,7 +167,8 @@ impl DynamicMatcher {
             // from scratch and refill the cache.
             self.graph.apply(delta)?;
             self.state.note_apply(); // rejected batches are not applies
-            self.state.rebuild(&self.graph);
+            let plan = self.state.rebuild(&self.graph);
+            self.state.materialize(&self.graph, &plan);
             return Ok(self.state.serve_timed(t0));
         }
 
@@ -191,5 +204,11 @@ impl DynamicMatcher {
     /// pipeline evaluates, so the two can be drift-checked.
     pub fn normalizer(&self) -> u64 {
         self.state.normalizer()
+    }
+
+    /// Test access to the maintained state (the DP ≡ BFS oracle).
+    #[cfg(test)]
+    pub(crate) fn state(&self) -> &PatternState {
+        &self.state
     }
 }

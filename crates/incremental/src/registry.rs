@@ -31,13 +31,13 @@
 
 use gpm_core::result::{AnswerDiff, DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
-use gpm_graph::{DiGraph, GraphDelta, Label};
+use gpm_graph::{BitSet, DiGraph, GraphDelta, Label};
 use gpm_pattern::Pattern;
 use parking_lot::Mutex;
 
 use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
 use crate::pool::WorkerPool;
-use crate::state::{removed_label_map, worst_churn, PatternState};
+use crate::state::{removed_label_map, worst_churn, PatternState, PreparedSets, RefreshPlan};
 
 /// Stable handle of a registered pattern. Ids are never reused, so a
 /// handle kept across a deregistration simply stops resolving.
@@ -71,6 +71,14 @@ pub struct RegistryStats {
     /// Patterns the last batch rebuilt wholesale (per-pattern churn
     /// threshold exceeded).
     pub last_rebuilds: usize,
+    /// Refreshes of a **single** pattern whose relevant-set extraction
+    /// was observed running on ≥ 2 distinct pool workers — the proof the
+    /// intra-pattern split engaged (a giant pattern no longer refreshes
+    /// single-threaded).
+    pub intra_pattern_splits: u64,
+    /// Patterns the last batch chunked across the pool (whether or not
+    /// ≥ 2 workers ended up claiming chunks).
+    pub last_intra_splits: usize,
 }
 
 impl RegistryStats {
@@ -116,6 +124,39 @@ impl AnswerChange {
     pub fn changed(&self) -> bool {
         !self.diff.is_empty()
     }
+}
+
+/// Dirty-set size past which a single pattern's relevant-set extraction
+/// is split across the pool (phase 2b) instead of running inline on the
+/// worker that claimed the pattern. Below it, the chunking barrier costs
+/// more than the parallelism wins.
+const INTRA_SPLIT_MIN_OUTPUTS: usize = 16;
+
+/// Runs phase-2 extraction of one prepared pattern across the pool in
+/// per-worker output ranges, returning the sets in output order plus the
+/// number of **distinct** workers that claimed a chunk (the observable
+/// proof the refresh really ran on more than one thread).
+fn extract_chunked(pool: &WorkerPool, prepared: &PreparedSets) -> (Vec<BitSet>, usize) {
+    type ChunkResult = Mutex<Option<(Vec<BitSet>, std::thread::ThreadId)>>;
+    let n = prepared.len();
+    let chunk = n.div_ceil(pool.workers()).max(1);
+    let chunks = n.div_ceil(chunk);
+    let results: Vec<ChunkResult> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    pool.run(chunks, &|ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut ex = prepared.extractor();
+        let sets: Vec<BitSet> = (lo..hi).map(|j| ex.extract(j)).collect();
+        *results[ci].lock() = Some((sets, std::thread::current().id()));
+    });
+    let mut sets = Vec::with_capacity(n);
+    let mut workers = std::collections::HashSet::new();
+    for r in results {
+        let (chunk_sets, tid) = r.into_inner().expect("every chunk ran");
+        sets.extend(chunk_sets);
+        workers.insert(tid);
+    }
+    (sets, workers.len())
 }
 
 /// Many patterns served over one dynamic graph. See the module docs.
@@ -274,36 +315,83 @@ impl PatternRegistry {
             (applied, rebuild)
         };
 
-        // Phase 2 (parallel): per-pattern ranking maintenance is
-        // independent given the final graph. The persistent pool's workers
-        // claim whole slots by index; since no slot is shared, the
-        // per-pattern result is identical under any interleaving, and
-        // answers are merged in registration order below. Patterns the
-        // index proved the whole batch irrelevant to skip the seed scan
-        // entirely; for the rest, the fresh answer is served (ranked +
-        // diffed) under the same lock the refresh already holds, so the
-        // return-value work parallelizes with the maintenance.
+        // Phase 2a (parallel across patterns): per-pattern ranking
+        // maintenance is independent given the final graph. The
+        // persistent pool's workers claim whole slots by index; since no
+        // slot is shared, the per-pattern result is identical under any
+        // interleaving, and answers are merged in registration order
+        // below. Patterns the index proved the whole batch irrelevant to
+        // skip the seed scan entirely. A pattern whose dirty set is small
+        // finishes here (plan + materialize + serve under one lock); one
+        // whose dirty set crosses [`INTRA_SPLIT_MIN_OUTPUTS`] only runs
+        // phase 1 of the reach engine (view + condensation) and parks the
+        // prepared extraction for phase 2b — so N small patterns keep
+        // their cross-pattern parallelism, and a giant one stops
+        // monopolizing a single worker.
         let graph = &self.graph;
         let slots = &self.slots;
         let touched_ref = &touched;
+        let split_threshold = self.pool.as_ref().map(|_| INTRA_SPLIT_MIN_OUTPUTS);
         let fresh: Vec<Mutex<Option<(TopKResult, AnswerDiff)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let pending: Vec<Mutex<Option<(RefreshPlan, PreparedSets)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let refresh = |i: usize| {
             let mut st = slots[i].state.lock();
             st.note_apply();
-            if rebuild[i] {
-                st.rebuild(graph);
+            let plan = if rebuild[i] {
+                st.rebuild(graph)
             } else if touched_ref[i] {
-                st.refresh_ranking(graph, &applied);
+                st.plan_refresh(graph, &applied)
             } else {
                 st.refresh_untouched(graph);
                 return;
+            };
+            if split_threshold.is_some_and(|min| plan.len() >= min) {
+                let prepared = st.prepare_sets(graph, &plan);
+                // Only park extractions a pool barrier can actually help
+                // with: per-source BFS (the budget fallback) is always
+                // real work, while DP extraction is bitset memcpys —
+                // worth splitting only at real volume.
+                if prepared.split_worthwhile() {
+                    *pending[i].lock() = Some((plan, prepared));
+                    return;
+                }
+                let mut ex = prepared.extractor();
+                let sets = (0..prepared.len()).map(|j| ex.extract(j)).collect();
+                drop(ex);
+                st.apply_sets(&plan, sets);
+                *fresh[i].lock() = Some(st.serve());
+                return;
             }
+            st.materialize_seq(graph, &plan);
             *fresh[i].lock() = Some(st.serve());
         };
         match &self.pool {
             Some(pool) if n >= 2 => pool.run(n, &refresh),
             _ => (0..n).for_each(refresh),
+        }
+
+        // Phase 2b (parallel within a pattern): each parked extraction is
+        // chunked into per-worker output ranges and fanned across the
+        // pool; the condensation and its component bitsets are shared
+        // read-only, and the merge back into the cache is by index —
+        // deterministic regardless of which worker produced which chunk.
+        // `pending` is only ever populated when a pool exists (the
+        // split_threshold gate above).
+        self.stats.last_intra_splits = 0;
+        if let Some(pool) = &self.pool {
+            for i in 0..n {
+                let Some((plan, prepared)) = pending[i].lock().take() else { continue };
+                self.stats.last_intra_splits += 1;
+                let (sets, workers) = extract_chunked(pool, &prepared);
+                if workers >= 2 {
+                    self.stats.intra_pattern_splits += 1;
+                }
+                let mut st = slots[i].state.lock();
+                st.apply_sets(&plan, sets);
+                *fresh[i].lock() = Some(st.serve());
+            }
         }
 
         self.stats.batches += 1;

@@ -18,12 +18,14 @@ use std::time::Instant;
 use gpm_core::result::{rank_top_k, AnswerDiff, DivResult, RankedMatch, RunStats, TopKResult};
 use gpm_core::topk_div::greedy_diversified;
 use gpm_graph::dynamic::DynGraph;
-use gpm_graph::{AppliedDelta, DeltaOp, EffectiveOp, GraphDelta, Label, NodeId, TOMBSTONE_LABEL};
+use gpm_graph::{
+    AppliedDelta, BitSet, DeltaOp, EffectiveOp, GraphDelta, Label, NodeId, TOMBSTONE_LABEL,
+};
 use gpm_pattern::Pattern;
 use gpm_ranking::objective::{c_uo_with, Objective};
-use gpm_ranking::RelevanceCache;
+use gpm_ranking::{ReachEngine, ReachExtractor, RelevanceCache};
 use gpm_simulation::incremental::DynPair;
-use gpm_simulation::IncSimState;
+use gpm_simulation::{DynMatchGraph, IncSimState};
 
 use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
 
@@ -147,7 +149,8 @@ impl PatternState {
             attr_keys,
             served: Vec::new(),
         };
-        state.rebuild_cache(g);
+        let plan = state.full_plan(g);
+        state.materialize(g, &plan);
         state.sim.take_dirty();
         state.served = state.top_k().matches;
         Ok(state)
@@ -232,13 +235,14 @@ impl PatternState {
         }
     }
 
-    /// Discards the materialized state and re-derives it from the current
-    /// contents of `g` (the past-the-churn-threshold fallback).
-    pub(crate) fn rebuild(&mut self, g: &DynGraph) {
+    /// Discards the materialized simulation and re-derives it from the
+    /// current contents of `g` (the past-the-churn-threshold fallback),
+    /// returning the full-cache [`RefreshPlan`] the caller materializes.
+    pub(crate) fn rebuild(&mut self, g: &DynGraph) -> RefreshPlan {
         self.sim = IncSimState::new(g, &self.pattern).expect("pattern validated at construction");
-        self.rebuild_cache(g);
         self.sim.take_dirty();
         self.stats.full_rebuilds += 1;
+        self.full_plan(g)
     }
 
     /// Post-batch bookkeeping for a pattern the shared index proved the
@@ -258,12 +262,22 @@ impl PatternState {
         self.stats.last_dirty_outputs = 0;
     }
 
-    /// Post-batch ranking maintenance: derives the dirty seeds from the
-    /// simulation flips and the changed data edges, sweeps backward to the
-    /// affected output matches, and re-derives only those relevant sets
-    /// (or, past the dirtiness threshold, all of them). `g` must already
+    /// Post-batch ranking maintenance: plan + materialize in one go (the
+    /// sequential path — `DynamicMatcher`, or registry patterns whose
+    /// dirty set is too small to split across the pool). `g` must already
     /// be in the post-batch state described by `applied`.
     pub(crate) fn refresh_ranking(&mut self, g: &DynGraph, applied: &AppliedDelta) {
+        let plan = self.plan_refresh(g, applied);
+        self.materialize(g, &plan);
+    }
+
+    /// Derives the dirty seeds from the simulation flips and the changed
+    /// data edges, sweeps backward to the affected output matches, and
+    /// returns the [`RefreshPlan`] naming the relevant sets to re-derive
+    /// (or, past the dirtiness threshold, all of them). Output matches
+    /// that died are dropped from the cache here; the plan holds only
+    /// alive ones.
+    pub(crate) fn plan_refresh(&mut self, g: &DynGraph, applied: &AppliedDelta) -> RefreshPlan {
         // Seeds of the dirtiness sweep: every alive-flip, plus the source
         // pairs of every changed data edge (an edge between two alive pairs
         // changes match-graph reachability without flipping anybody).
@@ -292,7 +306,7 @@ impl PatternState {
             self.stats.incremental_applies += 1;
             self.stats.last_swept_pairs = 0;
             self.stats.last_dirty_outputs = 0;
-            return;
+            return RefreshPlan::default();
         }
 
         // Backward sweep: every valid candidate pair that can reach a seed
@@ -326,25 +340,25 @@ impl PatternState {
         if overflow {
             // The affected region is most of the graph: rebuild the whole
             // cache (simulation stays incremental — it already converged).
-            self.rebuild_cache(g);
             self.stats.full_rank_refreshes += 1;
-            return;
+            return self.full_plan(g);
         }
 
-        // Partial refresh: re-derive only the affected output matches.
-        let dirty_outputs: Vec<NodeId> =
+        // Partial refresh: only the affected output matches need work.
+        let mut dirty_outputs: Vec<NodeId> =
             visited.iter().filter(|&&(u, _)| u == uo).map(|&(_, v)| v).collect();
+        dirty_outputs.sort_unstable();
         self.stats.last_dirty_outputs = dirty_outputs.len();
+        let mut outputs = Vec::with_capacity(dirty_outputs.len());
         for v in dirty_outputs {
             if self.sim.pair_alive(uo, v) {
-                let set = self.relevant_set_bfs(g, v);
-                self.cache.upsert(v, set);
-                self.stats.sets_recomputed += 1;
+                outputs.push(v);
             } else {
                 self.cache.remove(v);
             }
         }
         self.stats.incremental_applies += 1;
+        RefreshPlan { outputs }
     }
 
     /// The current top-k by relevance.
@@ -444,11 +458,75 @@ impl PatternState {
 
     // ---------------------------------------------------------- internals
 
+    /// Resets the cache and plans a re-derivation of **every** structural
+    /// output match (fresh registration, churn rebuild, sweep overflow).
+    fn full_plan(&mut self, g: &DynGraph) -> RefreshPlan {
+        self.cache = RelevanceCache::new(g.node_count());
+        RefreshPlan { outputs: self.sim.structural_matches_of(self.pattern.output()) }
+    }
+
+    /// Phase 1 of the shared reach engine over the current graph: builds
+    /// the alive-pair view **once** and condenses it — the work every
+    /// planned output amortizes, however many there are. Extraction
+    /// (phase 2) is read-only, so the returned value can be fanned out
+    /// across worker threads.
+    pub(crate) fn prepare_sets(&self, g: &DynGraph, plan: &RefreshPlan) -> PreparedSets {
+        let q = &self.pattern;
+        let uo = q.output();
+        let view = DynMatchGraph::over_alive(g, q, &self.sim, self.cache.width());
+        let sources: Vec<u32> = plan
+            .outputs
+            .iter()
+            .map(|&v| view.compact_of(uo, v).expect("planned outputs are alive"))
+            .collect();
+        PreparedSets { engine: ReachEngine::prepare(view, sources, &self.cfg.reach) }
+    }
+
+    /// Stores the extracted relevant sets under the plan's outputs — the
+    /// deterministic merge step (`sets[i]` belongs to `plan.outputs[i]`,
+    /// whatever thread produced it).
+    pub(crate) fn apply_sets(&mut self, plan: &RefreshPlan, sets: Vec<BitSet>) {
+        debug_assert_eq!(plan.outputs.len(), sets.len());
+        for (&v, set) in plan.outputs.iter().zip(sets) {
+            self.cache.upsert_bits(v, set);
+            self.stats.sets_recomputed += 1;
+        }
+    }
+
+    /// Materializes a plan with the configured fallback parallelism:
+    /// prepare once, extract every output (scoped threads in BFS-fallback
+    /// mode per `reach.threads`), merge. For standalone owners
+    /// (`DynamicMatcher`, registration) — registry pool workers call
+    /// [`Self::materialize_seq`] instead.
+    pub(crate) fn materialize(&mut self, g: &DynGraph, plan: &RefreshPlan) {
+        self.materialize_threads(g, plan, self.cfg.reach.threads);
+    }
+
+    /// As [`Self::materialize`] pinned to the calling thread — the form a
+    /// registry pool worker uses, where spawning scoped threads would
+    /// reintroduce the per-batch thread churn the persistent pool exists
+    /// to avoid (big dirty sets go through the pool split instead).
+    pub(crate) fn materialize_seq(&mut self, g: &DynGraph, plan: &RefreshPlan) {
+        self.materialize_threads(g, plan, 1);
+    }
+
+    fn materialize_threads(&mut self, g: &DynGraph, plan: &RefreshPlan, threads: usize) {
+        if plan.outputs.is_empty() {
+            return;
+        }
+        let prepared = self.prepare_sets(g, plan);
+        let sets = prepared.engine.extract_all(threads);
+        self.apply_sets(plan, sets);
+    }
+
     /// Relevant set of output match `v` by forward BFS over the alive
     /// match graph (adjacency derived on the fly from the dynamic graph
-    /// and the simulation state). Strict reachability: seeded from the
-    /// pair's successors, so `v` itself only enters through a cycle.
-    fn relevant_set_bfs(&self, g: &DynGraph, v: NodeId) -> Vec<usize> {
+    /// and the simulation state) — the pre-DP derivation, kept **only**
+    /// as a differential oracle for the shared reach engine. Strict
+    /// reachability: seeded from the pair's successors, so `v` itself
+    /// only enters through a cycle.
+    #[cfg(test)]
+    pub(crate) fn relevant_set_bfs(&self, g: &DynGraph, v: NodeId) -> Vec<usize> {
         let q = &self.pattern;
         let uo = q.output();
         let mut visited: HashSet<DynPair> = HashSet::new();
@@ -477,14 +555,222 @@ impl PatternState {
         out
     }
 
-    /// Recomputes every output match's relevant set.
-    fn rebuild_cache(&mut self, g: &DynGraph) {
-        self.cache = RelevanceCache::new(g.node_count());
-        let q = &self.pattern;
-        for v in self.sim.structural_matches_of(q.output()) {
-            let set = self.relevant_set_bfs(g, v);
-            self.cache.upsert(v, set);
-            self.stats.sets_recomputed += 1;
+    /// Test access to the cache (the DP ≡ BFS oracle reads it).
+    #[cfg(test)]
+    pub(crate) fn cache(&self) -> &RelevanceCache {
+        &self.cache
+    }
+
+    /// Test access to the simulation state.
+    #[cfg(test)]
+    pub(crate) fn sim(&self) -> &IncSimState {
+        &self.sim
+    }
+}
+
+/// Which output matches a batch left needing fresh relevant sets —
+/// produced by [`PatternState::plan_refresh`] / [`PatternState::rebuild`],
+/// consumed by [`PatternState::materialize`] (sequential) or the
+/// registry's intra-pattern split (parallel extraction).
+#[derive(Debug, Default)]
+pub(crate) struct RefreshPlan {
+    /// Alive output matches to (re)derive, ascending.
+    outputs: Vec<NodeId>,
+}
+
+impl RefreshPlan {
+    /// Number of sets to materialize.
+    pub(crate) fn len(&self) -> usize {
+        self.outputs.len()
+    }
+}
+
+/// A reach-engine phase 1 ready for extraction: the alive-pair view plus
+/// the condensation DP's retained component bitsets (or the BFS-fallback
+/// decision). Extraction is `&self` and thread-safe.
+pub(crate) struct PreparedSets {
+    engine: ReachEngine<DynMatchGraph>,
+}
+
+impl PreparedSets {
+    /// Number of planned outputs.
+    pub(crate) fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// A per-thread extraction handle over this prepared computation
+    /// (shares the engine's retained sets read-only; owns BFS scratch).
+    pub(crate) fn extractor(&self) -> ReachExtractor<'_, DynMatchGraph> {
+        self.engine.extractor()
+    }
+
+    /// `true` when fanning this extraction across pool workers can pay:
+    /// per-source BFS (the budget fallback) is always a real traversal
+    /// per output, while DP extraction is a bitset clone per output —
+    /// worth a pool barrier only at real memcpy volume.
+    pub(crate) fn split_worthwhile(&self) -> bool {
+        if !self.engine.used_dp() {
+            return true;
+        }
+        /// Total bytes of DP extraction below which the barrier costs
+        /// more than parallel memcpy saves.
+        const MIN_DP_SPLIT_BYTES: usize = 4 << 20;
+        self.engine.len().saturating_mul(self.engine.universe_size().div_ceil(8))
+            >= MIN_DP_SPLIT_BYTES
+    }
+
+    /// `true` when the condensation DP ran (vs. the budget-forced BFS).
+    #[cfg(test)]
+    pub(crate) fn used_dp(&self) -> bool {
+        self.engine.used_dp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DynamicMatcher;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_graph::DiGraph;
+    use gpm_pattern::builder::label_pattern;
+    use gpm_ranking::ReachConfig;
+    use proptest::prelude::*;
+
+    /// The oracle: every cached relevant set must equal the pre-DP
+    /// per-source BFS derivation, and the cache must hold exactly the
+    /// structural output matches.
+    fn assert_cache_matches_bfs(m: &DynamicMatcher) {
+        let st = m.state();
+        let g = m.graph();
+        let uo = st.pattern().output();
+        let expect = st.sim().structural_matches_of(uo);
+        assert_eq!(st.cache().matches(), expect, "cached matches != structural matches");
+        for v in expect {
+            let bfs = st.relevant_set_bfs(g, v);
+            let dp: Vec<usize> = st.cache().set_of(v).expect("cached").iter().collect();
+            assert_eq!(dp, bfs, "relevant set of output match {v}");
+        }
+    }
+
+    /// Raw op codes decoded into a `GraphDelta` against the current graph
+    /// (the root property harness's scheme: 0..6 edges, 6..8 nodes).
+    fn decode(g: &DynGraph, ops: &[(u8, u32, u32)]) -> GraphDelta {
+        let mut delta = GraphDelta::new();
+        let n = g.node_count() as u32;
+        for &(code, a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            if code % 2 == 0 {
+                if code >= 6 {
+                    delta = delta.add_node(a % 3);
+                } else if a != b {
+                    delta = delta.add_edge(a, b);
+                }
+            } else if code >= 6 {
+                delta = delta.remove_node(a);
+            } else {
+                let t = g.successors(a).nth(b as usize % g.out_degree(a).max(1));
+                delta = delta.remove_edge(a, t.unwrap_or(b));
+            }
+        }
+        delta
+    }
+
+    fn run_stream(
+        g: &DiGraph,
+        q: gpm_pattern::Pattern,
+        cfg: IncrementalConfig,
+        batches: &[Vec<(u8, u32, u32)>],
+    ) -> DynamicMatcher {
+        let mut m = DynamicMatcher::new(g, q, cfg).expect("supported pattern");
+        assert_cache_matches_bfs(&m);
+        for raw in batches {
+            let delta = decode(m.graph(), raw);
+            m.apply(&delta).expect("decoded deltas are valid");
+            assert_cache_matches_bfs(&m);
+        }
+        m
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // DP-derived relevant sets ≡ the old BFS derivation, after every
+        // batch of a generated update stream — the shared reach engine
+        // must be a drop-in for the per-output BFS it replaced.
+        #[test]
+        fn dp_relevant_sets_equal_bfs_oracle(
+            (labels, edges) in (4usize..16).prop_flat_map(|n| (
+                proptest::collection::vec(0u32..3, n),
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2),
+            )),
+            (plabels, pextra) in (1usize..4).prop_flat_map(|k| (
+                proptest::collection::vec(0u32..3, k),
+                proptest::collection::vec((0u32..k as u32, 0u32..k as u32), 0..k),
+            )),
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0u8..8, 0u32..64, 0u32..64), 1..5), 1..7),
+        ) {
+            let g = graph_from_parts(&labels, &edges).unwrap();
+            let mut pedges: Vec<(u32, u32)> = (1..plabels.len() as u32).map(|i| (i - 1, i)).collect();
+            pedges.extend(pextra.into_iter().filter(|(a, b)| a != b));
+            pedges.sort_unstable();
+            pedges.dedup();
+            let q = label_pattern(&plabels, &pedges, 0).unwrap();
+            run_stream(&g, q, IncrementalConfig::new(4), &batches);
+        }
+
+        // The same property with the reach budget forced to zero: every
+        // materialization takes the BFS-fallback path through the dynamic
+        // view, and the answers must not move.
+        #[test]
+        fn budget_fallback_matches_dp(
+            (labels, edges) in (4usize..14).prop_flat_map(|n| (
+                proptest::collection::vec(0u32..3, n),
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2),
+            )),
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0u8..8, 0u32..64, 0u32..64), 1..5), 1..5),
+        ) {
+            let g = graph_from_parts(&labels, &edges).unwrap();
+            let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)], 0).unwrap();
+            let mut starved = IncrementalConfig::new(4);
+            starved.reach = ReachConfig { budget_bytes: 0, threads: 1 };
+            let a = run_stream(&g, q.clone(), starved, &batches);
+            let b = run_stream(&g, q, IncrementalConfig::new(4), &batches);
+            prop_assert_eq!(a.top_k().nodes(), b.top_k().nodes());
+        }
+    }
+
+    /// The budget fallback really flips the engine mode when driven
+    /// through the dynamic view (not just through the static adapter).
+    #[test]
+    fn zero_budget_forces_bfs_extraction_through_dynamic_view() {
+        let g = graph_from_parts(&[0, 1, 2, 0, 0], &[(0, 1), (1, 2), (3, 1), (4, 1)]).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+
+        let mut starved = IncrementalConfig::new(3);
+        starved.reach = ReachConfig { budget_bytes: 0, threads: 1 };
+        let dyn_g = DynGraph::from_digraph(&g);
+        let dp = PatternState::new(&dyn_g, q.clone(), IncrementalConfig::new(3)).unwrap();
+        let bfs = PatternState::new(&dyn_g, q, starved).unwrap();
+
+        let plan = RefreshPlan { outputs: dp.sim().structural_matches_of(0) };
+        assert_eq!(plan.len(), 3);
+        let dp_prepared = dp.prepare_sets(&dyn_g, &plan);
+        let bfs_prepared = bfs.prepare_sets(&dyn_g, &plan);
+        assert!(dp_prepared.used_dp());
+        assert!(!bfs_prepared.used_dp(), "zero budget must force BFS extraction");
+        let mut dp_ex = dp_prepared.extractor();
+        let mut bfs_ex = bfs_prepared.extractor();
+        for i in 0..plan.len() {
+            assert_eq!(dp_ex.extract(i), bfs_ex.extract(i), "source {i}");
+        }
+        // And the two states converged on identical cached sets: every
+        // root reaches {1, 2} whichever engine mode derived it.
+        assert_eq!(dp.cache().matches(), bfs.cache().matches());
+        for v in dp.cache().matches() {
+            assert_eq!(dp.cache().set_of(v), bfs.cache().set_of(v));
+            assert_eq!(dp.cache().relevance_of(v), Some(2));
         }
     }
 }

@@ -241,3 +241,62 @@ fn invalid_delta_leaves_every_pattern_intact() {
     assert_eq!(after.nodes(), before.nodes());
     assert_eq!(reg.stats_of(id).unwrap().applies, 0);
 }
+
+/// A single giant pattern's refresh is split across pool workers: one
+/// changed edge dirties every output at once, the registry chunks the
+/// extraction into per-worker output ranges (`last_intra_splits`), ≥ 2
+/// distinct workers are observed claiming chunks (`intra_pattern_splits`),
+/// and the answer stays bit-identical to a static recompute — the merge
+/// is by output index, never by thread arrival order.
+///
+/// The workload makes per-chunk extraction genuinely heavy (a cyclic
+/// pattern over one big data cycle, reach budget forced to the BFS
+/// fallback) so the pool's dynamic chunk claiming reliably overlaps;
+/// the apply is retried a few times to keep the observation robust on a
+/// loaded machine.
+#[test]
+fn giant_pattern_refresh_splits_across_workers() {
+    // One 1500-node cycle alternating labels a/b: with the cyclic pattern
+    // A ⇄ B every pair is alive and every relevant set is the whole
+    // cycle, so each of the 750 outputs costs a real BFS to re-derive.
+    let n = 1500u32;
+    let labels: Vec<u32> = (0..n).map(|i| i % 2).collect();
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let g = graph_from_parts(&labels, &edges).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1), (1, 0)], 0).unwrap();
+
+    let mut cfg = forced(8);
+    cfg.reach = gpm_ranking::ReachConfig { budget_bytes: 0, threads: 1 };
+    let mut reg = PatternRegistry::with_threads(&g, 4);
+    assert_eq!(reg.threads(), 4);
+    let id = reg.register(q.clone(), cfg).unwrap();
+
+    // Toggling one cycle edge kills everything, then revives everything:
+    // the revival batch leaves all 750 outputs dirty and alive.
+    for _round in 0..6 {
+        reg.apply(&GraphDelta::new().remove_edge(0, 1)).unwrap();
+        reg.apply(&GraphDelta::new().add_edge(0, 1)).unwrap();
+        assert_eq!(reg.stats().last_rebuilds, 0, "forced incremental never rebuilds");
+        assert_eq!(reg.stats().last_intra_splits, 1, "revival chunked across the pool");
+        if reg.stats().intra_pattern_splits >= 1 {
+            break;
+        }
+    }
+    assert!(
+        reg.stats().intra_pattern_splits >= 1,
+        "≥ 2 distinct workers must have claimed chunks: {:?}",
+        reg.stats()
+    );
+
+    let top = reg.top_k(id).unwrap();
+    let base = top_k_by_match(&reg.snapshot(), &q, &TopKConfig::new(8));
+    assert_eq!(top.matches, base.matches, "relevances survive the parallel merge");
+
+    // Single-threaded registries never split (and never claim to).
+    let mut seq = PatternRegistry::with_threads(&g, 1);
+    seq.register(q, forced(8)).unwrap();
+    seq.apply(&GraphDelta::new().remove_edge(0, 1)).unwrap();
+    seq.apply(&GraphDelta::new().add_edge(0, 1)).unwrap();
+    assert_eq!(seq.stats().intra_pattern_splits, 0);
+    assert_eq!(seq.stats().last_intra_splits, 0);
+}

@@ -77,6 +77,19 @@ impl RelevanceCache {
         self.sets.insert(v, CachedSet { bits, delta_r });
     }
 
+    /// Inserts or replaces the relevant set of `v` from an already-built
+    /// bitset — the zero-copy path the shared reach engine feeds (its DP
+    /// emits node-id bitsets at exactly this cache's width, so no
+    /// round-trip through a sorted id list is needed). A set built at a
+    /// stale width is migrated bit by bit instead of stored.
+    pub fn upsert_bits(&mut self, v: NodeId, bits: BitSet) {
+        if bits.capacity() != self.width {
+            return self.upsert(v, &bits);
+        }
+        let delta_r = bits.count() as u64;
+        self.sets.insert(v, CachedSet { bits, delta_r });
+    }
+
     /// Drops the entry of `v` (the match disappeared).
     pub fn remove(&mut self, v: NodeId) -> bool {
         self.sets.remove(&v).is_some()

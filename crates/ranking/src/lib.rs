@@ -37,5 +37,6 @@ pub use bounds::{output_upper_bounds, BoundStrategy, OutputBounds};
 pub use cache::RelevanceCache;
 pub use distance::{DistanceFn, JaccardDistance, MatchInfo, NeighborhoodDiversity};
 pub use objective::{c_uo, Objective};
+pub use reach_sets::{ReachConfig, ReachEngine, ReachExtractor};
 pub use relevance::{RelevanceCtx, RelevanceFn, RelevantSetSize};
 pub use relevant_set::{relevant_set_of_pair, RelevantSets};

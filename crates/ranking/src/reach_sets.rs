@@ -1,28 +1,39 @@
-//! Strict-reachability data-node sets over a pair graph.
+//! Strict-reachability data-node sets over a pair graph — the repo's
+//! **single reach engine**, shared by the static and the dynamic path.
 //!
-//! Both relevant sets (`R(u,v)`, over the match graph) and the tight bound
-//! index (`v.h`, over the candidate product graph) are instances of one
-//! problem: *for each source pair, collect the distinct data nodes of all
-//! pairs reachable via at least one edge*. This module solves it once:
+//! Relevant sets (`R(u,v)`, over the match graph), the tight bound index
+//! (`v.h`, over the candidate product graph) and the dynamic path's dirty
+//! relevant-set refreshes are all instances of one problem: *for each
+//! source pair, collect the distinct data nodes of all pairs reachable
+//! via at least one edge*. This module solves it once, over any
+//! [`ReachView`] (the static `MatchGraph` + `CandidateSpace` pair, or the
+//! dynamic `DynMatchGraph` over alive pairs), in two phases:
 //!
-//! 1. condense the pair graph (Tarjan, component ids in reverse topological
-//!    order);
-//! 2. walk the condensation bottom-up, materializing for each needed
-//!    component the bitset `Full(c)` = data nodes of `c`'s members ∪
-//!    `Full` of successors;
-//! 3. a source pair in a *nontrivial* component (on a cycle) gets
-//!    `R = Full(c)`; in a trivial component it gets the union of successor
-//!    `Full`s — the strictness of "via ≥ 1 edge";
-//! 4. bitsets are reference-counted by remaining needed predecessors and
-//!    freed eagerly.
+//! 1. **prepare** ([`ReachEngine::prepare`]) — condense the pair graph
+//!    (Tarjan, component ids in reverse topological order), walk the
+//!    condensation bottom-up materializing for each needed component the
+//!    bitset `Full(c)` = data nodes of `c`'s members ∪ `Full` of
+//!    successors; bitsets are reference-counted by remaining needed
+//!    predecessors and freed eagerly, except those extraction needs.
+//!    A source pair in a *nontrivial* component (on a cycle) reads
+//!    `R = Full(c)`; in a trivial one, the union of successor `Full`s —
+//!    the strictness of "via ≥ 1 edge".
+//! 2. **extract** ([`ReachEngine::extract`]) — clone out the retained set
+//!    of any one source. Extraction is read-only and thread-safe, so
+//!    callers can fan a large dirty set out across worker threads
+//!    (per-worker source ranges, deterministic merge by index) — the
+//!    condensation and the component bitsets are shared, never repeated.
 //!
-//! If the estimated peak memory exceeds the budget, the module falls back to
-//! per-source BFS over the pair graph, parallelized with crossbeam — the
-//! same `O(|V|(|V|+|E|))` worst case the paper quotes, just with a smaller
-//! constant memory footprint.
+//! If the estimated peak memory exceeds the budget, the engine degrades
+//! to per-source BFS over the pair graph — the same `O(|V|(|V|+|E|))`
+//! worst case the paper quotes with a bounded memory footprint —
+//! behind the **same** extraction interface, so callers parallelize both
+//! modes identically.
+
+use std::collections::{HashMap, VecDeque};
 
 use gpm_graph::{BitSet, Condensation};
-use gpm_simulation::{CandidateSpace, MatchGraph};
+use gpm_simulation::{CandidateSpace, MatchGraph, ReachView};
 
 /// Memory / execution policy for set-reachability computations.
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +41,10 @@ pub struct ReachConfig {
     /// Peak bytes allowed for materialized component bitsets before the
     /// computation falls back to per-source BFS.
     pub budget_bytes: usize,
-    /// Threads for the BFS fallback (0 = available parallelism).
+    /// Threads for batch extraction in BFS-fallback mode (0 = available
+    /// parallelism). DP extraction stays sequential here; callers that
+    /// want parallel DP extraction drive [`ReachEngine::extract`] from
+    /// their own workers.
     pub threads: usize,
 }
 
@@ -40,109 +54,299 @@ impl Default for ReachConfig {
     }
 }
 
-/// For every source pair (compact id in `mg`), the set of universe positions
-/// of data nodes of pairs strictly reachable from it.
+enum Mode {
+    /// Condensation DP ran: per-source-component output sets, retained.
+    Dp {
+        /// Deduplicated output sets, one per distinct source component.
+        sets: Vec<BitSet>,
+        /// Per source: index into `sets`.
+        of_source: Vec<u32>,
+    },
+    /// Budget exceeded: extraction BFSes from each source on demand.
+    Bfs,
+}
+
+/// A prepared strict-reachability computation over a fixed source list.
+/// See the module docs for the two-phase contract.
+pub struct ReachEngine<V> {
+    view: V,
+    sources: Vec<u32>,
+    m: usize,
+    mode: Mode,
+}
+
+impl<V: ReachView> ReachEngine<V> {
+    /// Runs phase 1 over `view`: condensation + component bitsets (or the
+    /// BFS decision when the budget would be exceeded). `view` is kept for
+    /// extraction; pass a reference to borrow.
+    pub fn prepare(view: V, sources: Vec<u32>, cfg: &ReachConfig) -> Self {
+        let m = view.universe_size();
+        if sources.is_empty() {
+            return ReachEngine {
+                view,
+                sources,
+                m,
+                mode: Mode::Dp { sets: Vec::new(), of_source: Vec::new() },
+            };
+        }
+        // Cheap bail-out: the DP retains at least one universe-wide
+        // bitset, so a budget below that can skip the condensation the
+        // full estimate would need — the fallback must not pay an
+        // O(V+E) Tarjan pass just to learn it is the fallback.
+        let words = m.div_ceil(64);
+        if words * 8 > cfg.budget_bytes {
+            return ReachEngine { view, sources, m, mode: Mode::Bfs };
+        }
+        let cond = Condensation::compute(&view);
+        let nc = cond.component_count();
+
+        // Which components feed the sources? Forward reachability over the
+        // condensation from the sources' components.
+        let mut needed = vec![false; nc];
+        let mut stack: Vec<u32> = Vec::new();
+        for &s in &sources {
+            let c = cond.component_of(s);
+            if !needed[c as usize] {
+                needed[c as usize] = true;
+                stack.push(c);
+            }
+        }
+        while let Some(c) = stack.pop() {
+            for &sc in cond.comp_successors(c) {
+                if !needed[sc as usize] {
+                    needed[sc as usize] = true;
+                    stack.push(sc);
+                }
+            }
+        }
+        let needed_count = needed.iter().filter(|&&n| n).count();
+
+        // Sources grouped by component; trivial source components retain
+        // one extra bitset (their strict set excludes their own member).
+        let mut has_sources = vec![false; nc];
+        let mut trivial_src = 0usize;
+        for &s in &sources {
+            let c = cond.component_of(s) as usize;
+            if !has_sources[c] {
+                has_sources[c] = true;
+                if !cond.is_nontrivial(c as u32) {
+                    trivial_src += 1;
+                }
+            }
+        }
+
+        // Budget check: worst case keeps every needed component's bitset
+        // alive, plus the trivial source components' strict sets.
+        let estimated = (needed_count + trivial_src).saturating_mul(words * 8);
+        if estimated > cfg.budget_bytes {
+            return ReachEngine { view, sources, m, mode: Mode::Bfs };
+        }
+
+        // Reference counts: how many needed predecessors still want Full(c).
+        let mut pending_preds = vec![0u32; nc];
+        for c in 0..nc as u32 {
+            if !needed[c as usize] {
+                continue;
+            }
+            for &sc in cond.comp_successors(c) {
+                pending_preds[sc as usize] += 1;
+            }
+        }
+
+        let mut full: Vec<Option<BitSet>> = (0..nc).map(|_| None).collect();
+        // Strict sets of trivial source components (succ-union, member
+        // excluded), keyed by component.
+        let mut trivial_out: HashMap<u32, BitSet> = HashMap::new();
+
+        // Component ids ascend in reverse topological order: successors
+        // first. Retention rule: a component's Full stays alive while a
+        // needed predecessor still wants it, or when extraction will read
+        // it (nontrivial + contains sources).
+        for c in cond.reverse_topological() {
+            if !needed[c as usize] {
+                continue;
+            }
+            // Union of successors' Full.
+            let mut succ_union = BitSet::new(m);
+            for &sc in cond.comp_successors(c) {
+                let f = full[sc as usize].as_ref().expect("successor processed before predecessor");
+                succ_union.union_with(f);
+                pending_preds[sc as usize] -= 1;
+                if pending_preds[sc as usize] == 0
+                    && !(has_sources[sc as usize] && cond.is_nontrivial(sc))
+                {
+                    full[sc as usize] = None;
+                }
+            }
+            let nontrivial = cond.is_nontrivial(c);
+            if !nontrivial && has_sources[c as usize] {
+                // Trivial component: strict reachability excludes the pair
+                // itself — retain the successor union before members join.
+                trivial_out.insert(c, succ_union.clone());
+            }
+            // Full(c) = member data nodes ∪ successor union.
+            let mut f = succ_union;
+            for &pair in cond.members(c) {
+                f.insert(view.universe_pos(pair));
+            }
+            if pending_preds[c as usize] > 0 || (has_sources[c as usize] && nontrivial) {
+                full[c as usize] = Some(f);
+            }
+        }
+
+        // Per-source extraction table: one retained set per distinct
+        // source component, shared by all its sources.
+        let mut sets: Vec<BitSet> = Vec::new();
+        let mut set_of_comp: HashMap<u32, u32> = HashMap::new();
+        let mut of_source: Vec<u32> = Vec::with_capacity(sources.len());
+        for &s in &sources {
+            let c = cond.component_of(s);
+            let idx = *set_of_comp.entry(c).or_insert_with(|| {
+                let set = if cond.is_nontrivial(c) {
+                    full[c as usize].take().expect("retained for extraction")
+                } else {
+                    trivial_out.remove(&c).expect("retained for extraction")
+                };
+                sets.push(set);
+                (sets.len() - 1) as u32
+            });
+            of_source.push(idx);
+        }
+        ReachEngine { view, sources, m, mode: Mode::Dp { sets, of_source } }
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// `true` when there is no source.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// `true` when the condensation DP ran; `false` when the memory budget
+    /// forced BFS extraction.
+    pub fn used_dp(&self) -> bool {
+        matches!(self.mode, Mode::Dp { .. })
+    }
+
+    /// Universe width of the extracted bitsets.
+    pub fn universe_size(&self) -> usize {
+        self.m
+    }
+
+    /// Phase 2, one-shot: the strict-reachability set of source `i` as a
+    /// fresh bitset. For extracting many sources from one thread, make a
+    /// [`Self::extractor`] instead — it reuses BFS scratch across calls.
+    pub fn extract(&self, i: usize) -> BitSet {
+        self.extractor().extract(i)
+    }
+
+    /// A per-thread extraction handle carrying reusable scratch (visited
+    /// bitset + queue for the BFS-fallback mode; nothing in DP mode).
+    /// Make one per worker/chunk and pull many sources through it — the
+    /// fallback runs exactly when memory is tight, so it must not churn
+    /// an `O(pairs)`-bit allocation per source.
+    pub fn extractor(&self) -> ReachExtractor<'_, V> {
+        let scratch_bits = match self.mode {
+            Mode::Dp { .. } => 0,
+            Mode::Bfs => self.view.node_count(),
+        };
+        ReachExtractor { engine: self, visited: BitSet::new(scratch_bits), queue: VecDeque::new() }
+    }
+
+    /// Extracts every source, honoring `threads` in BFS mode (DP
+    /// extraction is cheap clones and stays sequential).
+    pub fn extract_all(&self, threads: usize) -> Vec<BitSet> {
+        let n = self.sources.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = match self.mode {
+            Mode::Dp { .. } => 1,
+            Mode::Bfs => if threads == 0 {
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            } else {
+                threads
+            }
+            .min(n),
+        };
+        if threads <= 1 {
+            let mut ex = self.extractor();
+            return (0..n).map(|i| ex.extract(i)).collect();
+        }
+        let mut out: Vec<BitSet> = (0..n).map(|_| BitSet::new(self.m)).collect();
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let mut ex = self.extractor();
+                    for (j, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = ex.extract(ci * chunk + j);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+/// A per-thread phase-2 handle over a prepared [`ReachEngine`]: shares
+/// the engine's retained sets read-only and owns the BFS scratch, so
+/// extracting a whole chunk of sources costs one scratch allocation.
+pub struct ReachExtractor<'a, V> {
+    engine: &'a ReachEngine<V>,
+    visited: BitSet,
+    queue: VecDeque<u32>,
+}
+
+impl<V: ReachView> ReachExtractor<'_, V> {
+    /// The strict-reachability set of source `i` as a fresh bitset over
+    /// the view's universe.
+    pub fn extract(&mut self, i: usize) -> BitSet {
+        match &self.engine.mode {
+            Mode::Dp { sets, of_source } => sets[of_source[i] as usize].clone(),
+            Mode::Bfs => self.bfs_from(self.engine.sources[i]),
+        }
+    }
+
+    /// Strict reachability from `s` by plain BFS over the pair graph:
+    /// seeded with the successors, so `s` itself only enters via a cycle.
+    fn bfs_from(&mut self, s: u32) -> BitSet {
+        let view = &self.engine.view;
+        let mut set = BitSet::new(self.engine.m);
+        self.visited.clear();
+        self.queue.clear();
+        for &w in view.successors_of(s) {
+            if self.visited.insert(w as usize) {
+                self.queue.push_back(w);
+            }
+        }
+        while let Some(p) = self.queue.pop_front() {
+            set.insert(view.universe_pos(p));
+            for &w in view.successors_of(p) {
+                if self.visited.insert(w as usize) {
+                    self.queue.push_back(w);
+                }
+            }
+        }
+        set
+    }
+}
+
+/// For every source pair (compact id in `mg`), the set of universe
+/// positions of data nodes of pairs strictly reachable from it — the
+/// static-pipeline entry point ([`ReachEngine`] over
+/// [`MatchGraph::reach_view`]).
 pub fn strict_reach_sets(
     mg: &MatchGraph,
     space: &CandidateSpace,
     sources: &[u32],
     cfg: &ReachConfig,
 ) -> Vec<BitSet> {
-    let m = space.universe_size();
-    if sources.is_empty() {
-        return Vec::new();
-    }
-    let cond = Condensation::compute(mg);
-    let nc = cond.component_count();
-
-    // Which components feed the sources? Forward reachability over the
-    // condensation from the sources' components.
-    let mut needed = vec![false; nc];
-    let mut stack: Vec<u32> = Vec::new();
-    for &s in sources {
-        let c = cond.component_of(s);
-        if !needed[c as usize] {
-            needed[c as usize] = true;
-            stack.push(c);
-        }
-    }
-    while let Some(c) = stack.pop() {
-        for &sc in cond.comp_successors(c) {
-            if !needed[sc as usize] {
-                needed[sc as usize] = true;
-                stack.push(sc);
-            }
-        }
-    }
-    let needed_count = needed.iter().filter(|&&n| n).count();
-
-    // Budget check: worst case keeps every needed component's bitset alive.
-    let words = m.div_ceil(64);
-    let estimated = needed_count.saturating_mul(words * 8);
-    if estimated > cfg.budget_bytes {
-        return bfs_fallback(mg, space, sources, cfg);
-    }
-
-    // Sources grouped by component for inline extraction.
-    let mut sources_in: Vec<Vec<usize>> = vec![Vec::new(); nc];
-    for (i, &s) in sources.iter().enumerate() {
-        sources_in[cond.component_of(s) as usize].push(i);
-    }
-
-    // Reference counts: how many needed predecessors still want Full(c).
-    let mut pending_preds = vec![0u32; nc];
-    for c in 0..nc as u32 {
-        if !needed[c as usize] {
-            continue;
-        }
-        for &sc in cond.comp_successors(c) {
-            pending_preds[sc as usize] += 1;
-        }
-    }
-
-    let mut full: Vec<Option<BitSet>> = (0..nc).map(|_| None).collect();
-    let mut out: Vec<BitSet> = (0..sources.len()).map(|_| BitSet::new(m)).collect();
-
-    // Component ids ascend in reverse topological order: successors first.
-    for c in cond.reverse_topological() {
-        if !needed[c as usize] {
-            continue;
-        }
-        // Union of successors' Full.
-        let mut succ_union = BitSet::new(m);
-        for &sc in cond.comp_successors(c) {
-            let f = full[sc as usize].as_ref().expect("successor processed before predecessor");
-            succ_union.union_with(f);
-            // Release the successor once its last pending predecessor is done.
-            pending_preds[sc as usize] -= 1;
-            if pending_preds[sc as usize] == 0 && sources_in[sc as usize].is_empty() {
-                full[sc as usize] = None;
-            }
-        }
-        let nontrivial = cond.is_nontrivial(c);
-        if !nontrivial {
-            // Trivial component: strict reachability excludes the pair itself.
-            for &si in &sources_in[c as usize] {
-                out[si] = succ_union.clone();
-            }
-        }
-        // Full(c) = member data nodes ∪ successor union.
-        let mut f = succ_union;
-        for &pair in cond.members(c) {
-            let v = mg.data_node(pair);
-            let pos = space.universe_pos(v).expect("candidate nodes are in the universe");
-            f.insert(pos as usize);
-        }
-        if nontrivial {
-            for &si in &sources_in[c as usize] {
-                out[si] = f.clone();
-            }
-        }
-        if pending_preds[c as usize] > 0 {
-            full[c as usize] = Some(f);
-        }
-    }
-    out
+    let engine = ReachEngine::prepare(mg.reach_view(space), sources.to_vec(), cfg);
+    engine.extract_all(cfg.threads)
 }
 
 /// Count-only variant (used by the bound index, which never stores the sets).
@@ -153,55 +357,6 @@ pub fn strict_reach_counts(
     cfg: &ReachConfig,
 ) -> Vec<u64> {
     strict_reach_sets(mg, space, sources, cfg).iter().map(|s| s.count() as u64).collect()
-}
-
-/// Per-source BFS fallback: bounded memory, embarrassingly parallel.
-fn bfs_fallback(
-    mg: &MatchGraph,
-    space: &CandidateSpace,
-    sources: &[u32],
-    cfg: &ReachConfig,
-) -> Vec<BitSet> {
-    let m = space.universe_size();
-    let n = mg.len();
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        cfg.threads
-    }
-    .min(sources.len().max(1));
-
-    let mut out: Vec<BitSet> = (0..sources.len()).map(|_| BitSet::new(m)).collect();
-    let chunk = sources.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (src_chunk, out_chunk) in sources.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                let mut visited = BitSet::new(n);
-                let mut queue = std::collections::VecDeque::new();
-                for (&s, set) in src_chunk.iter().zip(out_chunk.iter_mut()) {
-                    visited.clear();
-                    queue.clear();
-                    // Strict reachability: seed with successors.
-                    for &w in mg.successors(s) {
-                        if visited.insert(w as usize) {
-                            queue.push_back(w);
-                        }
-                    }
-                    while let Some(p) = queue.pop_front() {
-                        let pos =
-                            space.universe_pos(mg.data_node(p)).expect("candidates in universe");
-                        set.insert(pos as usize);
-                        for &w in mg.successors(p) {
-                            if visited.insert(w as usize) {
-                                queue.push_back(w);
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    out
 }
 
 #[cfg(test)]
@@ -231,6 +386,35 @@ mod tests {
         for (a, b) in dp.iter().zip(&bfs) {
             assert_eq!(a, b);
         }
+    }
+
+    /// The two-phase engine reports its mode and extracts per source.
+    #[test]
+    fn engine_modes_and_indexed_extraction() {
+        let g =
+            graph_from_parts(&[0, 1, 2, 1, 0], &[(0, 1), (1, 2), (0, 3), (3, 2), (4, 3)]).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        let sources: Vec<u32> = (0..mg.len() as u32).collect();
+        let dp = ReachEngine::prepare(
+            mg.reach_view(sim.space()),
+            sources.clone(),
+            &ReachConfig::default(),
+        );
+        assert!(dp.used_dp());
+        assert_eq!(dp.len(), sources.len());
+        let bfs = ReachEngine::prepare(
+            mg.reach_view(sim.space()),
+            sources.clone(),
+            &ReachConfig { budget_bytes: 0, threads: 1 },
+        );
+        assert!(!bfs.used_dp());
+        for i in 0..sources.len() {
+            assert_eq!(dp.extract(i), bfs.extract(i), "source {i}");
+        }
+        // Out-of-order / repeated extraction is legal (read-only phase 2).
+        assert_eq!(dp.extract(0), dp.extract(0));
     }
 
     /// On a cycle, a pair reaches itself (strictness via nonempty path).

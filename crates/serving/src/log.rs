@@ -34,13 +34,43 @@ pub struct LogEntry {
     pub delta: GraphDelta,
 }
 
+/// Where the last [`DeltaLog::save`] wrote, so the next save can append
+/// just the new suffix instead of rewriting the file wholesale.
+#[derive(Debug)]
+struct SaveCursor {
+    path: std::path::PathBuf,
+    /// The log's base offset when the file was (re)written — a changed
+    /// base (compaction) invalidates the file's prefix.
+    base_seq: u64,
+    /// Newest sequence number the file holds.
+    head_seq: u64,
+}
+
 /// An append-only, replayable sequence of [`GraphDelta`] batches anchored
 /// to a base graph snapshot. See the module docs.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DeltaLog {
     base: DiGraph,
     base_seq: u64,
     entries: Vec<LogEntry>,
+    /// Persistence cursor of the last [`Self::save`] (`None` until the
+    /// first save, and reset by [`Self::compact_to`]).
+    saved: Option<SaveCursor>,
+}
+
+impl Clone for DeltaLog {
+    /// A clone does **not** inherit the persistence cursor: two logical
+    /// writers appending to one file would interleave duplicate suffixes
+    /// (each believing it owns the tail). The clone's first save rewrites
+    /// its target wholesale and owns the file from there.
+    fn clone(&self) -> Self {
+        DeltaLog {
+            base: self.base.clone(),
+            base_seq: self.base_seq,
+            entries: self.entries.clone(),
+            saved: None,
+        }
+    }
 }
 
 impl DeltaLog {
@@ -52,7 +82,7 @@ impl DeltaLog {
     /// A log anchored mid-stream: `base` is the graph state at `base_seq`
     /// (a late joiner's starting snapshot).
     pub fn at_offset(base: &DiGraph, base_seq: u64) -> Self {
-        DeltaLog { base: base.clone(), base_seq, entries: Vec::new() }
+        DeltaLog { base: base.clone(), base_seq, entries: Vec::new(), saved: None }
     }
 
     /// The anchored snapshot (graph state at [`Self::base_seq`]).
@@ -141,6 +171,9 @@ impl DeltaLog {
         self.base_seq = upto;
         // Entries carry absolute seqs, so the suffix needs no re-numbering.
         debug_assert!(self.entries.first().is_none_or(|e| e.seq == self.base_seq + 1));
+        // A persisted file's header and prefix are now stale: the next
+        // save must rewrite wholesale.
+        self.saved = None;
         Ok(())
     }
 
@@ -157,11 +190,7 @@ impl DeltaLog {
         let mut out = serde_json::to_string(&header).expect("stub never fails");
         out.push('\n');
         for entry in &self.entries {
-            let line = Value::Object(vec![
-                ("seq".into(), entry.seq.to_value()),
-                ("ops".into(), entry.delta.ops.to_value()),
-            ]);
-            out.push_str(&serde_json::to_string(&line).expect("stub never fails"));
+            out.push_str(&entry_line(entry));
             out.push('\n');
         }
         out
@@ -204,10 +233,45 @@ impl DeltaLog {
         Ok(log)
     }
 
-    /// Writes the JSON-lines form to a file.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServingError> {
-        std::fs::write(path, self.to_json_lines())
-            .map_err(|e| ServingError::corrupt(format!("write log: {e}")))
+    /// Persists the log to a file — **appending** when it can.
+    ///
+    /// The first save of a path (and any save after [`Self::compact_to`],
+    /// a different path, or an externally deleted file) writes the full
+    /// JSON-lines form. Every later save appends only the entries past
+    /// the last persisted sequence number and fsyncs them — the persist
+    /// cost of a long-lived service is proportional to what changed, not
+    /// to the whole retained history. The file contents are identical to
+    /// a wholesale [`Self::to_json_lines`] either way.
+    pub fn save(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), ServingError> {
+        let path = path.as_ref();
+        let head = self.head_seq();
+        let appendable = self.saved.as_ref().is_some_and(|s| {
+            s.path == path && s.base_seq == self.base_seq && s.head_seq <= head && path.exists()
+        });
+        if appendable {
+            let from = self.saved.as_ref().expect("checked above").head_seq;
+            let mut suffix = String::new();
+            for entry in &self.entries[(from - self.base_seq) as usize..] {
+                suffix.push_str(&entry_line(entry));
+                suffix.push('\n');
+            }
+            if !suffix.is_empty() {
+                if let Err(e) = append_synced(path, suffix.as_bytes()) {
+                    // The file may hold a torn suffix now: drop the cursor
+                    // so a retried save rewrites wholesale instead of
+                    // appending the same entries after the partial ones.
+                    self.saved = None;
+                    return Err(ServingError::corrupt(format!("append log: {e}")));
+                }
+            }
+            self.saved.as_mut().expect("checked above").head_seq = head;
+            return Ok(());
+        }
+        write_synced(path, self.to_json_lines().as_bytes())
+            .map_err(|e| ServingError::corrupt(format!("write log: {e}")))?;
+        self.saved =
+            Some(SaveCursor { path: path.to_path_buf(), base_seq: self.base_seq, head_seq: head });
+        Ok(())
     }
 
     /// Reads a log back from a file.
@@ -216,4 +280,31 @@ impl DeltaLog {
             .map_err(|e| ServingError::corrupt(format!("read log: {e}")))?;
         Self::from_json_lines(&text)
     }
+}
+
+fn append_synced(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// Full rewrite, fsynced like the append path — the base the appends
+/// build on must be no less durable than the appends themselves.
+fn write_synced(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// One entry's JSON line (no trailing newline) — shared by the wholesale
+/// serialization and the appending save so the two always emit identical
+/// bytes.
+fn entry_line(entry: &LogEntry) -> String {
+    let line = Value::Object(vec![
+        ("seq".into(), entry.seq.to_value()),
+        ("ops".into(), entry.delta.ops.to_value()),
+    ]);
+    serde_json::to_string(&line).expect("stub never fails")
 }

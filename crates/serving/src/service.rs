@@ -47,6 +47,10 @@ pub enum ServingError {
     },
     /// No such pattern is registered with the service.
     UnknownPattern(PatternId),
+    /// A handed-off baseline answer does not match this service's graph
+    /// (stale snapshot, or the wrong pattern's answer). The registration
+    /// was rolled back.
+    BaselineMismatch(PatternId),
     /// A serialized log was malformed.
     Corrupt(String),
 }
@@ -69,6 +73,9 @@ impl std::fmt::Display for ServingError {
                 write!(f, "offset {seq} not ingested yet (head is {head})")
             }
             ServingError::UnknownPattern(id) => write!(f, "unknown {id}"),
+            ServingError::BaselineMismatch(id) => {
+                write!(f, "baseline answer does not match the current graph for {id}")
+            }
             ServingError::Corrupt(msg) => write!(f, "corrupt delta log: {msg}"),
         }
     }
@@ -242,6 +249,45 @@ impl AnswerService {
                     matches: initial,
                 }]),
             },
+        );
+        self.attach(id, mode)
+    }
+
+    /// Registers `q` anchored to a **handed-off baseline** — the
+    /// late-joiner / follower path. A fresh [`Self::subscribe`] on a
+    /// mid-stream service records the pattern's first change point at the
+    /// join offset, even though the answer last changed earlier — a
+    /// from-zero service and the joiner would then disagree on the `seq`
+    /// and `version` bookkeeping of [`Self::query_at`] (never on the
+    /// answers). Passing the live service's [`Self::current`] answer here
+    /// seeds the history with the **true** change point, anchored to the
+    /// shared [`DeltaLog`] sequence numbers: `query_at` agrees exactly —
+    /// matches, `seq` and `version` — between the two services, for every
+    /// offset from the baseline's seq on.
+    ///
+    /// The baseline must describe this service's graph: its matches are
+    /// validated against a fresh ranking of the registered pattern, and a
+    /// mismatch rolls the registration back with
+    /// [`ServingError::BaselineMismatch`].
+    pub fn subscribe_with_baseline(
+        &mut self,
+        q: Pattern,
+        cfg: IncrementalConfig,
+        mode: NotifyMode,
+        baseline: VersionedAnswer,
+    ) -> Result<Subscription, ServingError> {
+        if baseline.seq > self.seq() {
+            return Err(ServingError::OffsetInFuture { seq: baseline.seq, head: self.seq() });
+        }
+        let id = self.registry.register(q, cfg)?;
+        let fresh = self.registry.top_k(id).expect("just registered").matches;
+        if fresh != baseline.matches {
+            self.registry.deregister(id);
+            return Err(ServingError::BaselineMismatch(id));
+        }
+        self.patterns.insert(
+            id,
+            PatternEntry { version: baseline.version, history: VecDeque::from([baseline]) },
         );
         self.attach(id, mode)
     }
@@ -441,6 +487,15 @@ impl AnswerService {
     /// Compacts the owned log up to `upto` (see [`DeltaLog::compact_to`]).
     pub fn compact_log(&mut self, upto: u64) -> Result<(), ServingError> {
         self.log.compact_to(upto)
+    }
+
+    /// Persists the owned log to `path` via [`DeltaLog::save`] — the
+    /// checkpoint call a long-lived service makes between ingests. The
+    /// log's persistence cursor lives with the service, so repeated saves
+    /// to the same path append only the batches ingested since the last
+    /// one (wholesale rewrite only after [`Self::compact_log`]).
+    pub fn save_log(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), ServingError> {
+        self.log.save(path)
     }
 }
 

@@ -263,6 +263,42 @@ fn stress_push_equals_pull() {
     run_trials((0.0, 0.2, 0.3), 0x5E4_5003, 30);
 }
 
+/// As [`subscribe_all`], but anchoring each subscription to the live
+/// service's current [`gpm_serving::VersionedAnswer`] — the baseline
+/// handoff a late joiner rides so its `query_at` bookkeeping (change-point
+/// seqs and versions) matches the from-zero service exactly, not just its
+/// answers.
+fn subscribe_all_with_baselines(
+    joiner: &mut AnswerService,
+    live: &AnswerService,
+    patterns: &[(Pattern, usize, f64)],
+    snap: &DiGraph,
+) -> Vec<Tracked> {
+    let mut tracked = Vec::new();
+    for (i, (q, k, lambda)) in patterns.iter().enumerate() {
+        let mode = if i % 2 == 0 { NotifyMode::Relevance } else { NotifyMode::Diversified };
+        // Registration order aligns the two services' pattern ids.
+        let live_id = live.registry().pattern_ids()[i];
+        let baseline = live.current(live_id).unwrap();
+        let sub = joiner
+            .subscribe_with_baseline(
+                q.clone(),
+                IncrementalConfig::new(*k).lambda(*lambda),
+                mode,
+                baseline,
+            )
+            .unwrap();
+        let mut t =
+            Tracked { q: q.clone(), k: *k, lambda: *lambda, sub, prev: Vec::new(), version: 0 };
+        let initial = t.sub.try_recv().expect("initial snapshot queued");
+        assert_eq!(initial.topk, t.static_answer(snap), "initial answer != static (pattern {i})");
+        t.prev = initial.topk.clone();
+        t.version = initial.version;
+        tracked.push(t);
+    }
+    tracked
+}
+
 /// Late joiner: a service built from a mid-stream snapshot at offset `S`
 /// and caught up from the live service's delta log must (a) bootstrap
 /// with the answers the live service holds at its join point and (b)
@@ -295,11 +331,13 @@ fn late_join_replays_from_midstream_offset() {
             }
         }
 
-        // The joiner anchors at the live snapshot + offset and re-subscribes.
+        // The joiner anchors at the live snapshot + offset and re-subscribes
+        // with the live service's versioned answers as baselines, so its
+        // change-point bookkeeping starts at the true log offsets.
         let join_seq = svc.seq();
         let snap = svc.registry().snapshot();
         let mut joiner = AnswerService::at_offset(&snap, join_seq, ServiceConfig::default());
-        let mut joined = subscribe_all(&mut joiner, &patterns, &snap);
+        let mut joined = subscribe_all_with_baselines(&mut joiner, &svc, &patterns, &snap);
         for (t, j) in tracked.iter().zip(&joined) {
             assert_eq!(t.prev, j.prev, "joiner bootstrapped a different answer");
         }
@@ -330,27 +368,73 @@ fn late_join_replays_from_midstream_offset() {
             }
         }
 
-        // Pull-side agreement at every servable offset of the suffix.
+        // Pull-side agreement at every servable offset of the suffix —
+        // **exact** agreement: the baseline handoff anchors the joiner's
+        // change points to the log's true sequence numbers, so `seq` and
+        // `version` match the from-zero bookkeeping too (the PR-4 wart:
+        // a fresh mid-stream subscribe would re-anchor at `join_seq`).
         for (t, j) in tracked.iter().zip(&joined) {
             for seq in join_seq..=svc.seq() {
-                let a = svc.query_at(t.sub.pattern(), seq);
-                let b = joiner.query_at(j.sub.pattern(), seq);
-                match (a, b) {
-                    (Ok(a), Ok(b)) => {
-                        // Answers must agree; the recorded change-point
-                        // offsets need not (the joiner's history starts at
-                        // its join point even when the answer last changed
-                        // earlier).
-                        assert_eq!(a.matches, b.matches, "query_at({seq}) diverged");
-                        assert!(b.seq >= a.seq || b.seq >= join_seq);
-                    }
-                    // The joiner cannot serve offsets before its join
-                    // point's last change; the live service may.
-                    (Ok(_), Err(_)) => {}
-                    (a, b) => panic!("query_at({seq}): {a:?} vs {b:?}"),
-                }
+                let a = svc.query_at(t.sub.pattern(), seq).expect("live serves the suffix");
+                let b = joiner.query_at(j.sub.pattern(), seq).expect("joiner serves the suffix");
+                assert_eq!(a, b, "query_at({seq}) bookkeeping diverged");
             }
         }
+    }
+}
+
+/// The baseline handoff is validated: a baseline that does not describe
+/// the joiner's graph (stale snapshot) is rejected and the registration
+/// rolled back, leaving the service untouched.
+#[test]
+fn stale_baseline_is_rejected() {
+    let g = graph_from_parts(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let mut live = AnswerService::new(&g, ServiceConfig::default());
+    let sub = live.subscribe(q.clone(), IncrementalConfig::new(3), NotifyMode::Relevance).unwrap();
+    let baseline = live.current(sub.pattern()).unwrap();
+    live.ingest(&gpm_graph::GraphDelta::new().remove_edge(0, 2)).unwrap();
+
+    // Joiner at the *new* head with the *old* baseline: mismatch.
+    let mut joiner =
+        AnswerService::at_offset(&live.registry().snapshot(), live.seq(), ServiceConfig::default());
+    let err = joiner
+        .subscribe_with_baseline(
+            q.clone(),
+            IncrementalConfig::new(3),
+            NotifyMode::Relevance,
+            baseline,
+        )
+        .err()
+        .expect("stale baseline must be rejected");
+    assert!(matches!(err, gpm_serving::ServingError::BaselineMismatch(_)), "{err}");
+    assert_eq!(joiner.subscriptions(), 0);
+    assert!(joiner.registry().is_empty(), "rolled back");
+
+    // A future-dated baseline is rejected up front.
+    let fresh = live.current(sub.pattern()).unwrap();
+    let mut future = fresh.clone();
+    future.seq = live.seq() + 7;
+    let err = joiner
+        .subscribe_with_baseline(
+            q.clone(),
+            IncrementalConfig::new(3),
+            NotifyMode::Relevance,
+            future,
+        )
+        .err()
+        .expect("future baseline must be rejected");
+    assert!(matches!(err, gpm_serving::ServingError::OffsetInFuture { .. }), "{err}");
+
+    // The current baseline goes through, and query_at agrees exactly.
+    let jsub = joiner
+        .subscribe_with_baseline(q, IncrementalConfig::new(3), NotifyMode::Relevance, fresh)
+        .unwrap();
+    for seq in live.seq().min(joiner.seq())..=live.seq() {
+        assert_eq!(
+            live.query_at(sub.pattern(), seq).unwrap(),
+            joiner.query_at(jsub.pattern(), seq).unwrap(),
+        );
     }
 }
 

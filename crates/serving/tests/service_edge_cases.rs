@@ -293,3 +293,109 @@ fn threaded_service_loop_delivers_and_shuts_down() {
     assert_eq!(svc.stats().batches, 3);
     assert_eq!(svc.seq(), 3);
 }
+
+/// Satellite: `save` appends only the entries past the last persisted
+/// seq — a repeat save must not rewrite the whole file — while the file
+/// contents stay byte-identical to a wholesale serialization. Compaction
+/// (and a fresh path, and a deleted file) force a full rewrite.
+#[test]
+fn save_appends_past_the_last_persisted_seq() {
+    let (g, _) = fixture();
+    let dir = std::env::temp_dir().join("gpm_serving_append_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("append.jsonl");
+    std::fs::remove_file(&path).ok();
+
+    let mut log = DeltaLog::new(&g);
+    log.append(GraphDelta::new().add_edge(0, 3));
+    log.save(&path).unwrap();
+    let after_first = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(after_first, log.to_json_lines());
+
+    // Sentinel: corrupt the first line in a way a rewrite would undo but
+    // an append preserves. (The header keeps its length.)
+    let mut tampered = after_first.clone().into_bytes();
+    tampered[2] = b'X';
+    std::fs::write(&path, &tampered).unwrap();
+
+    log.append(GraphDelta::new().add_edge(1, 3).set_attr(2, "views", 4i64));
+    log.append(GraphDelta::new().add_node(1));
+    log.save(&path).unwrap();
+    let after_second = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        after_second.as_bytes()[2] == b'X',
+        "second save rewrote the file instead of appending"
+    );
+    // Modulo the sentinel, the appended file is byte-identical to a
+    // wholesale write — and still parses into an equal log.
+    let mut expect = log.to_json_lines().into_bytes();
+    expect[2] = b'X';
+    assert_eq!(after_second.into_bytes(), expect);
+
+    // An up-to-date log's save appends nothing (and succeeds).
+    log.save(&path).unwrap();
+    let mut fixed = std::fs::read_to_string(&path).unwrap().into_bytes();
+    fixed[2] = after_first.as_bytes()[2];
+    let reloaded = DeltaLog::from_json_lines(std::str::from_utf8(&fixed).unwrap()).unwrap();
+    assert_eq!(reloaded.entries(), log.entries());
+    assert_eq!(reloaded.base_seq(), log.base_seq());
+
+    // Compaction invalidates the persisted prefix: the next save
+    // rewrites wholesale (the sentinel disappears).
+    log.compact_to(2).unwrap();
+    log.append(GraphDelta::new().add_edge(0, 4));
+    log.save(&path).unwrap();
+    let after_compact = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(after_compact, log.to_json_lines(), "compaction forces a rewrite");
+    let reloaded = DeltaLog::load(&path).unwrap();
+    assert_eq!(reloaded.base_seq(), 2);
+    assert_eq!(reloaded.entries(), log.entries());
+
+    // A deleted file is rewritten from scratch, not blindly appended to.
+    std::fs::remove_file(&path).unwrap();
+    log.append(GraphDelta::new().remove_edge(0, 4));
+    log.save(&path).unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), log.to_json_lines());
+
+    // A different path gets the full file too.
+    let other = dir.join("other.jsonl");
+    std::fs::remove_file(&other).ok();
+    log.save(&other).unwrap();
+    assert_eq!(std::fs::read_to_string(&other).unwrap(), log.to_json_lines());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&other).ok();
+}
+
+/// The service-level checkpoint call: the persistence cursor lives with
+/// the service's owned log, so back-to-back `save_log`s append rather
+/// than rewrite (same sentinel trick as the log-level test).
+#[test]
+fn service_save_log_appends_between_ingests() {
+    let (g, q) = fixture();
+    let dir = std::env::temp_dir().join("gpm_serving_svc_append_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("svc.jsonl");
+    std::fs::remove_file(&path).ok();
+
+    let mut svc = AnswerService::new(&g, ServiceConfig::default());
+    let _sub = svc.subscribe(q, IncrementalConfig::new(3), NotifyMode::Relevance).unwrap();
+    svc.ingest(&GraphDelta::new().add_edge(1, 3)).unwrap();
+    svc.save_log(&path).unwrap();
+
+    let mut tampered = std::fs::read_to_string(&path).unwrap().into_bytes();
+    tampered[2] = b'X';
+    std::fs::write(&path, &tampered).unwrap();
+
+    svc.ingest(&GraphDelta::new().add_edge(1, 4)).unwrap();
+    svc.save_log(&path).unwrap();
+    let after = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(after.as_bytes()[2], b'X', "second save_log must append, not rewrite");
+    assert_eq!(after.lines().count(), 3, "header + two ingested batches");
+
+    // And a clone of the log does not inherit the cursor: its first save
+    // rewrites (two writers must never append to one file).
+    let mut cloned = svc.log().clone();
+    cloned.save(&path).unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), cloned.to_json_lines());
+    std::fs::remove_file(&path).ok();
+}

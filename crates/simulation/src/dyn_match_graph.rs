@@ -1,0 +1,199 @@
+//! [`DynMatchGraph`]: the dynamic path's match-graph view.
+//!
+//! The static pipeline materializes a [`MatchGraph`](crate::MatchGraph)
+//! from a CSR snapshot per query; the dynamic path instead maintains an
+//! [`IncSimState`](crate::IncSimState) against a mutable
+//! [`DynGraph`](gpm_graph::DynGraph) and historically re-derived each
+//! dirty relevant set by an ad-hoc per-source BFS that shared nothing
+//! across the dirty set. This view closes that gap: it packs the **alive
+//! pairs** of the simulation into dense compact ids with CSR adjacency —
+//! built once per batch, reused by every dirty output — and implements
+//! [`ReachView`](crate::ReachView), so the shared condensation-and-bitset
+//! DP (`gpm-ranking::reach_sets`) is the single reach engine for both
+//! worlds.
+//!
+//! The universe projection is the **data-node id** itself (not a per-query
+//! compact universe): node ids are stable across updates while universes
+//! are not, and the relevance cache's bitsets are keyed by node id — so
+//! the DP's output bitsets can be stored in the cache directly, no
+//! re-encoding.
+
+use std::collections::HashMap;
+
+use gpm_graph::csr::Csr;
+use gpm_graph::dynamic::DynGraph;
+use gpm_graph::scc::Successors;
+use gpm_graph::NodeId;
+use gpm_pattern::{PNodeId, Pattern};
+
+use crate::incremental::IncSimState;
+use crate::match_graph::ReachView;
+
+/// A pair graph over the alive pairs of an incremental simulation, with
+/// forward CSR adjacency, dense compact ids and a data-node-id universe.
+#[derive(Debug, Clone)]
+pub struct DynMatchGraph {
+    pnode: Vec<PNodeId>,
+    gnode: Vec<NodeId>,
+    /// `index[u]`: data node → compact id of the alive pair `(u, v)`.
+    index: Vec<HashMap<NodeId, u32>>,
+    fwd: Csr,
+    /// Universe width (≥ the graph's node count; callers size it to the
+    /// relevance cache's bit width so DP outputs drop straight in).
+    width: usize,
+}
+
+impl DynMatchGraph {
+    /// Builds the view over the **alive pairs** of `sim` against the
+    /// current contents of `g`. Compact ids are assigned pattern node by
+    /// pattern node, data nodes ascending — deterministic regardless of
+    /// the simulation's internal slot order. `width` is the universe the
+    /// projection indexes into and must exceed every live node id.
+    pub fn over_alive(g: &DynGraph, q: &Pattern, sim: &IncSimState, width: usize) -> Self {
+        let np = q.node_count();
+        let mut pnode = Vec::new();
+        let mut gnode = Vec::new();
+        let mut index: Vec<HashMap<NodeId, u32>> = vec![HashMap::new(); np];
+        for u in q.nodes() {
+            for v in sim.structural_matches_of(u) {
+                let c = pnode.len() as u32;
+                pnode.push(u);
+                gnode.push(v);
+                index[u as usize].insert(v, c);
+            }
+        }
+
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for c in 0..pnode.len() {
+            let (u, v) = (pnode[c], gnode[c]);
+            for &uc in q.successors(u) {
+                for w in g.successors(v) {
+                    if let Some(&cw) = index[uc as usize].get(&w) {
+                        edges.push((c as u32, cw));
+                    }
+                }
+            }
+        }
+        let fwd = Csr::from_edges(pnode.len(), &edges);
+        debug_assert!(width >= g.node_count(), "universe must cover every node id");
+        DynMatchGraph { pnode, gnode, index, fwd, width }
+    }
+
+    /// Number of alive pairs in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pnode.len()
+    }
+
+    /// `true` when no pair is alive.
+    pub fn is_empty(&self) -> bool {
+        self.pnode.is_empty()
+    }
+
+    /// Number of pair edges.
+    pub fn edge_count(&self) -> usize {
+        self.fwd.edge_count()
+    }
+
+    /// Compact id of the alive pair `(u, v)`, if it is in the view.
+    #[inline]
+    pub fn compact_of(&self, u: PNodeId, v: NodeId) -> Option<u32> {
+        self.index[u as usize].get(&v).copied()
+    }
+
+    /// Pattern node of compact pair `c`.
+    #[inline]
+    pub fn pattern_node(&self, c: u32) -> PNodeId {
+        self.pnode[c as usize]
+    }
+
+    /// Data node of compact pair `c`.
+    #[inline]
+    pub fn data_node(&self, c: u32) -> NodeId {
+        self.gnode[c as usize]
+    }
+
+    /// Successor pairs of `c`.
+    #[inline]
+    pub fn successors(&self, c: u32) -> &[u32] {
+        self.fwd.neighbors(c)
+    }
+}
+
+impl Successors for DynMatchGraph {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+    fn successors_of(&self, v: NodeId) -> &[NodeId] {
+        self.fwd.neighbors(v)
+    }
+}
+
+impl ReachView for DynMatchGraph {
+    fn universe_size(&self) -> usize {
+        self.width
+    }
+    fn universe_pos(&self, c: u32) -> usize {
+        self.gnode[c as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_simulation;
+    use crate::MatchGraph;
+    use gpm_graph::builder::graph_from_parts;
+    use gpm_pattern::builder::label_pattern;
+
+    /// The dynamic view over a freshly built state mirrors the static
+    /// match graph: same pairs, same adjacency (modulo compact-id names).
+    #[test]
+    fn mirrors_static_match_graph() {
+        let g0 =
+            graph_from_parts(&[0, 1, 2, 1, 0], &[(0, 1), (1, 2), (0, 3), (3, 2), (4, 3)]).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let sim = compute_simulation(&g0, &q);
+        let mg = MatchGraph::over_matches(&g0, &q, &sim);
+
+        let dg = DynGraph::from_digraph(&g0);
+        let inc = IncSimState::new(&dg, &q).unwrap();
+        let view = DynMatchGraph::over_alive(&dg, &q, &inc, g0.node_count());
+
+        assert_eq!(view.len(), mg.len());
+        assert_eq!(view.edge_count(), mg.edge_count());
+        for c in 0..mg.len() as u32 {
+            let (u, v) = (mg.pattern_node(c), mg.data_node(c));
+            let dc = view.compact_of(u, v).expect("pair present in both");
+            assert_eq!(view.pattern_node(dc), u);
+            assert_eq!(view.data_node(dc), v);
+            let mut statics: Vec<(u32, u32)> =
+                mg.successors(c).iter().map(|&s| (mg.pattern_node(s), mg.data_node(s))).collect();
+            let mut dyns: Vec<(u32, u32)> = view
+                .successors(dc)
+                .iter()
+                .map(|&s| (view.pattern_node(s), view.data_node(s)))
+                .collect();
+            statics.sort_unstable();
+            dyns.sort_unstable();
+            assert_eq!(statics, dyns, "adjacency of ({u},{v})");
+        }
+    }
+
+    /// Dead pairs are excluded, and the universe projection is the node id.
+    #[test]
+    fn excludes_dead_pairs_and_projects_node_ids() {
+        let g0 = graph_from_parts(&[0, 1, 1], &[(0, 1)]).unwrap();
+        let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+        let dg = DynGraph::from_digraph(&g0);
+        let inc = IncSimState::new(&dg, &q).unwrap();
+        let view = DynMatchGraph::over_alive(&dg, &q, &inc, 64);
+        // (A,0), (B,1), (B,2): all structurally alive (B is a leaf).
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.universe_size(), 64);
+        for c in 0..view.len() as u32 {
+            assert_eq!(view.universe_pos(c), view.data_node(c) as usize);
+        }
+        assert!(view.compact_of(0, 1).is_none(), "label mismatch is no pair");
+    }
+}

@@ -22,6 +22,7 @@
 //! for early termination (Section 4).
 
 pub mod candidates;
+pub mod dyn_match_graph;
 pub mod incremental;
 pub mod match_graph;
 pub mod naive;
@@ -30,7 +31,8 @@ pub mod relation;
 pub mod result_graph;
 
 pub use candidates::CandidateSpace;
+pub use dyn_match_graph::DynMatchGraph;
 pub use incremental::IncSimState;
-pub use match_graph::MatchGraph;
+pub use match_graph::{MatchGraph, ReachView, SpaceView};
 pub use refine::{compute_simulation, refine_state, RefineState};
 pub use relation::SimRelation;

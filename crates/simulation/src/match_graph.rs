@@ -21,6 +21,33 @@ use gpm_pattern::{PNodeId, Pattern};
 use crate::candidates::{CandidateSpace, PairId};
 use crate::relation::SimRelation;
 
+/// Abstract pair-graph view the shared reach engine
+/// (`gpm-ranking::reach_sets`) runs over: dense compact pair ids
+/// `0..node_count()`, successor slices (via [`Successors`]), and a
+/// projection of every compact pair onto a position in a fixed universe
+/// of data nodes. The static pipeline implements it with a
+/// [`MatchGraph`] + [`CandidateSpace`] pair ([`MatchGraph::reach_view`],
+/// universe = the per-query compact candidate universe); the dynamic
+/// path with a [`DynMatchGraph`](crate::DynMatchGraph) over the alive
+/// pairs of an [`IncSimState`](crate::IncSimState) (universe = stable
+/// data-node ids, the encoding the relevance cache persists across
+/// batches). One DP, two worlds.
+pub trait ReachView: Successors + Sync {
+    /// Width of the universe the projections index into.
+    fn universe_size(&self) -> usize;
+    /// Universe position of compact pair `c`'s data node.
+    fn universe_pos(&self, c: u32) -> usize;
+}
+
+impl<T: ReachView + ?Sized> ReachView for &T {
+    fn universe_size(&self) -> usize {
+        (**self).universe_size()
+    }
+    fn universe_pos(&self, c: u32) -> usize {
+        (**self).universe_pos(c)
+    }
+}
+
 /// A pair graph over a subset of candidate pairs, with forward and reverse
 /// CSR adjacency and dense *compact* node ids.
 #[derive(Debug, Clone)]
@@ -150,6 +177,39 @@ impl MatchGraph {
     /// construction).
     pub fn pairs_of_pattern_node(&self, u: PNodeId) -> impl Iterator<Item = u32> + '_ {
         (0..self.len() as u32).filter(move |&c| self.pnode[c as usize] == u)
+    }
+
+    /// This graph as a [`ReachView`] projecting onto `space`'s compact
+    /// candidate universe — what the static reach engine runs over.
+    pub fn reach_view<'a>(&'a self, space: &'a CandidateSpace) -> SpaceView<'a> {
+        SpaceView { mg: self, space }
+    }
+}
+
+/// The static [`ReachView`]: a [`MatchGraph`] projected onto its
+/// [`CandidateSpace`]'s compact universe.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceView<'a> {
+    mg: &'a MatchGraph,
+    space: &'a CandidateSpace,
+}
+
+impl Successors for SpaceView<'_> {
+    fn node_count(&self) -> usize {
+        self.mg.len()
+    }
+    fn successors_of(&self, v: NodeId) -> &[NodeId] {
+        self.mg.successors(v)
+    }
+}
+
+impl ReachView for SpaceView<'_> {
+    fn universe_size(&self) -> usize {
+        self.space.universe_size()
+    }
+    fn universe_pos(&self, c: u32) -> usize {
+        self.space.universe_pos(self.mg.data_node(c)).expect("candidate nodes are in the universe")
+            as usize
     }
 }
 
