@@ -82,6 +82,13 @@ fn main() {
     let threads = gpm_incremental::PatternRegistry::default_threads().max(2);
     let dirty_result = delta_bench::run_dirty_region(&gd, &qd, k, threads, &[0.02, 0.25, 1.0]);
     println!("{}", delta_bench::dirty_region_table(&dirty_result).render());
+    println!("phase latency (DP-parallel runs, whole sweep):");
+    for p in &dirty_result.phase_latency {
+        println!(
+            "  {:<10} n={:<6} p50={:.3}ms p99={:.3}ms max={:.3}ms",
+            p.phase, p.count, p.p50_ms, p.p99_ms, p.max_ms
+        );
+    }
 
     let combined = Value::Object(vec![
         ("bench".into(), "incremental".to_value()),

@@ -78,10 +78,26 @@ fn main() {
     let result = serving_bench::run(&g, &pool, k, &counts, batches, batch, threads);
     println!("{}", serving_bench::as_table(&result).render());
 
+    println!("phase latency (largest-N point):");
+    for p in &result.phase_latency {
+        println!(
+            "  {:<10} n={:<6} p50={:.3}ms p99={:.3}ms max={:.3}ms",
+            p.phase, p.count, p.p50_ms, p.p99_ms, p.max_ms
+        );
+    }
+    let o = &result.telemetry_overhead;
+    println!(
+        "telemetry overhead: {:+.2}% (enabled {:.0} vs disabled {:.0} batches/s over {} batches)",
+        o.overhead_pct, o.enabled_batches_per_sec, o.disabled_batches_per_sec, o.batches
+    );
+
     let json = serde_json::to_string_pretty(&result).expect("serializable");
     std::fs::write(&out, json).expect("write BENCH_serving.json");
     println!("wrote {out}");
 
+    if o.overhead_pct > 2.0 {
+        eprintln!("WARNING: telemetry overhead above the 2% target ({:+.2}%)", o.overhead_pct);
+    }
     for p in &result.points {
         if p.shared_index_hit_rate < 0.5 && p.subscribers >= 8 {
             eprintln!(

@@ -16,11 +16,12 @@ use gpm_core::config::TopKConfig;
 use gpm_core::top_k_by_match;
 use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
 use gpm_graph::{apply_delta, DiGraph, GraphDelta};
-use gpm_incremental::{DynamicMatcher, IncrementalConfig};
+use gpm_incremental::{DynamicMatcher, IncrementalConfig, Telemetry};
 use gpm_pattern::Pattern;
 use serde::{Serialize, Value};
 
 use crate::table::Table;
+use crate::telemetry_summary::{phase_latencies, PhaseLatency};
 use crate::workloads::{self, Settings};
 
 /// One measured point of the sweep.
@@ -361,7 +362,9 @@ pub struct DirtyRegionPoint {
     /// Mean static-pipeline latency (ms/batch).
     pub scratch_ms: f64,
     /// `RegistryStats::intra_pattern_splits` accumulated by the DP run —
-    /// refreshes observed on ≥ 2 distinct pool workers.
+    /// deterministic count of phase-2b refreshes the registry *decided*
+    /// to split across the pool (scheduling-dependent multi-worker
+    /// observations are `observed_multi_worker_refreshes`).
     pub intra_splits: u64,
 }
 
@@ -424,6 +427,9 @@ pub struct DirtyRegionResult {
     pub threads: usize,
     /// The sweep.
     pub points: Vec<DirtyRegionPoint>,
+    /// Per-phase latency digests accumulated by the DP-parallel runs
+    /// across the whole sweep (apply → refresh → prepare/extract).
+    pub phase_latency: Vec<PhaseLatency>,
 }
 
 impl Serialize for DirtyRegionResult {
@@ -437,6 +443,7 @@ impl Serialize for DirtyRegionResult {
             ("outputs".into(), self.outputs.to_value()),
             ("threads".into(), self.threads.to_value()),
             ("points".into(), self.points.to_value()),
+            ("phase_latency_ms".into(), self.phase_latency.to_value()),
         ])
     }
 }
@@ -477,11 +484,15 @@ fn run_dirty_config(
     threads: usize,
     reach: gpm_ranking::ReachConfig,
     stream: &[GraphDelta],
+    telemetry: Option<&Telemetry>,
 ) -> (f64, f64, u64) {
     use gpm_incremental::PatternRegistry;
     let mut cfg = IncrementalConfig::new(k);
     cfg.reach = reach;
     let mut reg = PatternRegistry::with_threads(g, threads);
+    if let Some(t) = telemetry {
+        reg.set_telemetry(t.clone());
+    }
     let id = reg.register(q.clone(), cfg).expect("cyclic 2-pattern registers");
     // Registration already materialized every set once: count per-batch
     // re-derivations from here (covers both the partial-plan path and the
@@ -527,6 +538,11 @@ pub fn run_dirty_region(
     let cycles = g.node_count() / len;
     let rounds = 3;
     let mut points = Vec::new();
+    // One bundle across the whole sweep: the DP-parallel runs trace into
+    // it, so the digests cover every dirty fraction. Recording is a few
+    // atomic adds per span — well under the run-to-run noise of the
+    // timed loop (the serving bench measures the exact overhead).
+    let telemetry = Telemetry::on();
     for &frac in fracs {
         let touched = ((frac * cycles as f64).round() as usize).clamp(1, cycles);
         // Toggle stream: remove one edge of each touched cycle, then put
@@ -544,10 +560,17 @@ pub fn run_dirty_region(
             stream.push(revive);
         }
 
-        let (dp_ms, mean_dirty, splits) =
-            run_dirty_config(g, q, k, threads, gpm_ranking::ReachConfig::default(), &stream);
+        let (dp_ms, mean_dirty, splits) = run_dirty_config(
+            g,
+            q,
+            k,
+            threads,
+            gpm_ranking::ReachConfig::default(),
+            &stream,
+            Some(&telemetry),
+        );
         let (dp_seq_ms, _, _) =
-            run_dirty_config(g, q, k, 1, gpm_ranking::ReachConfig::default(), &stream);
+            run_dirty_config(g, q, k, 1, gpm_ranking::ReachConfig::default(), &stream, None);
         let (bfs_ms, _, _) = run_dirty_config(
             g,
             q,
@@ -555,6 +578,7 @@ pub fn run_dirty_region(
             1,
             gpm_ranking::ReachConfig { budget_bytes: 0, threads: 1 },
             &stream,
+            None,
         );
 
         // Static path: rebuild + re-rank per batch.
@@ -587,6 +611,7 @@ pub fn run_dirty_region(
         outputs: g.node_count() / 2,
         threads,
         points,
+        phase_latency: phase_latencies(&telemetry),
     }
 }
 

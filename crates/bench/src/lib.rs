@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod registry_bench;
 pub mod serving_bench;
 pub mod table;
+pub mod telemetry_summary;
 pub mod workloads;
 
 pub use table::{Records, Table};

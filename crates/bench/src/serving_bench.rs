@@ -29,10 +29,11 @@ use gpm_datagen::update_stream::{update_stream, UpdateStreamConfig};
 use gpm_graph::{DiGraph, GraphDelta};
 use gpm_incremental::IncrementalConfig;
 use gpm_pattern::Pattern;
-use gpm_serving::{AnswerService, NotifyMode, ServiceConfig, ServiceHandle};
+use gpm_serving::{AnswerService, NotifyMode, ServiceConfig, ServiceHandle, TelemetryConfig};
 use serde::{Serialize, Value};
 
 use crate::table::Table;
+use crate::telemetry_summary::{phase_latencies, PhaseLatency};
 
 /// One measured point of the subscriber sweep.
 #[derive(Debug, Clone)]
@@ -78,6 +79,36 @@ impl Serialize for ServingPoint {
     }
 }
 
+/// The telemetry-cost experiment: the same single-subscriber flood run
+/// with phase tracing + histograms on and off. The acceptance target is
+/// an enabled-vs-disabled slowdown under 2% — counters always record, so
+/// the delta isolates exactly what `TelemetryConfig::disabled()` gates
+/// (span allocation, clock reads, histogram records, trace filing).
+#[derive(Debug, Clone)]
+pub struct TelemetryOverhead {
+    /// Batches each timed flood repetition ingested.
+    pub batches: usize,
+    /// Rate implied by the summed per-batch minima with full telemetry
+    /// (the serving default).
+    pub enabled_batches_per_sec: f64,
+    /// Same, with histograms, spans and the recorder gated off.
+    pub disabled_batches_per_sec: f64,
+    /// `(t_enabled − t_disabled) / t_disabled`, percent; negative values
+    /// are scheduler noise.
+    pub overhead_pct: f64,
+}
+
+impl Serialize for TelemetryOverhead {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("batches".into(), self.batches.to_value()),
+            ("enabled_batches_per_sec".into(), self.enabled_batches_per_sec.to_value()),
+            ("disabled_batches_per_sec".into(), self.disabled_batches_per_sec.to_value()),
+            ("overhead_pct".into(), self.overhead_pct.to_value()),
+        ])
+    }
+}
+
 /// The whole experiment record written to `BENCH_serving.json`.
 #[derive(Debug, Clone)]
 pub struct ServingBenchResult {
@@ -88,6 +119,11 @@ pub struct ServingBenchResult {
     pub threads: usize,
     pub queue_capacity: usize,
     pub points: Vec<ServingPoint>,
+    /// Per-phase latency digests from the largest-N sweep point (apply,
+    /// refresh, prepare/extract, notify, log fsync, …).
+    pub phase_latency: Vec<PhaseLatency>,
+    /// Telemetry-on vs telemetry-off flood cost.
+    pub telemetry_overhead: TelemetryOverhead,
 }
 
 impl Serialize for ServingBenchResult {
@@ -101,6 +137,8 @@ impl Serialize for ServingBenchResult {
             ("threads".into(), self.threads.to_value()),
             ("queue_capacity".into(), self.queue_capacity.to_value()),
             ("points".into(), self.points.to_value()),
+            ("phase_latency_ms".into(), self.phase_latency.to_value()),
+            ("telemetry_overhead".into(), self.telemetry_overhead.to_value()),
         ])
     }
 }
@@ -123,6 +161,9 @@ pub fn run(
     let latency_until = (stream.len() / 2).max(1) as u64; // seqs 1..=this: paced phase
 
     let mut points = Vec::new();
+    // Phase digests of the largest-N point — overwritten per iteration,
+    // so the record describes the heaviest fan-out configuration.
+    let mut phase_latency: Vec<PhaseLatency> = Vec::new();
     for &n in subscriber_counts {
         let mut svc = AnswerService::new(
             g,
@@ -205,6 +246,7 @@ pub fn run(
         }
         let stats = svc.stats().clone();
         let hit_rate = svc.registry_stats().shared_index_hit_rate();
+        phase_latency = phase_latencies(svc.telemetry());
         drop(svc); // closes queues; consumers drain and exit
 
         let mut paced: Vec<f64> = consumers
@@ -234,6 +276,8 @@ pub fn run(
         });
     }
 
+    let telemetry_overhead = telemetry_overhead(g, pool, k, batches, batch_size, threads);
+
     ServingBenchResult {
         nodes: g.node_count(),
         edges: g.edge_count(),
@@ -242,6 +286,91 @@ pub fn run(
         threads,
         queue_capacity,
         points,
+        phase_latency,
+        telemetry_overhead,
+    }
+}
+
+/// One synchronous flood through a fresh service with the given
+/// telemetry configuration, appending each batch's ingest seconds to
+/// `samples`. Four subscribers give the notify fan-out something to do;
+/// queues overflow-coalesce identically in both configurations, and the
+/// per-batch timing itself (two `Instant` reads) is paid identically on
+/// both sides.
+fn flood_batch_secs(
+    g: &DiGraph,
+    pool: &[Pattern],
+    k: usize,
+    stream: &[GraphDelta],
+    threads: usize,
+    telemetry: TelemetryConfig,
+) -> Vec<f64> {
+    let mut svc = AnswerService::new(
+        g,
+        ServiceConfig { queue_capacity: 256, threads, telemetry, ..ServiceConfig::default() },
+    );
+    let mut subs = Vec::new();
+    for q in pool.iter().take(4) {
+        let sub = svc
+            .subscribe(q.clone(), IncrementalConfig::new(k), NotifyMode::Relevance)
+            .expect("label-only pattern");
+        sub.try_recv().expect("bootstrap answer");
+        subs.push(sub);
+    }
+    let mut samples = Vec::with_capacity(stream.len());
+    for delta in stream {
+        let t = Instant::now();
+        svc.ingest(delta).expect("stream is valid");
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    drop(svc);
+    drop(subs);
+    samples
+}
+
+/// Element-wise minimum across repetitions: `out[i]` becomes the fastest
+/// observed execution of batch `i`.
+fn min_per_index(reps: &[Vec<f64>]) -> Vec<f64> {
+    let n = reps.first().map_or(0, Vec::len);
+    (0..n).map(|i| reps.iter().map(|r| r[i]).fold(f64::INFINITY, f64::min)).collect()
+}
+
+/// Measures the telemetry-on vs telemetry-off flood cost on the sweep's
+/// own workload. The batches in question take double-digit microseconds,
+/// so a single-digit-percent delta drowns in scheduler noise if floods
+/// are timed wall-to-wall. Instead the experiment is **paired**: both
+/// configurations replay the same ≥200-batch stream (batch `i` is
+/// identical work on both sides), every batch is timed individually
+/// across five interleaved repetitions per configuration, and the
+/// overhead is the relative difference of the summed per-batch minima —
+/// the minimum discards preemption spikes while the sum keeps heavy
+/// batches weighted by their true share of the flood. The question is
+/// the instrumentation's cost floor, not the machine's jitter.
+pub fn telemetry_overhead(
+    g: &DiGraph,
+    pool: &[Pattern],
+    k: usize,
+    batches: usize,
+    batch_size: usize,
+    threads: usize,
+) -> TelemetryOverhead {
+    let stream: Vec<GraphDelta> =
+        update_stream(g, &UpdateStreamConfig::new(batches.max(200), batch_size, 0x7E1E));
+    // Warm-up flood (untimed): page in the service path and the stream.
+    let _ = flood_batch_secs(g, pool, k, &stream, threads, TelemetryConfig::disabled());
+    let mut off_reps = Vec::new();
+    let mut on_reps = Vec::new();
+    for _ in 0..5 {
+        off_reps.push(flood_batch_secs(g, pool, k, &stream, threads, TelemetryConfig::disabled()));
+        on_reps.push(flood_batch_secs(g, pool, k, &stream, threads, TelemetryConfig::default()));
+    }
+    let off: f64 = min_per_index(&off_reps).iter().sum();
+    let on: f64 = min_per_index(&on_reps).iter().sum();
+    TelemetryOverhead {
+        batches: stream.len(),
+        enabled_batches_per_sec: if on > 0.0 { stream.len() as f64 / on } else { 0.0 },
+        disabled_batches_per_sec: if off > 0.0 { stream.len() as f64 / off } else { 0.0 },
+        overhead_pct: if off > 0.0 { (on - off) / off * 100.0 } else { 0.0 },
     }
 }
 

@@ -1,0 +1,104 @@
+//! Phase-latency digests for the `BENCH_*.json` artifacts.
+//!
+//! Every bench that drives the instrumented stack (registry or serving)
+//! ends up with a [`Telemetry`] bundle full of per-phase latency
+//! histograms. This module folds each histogram into a small digest —
+//! count, p50/p90/p99, max, mean — so the JSON artifacts record *where*
+//! a batch spends its time (apply vs refresh vs prepare vs extract vs
+//! notify vs fsync), not just the end-to-end number the sweep tables
+//! already carry.
+
+use gpm_serving::{names, Telemetry};
+use gpm_telemetry::HistogramSnapshot;
+use serde::{Serialize, Value};
+
+/// One phase's latency digest, extracted from a run's telemetry snapshot.
+#[derive(Debug, Clone)]
+pub struct PhaseLatency {
+    /// Phase name as spans record it (`ingest`, `apply`, `refresh`, …)
+    /// or `log_fsync` for the delta-log durability histogram.
+    pub phase: String,
+    /// Samples recorded (spans finished / fsyncs performed).
+    pub count: u64,
+    pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    pub mean_ms: f64,
+}
+
+impl Serialize for PhaseLatency {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("phase".into(), self.phase.to_value()),
+            ("count".into(), self.count.to_value()),
+            ("p50_ms".into(), self.p50_ms.to_value()),
+            ("p90_ms".into(), self.p90_ms.to_value()),
+            ("p99_ms".into(), self.p99_ms.to_value()),
+            ("max_ms".into(), self.max_ms.to_value()),
+            ("mean_ms".into(), self.mean_ms.to_value()),
+        ])
+    }
+}
+
+fn digest(phase: &str, h: &HistogramSnapshot) -> PhaseLatency {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    PhaseLatency {
+        phase: phase.to_string(),
+        count: h.count,
+        p50_ms: ms(h.p50_ns()),
+        p90_ms: ms(h.p90_ns()),
+        p99_ms: ms(h.p99_ns()),
+        max_ms: ms(h.max_ns),
+        mean_ms: ms(h.mean_ns()),
+    }
+}
+
+/// One digest per instrumented phase that recorded samples during the
+/// run, in the canonical phase order, with the log-fsync histogram
+/// appended. Phases the workload never reached are omitted rather than
+/// reported as zeros.
+pub fn phase_latencies(t: &Telemetry) -> Vec<PhaseLatency> {
+    let snap = t.metrics().snapshot();
+    let mut out = Vec::new();
+    for phase in names::PHASES {
+        if let Some(h) = snap.histogram(&names::phase(phase)) {
+            if h.count > 0 {
+                out.push(digest(phase, h));
+            }
+        }
+    }
+    if let Some(h) = snap.histogram(names::LOG_FSYNC_SECONDS) {
+        if h.count > 0 {
+            out.push(digest("log_fsync", h));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn digests_follow_canonical_phase_order_and_skip_silent_phases() {
+        let t = Telemetry::on();
+        t.metrics()
+            .histogram_with(names::PHASE_SECONDS, &[("phase", "refresh")])
+            .record(Duration::from_millis(4));
+        t.metrics()
+            .histogram_with(names::PHASE_SECONDS, &[("phase", "ingest")])
+            .record(Duration::from_millis(9));
+        t.metrics().histogram(names::LOG_FSYNC_SECONDS).record(Duration::from_micros(300));
+        // `apply` exists but never fired: must not appear.
+        let _ = t.metrics().histogram_with(names::PHASE_SECONDS, &[("phase", "apply")]);
+
+        let phases = phase_latencies(&t);
+        let order: Vec<&str> = phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(order, ["ingest", "refresh", "log_fsync"]);
+        assert!(phases.iter().all(|p| p.count == 1));
+        let ingest = &phases[0];
+        assert!(ingest.p50_ms >= 9.0 && ingest.max_ms >= 9.0 && ingest.mean_ms >= 9.0);
+    }
+}

@@ -84,3 +84,8 @@ mod state;
 
 pub use matcher::{ApplyStats, DynamicMatcher, IncrementalConfig, IncrementalError};
 pub use registry::{AnswerChange, PatternId, PatternRegistry, RegistryStats};
+
+// The observability bundle [`PatternRegistry::set_telemetry`] /
+// [`DynamicMatcher::set_telemetry`] accept, re-exported so incremental
+// consumers need no direct gpm-telemetry dependency.
+pub use gpm_telemetry::{Telemetry, TelemetryConfig};

@@ -7,6 +7,7 @@ use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{DiGraph, GraphDelta, GraphError};
 use gpm_pattern::Pattern;
 use gpm_ranking::ReachConfig;
+use gpm_telemetry::Telemetry;
 
 use crate::state::{worst_churn, PatternState};
 
@@ -114,6 +115,9 @@ pub struct ApplyStats {
 pub struct DynamicMatcher {
     graph: DynGraph,
     state: PatternState,
+    /// [`Telemetry::off`] unless attached — a standalone matcher costs
+    /// nothing until someone wants its traces.
+    telemetry: Telemetry,
 }
 
 impl DynamicMatcher {
@@ -121,7 +125,19 @@ impl DynamicMatcher {
     pub fn new(g: &DiGraph, q: Pattern, cfg: IncrementalConfig) -> Result<Self, IncrementalError> {
         let graph = DynGraph::from_digraph(g);
         let state = PatternState::new(&graph, q, cfg)?;
-        Ok(DynamicMatcher { graph, state })
+        Ok(DynamicMatcher { graph, state, telemetry: Telemetry::off() })
+    }
+
+    /// Attaches a shared [`Telemetry`] bundle; each subsequent apply
+    /// records one batch trace (`apply` root with `plan`/`prepare`/
+    /// `extract` children) and the corresponding phase histograms.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached observability bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The maintained graph.
@@ -160,25 +176,34 @@ impl DynamicMatcher {
         delta: &GraphDelta,
     ) -> Result<(TopKResult, AnswerDiff), IncrementalError> {
         let t0 = Instant::now();
+        let root = self.telemetry.root_span("apply");
 
-        let churn = worst_churn(&self.graph, delta);
-        if self.state.needs_rebuild(churn, self.graph.edge_count()) {
-            // Whole-state rebuild: apply the batch graph-only, then refine
-            // from scratch and refill the cache.
-            self.graph.apply(delta)?;
-            self.state.note_apply(); // rejected batches are not applies
-            let plan = self.state.rebuild(&self.graph);
-            self.state.materialize(&self.graph, &plan);
-            return Ok(self.state.serve_timed(t0));
-        }
+        let out = (|| {
+            let churn = worst_churn(&self.graph, delta);
+            if self.state.needs_rebuild(churn, self.graph.edge_count()) {
+                // Whole-state rebuild: apply the batch graph-only, then
+                // refine from scratch and refill the cache.
+                root.event("churn-rebuild");
+                self.graph.apply(delta)?;
+                self.state.note_apply(); // rejected batches are not applies
+                let plan = self.state.rebuild(&self.graph);
+                self.state.materialize(&self.graph, &plan);
+                return Ok(self.state.serve_timed(t0));
+            }
 
-        // Incremental path: replay each effective mutation through the
-        // simulation state in lockstep with the graph.
-        let state = &mut self.state;
-        let applied = self.graph.apply_with(delta, |g, eff| state.replay(g, eff))?;
-        state.note_apply(); // rejected batches are not applies
-        state.refresh_ranking(&self.graph, &applied);
-        Ok(state.serve_timed(t0))
+            // Incremental path: replay each effective mutation through the
+            // simulation state in lockstep with the graph.
+            let state = &mut self.state;
+            let applied = {
+                let _replay = root.child("replay");
+                self.graph.apply_with(delta, |g, eff| state.replay(g, eff))?
+            };
+            state.note_apply(); // rejected batches are not applies
+            state.refresh_ranking_traced(&self.graph, &applied, &root);
+            Ok(state.serve_timed(t0))
+        })();
+        self.telemetry.finish_batch(root, self.state.stats().applies);
+        out
     }
 
     /// The current top-k by relevance — identical to running

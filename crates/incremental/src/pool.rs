@@ -19,6 +19,7 @@
 //! borrowed it; this is the same contract `std::thread::scope` enforces,
 //! kept across a pool that outlives any single scope.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -50,6 +51,12 @@ struct Shared {
     work: Condvar,
     /// `run` parks here; signaled when a job's last index completes.
     done: Condvar,
+    /// Occupancy accounting (always on — two relaxed atomics per task):
+    /// total nanoseconds workers spent inside task closures, and the
+    /// total number of task invocations. Telemetry reads these through
+    /// [`WorkerPool::busy_nanos`] / [`WorkerPool::tasks_run`].
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
 }
 
 /// A fixed-size pool executing indexed jobs. See the module docs.
@@ -65,6 +72,8 @@ impl WorkerPool {
             state: Mutex::new(PoolState::default()),
             work: Condvar::new(),
             done: Condvar::new(),
+            busy_ns: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
         });
         let workers = (1..=workers.max(1))
             .map(|i| {
@@ -81,6 +90,18 @@ impl WorkerPool {
     /// Number of worker threads.
     pub(crate) fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Total nanoseconds workers have spent executing task closures
+    /// since the pool was created — divided by `workers() · wall time`,
+    /// this is the pool's occupancy.
+    pub(crate) fn busy_nanos(&self) -> u64 {
+        self.shared.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total task invocations executed since the pool was created.
+    pub(crate) fn tasks_run(&self) -> u64 {
+        self.shared.tasks.load(Ordering::Relaxed)
     }
 
     /// Runs `task(i)` for every `i in 0..items` across the pool, returning
@@ -150,8 +171,12 @@ fn worker_loop(shared: &Shared) {
                 // A panicking task must still count as completed, or the
                 // coordinator waits forever; the panic is recorded and
                 // re-raised by `run`, and this worker keeps serving.
+                let started = std::time::Instant::now();
                 let crashed =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))).is_err();
+                let busy = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                shared.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                shared.tasks.fetch_add(1, Ordering::Relaxed);
                 st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
                 if let Some(j) = st.job.as_mut() {
                     j.completed += 1;
@@ -197,6 +222,17 @@ mod tests {
         });
         let merged: Vec<usize> = out.iter().map(|m| m.lock().unwrap().expect("all ran")).collect();
         assert_eq!(merged, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn occupancy_counters_accumulate() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.tasks_run(), 0);
+        pool.run(8, &|_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert_eq!(pool.tasks_run(), 8);
+        assert!(pool.busy_nanos() >= 8_000_000, "8 tasks × ≥1ms each");
     }
 
     #[test]

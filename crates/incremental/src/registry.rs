@@ -33,6 +33,7 @@ use gpm_core::result::{AnswerDiff, DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{BitSet, DiGraph, GraphDelta, Label};
 use gpm_pattern::Pattern;
+use gpm_telemetry::{names, Counter, Gauge, Span, Telemetry};
 use parking_lot::Mutex;
 
 use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
@@ -51,7 +52,10 @@ impl std::fmt::Display for PatternId {
 }
 
 /// Registry-level maintenance counters: the multi-pattern extension of the
-/// per-pattern [`ApplyStats`].
+/// per-pattern [`ApplyStats`]. Since the telemetry PR this is a
+/// **snapshot** assembled from the registry's [`Telemetry`] counters —
+/// the same cells `render()`/`snapshot()` expose — so the struct and the
+/// exposition can never disagree.
 #[derive(Debug, Clone, Default)]
 pub struct RegistryStats {
     /// Batches applied to the shared graph.
@@ -71,11 +75,17 @@ pub struct RegistryStats {
     /// Patterns the last batch rebuilt wholesale (per-pattern churn
     /// threshold exceeded).
     pub last_rebuilds: usize,
-    /// Refreshes of a **single** pattern whose relevant-set extraction
-    /// was observed running on ≥ 2 distinct pool workers — the proof the
-    /// intra-pattern split engaged (a giant pattern no longer refreshes
-    /// single-threaded).
+    /// Phase-2b split **decisions**: refreshes of a single pattern whose
+    /// prepared extraction was chunked across the pool. Deterministic for
+    /// a given workload — counted when the decision is taken, not when a
+    /// second worker happens to be observed (that scheduling-dependent
+    /// count is [`Self::observed_multi_worker_refreshes`]).
     pub intra_pattern_splits: u64,
+    /// Chunked refreshes whose chunks were *observed* on ≥ 2 distinct
+    /// pool workers — the stronger, scheduling-dependent proof that a
+    /// split actually ran multi-threaded. On an idle pool one worker may
+    /// legally claim every chunk, so this can lag the decision counter.
+    pub observed_multi_worker_refreshes: u64,
     /// Patterns the last batch chunked across the pool (whether or not
     /// ≥ 2 workers ended up claiming chunks).
     pub last_intra_splits: usize,
@@ -100,6 +110,62 @@ struct Slot {
     /// Interior mutability so phase-2 workers can refresh disjoint slots
     /// through a shared borrow of the slot list.
     state: Mutex<PatternState>,
+}
+
+/// The registry's metric handles, resolved once per attached
+/// [`Telemetry`]. Counters/gauges record unconditionally (they are the
+/// cells behind [`RegistryStats`]); only histograms and spans honor the
+/// telemetry enabled flag.
+struct RegistryCounters {
+    batches: Counter,
+    registrations: Counter,
+    deregistrations: Counter,
+    ops_replayed: Counter,
+    ops_skipped: Counter,
+    intra_splits: Counter,
+    multi_worker: Counter,
+    last_touched: Gauge,
+    last_rebuilds: Gauge,
+    last_intra_splits: Gauge,
+    pool_busy_nanos: Gauge,
+    pool_tasks: Gauge,
+}
+
+impl RegistryCounters {
+    fn resolve(t: &Telemetry) -> Self {
+        let m = t.metrics();
+        RegistryCounters {
+            batches: m.counter(names::REGISTRY_BATCHES),
+            registrations: m.counter(names::REGISTRY_REGISTRATIONS),
+            deregistrations: m.counter(names::REGISTRY_DEREGISTRATIONS),
+            ops_replayed: m.counter(names::REGISTRY_OPS_REPLAYED),
+            ops_skipped: m.counter(names::REGISTRY_OPS_SKIPPED),
+            intra_splits: m.counter(names::REGISTRY_INTRA_SPLITS),
+            multi_worker: m.counter(names::REGISTRY_MULTI_WORKER),
+            last_touched: m.gauge(names::REGISTRY_LAST_TOUCHED),
+            last_rebuilds: m.gauge(names::REGISTRY_LAST_REBUILDS),
+            last_intra_splits: m.gauge(names::REGISTRY_LAST_INTRA_SPLITS),
+            pool_busy_nanos: m.gauge(names::POOL_BUSY_NANOS),
+            pool_tasks: m.gauge(names::POOL_TASKS),
+        }
+    }
+
+    /// Carries accumulated counts into a freshly attached telemetry's
+    /// cells, so re-attaching never loses or double-counts history.
+    fn migrate_to(&self, next: &RegistryCounters) {
+        next.batches.add(self.batches.get());
+        next.registrations.add(self.registrations.get());
+        next.deregistrations.add(self.deregistrations.get());
+        next.ops_replayed.add(self.ops_replayed.get());
+        next.ops_skipped.add(self.ops_skipped.get());
+        next.intra_splits.add(self.intra_splits.get());
+        next.multi_worker.add(self.multi_worker.get());
+        next.last_touched.set(self.last_touched.get());
+        next.last_rebuilds.set(self.last_rebuilds.get());
+        next.last_intra_splits.set(self.last_intra_splits.get());
+        next.pool_busy_nanos.set(self.pool_busy_nanos.get());
+        next.pool_tasks.set(self.pool_tasks.get());
+    }
 }
 
 /// One pattern's outcome of a batch the shared index could not prove
@@ -135,8 +201,14 @@ const INTRA_SPLIT_MIN_OUTPUTS: usize = 16;
 /// Runs phase-2 extraction of one prepared pattern across the pool in
 /// per-worker output ranges, returning the sets in output order plus the
 /// number of **distinct** workers that claimed a chunk (the observable
-/// proof the refresh really ran on more than one thread).
-fn extract_chunked(pool: &WorkerPool, prepared: &PreparedSets) -> (Vec<BitSet>, usize) {
+/// proof the refresh really ran on more than one thread). Each chunk
+/// opens an `extract` span on `span`, so the trace records which worker
+/// thread ran which chunk.
+fn extract_chunked(
+    pool: &WorkerPool,
+    prepared: &PreparedSets,
+    span: &Span,
+) -> (Vec<BitSet>, usize) {
     type ChunkResult = Mutex<Option<(Vec<BitSet>, std::thread::ThreadId)>>;
     let n = prepared.len();
     let chunk = n.div_ceil(pool.workers()).max(1);
@@ -145,6 +217,10 @@ fn extract_chunked(pool: &WorkerPool, prepared: &PreparedSets) -> (Vec<BitSet>, 
     pool.run(chunks, &|ci| {
         let lo = ci * chunk;
         let hi = (lo + chunk).min(n);
+        let chunk_span = span.child("extract");
+        if chunk_span.is_enabled() {
+            chunk_span.detail(format!("chunk={ci} outputs={}", hi - lo));
+        }
         let mut ex = prepared.extractor();
         let sets: Vec<BitSet> = (lo..hi).map(|j| ex.extract(j)).collect();
         *results[ci].lock() = Some((sets, std::thread::current().id()));
@@ -168,7 +244,11 @@ pub struct PatternRegistry {
     /// once at construction; batches reuse the parked workers instead of
     /// respawning scoped threads.
     pool: Option<WorkerPool>,
-    stats: RegistryStats,
+    /// Shared observability bundle — [`Telemetry::off`] unless an owner
+    /// (the serving layer, a bench) attaches its own: counters always
+    /// record, spans/histograms only when the bundle is enabled.
+    telemetry: Telemetry,
+    counters: RegistryCounters,
 }
 
 impl PatternRegistry {
@@ -190,13 +270,31 @@ impl PatternRegistry {
     /// (`threads = 1` forces fully sequential fan-out). The pool threads
     /// are spawned **once** here and parked between batches.
     pub fn with_threads(g: &DiGraph, threads: usize) -> Self {
+        let telemetry = Telemetry::off();
+        let counters = RegistryCounters::resolve(&telemetry);
         PatternRegistry {
             graph: DynGraph::from_digraph(g),
             slots: Vec::new(),
             next_id: 0,
             pool: (threads > 1).then(|| WorkerPool::new(threads)),
-            stats: RegistryStats::default(),
+            telemetry,
+            counters,
         }
+    }
+
+    /// Attaches a shared [`Telemetry`] bundle: subsequent batches trace
+    /// into it and all counters continue there (accumulated counts are
+    /// migrated, so [`Self::stats`] never goes backwards).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        let next = RegistryCounters::resolve(&telemetry);
+        self.counters.migrate_to(&next);
+        self.counters = next;
+        self.telemetry = telemetry;
+    }
+
+    /// The attached observability bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The maintenance-pool size this registry runs with.
@@ -215,9 +313,22 @@ impl PatternRegistry {
         self.graph.snapshot()
     }
 
-    /// Registry-level counters.
-    pub fn stats(&self) -> &RegistryStats {
-        &self.stats
+    /// Registry-level counters, snapshotted from the telemetry cells (the
+    /// single source of truth `render()`/`snapshot()` also read).
+    pub fn stats(&self) -> RegistryStats {
+        let c = &self.counters;
+        RegistryStats {
+            batches: c.batches.get(),
+            registrations: c.registrations.get(),
+            deregistrations: c.deregistrations.get(),
+            ops_replayed: c.ops_replayed.get(),
+            ops_skipped: c.ops_skipped.get(),
+            last_patterns_touched: c.last_touched.get().max(0) as usize,
+            last_rebuilds: c.last_rebuilds.get().max(0) as usize,
+            intra_pattern_splits: c.intra_splits.get(),
+            observed_multi_worker_refreshes: c.multi_worker.get(),
+            last_intra_splits: c.last_intra_splits.get().max(0) as usize,
+        }
     }
 
     /// Number of registered patterns.
@@ -249,7 +360,7 @@ impl PatternRegistry {
         let id = PatternId(self.next_id);
         self.next_id += 1;
         self.slots.push(Slot { id, state: Mutex::new(state) });
-        self.stats.registrations += 1;
+        self.counters.registrations.inc();
         Ok(id)
     }
 
@@ -260,7 +371,7 @@ impl PatternRegistry {
         match self.slots.iter().position(|s| s.id == id) {
             Some(i) => {
                 self.slots.remove(i);
-                self.stats.deregistrations += 1;
+                self.counters.deregistrations.inc();
                 true
             }
             None => false,
@@ -281,6 +392,24 @@ impl PatternRegistry {
     /// On error (invalid delta) the graph and every pattern's state are
     /// unchanged. An empty registry still advances the graph.
     pub fn apply(&mut self, delta: &GraphDelta) -> Result<Vec<AnswerChange>, IncrementalError> {
+        let root = self.telemetry.root_span("apply");
+        let out = self.apply_traced(delta, &root);
+        let seq = self.counters.batches.get();
+        self.telemetry.finish_batch(root, seq);
+        out
+    }
+
+    /// As [`Self::apply`] under a caller-owned trace: every phase of the
+    /// batch (`replay`, per-pattern `refresh` with `plan`/`prepare`/
+    /// `extract` children, per-chunk phase-2b `extract`s) lands as
+    /// children of `parent`. The serving layer passes its ingest root so
+    /// one batch yields one tree; standalone callers can pass
+    /// [`Span::disabled`] (or just call [`Self::apply`]).
+    pub fn apply_traced(
+        &mut self,
+        delta: &GraphDelta,
+        parent: &Span,
+    ) -> Result<Vec<AnswerChange>, IncrementalError> {
         let churn = worst_churn(&self.graph, delta);
         let edges = self.graph.edge_count();
         let removed_labels = removed_label_map(&self.graph, delta);
@@ -296,6 +425,7 @@ impl PatternRegistry {
         let mut skipped = 0u64;
         let mut touched = vec![false; n];
         let (applied, rebuild) = {
+            let replay_span = parent.child("replay");
             let mut guards: Vec<_> = self.slots.iter().map(|s| s.state.lock()).collect();
             let rebuild: Vec<bool> = guards.iter().map(|g| g.needs_rebuild(churn, edges)).collect();
             let applied = self.graph.apply_with(delta, |g, eff| {
@@ -312,6 +442,9 @@ impl PatternRegistry {
                     }
                 }
             })?;
+            if replay_span.is_enabled() {
+                replay_span.detail(format!("replayed={replayed} skipped={skipped}"));
+            }
             (applied, rebuild)
         };
 
@@ -337,34 +470,48 @@ impl PatternRegistry {
         let pending: Vec<Mutex<Option<(RefreshPlan, PreparedSets)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let refresh = |i: usize| {
+            let refresh_span = parent.child("refresh");
+            if refresh_span.is_enabled() {
+                refresh_span.detail(format!("pattern={}", slots[i].id));
+            }
             let mut st = slots[i].state.lock();
             st.note_apply();
-            let plan = if rebuild[i] {
-                st.rebuild(graph)
-            } else if touched_ref[i] {
-                st.plan_refresh(graph, &applied)
-            } else {
-                st.refresh_untouched(graph);
-                return;
+            let plan = {
+                let plan_span = refresh_span.child("plan");
+                if rebuild[i] {
+                    plan_span.event("churn-rebuild");
+                    st.rebuild(graph)
+                } else if touched_ref[i] {
+                    st.plan_refresh(graph, &applied)
+                } else {
+                    st.refresh_untouched(graph);
+                    return;
+                }
             };
             if split_threshold.is_some_and(|min| plan.len() >= min) {
-                let prepared = st.prepare_sets(graph, &plan);
+                let prepared = st.prepare_sets_traced(graph, &plan, &refresh_span);
                 // Only park extractions a pool barrier can actually help
                 // with: per-source BFS (the budget fallback) is always
                 // real work, while DP extraction is bitset memcpys —
                 // worth splitting only at real volume.
                 if prepared.split_worthwhile() {
+                    refresh_span.event("intra-pattern-split");
                     *pending[i].lock() = Some((plan, prepared));
                     return;
+                }
+                let ex_span = refresh_span.child("extract");
+                if ex_span.is_enabled() {
+                    ex_span.detail(format!("outputs={}", prepared.len()));
                 }
                 let mut ex = prepared.extractor();
                 let sets = (0..prepared.len()).map(|j| ex.extract(j)).collect();
                 drop(ex);
+                drop(ex_span);
                 st.apply_sets(&plan, sets);
                 *fresh[i].lock() = Some(st.serve());
                 return;
             }
-            st.materialize_seq(graph, &plan);
+            st.materialize_seq_traced(graph, &plan, &refresh_span);
             *fresh[i].lock() = Some(st.serve());
         };
         match &self.pool {
@@ -379,14 +526,22 @@ impl PatternRegistry {
         // deterministic regardless of which worker produced which chunk.
         // `pending` is only ever populated when a pool exists (the
         // split_threshold gate above).
-        self.stats.last_intra_splits = 0;
+        let mut last_intra_splits = 0i64;
         if let Some(pool) = &self.pool {
             for i in 0..n {
                 let Some((plan, prepared)) = pending[i].lock().take() else { continue };
-                self.stats.last_intra_splits += 1;
-                let (sets, workers) = extract_chunked(pool, &prepared);
+                last_intra_splits += 1;
+                // The split *decision* is counted here, deterministically —
+                // a parked extraction IS a split, whether or not the pool's
+                // scheduling let a second worker claim a chunk.
+                self.counters.intra_splits.inc();
+                let split_span = parent.child("refresh");
+                if split_span.is_enabled() {
+                    split_span.detail(format!("pattern={} phase=2b", slots[i].id));
+                }
+                let (sets, workers) = extract_chunked(pool, &prepared, &split_span);
                 if workers >= 2 {
-                    self.stats.intra_pattern_splits += 1;
+                    self.counters.multi_worker.inc();
                 }
                 let mut st = slots[i].state.lock();
                 st.apply_sets(&plan, sets);
@@ -394,12 +549,18 @@ impl PatternRegistry {
             }
         }
 
-        self.stats.batches += 1;
-        self.stats.ops_replayed += replayed;
-        self.stats.ops_skipped += skipped;
-        self.stats.last_rebuilds = rebuild.iter().filter(|&&r| r).count();
-        self.stats.last_patterns_touched =
-            touched.iter().zip(&rebuild).filter(|&(&t, &r)| t || r).count();
+        self.counters.batches.inc();
+        self.counters.ops_replayed.add(replayed);
+        self.counters.ops_skipped.add(skipped);
+        self.counters.last_intra_splits.set(last_intra_splits);
+        self.counters.last_rebuilds.set(rebuild.iter().filter(|&&r| r).count() as i64);
+        self.counters
+            .last_touched
+            .set(touched.iter().zip(&rebuild).filter(|&(&t, &r)| t || r).count() as i64);
+        if let Some(pool) = &self.pool {
+            self.counters.pool_busy_nanos.set(pool.busy_nanos().min(i64::MAX as u64) as i64);
+            self.counters.pool_tasks.set(pool.tasks_run().min(i64::MAX as u64) as i64);
+        }
 
         Ok(fresh
             .into_iter()

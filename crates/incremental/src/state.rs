@@ -26,6 +26,7 @@ use gpm_ranking::objective::{c_uo_with, Objective};
 use gpm_ranking::{ReachEngine, ReachExtractor, RelevanceCache};
 use gpm_simulation::incremental::DynPair;
 use gpm_simulation::{DynMatchGraph, IncSimState};
+use gpm_telemetry::Span;
 
 use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
 
@@ -265,10 +266,20 @@ impl PatternState {
     /// Post-batch ranking maintenance: plan + materialize in one go (the
     /// sequential path — `DynamicMatcher`, or registry patterns whose
     /// dirty set is too small to split across the pool). `g` must already
-    /// be in the post-batch state described by `applied`.
-    pub(crate) fn refresh_ranking(&mut self, g: &DynGraph, applied: &AppliedDelta) {
-        let plan = self.plan_refresh(g, applied);
-        self.materialize(g, &plan);
+    /// be in the post-batch state described by `applied`; `plan`,
+    /// `prepare` and `extract` children land on `span` (pass
+    /// [`Span::disabled`] for an untraced refresh).
+    pub(crate) fn refresh_ranking_traced(
+        &mut self,
+        g: &DynGraph,
+        applied: &AppliedDelta,
+        span: &Span,
+    ) {
+        let plan = {
+            let _plan_span = span.child("plan");
+            self.plan_refresh(g, applied)
+        };
+        self.materialize_threads(g, &plan, self.cfg.reach.threads, span);
     }
 
     /// Derives the dirty seeds from the simulation flips and the changed
@@ -469,8 +480,17 @@ impl PatternState {
     /// the alive-pair view **once** and condenses it — the work every
     /// planned output amortizes, however many there are. Extraction
     /// (phase 2) is read-only, so the returned value can be fanned out
-    /// across worker threads.
-    pub(crate) fn prepare_sets(&self, g: &DynGraph, plan: &RefreshPlan) -> PreparedSets {
+    /// across worker threads. Opens a `prepare` child span on `span`
+    /// (whose `tarjan`/`bitsets` sub-phases and budget-fallback events
+    /// the reach engine fills in) so per-batch traces show where DP
+    /// preparation time goes.
+    pub(crate) fn prepare_sets_traced(
+        &self,
+        g: &DynGraph,
+        plan: &RefreshPlan,
+        span: &Span,
+    ) -> PreparedSets {
+        let prep = span.child("prepare");
         let q = &self.pattern;
         let uo = q.output();
         let view = DynMatchGraph::over_alive(g, q, &self.sim, self.cache.width());
@@ -479,7 +499,11 @@ impl PatternState {
             .iter()
             .map(|&v| view.compact_of(uo, v).expect("planned outputs are alive"))
             .collect();
-        PreparedSets { engine: ReachEngine::prepare(view, sources, &self.cfg.reach) }
+        let engine = ReachEngine::prepare_traced(view, sources, &self.cfg.reach, &prep);
+        if prep.is_enabled() {
+            prep.detail(format!("sources={} dp={}", plan.len(), engine.used_dp()));
+        }
+        PreparedSets { engine }
     }
 
     /// Stores the extracted relevant sets under the plan's outputs — the
@@ -499,23 +523,36 @@ impl PatternState {
     /// (`DynamicMatcher`, registration) — registry pool workers call
     /// [`Self::materialize_seq`] instead.
     pub(crate) fn materialize(&mut self, g: &DynGraph, plan: &RefreshPlan) {
-        self.materialize_threads(g, plan, self.cfg.reach.threads);
+        self.materialize_threads(g, plan, self.cfg.reach.threads, &Span::disabled());
     }
 
     /// As [`Self::materialize`] pinned to the calling thread — the form a
     /// registry pool worker uses, where spawning scoped threads would
     /// reintroduce the per-batch thread churn the persistent pool exists
     /// to avoid (big dirty sets go through the pool split instead).
-    pub(crate) fn materialize_seq(&mut self, g: &DynGraph, plan: &RefreshPlan) {
-        self.materialize_threads(g, plan, 1);
+    /// `prepare` + `extract` children land on `span`.
+    pub(crate) fn materialize_seq_traced(&mut self, g: &DynGraph, plan: &RefreshPlan, span: &Span) {
+        self.materialize_threads(g, plan, 1, span);
     }
 
-    fn materialize_threads(&mut self, g: &DynGraph, plan: &RefreshPlan, threads: usize) {
+    fn materialize_threads(
+        &mut self,
+        g: &DynGraph,
+        plan: &RefreshPlan,
+        threads: usize,
+        span: &Span,
+    ) {
         if plan.outputs.is_empty() {
             return;
         }
-        let prepared = self.prepare_sets(g, plan);
-        let sets = prepared.engine.extract_all(threads);
+        let prepared = self.prepare_sets_traced(g, plan, span);
+        let sets = {
+            let ex = span.child("extract");
+            if ex.is_enabled() {
+                ex.detail(format!("outputs={}", plan.len()));
+            }
+            prepared.engine.extract_all(threads)
+        };
         self.apply_sets(plan, sets);
     }
 
@@ -756,8 +793,8 @@ mod tests {
 
         let plan = RefreshPlan { outputs: dp.sim().structural_matches_of(0) };
         assert_eq!(plan.len(), 3);
-        let dp_prepared = dp.prepare_sets(&dyn_g, &plan);
-        let bfs_prepared = bfs.prepare_sets(&dyn_g, &plan);
+        let dp_prepared = dp.prepare_sets_traced(&dyn_g, &plan, &Span::disabled());
+        let bfs_prepared = bfs.prepare_sets_traced(&dyn_g, &plan, &Span::disabled());
         assert!(dp_prepared.used_dp());
         assert!(!bfs_prepared.used_dp(), "zero budget must force BFS extraction");
         let mut dp_ex = dp_prepared.extractor();

@@ -563,3 +563,85 @@ fn registry_normalizers_never_drift_from_static() {
         }
     }
 }
+
+/// Telemetry is observational only. Two registries consume the same
+/// mixed structural+attribute stream — one tracing every batch into an
+/// enabled [`Telemetry`] bundle, one left at the default (disabled)
+/// bundle — and must agree bit-for-bit with each other and with the
+/// static oracle after every batch. The traced side must actually have
+/// traced (batch trees filed with the flight recorder, phase histograms
+/// populated); the untraced side must have recorded nothing.
+#[test]
+fn telemetry_on_and_off_registries_agree() {
+    use gpm_incremental::Telemetry;
+
+    let mut rng = StdRng::seed_from_u64(0x7e1e);
+    for trial in 0..8u64 {
+        let n = rng.random_range(8..26usize);
+        let g = random_attr_graph(&mut rng, n, 3);
+        let mut traced = PatternRegistry::with_threads(&g, 3);
+        let telemetry = Telemetry::on();
+        traced.set_telemetry(telemetry.clone());
+        let mut plain = PatternRegistry::with_threads(&g, 3);
+
+        let mut ids: Vec<(PatternId, PatternId, usize)> = Vec::new();
+        for _ in 0..rng.random_range(2..5usize) {
+            let q = random_attr_pattern(&mut rng);
+            let k = rng.random_range(1..5usize);
+            let cfg = IncrementalConfig::new(k).lambda(rng.random_range(0.0..1.0f64));
+            let a = traced.register(q.clone(), cfg.clone()).unwrap();
+            let b = plain.register(q, cfg).unwrap();
+            ids.push((a, b, k));
+        }
+
+        let stream = update_stream(
+            &g,
+            &UpdateStreamConfig {
+                batches: 5,
+                batch_size: 4,
+                insert_fraction: 0.5,
+                node_churn: 0.15,
+                attr_churn: 0.35,
+                attr_keys: ATTR_KEYS,
+                attr_values: ATTR_VALUES,
+                labels: LABELS,
+                seed: 0x0b5e ^ trial,
+            },
+        );
+        for (step, delta) in stream.iter().enumerate() {
+            traced.apply(delta).unwrap();
+            plain.apply(delta).unwrap();
+            let snap = traced.snapshot();
+            for &(a, b, k) in &ids {
+                let ta = traced.top_k(a).unwrap();
+                let tb = plain.top_k(b).unwrap();
+                assert_eq!(
+                    ta.matches, tb.matches,
+                    "telemetry changed an answer: trial {trial} step {step}"
+                );
+                assert_eq!(
+                    traced.top_k_diversified(a).unwrap().matches,
+                    plain.top_k_diversified(b).unwrap().matches,
+                );
+                let oracle =
+                    top_k_by_match(&snap, &traced.pattern(a).unwrap(), &TopKConfig::new(k));
+                assert_eq!(ta.matches, oracle.matches, "trial {trial} step {step}");
+            }
+        }
+
+        // The enabled side really observed the stream…
+        assert!(!telemetry.recorder().recent().is_empty(), "no batch traces filed");
+        let snap = telemetry.metrics().snapshot();
+        let apply = snap.histogram(&gpm_telemetry_phase("apply"));
+        assert!(apply.is_some_and(|h| h.count > 0), "no apply-phase samples");
+        // …and the disabled side stayed silent (counters still count).
+        assert!(plain.telemetry().recorder().recent().is_empty());
+        assert_eq!(plain.stats().batches, traced.stats().batches);
+    }
+}
+
+/// `gpm_telemetry::names::phase` without taking a direct gpm-telemetry
+/// dev-dependency: the label format is part of the metric contract.
+fn gpm_telemetry_phase(name: &str) -> String {
+    format!("gpm_phase_seconds{{phase=\"{name}\"}}")
+}

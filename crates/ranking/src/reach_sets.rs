@@ -34,6 +34,7 @@ use std::collections::{HashMap, VecDeque};
 
 use gpm_graph::{BitSet, Condensation};
 use gpm_simulation::{CandidateSpace, MatchGraph, ReachView};
+use gpm_telemetry::Span;
 
 /// Memory / execution policy for set-reachability computations.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +81,16 @@ impl<V: ReachView> ReachEngine<V> {
     /// BFS decision when the budget would be exceeded). `view` is kept for
     /// extraction; pass a reference to borrow.
     pub fn prepare(view: V, sources: Vec<u32>, cfg: &ReachConfig) -> Self {
+        Self::prepare_traced(view, sources, cfg, &Span::disabled())
+    }
+
+    /// [`Self::prepare`] with phase tracing: opens `tarjan` and `bitsets`
+    /// child spans under `span` and records budget-fallback decisions as
+    /// events (`budget-bail-early` when even one universe-wide bitset
+    /// would bust the budget, `budget-bail-estimate` when the
+    /// post-condensation estimate does). A disabled span makes this
+    /// identical to `prepare`.
+    pub fn prepare_traced(view: V, sources: Vec<u32>, cfg: &ReachConfig, span: &Span) -> Self {
         let m = view.universe_size();
         if sources.is_empty() {
             return ReachEngine {
@@ -95,9 +106,13 @@ impl<V: ReachView> ReachEngine<V> {
         // O(V+E) Tarjan pass just to learn it is the fallback.
         let words = m.div_ceil(64);
         if words * 8 > cfg.budget_bytes {
+            span.event("budget-bail-early");
             return ReachEngine { view, sources, m, mode: Mode::Bfs };
         }
-        let cond = Condensation::compute(&view);
+        let cond = {
+            let _tarjan = span.child("tarjan");
+            Condensation::compute(&view)
+        };
         let nc = cond.component_count();
 
         // Which components feed the sources? Forward reachability over the
@@ -139,8 +154,10 @@ impl<V: ReachView> ReachEngine<V> {
         // alive, plus the trivial source components' strict sets.
         let estimated = (needed_count + trivial_src).saturating_mul(words * 8);
         if estimated > cfg.budget_bytes {
+            span.event("budget-bail-estimate");
             return ReachEngine { view, sources, m, mode: Mode::Bfs };
         }
+        let bitsets_span = span.child("bitsets");
 
         // Reference counts: how many needed predecessors still want Full(c).
         let mut pending_preds = vec![0u32; nc];
@@ -211,6 +228,12 @@ impl<V: ReachView> ReachEngine<V> {
                 (sets.len() - 1) as u32
             });
             of_source.push(idx);
+        }
+        if bitsets_span.is_enabled() {
+            bitsets_span.detail(format!(
+                "components={nc} needed={needed_count} retained_sets={}",
+                sets.len()
+            ));
         }
         ReachEngine { view, sources, m, mode: Mode::Dp { sets, of_source } }
     }
@@ -456,6 +479,48 @@ mod tests {
         let sim = compute_simulation(&g, &q);
         let mg = MatchGraph::over_matches(&g, &q, &sim);
         assert!(strict_reach_sets(&mg, sim.space(), &[], &ReachConfig::default()).is_empty());
+    }
+
+    /// Tracing surfaces the DP sub-phases and the budget-fallback
+    /// decision without changing results.
+    #[test]
+    fn prepare_traced_reports_phases_and_fallbacks() {
+        use gpm_telemetry::Telemetry;
+        let g =
+            graph_from_parts(&[0, 1, 2, 1, 0], &[(0, 1), (1, 2), (0, 3), (3, 2), (4, 3)]).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let sim = compute_simulation(&g, &q);
+        let mg = MatchGraph::over_matches(&g, &q, &sim);
+        let sources: Vec<u32> = (0..mg.len() as u32).collect();
+        let t = Telemetry::on();
+
+        let root = t.root_span("prepare");
+        let dp = ReachEngine::prepare_traced(
+            mg.reach_view(sim.space()),
+            sources.clone(),
+            &ReachConfig::default(),
+            &root,
+        );
+        assert!(dp.used_dp());
+        let trace = t.finish_batch(root, 0).expect("enabled");
+        assert_eq!(trace.spans_named("tarjan").count(), 1);
+        let bitsets = trace.spans_named("bitsets").next().expect("bitsets span");
+        assert!(bitsets.detail.contains("components="));
+
+        let root = t.root_span("prepare");
+        let bfs = ReachEngine::prepare_traced(
+            mg.reach_view(sim.space()),
+            sources.clone(),
+            &ReachConfig { budget_bytes: 0, threads: 1 },
+            &root,
+        );
+        assert!(!bfs.used_dp());
+        let trace = t.finish_batch(root, 1).expect("enabled");
+        assert!(trace.spans[0].events.iter().any(|(_, e)| e == "budget-bail-early"));
+        assert_eq!(trace.spans_named("tarjan").count(), 0, "early bail skips Tarjan");
+        for i in 0..sources.len() {
+            assert_eq!(dp.extract(i), bfs.extract(i), "tracing never changes answers");
+        }
     }
 
     /// Shared-node diamond: distinct pairs with the same data node must not

@@ -44,7 +44,15 @@ impl Serialize for VersionedAnswer {
 /// subscriber saw last. Under queue overflow, intermediate updates are
 /// coalesced away — `version` then jumps by the number of skipped
 /// answers, and `diff` is rebased so it still reconciles the consumer's
-/// last-seen answer with `topk`.
+/// last-seen answer with `topk`. How often that happened is observable:
+/// per subscription via [`Subscription::dropped`] /
+/// [`Subscription::rebased`], and stack-wide as the
+/// `gpm_serving_updates_dropped_total` / `gpm_serving_diffs_rebased_total`
+/// telemetry counters (also in [`ServiceStats`]).
+///
+/// [`Subscription::dropped`]: crate::Subscription::dropped
+/// [`Subscription::rebased`]: crate::Subscription::rebased
+/// [`ServiceStats`]: crate::ServiceStats
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnswerUpdate {
     /// The pattern this update concerns.

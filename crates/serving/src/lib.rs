@@ -78,6 +78,11 @@ pub use runtime::ServiceHandle;
 pub use service::{AnswerService, IngestReport, ServiceConfig, ServiceStats, ServingError};
 pub use subscription::{NotifyMode, Subscription, SubscriptionId};
 
+// The observability vocabulary of [`ServiceConfig::telemetry`] and
+// [`AnswerService::telemetry`], re-exported so serving consumers need no
+// direct gpm-telemetry dependency.
+pub use gpm_telemetry::{names, BatchTrace, Telemetry, TelemetryConfig};
+
 // Doc-link convenience.
 #[allow(unused_imports)]
 use gpm_graph::GraphDelta;

@@ -21,6 +21,7 @@
 
 use gpm_graph::json::{delta_from_value, graph_from_value, graph_to_value};
 use gpm_graph::{DiGraph, DynGraph, GraphDelta};
+use gpm_telemetry::Histogram;
 use serde::{Serialize, Value};
 
 use crate::service::ServingError;
@@ -56,6 +57,10 @@ pub struct DeltaLog {
     /// Persistence cursor of the last [`Self::save`] (`None` until the
     /// first save, and reset by [`Self::compact_to`]).
     saved: Option<SaveCursor>,
+    /// When attached, every fsynced write (append or wholesale) records
+    /// its wall time here — `gpm_log_fsync_seconds` in the serving
+    /// stack's telemetry. Bare logs carry `None` and pay nothing.
+    fsync_hist: Option<Histogram>,
 }
 
 impl Clone for DeltaLog {
@@ -69,6 +74,7 @@ impl Clone for DeltaLog {
             base_seq: self.base_seq,
             entries: self.entries.clone(),
             saved: None,
+            fsync_hist: self.fsync_hist.clone(),
         }
     }
 }
@@ -82,7 +88,19 @@ impl DeltaLog {
     /// A log anchored mid-stream: `base` is the graph state at `base_seq`
     /// (a late joiner's starting snapshot).
     pub fn at_offset(base: &DiGraph, base_seq: u64) -> Self {
-        DeltaLog { base: base.clone(), base_seq, entries: Vec::new(), saved: None }
+        DeltaLog {
+            base: base.clone(),
+            base_seq,
+            entries: Vec::new(),
+            saved: None,
+            fsync_hist: None,
+        }
+    }
+
+    /// Attaches the histogram every fsynced write records into (the
+    /// serving layer passes its `gpm_log_fsync_seconds` handle).
+    pub fn set_fsync_histogram(&mut self, h: Histogram) {
+        self.fsync_hist = Some(h);
     }
 
     /// The anchored snapshot (graph state at [`Self::base_seq`]).
@@ -256,7 +274,7 @@ impl DeltaLog {
                 suffix.push('\n');
             }
             if !suffix.is_empty() {
-                if let Err(e) = append_synced(path, suffix.as_bytes()) {
+                if let Err(e) = self.timed_fsync(|| append_synced(path, suffix.as_bytes())) {
                     // The file may hold a torn suffix now: drop the cursor
                     // so a retried save rewrites wholesale instead of
                     // appending the same entries after the partial ones.
@@ -267,11 +285,25 @@ impl DeltaLog {
             self.saved.as_mut().expect("checked above").head_seq = head;
             return Ok(());
         }
-        write_synced(path, self.to_json_lines().as_bytes())
+        let full = self.to_json_lines();
+        self.timed_fsync(|| write_synced(path, full.as_bytes()))
             .map_err(|e| ServingError::corrupt(format!("write log: {e}")))?;
         self.saved =
             Some(SaveCursor { path: path.to_path_buf(), base_seq: self.base_seq, head_seq: head });
         Ok(())
+    }
+
+    /// Runs one fsynced write, recording its wall time when a histogram
+    /// is attached. Failed writes record too — a stalling disk is
+    /// exactly what the latency histogram exists to surface.
+    fn timed_fsync(&self, write: impl FnOnce() -> std::io::Result<()>) -> std::io::Result<()> {
+        let Some(h) = &self.fsync_hist else {
+            return write();
+        };
+        let t0 = std::time::Instant::now();
+        let out = write();
+        h.record(t0.elapsed());
+        out
     }
 
     /// Reads a log back from a file.

@@ -88,6 +88,20 @@ impl ServiceHandle {
         self.with(|svc| svc.seq())
     }
 
+    /// One JSON object holding the live service's metrics snapshot and
+    /// flight-recorder contents (`{"metrics":…,"flight_recorder":…}`) —
+    /// taken on the loop thread, between batches, so it always reflects
+    /// a consistency point.
+    pub fn telemetry_dump(&self) -> String {
+        self.with(|svc| svc.telemetry().dump_json())
+    }
+
+    /// Prometheus-style text exposition of the live service's metrics,
+    /// taken at a consistency point like [`Self::telemetry_dump`].
+    pub fn telemetry_render(&self) -> String {
+        self.with(|svc| svc.telemetry().render())
+    }
+
     /// Stops the loop (after draining already-queued commands) and returns
     /// the service.
     pub fn shutdown(mut self) -> AnswerService {

@@ -19,6 +19,7 @@ use gpm_incremental::{
     IncrementalConfig, IncrementalError, PatternId, PatternRegistry, RegistryStats,
 };
 use gpm_pattern::Pattern;
+use gpm_telemetry::{names, Counter, Gauge, Span, Telemetry, TelemetryConfig};
 
 use crate::answer::{AnswerUpdate, VersionedAnswer};
 use crate::log::DeltaLog;
@@ -100,6 +101,12 @@ pub struct ServiceConfig {
     pub retain_answers: usize,
     /// Maintenance-pool size of the owned registry.
     pub threads: usize,
+    /// Observability bounds and switches. Enabled by default: the
+    /// serving layer is where batch traces, phase histograms and the
+    /// flight recorder earn their keep. [`TelemetryConfig::disabled`]
+    /// keeps counters (and thus [`ServiceStats`]) while dropping
+    /// histograms and tracing to a few relaxed atomic loads.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -108,11 +115,15 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             retain_answers: 1024,
             threads: PatternRegistry::default_threads(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
 
-/// Service-level counters.
+/// Service-level counters — a point-in-time snapshot assembled from the
+/// service's telemetry counters by [`AnswerService::stats`] (the
+/// counters are the single source of truth; this struct is the
+/// ergonomic read).
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Batches ingested (appended to the log and applied).
@@ -121,11 +132,52 @@ pub struct ServiceStats {
     pub updates_pushed: u64,
     /// Updates merged away by queue-overflow coalescing.
     pub updates_coalesced: u64,
+    /// Queued updates evicted by coalescing, summed over every
+    /// subscription (per-subscription counts via
+    /// [`Subscription::dropped`](crate::Subscription::dropped)).
+    pub updates_dropped: u64,
+    /// Diffs rebased onto an earlier baseline during coalescing, summed
+    /// over every subscription (per-subscription counts via
+    /// [`Subscription::rebased`](crate::Subscription::rebased)).
+    pub diffs_rebased: u64,
     /// Notifications withheld because a touched pattern's answer did not
     /// materially change for that subscription ("no spurious wakeups").
     pub suppressed: u64,
     /// Ingests rejected (invalid deltas) — state and log unchanged.
     pub ingest_errors: u64,
+}
+
+/// Resolved handles of every serving-level metric; counters keep
+/// recording whether or not histograms/tracing are enabled, so
+/// [`ServiceStats`] stays correct either way.
+#[derive(Debug)]
+struct ServiceCounters {
+    batches: Counter,
+    updates_pushed: Counter,
+    updates_coalesced: Counter,
+    updates_dropped: Counter,
+    diffs_rebased: Counter,
+    suppressed: Counter,
+    ingest_errors: Counter,
+    subscriptions: Gauge,
+    max_queue_depth: Gauge,
+}
+
+impl ServiceCounters {
+    fn resolve(t: &Telemetry) -> Self {
+        let m = t.metrics();
+        ServiceCounters {
+            batches: m.counter(names::SERVING_BATCHES),
+            updates_pushed: m.counter(names::SERVING_UPDATES_PUSHED),
+            updates_coalesced: m.counter(names::SERVING_UPDATES_COALESCED),
+            updates_dropped: m.counter(names::SERVING_UPDATES_DROPPED),
+            diffs_rebased: m.counter(names::SERVING_DIFFS_REBASED),
+            suppressed: m.counter(names::SERVING_SUPPRESSED),
+            ingest_errors: m.counter(names::SERVING_INGEST_ERRORS),
+            subscriptions: m.gauge(names::SERVING_SUBSCRIPTIONS),
+            max_queue_depth: m.gauge(names::SERVING_MAX_QUEUE_DEPTH),
+        }
+    }
 }
 
 /// What one [`AnswerService::ingest`] did.
@@ -173,7 +225,8 @@ pub struct AnswerService {
     subs: HashMap<PatternId, Vec<SubEntry>>,
     next_sub: u64,
     cfg: ServiceConfig,
-    stats: ServiceStats,
+    telemetry: Telemetry,
+    counters: ServiceCounters,
 }
 
 impl AnswerService {
@@ -186,15 +239,30 @@ impl AnswerService {
     /// `seq` — the late-joiner / crash-recovery constructor. Re-subscribe,
     /// then [`Self::catch_up`] against the source log.
     pub fn at_offset(g: &DiGraph, seq: u64, cfg: ServiceConfig) -> Self {
+        let telemetry = Telemetry::new(cfg.telemetry.clone());
+        let counters = ServiceCounters::resolve(&telemetry);
+        let mut registry = PatternRegistry::with_threads(g, cfg.threads);
+        registry.set_telemetry(telemetry.clone());
+        let mut log = DeltaLog::at_offset(g, seq);
+        log.set_fsync_histogram(telemetry.metrics().histogram(names::LOG_FSYNC_SECONDS));
         AnswerService {
-            registry: PatternRegistry::with_threads(g, cfg.threads),
-            log: DeltaLog::at_offset(g, seq),
+            registry,
+            log,
             patterns: HashMap::new(),
             subs: HashMap::new(),
             next_sub: 0,
             cfg,
-            stats: ServiceStats::default(),
+            telemetry,
+            counters,
         }
+    }
+
+    /// The observability bundle the whole stack under this service
+    /// records into — metrics, batch traces and the flight recorder.
+    /// `handle.with(|svc| svc.telemetry().dump_json())` is the
+    /// control-plane dump of a live service.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The sequence number of the newest ingested batch.
@@ -212,13 +280,22 @@ impl AnswerService {
         &self.log
     }
 
-    /// Service-level counters.
-    pub fn stats(&self) -> &ServiceStats {
-        &self.stats
+    /// Service-level counters (a snapshot of the telemetry counters).
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            batches: c.batches.get(),
+            updates_pushed: c.updates_pushed.get(),
+            updates_coalesced: c.updates_coalesced.get(),
+            updates_dropped: c.updates_dropped.get(),
+            diffs_rebased: c.diffs_rebased.get(),
+            suppressed: c.suppressed.get(),
+            ingest_errors: c.ingest_errors.get(),
+        }
     }
 
     /// The owned registry's counters (shared-index skip rate & co).
-    pub fn registry_stats(&self) -> &RegistryStats {
+    pub fn registry_stats(&self) -> RegistryStats {
         self.registry.stats()
     }
 
@@ -324,7 +401,7 @@ impl AnswerService {
             topk: initial.clone(),
             diff: AnswerDiff::between(&[], &initial),
         });
-        self.stats.updates_pushed += 1;
+        self.counters.updates_pushed.inc();
         self.subs.entry(pattern).or_default().push(SubEntry {
             id,
             mode,
@@ -332,6 +409,7 @@ impl AnswerService {
             last: initial,
             shared: shared.clone(),
         });
+        self.counters.subscriptions.set(self.subscriptions() as i64);
         Ok(Subscription { id, pattern, mode, shared })
     }
 
@@ -354,6 +432,7 @@ impl AnswerService {
             self.patterns.remove(&pattern);
             self.registry.deregister(pattern);
         }
+        self.counters.subscriptions.set(self.subscriptions() as i64);
         true
     }
 
@@ -363,17 +442,38 @@ impl AnswerService {
     /// subscription whose view materially changed. On error the graph,
     /// the log and every queue are unchanged.
     pub fn ingest(&mut self, delta: &GraphDelta) -> Result<IngestReport, ServingError> {
-        let changes = match self.registry.apply(delta) {
-            Ok(changes) => changes,
-            Err(e) => {
-                self.stats.ingest_errors += 1;
-                return Err(e.into());
+        // One batch = one trace: the "ingest" root spans the registry
+        // apply (and its replay/refresh/prepare/extract subtree) plus
+        // the notify fan-out; finish_batch folds every span into the
+        // phase histograms and files the tree with the flight recorder.
+        let root = self.telemetry.start_batch();
+        let out = self.ingest_traced(delta, &root);
+        self.telemetry.finish_batch(root, self.log.head_seq());
+        out
+    }
+
+    fn ingest_traced(
+        &mut self,
+        delta: &GraphDelta,
+        root: &Span,
+    ) -> Result<IngestReport, ServingError> {
+        let changes = {
+            let apply = root.child("apply");
+            match self.registry.apply_traced(delta, &apply) {
+                Ok(changes) => changes,
+                Err(e) => {
+                    self.counters.ingest_errors.inc();
+                    apply.event("ingest-rejected");
+                    return Err(e.into());
+                }
             }
         };
         let seq = self.log.append(delta.clone());
-        self.stats.batches += 1;
+        self.counters.batches.inc();
         let mut report = IngestReport { seq, touched: changes.len(), notified: 0 };
 
+        let notify = root.child("notify");
+        let mut max_depth = 0usize;
         for change in &changes {
             // Per-pattern versioned history: advance only on material
             // change of the relevance answer (the registry's diff).
@@ -411,7 +511,7 @@ impl AnswerService {
                 let (fresh, diff): (&[RankedMatch], AnswerDiff) = match sub.mode {
                     NotifyMode::Relevance => {
                         if !change.changed() {
-                            self.stats.suppressed += 1;
+                            self.counters.suppressed.inc();
                             continue;
                         }
                         (&change.top.matches, change.diff.clone())
@@ -420,7 +520,7 @@ impl AnswerService {
                         let fresh: &[RankedMatch] = div.as_deref().expect("computed above");
                         let diff = AnswerDiff::between(&sub.last, fresh);
                         if diff.is_empty() {
-                            self.stats.suppressed += 1;
+                            self.counters.suppressed.inc();
                             continue;
                         }
                         sub.last = fresh.to_vec();
@@ -428,19 +528,26 @@ impl AnswerService {
                     }
                 };
                 sub.version += 1;
-                let coalesced = sub.shared.push(AnswerUpdate {
+                let outcome = sub.shared.push(AnswerUpdate {
                     pattern: change.id,
                     version: sub.version,
                     seq,
                     topk: fresh.to_vec(),
                     diff,
                 });
-                self.stats.updates_pushed += 1;
-                if coalesced {
-                    self.stats.updates_coalesced += 1;
+                max_depth = max_depth.max(outcome.depth);
+                self.counters.updates_pushed.inc();
+                if outcome.coalesced {
+                    self.counters.updates_coalesced.inc();
+                    self.counters.updates_dropped.inc();
+                    self.counters.diffs_rebased.inc();
                 }
                 report.notified += 1;
             }
+        }
+        self.counters.max_queue_depth.set(max_depth as i64);
+        if notify.is_enabled() {
+            notify.detail(format!("touched={} notified={}", report.touched, report.notified));
         }
         Ok(report)
     }
@@ -495,7 +602,15 @@ impl AnswerService {
     /// to the same path append only the batches ingested since the last
     /// one (wholesale rewrite only after [`Self::compact_log`]).
     pub fn save_log(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), ServingError> {
-        self.log.save(path)
+        let t0 = std::time::Instant::now();
+        let out = self.log.save(path);
+        // Whole-save wall time lands in the phase family next to the
+        // per-fsync latency the log itself records.
+        self.telemetry
+            .metrics()
+            .histogram_with(names::PHASE_SECONDS, &[("phase", "log_save")])
+            .record(t0.elapsed());
+        out
     }
 }
 

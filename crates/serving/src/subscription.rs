@@ -49,7 +49,23 @@ pub(crate) struct SubQueue {
     delivered: Vec<RankedMatch>,
     /// Updates merged away by overflow coalescing.
     coalesced: u64,
+    /// Queued updates evicted by overflow coalescing (the pop side of a
+    /// coalesce — what the consumer never saw).
+    dropped: u64,
+    /// Diffs rewritten onto an earlier baseline so the reconciliation
+    /// chain stays gapless across the eviction (the push side).
+    rebased: u64,
     closed: bool,
+}
+
+/// What one [`SubShared::push`] did to the queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PushOutcome {
+    /// Whether the push overflowed the queue and coalesced newest-wins.
+    pub(crate) coalesced: bool,
+    /// Queue depth right after the push — the fan-out loop feeds the
+    /// `gpm_serving_max_queue_depth` gauge from this.
+    pub(crate) depth: usize,
 }
 
 pub(crate) struct SubShared {
@@ -65,6 +81,8 @@ impl SubShared {
                 capacity: capacity.max(1),
                 delivered: Vec::new(),
                 coalesced: 0,
+                dropped: 0,
+                rebased: 0,
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -76,10 +94,10 @@ impl SubShared {
     /// rebased onto the answer preceding the dropped one — so the
     /// consumer's reconciliation chain stays gapless even though its
     /// history is not.
-    pub(crate) fn push(&self, mut update: AnswerUpdate) -> bool {
+    pub(crate) fn push(&self, mut update: AnswerUpdate) -> PushOutcome {
         let mut q = self.lock();
         if q.closed {
-            return false;
+            return PushOutcome { coalesced: false, depth: q.updates.len() };
         }
         let mut coalesced = false;
         if q.updates.len() == q.capacity {
@@ -87,12 +105,15 @@ impl SubShared {
             let base: &[RankedMatch] = q.updates.back().map_or(&q.delivered, |u| &u.topk);
             update.diff = AnswerDiff::between(base, &update.topk);
             q.coalesced += 1;
+            q.dropped += 1;
+            q.rebased += 1;
             coalesced = true;
         }
         q.updates.push_back(update);
+        let depth = q.updates.len();
         drop(q);
         self.ready.notify_all();
-        coalesced
+        PushOutcome { coalesced, depth }
     }
 
     pub(crate) fn close(&self) {
@@ -180,6 +201,20 @@ impl Subscription {
     /// Updates merged away by overflow coalescing so far.
     pub fn coalesced(&self) -> u64 {
         self.shared.lock().coalesced
+    }
+
+    /// Queued updates this subscription lost to newest-wins coalescing —
+    /// intermediate answers the consumer never received (also counted
+    /// stack-wide as `gpm_serving_updates_dropped_total`).
+    pub fn dropped(&self) -> u64 {
+        self.shared.lock().dropped
+    }
+
+    /// Diffs rebased onto an earlier baseline during coalescing so the
+    /// consumer's reconciliation chain stayed gapless (also counted
+    /// stack-wide as `gpm_serving_diffs_rebased_total`).
+    pub fn rebased(&self) -> u64 {
+        self.shared.lock().rebased
     }
 
     /// `true` once the service dropped this subscription (pending updates

@@ -44,6 +44,12 @@ fn overflow_coalesces_newest_wins_never_torn() {
     assert_eq!(sub.pending(), 1, "bounded queue holds exactly one update");
     assert_eq!(sub.coalesced(), 3);
     assert_eq!(svc.stats().updates_coalesced, 3);
+    // Each coalesce evicted one queued update and rebased the fresh
+    // one's diff — visible per subscription and in the service stats.
+    assert_eq!(sub.dropped(), 3);
+    assert_eq!(sub.rebased(), 3);
+    assert_eq!(svc.stats().updates_dropped, 3);
+    assert_eq!(svc.stats().diffs_rebased, 3);
 
     let update = sub.try_recv().unwrap();
     // Newest wins: the one retained update is the *latest* answer…

@@ -1,0 +1,381 @@
+//! # gpm-telemetry
+//!
+//! Unified observability for the serving stack — offline and std-only,
+//! in the spirit of `crates/compat/`: no network listener, no external
+//! crates, just data structures the rest of the workspace threads
+//! through its hot paths.
+//!
+//! Three pieces, one bundle:
+//!
+//! * **metrics** ([`MetricsRegistry`]) — named counters, gauges and
+//!   fixed-bucket latency histograms, lock-free on the hot path via
+//!   per-thread shards merged at snapshot, rendered as JSON or a
+//!   Prometheus-style text exposition;
+//! * **phase tracing** ([`Span`], [`BatchTrace`]) — a per-batch span
+//!   tree with monotonic timestamps and thread ordinals, so WorkerPool
+//!   parallelism is visible in the trace rather than inferred;
+//! * **flight recorder** ([`FlightRecorder`]) — a bounded ring of
+//!   recent batch traces plus captures of every batch that crossed a
+//!   latency threshold, dumpable as JSON for post-hoc debugging.
+//!
+//! [`Telemetry`] is the cloneable handle the stack shares: the serving
+//! layer opens a root span per ingested batch
+//! ([`Telemetry::start_batch`]) and closes it with
+//! [`Telemetry::finish_batch`], which derives the per-phase latency
+//! histograms (`gpm_phase_seconds{phase="…"}`) and event counters
+//! (`gpm_events_total{event="…"}`) from the finished span tree and
+//! files the trace with the recorder. Counters and gauges record even
+//! when telemetry is disabled — they are the single source of truth
+//! behind the `*Stats` structs — while histograms and tracing honor the
+//! enabled flag, keeping the disabled overhead to a couple of relaxed
+//! atomic loads.
+
+mod clock;
+mod metrics;
+mod recorder;
+mod trace;
+
+pub use metrics::{
+    bucket_index, bucket_le_ns, thread_ordinal, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, BUCKET_COUNT,
+};
+pub use recorder::{FlightRecorder, RecorderConfig};
+pub use trace::{BatchTrace, Span, SpanRecord};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The metric-name catalog: every name the stack emits, in one place,
+/// so docs, tests and dashboards never chase string drift.
+pub mod names {
+    /// Histogram family: wall time of each traced phase, labeled
+    /// `{phase="…"}`. Phases come from span names — see [`PHASES`].
+    pub const PHASE_SECONDS: &str = "gpm_phase_seconds";
+    /// Counter family: point events recorded on spans, labeled
+    /// `{event="…"}` (budget fallbacks, rebuild decisions, …).
+    pub const EVENTS_TOTAL: &str = "gpm_events_total";
+    /// Histogram: latency of each fsynced [`DeltaLog`] save
+    /// (append or wholesale), recorded by the serving layer.
+    ///
+    /// [`DeltaLog`]: ../gpm_serving/struct.DeltaLog.html
+    pub const LOG_FSYNC_SECONDS: &str = "gpm_log_fsync_seconds";
+
+    /// Span names the instrumented stack opens, root to leaf: batch
+    /// ingest; registry delta apply (with its lockstep `replay` child);
+    /// per-pattern phase-2a refresh; plan/DP-prepare (with `tarjan` +
+    /// `bitsets` children) vs. extract (per chunk under phase-2b
+    /// splits); subscription fan-out; log persistence.
+    pub const PHASES: &[&str] = &[
+        "ingest", "apply", "replay", "refresh", "plan", "prepare", "tarjan", "bitsets", "extract",
+        "notify", "log_save",
+    ];
+
+    // Registry counters/gauges (always on — they back `RegistryStats`).
+    pub const REGISTRY_BATCHES: &str = "gpm_registry_batches_total";
+    pub const REGISTRY_REGISTRATIONS: &str = "gpm_registry_registrations_total";
+    pub const REGISTRY_DEREGISTRATIONS: &str = "gpm_registry_deregistrations_total";
+    pub const REGISTRY_OPS_REPLAYED: &str = "gpm_registry_ops_replayed_total";
+    pub const REGISTRY_OPS_SKIPPED: &str = "gpm_registry_ops_skipped_total";
+    /// Phase-2b split *decisions* (deterministic; see ISSUE 6 satellite).
+    pub const REGISTRY_INTRA_SPLITS: &str = "gpm_registry_intra_pattern_splits_total";
+    /// Refreshes *observed* on ≥2 distinct worker threads (scheduling-
+    /// dependent; kept separate from the decision counter on purpose).
+    pub const REGISTRY_MULTI_WORKER: &str = "gpm_registry_observed_multi_worker_refreshes_total";
+    pub const REGISTRY_LAST_TOUCHED: &str = "gpm_registry_last_patterns_touched";
+    pub const REGISTRY_LAST_REBUILDS: &str = "gpm_registry_last_rebuilds";
+    pub const REGISTRY_LAST_INTRA_SPLITS: &str = "gpm_registry_last_intra_splits";
+
+    // Worker-pool occupancy (copied from the pool's own atomics once per
+    // batch — gauges because they are point-in-time running totals).
+    pub const POOL_BUSY_NANOS: &str = "gpm_pool_busy_nanos";
+    pub const POOL_TASKS: &str = "gpm_pool_tasks";
+
+    // Serving counters/gauges (always on — they back `ServiceStats`).
+    pub const SERVING_BATCHES: &str = "gpm_serving_batches_total";
+    pub const SERVING_UPDATES_PUSHED: &str = "gpm_serving_updates_pushed_total";
+    pub const SERVING_UPDATES_COALESCED: &str = "gpm_serving_updates_coalesced_total";
+    /// Updates evicted by newest-wins coalescing across all
+    /// subscriptions (satellite: per-subscription counts live on
+    /// `Subscription`).
+    pub const SERVING_UPDATES_DROPPED: &str = "gpm_serving_updates_dropped_total";
+    /// Diffs rebased onto a surviving queued update during coalescing.
+    pub const SERVING_DIFFS_REBASED: &str = "gpm_serving_diffs_rebased_total";
+    pub const SERVING_SUPPRESSED: &str = "gpm_serving_suppressed_total";
+    pub const SERVING_INGEST_ERRORS: &str = "gpm_serving_ingest_errors_total";
+    pub const SERVING_SUBSCRIPTIONS: &str = "gpm_serving_subscriptions";
+    /// Deepest subscription queue observed during the last fan-out.
+    pub const SERVING_MAX_QUEUE_DEPTH: &str = "gpm_serving_max_queue_depth";
+
+    /// The full labeled name of one phase histogram, e.g.
+    /// `gpm_phase_seconds{phase="prepare"}` — the key used by
+    /// [`MetricsSnapshot::histogram`](super::MetricsSnapshot::histogram).
+    pub fn phase(name: &str) -> String {
+        format!("{PHASE_SECONDS}{{phase=\"{name}\"}}")
+    }
+
+    /// The full labeled name of one event counter.
+    pub fn event(name: &str) -> String {
+        format!("{EVENTS_TOTAL}{{event=\"{name}\"}}")
+    }
+
+    /// Metric names every healthy serving process must expose with
+    /// nonzero counts once it has ingested work — asserted by the
+    /// acceptance test and the CI smoke step.
+    pub fn mandatory_histograms() -> Vec<String> {
+        vec![phase("ingest"), phase("refresh"), phase("notify"), LOG_FSYNC_SECONDS.to_string()]
+    }
+}
+
+/// Bounds and switches for one [`Telemetry`] bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Gates histograms and tracing (counters/gauges always record).
+    pub enabled: bool,
+    /// Flight-recorder bounds.
+    pub recorder: RecorderConfig,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { enabled: true, recorder: RecorderConfig::default() }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry off: counters still count, everything else is free.
+    pub fn disabled() -> Self {
+        TelemetryConfig { enabled: false, ..TelemetryConfig::default() }
+    }
+
+    /// Sets the slow-batch capture threshold.
+    pub fn slow_threshold(mut self, t: Duration) -> Self {
+        self.recorder.slow_threshold = t;
+        self
+    }
+
+    /// Sets the recent-trace ring capacity.
+    pub fn ring_capacity(mut self, n: usize) -> Self {
+        self.recorder.ring_capacity = n;
+        self
+    }
+}
+
+struct TelemetryInner {
+    metrics: MetricsRegistry,
+    recorder: FlightRecorder,
+    /// Handles for the canonical per-phase histograms, resolved once at
+    /// construction so [`Telemetry::finish_batch`] folds span durations
+    /// without per-span name formatting or map lookups (a measured
+    /// multi-µs/batch cost at serving rates). Non-canonical span names
+    /// fall back to [`MetricsRegistry::histogram_with`].
+    phase_hists: Vec<(&'static str, Histogram)>,
+}
+
+/// The cloneable handle the stack shares: a metrics registry, a span
+/// factory and a flight recorder behind one `Arc`. See the crate docs.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.enabled()).finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    /// A bundle with the given config.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        if cfg.enabled {
+            // Calibrate the span clock now so the first traced batch
+            // doesn't absorb the one-time cost.
+            clock::warm_up();
+        }
+        let metrics = MetricsRegistry::new(cfg.enabled);
+        // Probe order = rough per-batch frequency (per-pattern phases
+        // first), so the linear `find` in `finish_batch` usually hits in
+        // one or two steps.
+        const HOT_ORDER: &[&str] = &[
+            "refresh", "plan", "prepare", "extract", "tarjan", "bitsets", "apply", "replay",
+            "ingest", "notify", "log_save",
+        ];
+        debug_assert_eq!(
+            {
+                let mut a = HOT_ORDER.to_vec();
+                a.sort_unstable();
+                a
+            },
+            {
+                let mut b = names::PHASES.to_vec();
+                b.sort_unstable();
+                b
+            },
+            "hot order covers exactly the canonical phases"
+        );
+        let phase_hists = HOT_ORDER
+            .iter()
+            .map(|&p| (p, metrics.histogram_with(names::PHASE_SECONDS, &[("phase", p)])))
+            .collect();
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                metrics,
+                recorder: FlightRecorder::new(cfg.recorder),
+                phase_hists,
+            }),
+        }
+    }
+
+    /// Tracing + histograms on, default bounds.
+    pub fn on() -> Self {
+        Telemetry::new(TelemetryConfig::default())
+    }
+
+    /// Tracing + histograms off; counters and gauges still record, so
+    /// `*Stats` snapshots stay correct. This is the default for layers
+    /// used standalone (e.g. a bare `PatternRegistry`).
+    pub fn off() -> Self {
+        Telemetry::new(TelemetryConfig::disabled())
+    }
+
+    /// Whether histograms and tracing record.
+    pub fn enabled(&self) -> bool {
+        self.inner.metrics.enabled()
+    }
+
+    /// Flips histograms and tracing at runtime (spans already open keep
+    /// recording until finished; new batches observe the change).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.metrics.set_enabled(enabled);
+    }
+
+    /// The metric registry (resolve handles once, record forever).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
+    /// Opens the root span of one batch (`"ingest"`), or a free no-op
+    /// span when disabled.
+    pub fn start_batch(&self) -> Span {
+        self.root_span("ingest")
+    }
+
+    /// Opens a root span with an explicit name — for layers that trace
+    /// outside a serving batch (a standalone `PatternRegistry::apply`
+    /// roots at `"apply"`).
+    pub fn root_span(&self, name: &'static str) -> Span {
+        if self.enabled() {
+            Span::root(name)
+        } else {
+            Span::disabled()
+        }
+    }
+
+    /// Closes a batch: finishes the root span, folds every span's
+    /// duration into `gpm_phase_seconds{phase=<name>}` and every span
+    /// event into `gpm_events_total{event=…}`, and files the trace with
+    /// the flight recorder. Returns the retained trace (`None` when
+    /// disabled).
+    pub fn finish_batch(&self, root: Span, seq: u64) -> Option<Arc<BatchTrace>> {
+        let trace = root.into_trace(seq)?;
+        for span in &trace.spans {
+            match self.inner.phase_hists.iter().find(|(n, _)| *n == span.name) {
+                Some((_, h)) => h.record_ns(span.duration_ns),
+                None => self
+                    .inner
+                    .metrics
+                    .histogram_with(names::PHASE_SECONDS, &[("phase", span.name)])
+                    .record_ns(span.duration_ns),
+            }
+            for (_, ev) in &span.events {
+                self.inner.metrics.counter_with(names::EVENTS_TOTAL, &[("event", ev)]).inc();
+            }
+        }
+        Some(self.inner.recorder.record(trace))
+    }
+
+    /// Prometheus-style text exposition of every metric.
+    pub fn render(&self) -> String {
+        self.inner.metrics.render()
+    }
+
+    /// One JSON object holding the metrics snapshot and the flight
+    /// recorder contents:
+    /// `{"metrics":…,"flight_recorder":…}` — the payload
+    /// `AnswerService::with()` dumps.
+    pub fn dump_json(&self) -> String {
+        format!(
+            "{{\"metrics\":{},\"flight_recorder\":{}}}",
+            self.inner.metrics.to_json(),
+            self.inner.recorder.to_json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_batch_derives_phase_histograms_and_event_counters() {
+        let t = Telemetry::on();
+        let root = t.start_batch();
+        {
+            let apply = root.child("apply");
+            let prep = apply.child("prepare");
+            prep.event("budget-bail-early");
+        }
+        root.child("notify").finish();
+        let trace = t.finish_batch(root, 3).expect("enabled");
+        assert_eq!(trace.seq, 3);
+        let snap = t.metrics().snapshot();
+        for phase in ["ingest", "apply", "prepare", "notify"] {
+            let h = snap.histogram(&names::phase(phase));
+            assert_eq!(h.map(|h| h.count), Some(1), "one sample for {phase}");
+        }
+        assert_eq!(snap.counter(&names::event("budget-bail-early")), Some(1));
+        assert_eq!(t.recorder().recent().len(), 1);
+        // The combined dump carries both halves.
+        let dump = t.dump_json();
+        assert!(dump.contains("\"metrics\":{"));
+        assert!(dump.contains("\"flight_recorder\":{"));
+        assert!(dump.contains("\"recent\":["));
+    }
+
+    #[test]
+    fn disabled_bundle_skips_tracing_but_not_counters() {
+        let t = Telemetry::off();
+        assert!(!t.enabled());
+        let root = t.start_batch();
+        assert!(!root.is_enabled());
+        assert!(t.finish_batch(root, 1).is_none());
+        assert!(t.recorder().recent().is_empty());
+        let c = t.metrics().counter(names::SERVING_BATCHES);
+        c.inc();
+        assert_eq!(c.get(), 1, "counters record regardless");
+        // Runtime flip turns tracing on for the next batch.
+        t.set_enabled(true);
+        let root = t.start_batch();
+        assert!(root.is_enabled());
+        assert!(t.finish_batch(root, 2).is_some());
+    }
+
+    #[test]
+    fn mandatory_names_are_well_formed() {
+        let m = names::mandatory_histograms();
+        assert!(m.contains(&"gpm_phase_seconds{phase=\"ingest\"}".to_string()));
+        assert!(m.contains(&names::LOG_FSYNC_SECONDS.to_string()));
+        assert!(names::PHASES.contains(&"tarjan"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Structured phase tracing: [`Span`]s collected into a per-batch
+//! [`BatchTrace`] tree.
+//!
+//! A span is cheap to create and `Sync`, so a parent span can be shared
+//! by reference into pool-worker closures and each worker opens its own
+//! children — the finished trace then shows *which* thread ran each
+//! phase (`thread`, the dense ordinal from
+//! [`thread_ordinal`](crate::thread_ordinal)). Timestamps are monotonic
+//! nanoseconds relative to the batch root, so a trace is self-contained
+//! and diffable.
+//!
+//! When tracing is disabled the whole API degrades to no-ops that never
+//! read the clock: [`Span::disabled`] (and children of a disabled span)
+//! carry no allocation and no clock read, which is what keeps the
+//! disabled-telemetry overhead near zero. Enabled spans read the fast
+//! tick clock ([`crate::clock`]) exactly twice, at open and at close.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock;
+use crate::metrics::{format_seconds, json_string, thread_ordinal};
+
+/// One finished (or still-open) node of a trace tree, in the flat
+/// parent-indexed form the collector stores.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Index of the parent span in the trace's `spans` vec; `None` for
+    /// the root.
+    pub parent: Option<u32>,
+    /// Phase name (`"ingest"`, `"prepare"`, `"extract"`, …).
+    pub name: &'static str,
+    /// Start offset from the trace root start, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 until the span closes).
+    pub duration_ns: u64,
+    /// Dense ordinal of the thread that *opened* the span.
+    pub thread: u32,
+    /// Point events recorded on this span (`(offset ns, text)`), e.g.
+    /// budget-fallback decisions.
+    pub events: Vec<(u64, String)>,
+    /// Free-form detail attached at close (`pattern=3 outputs=120`).
+    pub detail: String,
+}
+
+/// Shared collector for one batch. Opening a span only claims an index
+/// from `next` (no lock); the span's finished record is pushed into
+/// `records` once, at close, so the open path is wait-free and the table
+/// mutex is touched exactly once per span.
+#[derive(Debug)]
+struct Collector {
+    epoch_ticks: u64,
+    records: Mutex<Vec<(u32, SpanRecord)>>,
+    next: AtomicU32,
+}
+
+impl Collector {
+    fn now_ns(&self) -> u64 {
+        clock::ticks_to_ns(clock::now_ticks().saturating_sub(self.epoch_ticks))
+    }
+}
+
+/// Rarely-used span attachments, kept out of the hot open/close path:
+/// the per-span mutex is only locked when `event`/`detail` were actually
+/// called (tracked by `SpanInner::has_extra`).
+#[derive(Debug, Default)]
+struct Extra {
+    detail: String,
+    events: Vec<(u64, String)>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    collector: Arc<Collector>,
+    index: u32,
+    parent: Option<u32>,
+    name: &'static str,
+    thread: u32,
+    start_ticks: u64,
+    start_ns: u64,
+    /// Set once on close; guards against double-finish from Drop.
+    finished: AtomicU64,
+    has_extra: AtomicU32,
+    extra: Mutex<Extra>,
+}
+
+/// A handle on one open phase of a batch. Create children with
+/// [`Span::child`], attach point events with [`Span::event`], and close
+/// with [`Span::finish`] (or implicitly on drop). Disabled spans
+/// ([`Span::disabled`]) are free: no allocation, no clock reads. The
+/// inner state lives inline (no per-span `Arc`): a span is shared by
+/// `&Span` into worker closures, never cloned, and an enabled span
+/// allocates nothing of its own — its record moves into the collector
+/// table when it closes.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// The no-op span: children are no-ops, events vanish, finish is
+    /// free. Instrumented code paths take `&Span` unconditionally and
+    /// callers pass this when tracing is off.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// `true` when this span records (useful to skip building detail
+    /// strings on hot paths).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a fresh root span and its collector — one per batch.
+    pub(crate) fn root(name: &'static str) -> Span {
+        let epoch_ticks = clock::now_ticks();
+        let collector = Arc::new(Collector {
+            epoch_ticks,
+            // Capacity for a typical batch's span tree up front, so
+            // close almost never reallocates under the lock.
+            records: Mutex::new(Vec::with_capacity(32)),
+            next: AtomicU32::new(1),
+        });
+        Span {
+            inner: Some(SpanInner {
+                collector,
+                index: 0,
+                parent: None,
+                name,
+                thread: thread_ordinal(),
+                start_ticks: epoch_ticks,
+                start_ns: 0,
+                finished: AtomicU64::new(0),
+                has_extra: AtomicU32::new(0),
+                extra: Mutex::new(Extra::default()),
+            }),
+        }
+    }
+
+    /// Opens a child phase. May be called from any thread holding a
+    /// reference to `self`; the child records the opening thread's
+    /// ordinal, which is how WorkerPool attribution becomes visible.
+    /// Opening takes no lock — the span claims an index and defers its
+    /// record to close.
+    pub fn child(&self, name: &'static str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span::disabled();
+        };
+        let collector = inner.collector.clone();
+        let index = collector.next.fetch_add(1, Ordering::Relaxed);
+        // One clock read: the span's offset in the trace is derived from
+        // the shared epoch (the subtraction saturates to zero, so a
+        // child can never start "before" its root).
+        let start_ticks = clock::now_ticks();
+        let start_ns = clock::ticks_to_ns(start_ticks.saturating_sub(collector.epoch_ticks));
+        Span {
+            inner: Some(SpanInner {
+                collector,
+                index,
+                parent: Some(inner.index),
+                name,
+                thread: thread_ordinal(),
+                start_ticks,
+                start_ns,
+                finished: AtomicU64::new(0),
+                has_extra: AtomicU32::new(0),
+                extra: Mutex::new(Extra::default()),
+            }),
+        }
+    }
+
+    /// Records a point event (`"budget-bail"`, `"bfs-fallback"`, …) at
+    /// the current offset.
+    pub fn event(&self, text: impl Into<String>) {
+        let Some(inner) = &self.inner else { return };
+        let at = inner.collector.now_ns();
+        let mut extra = inner.extra.lock().unwrap_or_else(|e| e.into_inner());
+        extra.events.push((at, text.into()));
+        inner.has_extra.store(1, Ordering::Relaxed);
+    }
+
+    /// Attaches free-form detail shown in the dumped trace (overwrites
+    /// earlier detail).
+    pub fn detail(&self, text: impl Into<String>) {
+        let Some(inner) = &self.inner else { return };
+        let mut extra = inner.extra.lock().unwrap_or_else(|e| e.into_inner());
+        extra.detail = text.into();
+        inner.has_extra.store(1, Ordering::Relaxed);
+    }
+
+    /// Closes the span, recording its duration. Dropping an unfinished
+    /// span closes it too; calling `finish` first just makes the close
+    /// point explicit.
+    pub fn finish(self) {
+        // Drop runs the close.
+    }
+
+    fn close(&self) {
+        let Some(inner) = &self.inner else { return };
+        if inner.finished.swap(1, Ordering::Relaxed) != 0 {
+            return;
+        }
+        let d = clock::ticks_to_ns(clock::now_ticks().saturating_sub(inner.start_ticks));
+        let Extra { detail, events } = if inner.has_extra.load(Ordering::Relaxed) != 0 {
+            std::mem::take(&mut *inner.extra.lock().unwrap_or_else(|e| e.into_inner()))
+        } else {
+            Extra::default()
+        };
+        let rec = SpanRecord {
+            parent: inner.parent,
+            name: inner.name,
+            start_ns: inner.start_ns,
+            duration_ns: d,
+            thread: inner.thread,
+            events,
+            detail,
+        };
+        let mut records = inner.collector.records.lock().unwrap_or_else(|e| e.into_inner());
+        records.push((inner.index, rec));
+    }
+
+    /// Consumes a **root** span and returns the finished trace. Returns
+    /// `None` for disabled spans.
+    pub(crate) fn into_trace(self, seq: u64) -> Option<BatchTrace> {
+        self.close();
+        let inner = self.inner.as_ref()?;
+        debug_assert_eq!(inner.index, 0, "into_trace is for root spans");
+        let records = {
+            let mut records = inner.collector.records.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *records)
+        };
+        // Re-assemble in creation (index) order. A child still open when
+        // the root finished has no record yet — it gets an `(open)`
+        // placeholder, and its eventual close lands in the drained vec,
+        // harmlessly discarded with the collector.
+        let n = inner.collector.next.load(Ordering::Relaxed) as usize;
+        let mut spans: Vec<SpanRecord> = (0..n)
+            .map(|_| SpanRecord {
+                parent: None,
+                name: "(open)",
+                start_ns: 0,
+                duration_ns: 0,
+                thread: 0,
+                events: Vec::new(),
+                detail: String::new(),
+            })
+            .collect();
+        for (i, rec) in records {
+            spans[i as usize] = rec;
+        }
+        Some(BatchTrace { seq, total_ns: spans[0].duration_ns, spans })
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The finished trace of one batch: a flat, parent-indexed span table
+/// (index 0 is the root) ordered by creation.
+#[derive(Debug, Clone)]
+pub struct BatchTrace {
+    /// The batch's log sequence number.
+    pub seq: u64,
+    /// Root duration in nanoseconds.
+    pub total_ns: u64,
+    /// All spans; `spans[0]` is the root.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl BatchTrace {
+    /// All spans named `name`.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> + 'a {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Number of distinct thread ordinals among spans named `name` — the
+    /// "did the pool actually split this?" question.
+    pub fn distinct_threads_in(&self, name: &str) -> usize {
+        let mut threads: Vec<u32> = self.spans_named(name).map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        threads.len()
+    }
+
+    /// The trace as an indented text tree (for terminals and examples).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, index: usize, depth: usize, out: &mut String) {
+        let s = &self.spans[index];
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{indent}{} [t{}] +{}s {}s",
+            s.name,
+            s.thread,
+            format_seconds(s.start_ns),
+            format_seconds(s.duration_ns),
+        ));
+        if !s.detail.is_empty() {
+            out.push_str(&format!(" ({})", s.detail));
+        }
+        out.push('\n');
+        for (at, ev) in &s.events {
+            out.push_str(&format!("{indent}  ! +{}s {ev}\n", format_seconds(*at)));
+        }
+        for (i, child) in self.spans.iter().enumerate() {
+            if child.parent == Some(index as u32) {
+                self.render_node(i, depth + 1, out);
+            }
+        }
+    }
+
+    /// The trace as one JSON object (hand-rolled; the crate is
+    /// std-only): `{"seq":…,"total_seconds":…,"spans":[{…}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"total_seconds\":{},\"spans\":[",
+            self.seq,
+            format_seconds(self.total_ns)
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"parent\":{},\"thread\":{},\"start_seconds\":{},\
+                 \"duration_seconds\":{}",
+                json_string(s.name),
+                s.parent.map_or("null".to_string(), |p| p.to_string()),
+                s.thread,
+                format_seconds(s.start_ns),
+                format_seconds(s.duration_ns),
+            ));
+            if !s.detail.is_empty() {
+                out.push_str(&format!(",\"detail\":{}", json_string(&s.detail)));
+            }
+            if !s.events.is_empty() {
+                out.push_str(",\"events\":[");
+                for (j, (at, ev)) in s.events.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{},{}]", format_seconds(*at), json_string(ev)));
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tree_nests_and_records_durations() {
+        let root = Span::root("batch");
+        {
+            let a = root.child("apply");
+            let _a1 = a.child("prepare");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            a.event("budget-bail");
+            a.detail("pattern=0");
+        }
+        root.child("notify").finish();
+        let trace = root.into_trace(7).expect("enabled root");
+        assert_eq!(trace.seq, 7);
+        assert_eq!(trace.spans.len(), 4);
+        assert_eq!(trace.spans[0].name, "batch");
+        assert_eq!(trace.spans[0].parent, None);
+        let apply = trace.spans_named("apply").next().expect("apply span");
+        assert_eq!(apply.parent, Some(0));
+        assert!(apply.duration_ns >= 2_000_000, "sleep is visible");
+        assert_eq!(apply.events.len(), 1);
+        assert_eq!(apply.events[0].1, "budget-bail");
+        assert_eq!(apply.detail, "pattern=0");
+        let prep = trace.spans_named("prepare").next().expect("prepare span");
+        assert_eq!(
+            trace.spans.iter().position(|s| std::ptr::eq(s, apply)),
+            prep.parent.map(|p| p as usize),
+            "prepare nests under apply"
+        );
+        assert!(trace.total_ns >= apply.duration_ns);
+        // Render and JSON both mention every phase.
+        let text = trace.render();
+        for n in ["batch", "apply", "prepare", "notify", "budget-bail"] {
+            assert!(text.contains(n), "{n} in render");
+        }
+        let json = trace.to_json();
+        assert!(json.contains("\"seq\":7"));
+        assert!(json.contains("\"name\":\"prepare\""));
+        assert!(json.contains("budget-bail"));
+    }
+
+    #[test]
+    fn spans_opened_on_other_threads_record_their_ordinals() {
+        let root = Span::root("batch");
+        let here = thread_ordinal();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let root = &root;
+                s.spawn(move || {
+                    let c = root.child("extract");
+                    c.detail("chunk");
+                });
+            }
+        });
+        let trace = root.into_trace(0).expect("enabled root");
+        let threads: Vec<u32> = trace.spans_named("extract").map(|s| s.thread).collect();
+        assert_eq!(threads.len(), 2);
+        assert!(threads.iter().all(|&t| t != here), "workers, not the opener");
+        assert_eq!(trace.distinct_threads_in("extract"), 2);
+    }
+
+    #[test]
+    fn child_still_open_at_root_finish_becomes_a_placeholder() {
+        let root = Span::root("batch");
+        let straggler = root.child("extract");
+        let trace = root.into_trace(9).expect("enabled root");
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[1].name, "(open)");
+        // The straggler's eventual close lands in the drained collector
+        // and must not panic or corrupt the finished trace.
+        straggler.finish();
+        assert_eq!(trace.spans[1].name, "(open)");
+    }
+
+    #[test]
+    fn disabled_spans_are_free_and_produce_no_trace() {
+        let s = Span::disabled();
+        assert!(!s.is_enabled());
+        let c = s.child("anything");
+        assert!(!c.is_enabled());
+        c.event("dropped");
+        c.finish();
+        assert!(s.into_trace(1).is_none());
+    }
+}

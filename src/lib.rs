@@ -39,6 +39,7 @@
 //! | [`core`] | `Match`, `TopKDAG`, `TopK`, `TopKDiv`, `TopKDH` |
 //! | [`incremental`] | `DynamicMatcher`: top-k maintained under graph deltas |
 //! | [`serving`] | streaming answer service: subscriptions, delta log, versioned answers |
+//! | [`telemetry`] | metrics registry, phase tracing, batch flight recorder |
 //! | [`datagen`] | Fig. 1 fixture, synthetic generator, dataset emulators, update streams |
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index
@@ -53,6 +54,7 @@ pub use gpm_pattern as pattern;
 pub use gpm_ranking as ranking;
 pub use gpm_serving as serving;
 pub use gpm_simulation as simulation;
+pub use gpm_telemetry as telemetry;
 
 /// The commonly-used surface of the library.
 pub mod prelude {
@@ -70,7 +72,7 @@ pub mod prelude {
     pub use gpm_ranking::bounds::BoundStrategy;
     pub use gpm_serving::{
         AnswerService, AnswerUpdate, DeltaLog, NotifyMode, ServiceConfig, ServiceHandle,
-        Subscription,
+        Subscription, Telemetry, TelemetryConfig,
     };
     pub use gpm_simulation::compute_simulation;
 }
