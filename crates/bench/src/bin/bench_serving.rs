@@ -87,16 +87,25 @@ fn main() {
     }
     let o = &result.telemetry_overhead;
     println!(
-        "telemetry overhead: {:+.2}% (enabled {:.0} vs disabled {:.0} batches/s over {} batches)",
-        o.overhead_pct, o.enabled_batches_per_sec, o.disabled_batches_per_sec, o.batches
+        "telemetry overhead: full tracing {:+.2}%, recorder-off {:+.2}% \
+         (enabled {:.0} / recorder-off {:.0} / disabled {:.0} batches/s over {} batches)",
+        o.overhead_pct,
+        o.recorder_off_overhead_pct,
+        o.enabled_batches_per_sec,
+        o.recorder_off_batches_per_sec,
+        o.disabled_batches_per_sec,
+        o.batches
     );
 
     let json = serde_json::to_string_pretty(&result).expect("serializable");
     std::fs::write(&out, json).expect("write BENCH_serving.json");
     println!("wrote {out}");
 
-    if o.overhead_pct > 2.0 {
-        eprintln!("WARNING: telemetry overhead above the 2% target ({:+.2}%)", o.overhead_pct);
+    if o.recorder_off_overhead_pct > 2.0 {
+        eprintln!(
+            "WARNING: recorder-off telemetry overhead above the 2% target ({:+.2}%)",
+            o.recorder_off_overhead_pct
+        );
     }
     for p in &result.points {
         if p.shared_index_hit_rate < 0.5 && p.subscribers >= 8 {

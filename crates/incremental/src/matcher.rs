@@ -28,6 +28,13 @@ pub struct IncrementalConfig {
     /// of the candidate pairs, the relevant-set cache is rebuilt wholesale
     /// instead of entry by entry.
     pub max_dirty_fraction: f64,
+    /// When one batch's pair churn (alive flips + effective edge changes)
+    /// exceeds this fraction of the alive pairs, the maintained
+    /// condensation is dropped for the per-batch reach-engine pipeline
+    /// (and re-adopted on the next calm batch): in-place SCC maintenance
+    /// only pays off while the touched region is small. An absolute floor
+    /// keeps small graphs maintaining regardless.
+    pub max_cond_churn_fraction: f64,
     /// Memory / thread policy of the shared reach engine when deriving
     /// relevant sets — the same [`ReachConfig`] the static pipeline
     /// honors; past the byte budget, dirty-set materialization degrades
@@ -37,13 +44,15 @@ pub struct IncrementalConfig {
 
 impl IncrementalConfig {
     /// Defaults for a given `k` (`λ = 0.5`, rebuild past 20% edge churn or
-    /// a 30% dirty sweep, default reach-engine budget).
+    /// a 30% dirty sweep, drop the maintained condensation past 12.5% pair
+    /// churn, default reach-engine budget).
     pub fn new(k: usize) -> Self {
         IncrementalConfig {
             k,
             lambda: 0.5,
             max_delta_fraction: 0.2,
             max_dirty_fraction: 0.3,
+            max_cond_churn_fraction: 0.125,
             reach: ReachConfig::default(),
         }
     }
@@ -100,6 +109,13 @@ pub struct ApplyStats {
     pub full_rank_refreshes: u64,
     /// Relevant sets recomputed across all batches.
     pub sets_recomputed: u64,
+    /// Batches whose condensation was maintained incrementally (bounded
+    /// region re-Tarjan / DAG probe, not a from-scratch condensation).
+    pub cond_incremental: u64,
+    /// Full re-condensations of the maintained reach state — policy
+    /// fallbacks (probe/region overflow), width migrations and churn
+    /// rebuilds. Zero when the budget keeps maintained mode off.
+    pub cond_rebuilds: u64,
     /// Candidate pairs visited by the last backward dirtiness sweep.
     pub last_swept_pairs: usize,
     /// Output matches invalidated by the last batch.
@@ -235,5 +251,13 @@ impl DynamicMatcher {
     #[cfg(test)]
     pub(crate) fn state(&self) -> &PatternState {
         &self.state
+    }
+
+    /// Differential-oracle hook for test harnesses: panics when the
+    /// maintained pair view or condensation diverges from a from-scratch
+    /// build (no-op while the budget keeps maintained mode off).
+    #[doc(hidden)]
+    pub fn check_maintained(&self) {
+        self.state.check_maintained(&self.graph);
     }
 }

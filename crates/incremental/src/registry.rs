@@ -476,17 +476,20 @@ impl PatternRegistry {
             }
             let mut st = slots[i].state.lock();
             st.note_apply();
-            let plan = {
+            let plan = if rebuild[i] {
                 let plan_span = refresh_span.child("plan");
-                if rebuild[i] {
-                    plan_span.event("churn-rebuild");
-                    st.rebuild(graph)
-                } else if touched_ref[i] {
-                    st.plan_refresh(graph, &applied)
-                } else {
-                    st.refresh_untouched(graph);
-                    return;
-                }
+                plan_span.event("churn-rebuild");
+                st.rebuild(graph)
+            } else if touched_ref[i] {
+                // Fold the batch into the maintained condensation first
+                // (`condense_incremental` child span), then plan off the
+                // flips it drained.
+                let flips = st.maintain_reach(graph, &applied, &refresh_span);
+                let _plan_span = refresh_span.child("plan");
+                st.plan_refresh(graph, &applied, flips)
+            } else {
+                st.refresh_untouched(graph);
+                return;
             };
             if split_threshold.is_some_and(|min| plan.len() >= min) {
                 let prepared = st.prepare_sets_traced(graph, &plan, &refresh_span);
@@ -625,5 +628,23 @@ impl PatternRegistry {
 
     fn with_slot<T>(&self, id: PatternId, f: impl FnOnce(&PatternState) -> T) -> Option<T> {
         self.slots.iter().find(|s| s.id == id).map(|s| f(&s.state.lock()))
+    }
+
+    /// Differential-oracle hook for test harnesses: panics when any
+    /// pattern's maintained condensation state diverges from a
+    /// from-scratch build.
+    #[doc(hidden)]
+    pub fn check_maintained_all(&self) {
+        for s in &self.slots {
+            s.state.lock().check_maintained(&self.graph);
+        }
+    }
+
+    /// Weak handles on one pattern's maintained `Full(c)` bitsets (`None`
+    /// for unknown ids or budget-disabled maintained mode) — the
+    /// deregister leak audit upgrades these after the slot is dropped.
+    #[doc(hidden)]
+    pub fn maintained_weak_fulls(&self, id: PatternId) -> Option<Vec<std::sync::Weak<BitSet>>> {
+        self.with_slot(id, |st| st.maintained_weak_fulls())?
     }
 }

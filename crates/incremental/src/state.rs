@@ -23,36 +23,120 @@ use gpm_graph::{
 };
 use gpm_pattern::Pattern;
 use gpm_ranking::objective::{c_uo_with, Objective};
-use gpm_ranking::{ReachEngine, ReachExtractor, RelevanceCache};
+use gpm_ranking::{
+    CondPolicy, CondensationState, MaintainError, ReachEngine, ReachExtractor, RelevanceCache,
+    SetHandle,
+};
 use gpm_simulation::incremental::DynPair;
-use gpm_simulation::{DynMatchGraph, IncSimState};
+use gpm_simulation::{DynMatchGraph, IncSimState, ReachView};
 use gpm_telemetry::Span;
 
 use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
 
-/// Estimated effective edge churn of `delta` against the current `g`,
-/// judged before touching anything: every op changes at most one edge,
-/// except `RemoveNode` which drops the node's whole incidence list, and
-/// attribute ops which change **no** adjacency and count zero — an
-/// attr-only batch must never trip the edge-churn rebuild threshold (the
-/// dirtiness-sweep cap still bounds its ranking cost). A heuristic, not a
-/// bound: self-loops and edges an earlier op already removed are counted
-/// twice, while edges added and then dropped by a later `RemoveNode` of
-/// the same batch are undercounted (`RemoveNode` sees pre-batch degrees).
-/// A borderline batch can land on either side of the rebuild threshold —
-/// that costs time, never correctness.
+/// Below this absolute churn the maintained-condensation churn gate
+/// ([`IncrementalConfig::max_cond_churn_fraction`], default 12.5% — the
+/// `dirty_region` sweep shows in-place maintenance winning clearly at 2%
+/// dirty and losing by 25%, so the crossover is pinned conservatively
+/// between them) never fires: on small graphs the incremental paths are
+/// always cheap enough, and they should stay exercised.
+const COND_MAINT_CHURN_FLOOR: usize = 512;
+
+/// `true` when a batch's churn is past the maintained-condensation gate
+/// relative to `alive` pairs.
+fn churn_high(churn: usize, alive: usize, max_fraction: f64) -> bool {
+    churn > COND_MAINT_CHURN_FLOOR && churn as f64 > alive as f64 * max_fraction
+}
+
+/// Effective edge churn of `delta` against the current `g`, judged
+/// before touching anything: the number of `EdgeAdded`/`EdgeRemoved`
+/// effective ops the batch will emit, plus one per effective node
+/// add/tombstone (a `RemoveNode` counts its stripped edges, floor one).
+/// Attribute ops change **no** adjacency and count zero — an attr-only
+/// batch must never trip the edge-churn rebuild threshold (the
+/// dirtiness-sweep cap still bounds its ranking cost).
+///
+/// Computed from an **effective-op mirror** of [`DynGraph::apply_with`]'s
+/// semantics, without mutating the graph: the in-batch edge state is
+/// `(pre-batch ∖ removed) ∪ added`, and in-batch tombstones strip their
+/// incident edges into `removed`. The old degree-sum heuristic counted
+/// self-loops and already-removed edges twice (a `RemoveNode` saw
+/// pre-batch degrees) while missing in-batch `AddEdge`s a later
+/// `RemoveNode` drops — borderline batches landed on the wrong side of
+/// the rebuild threshold. Ops an invalid batch would be rejected for
+/// (out-of-range ids) contribute nothing; such a batch never reaches the
+/// rebuild decision anyway.
 pub(crate) fn worst_churn(g: &DynGraph, delta: &GraphDelta) -> usize {
-    delta
-        .ops
-        .iter()
-        .map(|op| match *op {
-            DeltaOp::RemoveNode(v) if (v as usize) < g.node_count() => {
-                (g.successors(v).count() + g.predecessors(v).count()).max(1)
+    let n0 = g.node_count() as NodeId;
+    let mut next = n0;
+    let mut dead: HashSet<NodeId> = HashSet::new();
+    let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let alive = |v: NodeId, next: NodeId, dead: &HashSet<NodeId>| {
+        v < next && !dead.contains(&v) && (v >= n0 || !g.is_removed(v))
+    };
+    // Pre-batch tombstones hold no edges, and in-batch deaths push their
+    // strips into `removed` — so edge existence needs no endpoint checks
+    // beyond these sets.
+    let has_now = |s: NodeId, t: NodeId, added: &HashSet<_>, removed: &HashSet<_>| {
+        added.contains(&(s, t))
+            || (!removed.contains(&(s, t)) && s < n0 && t < n0 && g.has_edge(s, t))
+    };
+    let mut churn = 0usize;
+    for op in &delta.ops {
+        match *op {
+            DeltaOp::AddNode(_) => {
+                next += 1;
+                churn += 1;
             }
-            DeltaOp::SetAttr { .. } | DeltaOp::UnsetAttr { .. } => 0,
-            _ => 1,
-        })
-        .sum()
+            DeltaOp::AddEdge(s, t) => {
+                if alive(s, next, &dead)
+                    && alive(t, next, &dead)
+                    && !has_now(s, t, &added, &removed)
+                {
+                    removed.remove(&(s, t));
+                    added.insert((s, t));
+                    churn += 1;
+                }
+            }
+            DeltaOp::RemoveEdge(s, t) => {
+                if s < next && t < next && has_now(s, t, &added, &removed) {
+                    added.remove(&(s, t));
+                    removed.insert((s, t));
+                    churn += 1;
+                }
+            }
+            DeltaOp::RemoveNode(v) => {
+                if !alive(v, next, &dead) {
+                    continue;
+                }
+                // Each incident in-batch-live edge strips exactly once —
+                // a self-loop appears in both adjacency lists but is one
+                // edge, hence the set.
+                let mut incident: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+                if v < n0 {
+                    for t in g.successors(v) {
+                        if !removed.contains(&(v, t)) {
+                            incident.insert((v, t));
+                        }
+                    }
+                    for s in g.predecessors(v) {
+                        if !removed.contains(&(s, v)) {
+                            incident.insert((s, v));
+                        }
+                    }
+                }
+                incident.extend(added.iter().copied().filter(|&(s, t)| s == v || t == v));
+                for &e in &incident {
+                    added.remove(&e);
+                    removed.insert(e);
+                }
+                churn += incident.len().max(1);
+                dead.insert(v);
+            }
+            DeltaOp::SetAttr { .. } | DeltaOp::UnsetAttr { .. } => {}
+        }
+    }
+    churn
 }
 
 /// Pre-batch labels of the nodes `delta` removes, keyed by node id. By the
@@ -85,6 +169,18 @@ pub(crate) fn removed_label_map(g: &DynGraph, delta: &GraphDelta) -> HashMap<Nod
     out
 }
 
+/// The stateful half of the reach engine: the alive-pair view kept
+/// packed across batches plus the incrementally maintained condensation
+/// over it. Present only while the reach budget admits the retained
+/// `Full(c)` bitsets — dropped (never half-trusted) when it stops
+/// fitting, at which point [`PatternState::prepare_sets_traced`] falls
+/// back to the per-batch [`ReachEngine`] prepare.
+#[derive(Debug, Clone)]
+struct MaintainedReach {
+    view: DynMatchGraph,
+    cond: CondensationState,
+}
+
 /// Materialized simulation + ranking state of one pattern, maintained
 /// against a [`DynGraph`] owned by the caller.
 #[derive(Debug, Clone)]
@@ -94,6 +190,13 @@ pub(crate) struct PatternState {
     sim: IncSimState,
     cache: RelevanceCache,
     stats: ApplyStats,
+    /// Maintained condensation state, when the budget admits one.
+    maintained: Option<MaintainedReach>,
+    /// Set when `maintained` was dropped by the churn gate (not the
+    /// budget): the next calm batch re-adopts it with one from-scratch
+    /// build. Budget drops leave this `false` so a too-big state is not
+    /// rebuilt just to be re-measured and re-dropped every batch.
+    maint_readopt: bool,
     /// Primary labels of the pattern's nodes — candidates of a node always
     /// carry its primary label (candidate enumeration scans the label
     /// class), so structural ops on other labels are no-ops. `None` when
@@ -149,7 +252,10 @@ impl PatternState {
             edge_label_pairs,
             attr_keys,
             served: Vec::new(),
+            maintained: None,
+            maint_readopt: false,
         };
+        state.maintained = state.build_maintained(g);
         let plan = state.full_plan(g);
         state.materialize(g, &plan);
         state.sim.take_dirty();
@@ -243,7 +349,13 @@ impl PatternState {
         self.sim = IncSimState::new(g, &self.pattern).expect("pattern validated at construction");
         self.sim.take_dirty();
         self.stats.full_rebuilds += 1;
-        self.full_plan(g)
+        let plan = self.full_plan(g);
+        if self.maintained.is_some() {
+            self.stats.cond_rebuilds += 1;
+        }
+        self.maintained = self.build_maintained(g);
+        self.maint_readopt = false;
+        plan
     }
 
     /// Post-batch bookkeeping for a pattern the shared index proved the
@@ -275,11 +387,127 @@ impl PatternState {
         applied: &AppliedDelta,
         span: &Span,
     ) {
+        let flips = self.maintain_reach(g, applied, span);
         let plan = {
             let _plan_span = span.child("plan");
-            self.plan_refresh(g, applied)
+            self.plan_refresh(g, applied, flips)
         };
         self.materialize_threads(g, &plan, self.cfg.reach.threads, span);
+    }
+
+    /// Folds the batch into the maintained reach state (pair view +
+    /// condensation), **draining the simulation's flips** — which it
+    /// returns for [`Self::plan_refresh`] to seed from, so the two
+    /// consumers of `take_dirty` stay one. Must run once per applied
+    /// batch, before planning. Emits a `condense_incremental` child span
+    /// and counts incremental applies vs. full re-condensation fallbacks.
+    ///
+    /// Batch churn above [`COND_MAINT_MAX_CHURN_FRACTION`] of the alive
+    /// pairs (with an absolute floor of [`COND_MAINT_CHURN_FLOOR`] so
+    /// tiny graphs always maintain) rebuilds the packing and the
+    /// condensation from scratch instead — incremental maintenance only
+    /// pays off while the touched region is small.
+    pub(crate) fn maintain_reach(
+        &mut self,
+        g: &DynGraph,
+        applied: &AppliedDelta,
+        span: &Span,
+    ) -> Vec<DynPair> {
+        let flips = self.sim.take_dirty();
+        self.cache.ensure_width(g.node_count());
+        let churn = flips.len() + applied.added_edges.len() + applied.removed_edges.len();
+        let Some(mut mr) = self.maintained.take() else {
+            // Re-adoption after a churn drop: once the stream is calm
+            // again one from-scratch build restores the maintained state,
+            // paid back over the cheap batches that follow. A build the
+            // budget rejects clears the flag so it is not retried.
+            if self.maint_readopt {
+                let alive: usize = self.pattern.nodes().map(|u| self.sim.candidate_count(u)).sum();
+                if !churn_high(churn, alive, self.cfg.max_cond_churn_fraction) {
+                    let ci = span.child("condense_incremental");
+                    ci.event("cond-churn-readopt");
+                    self.stats.cond_rebuilds += 1;
+                    self.maintained = self.build_maintained(g);
+                    self.maint_readopt = false;
+                }
+            }
+            return flips;
+        };
+        let ci = span.child("condense_incremental");
+        if mr.view.universe_size() != self.cache.width() {
+            // The cache migrated to a wider universe: the retained bitsets
+            // are the wrong width, so the view/condensation restart there.
+            ci.event("cond-width-rebuild");
+            self.stats.cond_rebuilds += 1;
+            self.maintained = self.build_maintained(g);
+            return flips;
+        }
+        // Past a churn threshold the incremental dance — per-edge CSR
+        // surgery in the view plus the bounded-region re-condensation —
+        // costs more than the per-batch engine pipeline (the dirty_region
+        // sweep crosses between 2% and 25% dirty). The PR 1
+        // rebuild-threshold pattern, one layer down: drop the maintained
+        // state and let `prepare_sets` run the from-scratch engine
+        // prepare, which only materializes the planned sources. The
+        // absolute floor keeps small graphs (and the adversarial unit
+        // streams) on the incremental path, where maintenance is always
+        // cheap enough.
+        if churn_high(churn, mr.view.alive_count(), self.cfg.max_cond_churn_fraction) {
+            ci.event("cond-churn-drop");
+            self.stats.cond_rebuilds += 1;
+            self.maintained = None;
+            self.maint_readopt = true;
+            return flips;
+        }
+        let delta = mr.view.apply_pair_delta(
+            g,
+            &self.pattern,
+            &self.sim,
+            &flips,
+            &applied.added_edges,
+            &applied.removed_edges,
+        );
+        if delta.is_empty() {
+            self.stats.cond_incremental += 1;
+            self.maintained = Some(mr);
+            return flips;
+        }
+        match mr.cond.apply(&mr.view, &delta, &CondPolicy::default()) {
+            Ok(ms) => {
+                self.stats.cond_incremental += 1;
+                if ci.is_enabled() {
+                    ci.detail(format!(
+                        "changes={} region={} fulls={}",
+                        delta.change_count(),
+                        ms.region_pairs,
+                        ms.recomputed_fulls
+                    ));
+                }
+                if mr.cond.retained_bytes() > self.cfg.reach.budget_bytes {
+                    // Outgrew the budget: drop to the per-batch engine
+                    // (which makes its own budget decision every prepare).
+                    ci.event("cond-budget-drop");
+                    self.maintained = None;
+                    self.maint_readopt = false;
+                    return flips;
+                }
+                self.maintained = Some(mr);
+            }
+            Err(e) => {
+                // Past the policy thresholds a from-scratch condensation
+                // is cheaper than the bounded-region dance — the PR 1
+                // rebuild-threshold pattern, one layer down. The view is
+                // already post-batch; only the condensation restarts.
+                ci.event(match e {
+                    MaintainError::ProbeOverflow => "cond-probe-fallback",
+                    MaintainError::RegionOverflow => "cond-region-fallback",
+                });
+                self.stats.cond_rebuilds += 1;
+                mr.cond = CondensationState::build(&mr.view, |p| mr.view.is_alive(p));
+                self.maintained = Some(mr);
+            }
+        }
+        flips
     }
 
     /// Derives the dirty seeds from the simulation flips and the changed
@@ -288,8 +516,14 @@ impl PatternState {
     /// (or, past the dirtiness threshold, all of them). Output matches
     /// that died are dropped from the cache here; the plan holds only
     /// alive ones.
-    pub(crate) fn plan_refresh(&mut self, g: &DynGraph, applied: &AppliedDelta) -> RefreshPlan {
-        // Seeds of the dirtiness sweep: every alive-flip, plus the source
+    pub(crate) fn plan_refresh(
+        &mut self,
+        g: &DynGraph,
+        applied: &AppliedDelta,
+        flips: Vec<DynPair>,
+    ) -> RefreshPlan {
+        // Seeds of the dirtiness sweep: every alive-flip (drained by
+        // [`Self::maintain_reach`], which must run first), plus the source
         // pairs of every changed data edge (an edge between two alive pairs
         // changes match-graph reachability without flipping anybody).
         // Target candidacy is tested with the ever-candidate map, not the
@@ -298,7 +532,7 @@ impl PatternState {
         // surviving source pairs still lost a relevant descendant. Sources
         // tombstoned in the same batch need no seed of their own — their
         // incoming edges were removed too, seeding every live ancestor.
-        let mut seeds: Vec<DynPair> = self.sim.take_dirty();
+        let mut seeds: Vec<DynPair> = flips;
         for &(v, w) in applied.added_edges.iter().chain(&applied.removed_edges) {
             for u in self.pattern.nodes() {
                 if !self.sim.is_candidate(u, v) {
@@ -476,6 +710,25 @@ impl PatternState {
         RefreshPlan { outputs: self.sim.structural_matches_of(self.pattern.output()) }
     }
 
+    /// Builds the maintained reach state from scratch over the current
+    /// graph, or `None` when the reach budget can't hold it: if a single
+    /// universe-wide bitset doesn't fit, neither would any `Full(c)` (the
+    /// same early bail the per-batch engine takes), and a built state
+    /// whose retained bytes exceed the budget is discarded rather than
+    /// kept on credit.
+    fn build_maintained(&self, g: &DynGraph) -> Option<MaintainedReach> {
+        let budget = self.cfg.reach.budget_bytes;
+        if self.cache.width().div_ceil(64) * 8 > budget {
+            return None;
+        }
+        let view = DynMatchGraph::over_alive(g, &self.pattern, &self.sim, self.cache.width());
+        let cond = CondensationState::build(&view, |p| view.is_alive(p));
+        if cond.retained_bytes() > budget {
+            return None;
+        }
+        Some(MaintainedReach { view, cond })
+    }
+
     /// Phase 1 of the shared reach engine over the current graph: builds
     /// the alive-pair view **once** and condenses it — the work every
     /// planned output amortizes, however many there are. Extraction
@@ -493,6 +746,28 @@ impl PatternState {
         let prep = span.child("prepare");
         let q = &self.pattern;
         let uo = q.output();
+        // Maintained mode: phase 1 already happened, spread over every
+        // batch since the state was built — prepare is just refcounting
+        // the planned outputs' component handles, O(plan), not O(view).
+        // The width filter covers a sweep-overflow `full_plan` re-padding
+        // the cache after this batch's width check already ran: one
+        // engine-path batch, and the next `maintain_reach` rebuilds.
+        if let Some(mr) =
+            self.maintained.as_ref().filter(|mr| mr.cond.width() == self.cache.width())
+        {
+            let handles: Vec<SetHandle> = plan
+                .outputs
+                .iter()
+                .map(|&v| {
+                    let c = mr.view.compact_of(uo, v).expect("planned outputs are alive");
+                    mr.cond.handle_for(c)
+                })
+                .collect();
+            if prep.is_enabled() {
+                prep.detail(format!("sources={} dp=true maintained=true", plan.len()));
+            }
+            return PreparedSets::Maintained { handles, width: mr.cond.width() };
+        }
         let view = DynMatchGraph::over_alive(g, q, &self.sim, self.cache.width());
         let sources: Vec<u32> = plan
             .outputs
@@ -503,7 +778,7 @@ impl PatternState {
         if prep.is_enabled() {
             prep.detail(format!("sources={} dp={}", plan.len(), engine.used_dp()));
         }
-        PreparedSets { engine }
+        PreparedSets::Engine { engine: Box::new(engine) }
     }
 
     /// Stores the extracted relevant sets under the plan's outputs — the
@@ -551,7 +826,14 @@ impl PatternState {
             if ex.is_enabled() {
                 ex.detail(format!("outputs={}", plan.len()));
             }
-            prepared.engine.extract_all(threads)
+            match &prepared {
+                PreparedSets::Engine { engine } => engine.extract_all(threads),
+                // Handle resolution is a bitset clone (or a short union)
+                // per output — memcpy-bound, no point spawning threads.
+                PreparedSets::Maintained { handles, width } => {
+                    handles.iter().map(|h| h.resolve(*width)).collect()
+                }
+            }
         };
         self.apply_sets(plan, sets);
     }
@@ -603,6 +885,46 @@ impl PatternState {
     pub(crate) fn sim(&self) -> &IncSimState {
         &self.sim
     }
+
+    /// Differential oracle for the maintained reach state (a no-op when
+    /// the budget keeps it off): the maintained pair view must equal a
+    /// scratch packing over the current simulation, and the maintained
+    /// condensation must validate against a from-scratch build — the
+    /// partition, triviality and every retained `Full(c)`. Test harnesses
+    /// call this after every batch; panics on any divergence.
+    pub(crate) fn check_maintained(&self, g: &DynGraph) {
+        let Some(mr) = &self.maintained else { return };
+        let fresh = DynMatchGraph::over_alive(g, &self.pattern, &self.sim, mr.view.universe_size());
+        assert_eq!(mr.view.alive_count(), fresh.len(), "maintained view: alive pair count");
+        assert_eq!(mr.view.edge_count(), fresh.edge_count(), "maintained view: pair edge count");
+        for fc in 0..fresh.len() as u32 {
+            let (u, v) = (fresh.pattern_node(fc), fresh.data_node(fc));
+            let mc = mr.view.compact_of(u, v).expect("alive pair present in maintained view");
+            let want: BTreeSet<(u32, u32)> = fresh
+                .successors(fc)
+                .iter()
+                .map(|&s| (fresh.pattern_node(s), fresh.data_node(s)))
+                .collect();
+            let got: BTreeSet<(u32, u32)> = mr
+                .view
+                .successors(mc)
+                .iter()
+                .map(|&s| (mr.view.pattern_node(s), mr.view.data_node(s)))
+                .collect();
+            assert_eq!(got, want, "maintained view: adjacency of ({u},{v})");
+        }
+        if let Err(msg) = mr.cond.validate(&mr.view, |p| mr.view.is_alive(p)) {
+            panic!("maintained condensation diverged: {msg}");
+        }
+    }
+
+    /// Weak handles on the maintained condensation's retained `Full(c)`
+    /// bitsets — the leak audit upgrades them after a `deregister` to
+    /// prove nothing but parked extraction handles keeps them alive.
+    #[doc(hidden)]
+    pub(crate) fn maintained_weak_fulls(&self) -> Option<Vec<std::sync::Weak<BitSet>>> {
+        self.maintained.as_ref().map(|mr| mr.cond.weak_fulls())
+    }
 }
 
 /// Which output matches a batch left needing fresh relevant sets —
@@ -622,44 +944,83 @@ impl RefreshPlan {
     }
 }
 
-/// A reach-engine phase 1 ready for extraction: the alive-pair view plus
-/// the condensation DP's retained component bitsets (or the BFS-fallback
-/// decision). Extraction is `&self` and thread-safe.
-pub(crate) struct PreparedSets {
-    engine: ReachEngine<DynMatchGraph>,
+/// A reach computation ready for extraction. Two provenances: a
+/// per-batch [`ReachEngine`] phase 1 (the alive-pair view plus the
+/// condensation DP's retained bitsets, or the BFS-fallback decision), or
+/// refcounted [`SetHandle`]s snapshotted off the maintained condensation
+/// — the handles stay valid however the state mutates afterwards, so a
+/// parked `PreparedSets` can cross into registry phase 2b (or outlive a
+/// `deregister`) holding only its own bitsets alive. Extraction is
+/// `&self` and thread-safe either way.
+pub(crate) enum PreparedSets {
+    Engine { engine: Box<ReachEngine<DynMatchGraph>> },
+    Maintained { handles: Vec<SetHandle>, width: usize },
 }
 
 impl PreparedSets {
     /// Number of planned outputs.
     pub(crate) fn len(&self) -> usize {
-        self.engine.len()
+        match self {
+            PreparedSets::Engine { engine } => engine.len(),
+            PreparedSets::Maintained { handles, .. } => handles.len(),
+        }
     }
 
     /// A per-thread extraction handle over this prepared computation
-    /// (shares the engine's retained sets read-only; owns BFS scratch).
-    pub(crate) fn extractor(&self) -> ReachExtractor<'_, DynMatchGraph> {
-        self.engine.extractor()
+    /// (shares the retained sets read-only; owns any BFS scratch).
+    pub(crate) fn extractor(&self) -> SetsExtractor<'_> {
+        match self {
+            PreparedSets::Engine { engine } => SetsExtractor::Engine(engine.extractor()),
+            PreparedSets::Maintained { handles, width } => {
+                SetsExtractor::Maintained { handles, width: *width }
+            }
+        }
     }
 
     /// `true` when fanning this extraction across pool workers can pay:
     /// per-source BFS (the budget fallback) is always a real traversal
-    /// per output, while DP extraction is a bitset clone per output —
-    /// worth a pool barrier only at real memcpy volume.
+    /// per output, while DP extraction — engine-prepared or maintained —
+    /// is a bitset clone per output, worth a pool barrier only at real
+    /// memcpy volume.
     pub(crate) fn split_worthwhile(&self) -> bool {
-        if !self.engine.used_dp() {
-            return true;
-        }
         /// Total bytes of DP extraction below which the barrier costs
         /// more than parallel memcpy saves.
         const MIN_DP_SPLIT_BYTES: usize = 4 << 20;
-        self.engine.len().saturating_mul(self.engine.universe_size().div_ceil(8))
-            >= MIN_DP_SPLIT_BYTES
+        let (n, universe) = match self {
+            PreparedSets::Engine { engine } => {
+                if !engine.used_dp() {
+                    return true;
+                }
+                (engine.len(), engine.universe_size())
+            }
+            PreparedSets::Maintained { handles, width } => (handles.len(), *width),
+        };
+        n.saturating_mul(universe.div_ceil(8)) >= MIN_DP_SPLIT_BYTES
     }
 
     /// `true` when the condensation DP ran (vs. the budget-forced BFS).
     #[cfg(test)]
     pub(crate) fn used_dp(&self) -> bool {
-        self.engine.used_dp()
+        match self {
+            PreparedSets::Engine { engine } => engine.used_dp(),
+            PreparedSets::Maintained { .. } => true,
+        }
+    }
+}
+
+/// Extraction handle over a [`PreparedSets`], one per worker thread.
+pub(crate) enum SetsExtractor<'a> {
+    Engine(ReachExtractor<'a, DynMatchGraph>),
+    Maintained { handles: &'a [SetHandle], width: usize },
+}
+
+impl SetsExtractor<'_> {
+    /// The strict-reach set of planned output `i`, as an owned bitset.
+    pub(crate) fn extract(&mut self, i: usize) -> BitSet {
+        match self {
+            SetsExtractor::Engine(ex) => ex.extract(i),
+            SetsExtractor::Maintained { handles, width } => handles[i].resolve(*width),
+        }
     }
 }
 
@@ -674,11 +1035,13 @@ mod tests {
     use proptest::prelude::*;
 
     /// The oracle: every cached relevant set must equal the pre-DP
-    /// per-source BFS derivation, and the cache must hold exactly the
-    /// structural output matches.
+    /// per-source BFS derivation, the cache must hold exactly the
+    /// structural output matches, and the maintained condensation (when
+    /// the budget keeps it on) must equal a from-scratch build.
     fn assert_cache_matches_bfs(m: &DynamicMatcher) {
         let st = m.state();
         let g = m.graph();
+        st.check_maintained(g);
         let uo = st.pattern().output();
         let expect = st.sim().structural_matches_of(uo);
         assert_eq!(st.cache().matches(), expect, "cached matches != structural matches");
@@ -756,6 +1119,51 @@ mod tests {
             run_stream(&g, q, IncrementalConfig::new(4), &batches);
         }
 
+        // The churn estimate is exact: it equals the per-op effective
+        // churn (edge effects, node adds, tombstones floored at one)
+        // observed by actually applying the batch op by op.
+        #[test]
+        fn worst_churn_counts_effective_ops(
+            (labels, edges) in (4usize..14).prop_flat_map(|n| (
+                proptest::collection::vec(0u32..3, n),
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2),
+            )),
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0u8..8, 0u32..64, 0u32..64), 1..6), 1..5),
+        ) {
+            let g = graph_from_parts(&labels, &edges).unwrap();
+            let mut dg = DynGraph::from_digraph(&g);
+            for raw in &batches {
+                let delta = decode(&dg, raw);
+                let churn = worst_churn(&dg, &delta);
+                let mut expect = 0usize;
+                for op in &delta.ops {
+                    let single = match *op {
+                        DeltaOp::AddNode(l) => GraphDelta::new().add_node(l),
+                        DeltaOp::AddEdge(s, t) => GraphDelta::new().add_edge(s, t),
+                        DeltaOp::RemoveEdge(s, t) => GraphDelta::new().remove_edge(s, t),
+                        DeltaOp::RemoveNode(v) => GraphDelta::new().remove_node(v),
+                        DeltaOp::SetAttr { node, ref key, ref value } => {
+                            GraphDelta::new().set_attr(node, key.clone(), value.clone())
+                        }
+                        DeltaOp::UnsetAttr { node, ref key } => {
+                            GraphDelta::new().unset_attr(node, key.clone())
+                        }
+                    };
+                    let applied = dg.apply(&single).expect("decoded deltas are valid");
+                    expect += match *op {
+                        DeltaOp::AddNode(_) => 1,
+                        DeltaOp::RemoveNode(_) if !applied.removed_nodes.is_empty() => {
+                            applied.removed_edges.len().max(1)
+                        }
+                        DeltaOp::RemoveNode(_) => 0,
+                        _ => applied.added_edges.len() + applied.removed_edges.len(),
+                    };
+                }
+                prop_assert_eq!(churn, expect, "churn of {:?}", delta);
+            }
+        }
+
         // The same property with the reach budget forced to zero: every
         // materialization takes the BFS-fallback path through the dynamic
         // view, and the answers must not move.
@@ -776,6 +1184,31 @@ mod tests {
             let b = run_stream(&g, q, IncrementalConfig::new(4), &batches);
             prop_assert_eq!(a.top_k().nodes(), b.top_k().nodes());
         }
+    }
+
+    /// Regression for the degree-sum churn heuristic this mirror
+    /// replaced: removing a self-loop and then its node counted the loop
+    /// three times (once for the `RemoveEdge`, twice more via the stale
+    /// successor + predecessor degrees of the `RemoveNode`), pushing this
+    /// borderline batch over the 20% rebuild threshold of a 10-edge graph.
+    /// Effectively it is one edge removal plus one bare tombstone.
+    #[test]
+    fn borderline_self_loop_batch_stays_incremental() {
+        let labels = [0, 1, 2, 0, 1, 2, 0, 1, 2, 0];
+        let edges =
+            [(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8), (0, 4), (3, 7), (6, 1), (9, 9)];
+        let g = graph_from_parts(&labels, &edges).unwrap();
+        let q = label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let delta = GraphDelta::new().remove_edge(9, 9).remove_node(9);
+
+        let dg = DynGraph::from_digraph(&g);
+        assert_eq!(worst_churn(&dg, &delta), 2, "one edge removal + one bare tombstone");
+
+        let mut m = DynamicMatcher::new(&g, q, IncrementalConfig::new(4)).unwrap();
+        m.apply(&delta).expect("valid batch");
+        assert_eq!(m.stats().full_rebuilds, 0, "borderline batch must stay incremental");
+        assert_eq!(m.stats().incremental_applies, 1);
+        assert_cache_matches_bfs(&m);
     }
 
     /// The budget fallback really flips the engine mode when driven

@@ -18,6 +18,7 @@ fn forced(k: usize) -> IncrementalConfig {
     let mut cfg = IncrementalConfig::new(k);
     cfg.max_delta_fraction = f64::INFINITY;
     cfg.max_dirty_fraction = f64::INFINITY;
+    cfg.max_cond_churn_fraction = f64::INFINITY;
     cfg
 }
 
@@ -306,4 +307,71 @@ fn giant_pattern_refresh_splits_across_workers() {
     assert_eq!(seq.stats().intra_pattern_splits, 0);
     assert_eq!(seq.stats().last_intra_splits, 0);
     assert_eq!(seq.stats().observed_multi_worker_refreshes, 0);
+}
+
+#[test]
+fn deregister_frees_maintained_component_bitsets() {
+    // The leak audit for the maintained condensation's refcounted
+    // `Full(c)` bitsets. A cycle large enough that the revival batch
+    // parks a `PreparedSets::Maintained` for registry phase 2b (the
+    // parked handles clone the component Arcs), then the pattern is
+    // deregistered mid-stream. Nothing — not the parked extraction, not
+    // the answer cache, not the serving merge — may keep a component
+    // bitset alive past the path that owned it.
+    let n = 9000u32;
+    let labels: Vec<u32> = (0..n).map(|i| i % 2).collect();
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let g = graph_from_parts(&labels, &edges).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1), (1, 0)], 0).unwrap();
+
+    // Default reach budget: the condensation DP (and with it maintained
+    // mode) stays on — `budget_bytes: 0` would force the BFS fallback
+    // and leave nothing to audit.
+    let mut reg = PatternRegistry::with_threads(&g, 4);
+    let id = reg.register(q.clone(), forced(8)).unwrap();
+    let before_kill =
+        reg.maintained_weak_fulls(id).expect("maintained mode is on after registration");
+    assert!(
+        before_kill.iter().all(|w| w.upgrade().is_some()),
+        "live components hold their bitsets"
+    );
+
+    // Breaking the cycle kills every alive pair: the components are
+    // tombstoned and must drop their bitsets *eagerly*, not at the next
+    // rebuild — the pre-kill weak handles go dead while the pattern is
+    // still registered.
+    reg.apply(&GraphDelta::new().remove_edge(0, 1)).unwrap();
+    assert!(
+        before_kill.iter().all(|w| w.upgrade().is_none()),
+        "tombstoned components freed their bitsets eagerly"
+    );
+
+    // Revival dirties every output at once: big enough that the prepared
+    // maintained extraction is parked for phase 2b.
+    reg.apply(&GraphDelta::new().add_edge(0, 1)).unwrap();
+    assert_eq!(reg.stats().last_rebuilds, 0, "forced incremental never rebuilds");
+    assert_eq!(reg.stats().last_intra_splits, 1, "revival parked a phase-2b extraction");
+    let top = reg.top_k(id).unwrap();
+    let base = top_k_by_match(&reg.snapshot(), &q, &TopKConfig::new(8));
+    assert_eq!(top.matches, base.matches, "answers exact through the parked extraction");
+
+    let weak = reg.maintained_weak_fulls(id).expect("maintained mode survived the toggle");
+    assert!(!weak.is_empty(), "the revived cycle retains at least one component bitset");
+    assert!(weak.iter().all(|w| w.upgrade().is_some()), "still alive while registered");
+
+    // Mid-stream deregister: the slot drop must be the last strong
+    // reference — every component bitset frees immediately.
+    assert!(reg.deregister(id));
+    assert!(
+        weak.iter().all(|w| w.upgrade().is_none()),
+        "deregister leaked a maintained component bitset"
+    );
+
+    // The registry itself keeps serving: the graph advances and a fresh
+    // registration over the same shape answers exactly.
+    reg.apply(&GraphDelta::new().remove_edge(0, 1)).unwrap();
+    reg.apply(&GraphDelta::new().add_edge(0, 1)).unwrap();
+    let id2 = reg.register(q.clone(), forced(8)).unwrap();
+    let base = top_k_by_match(&reg.snapshot(), &q, &TopKConfig::new(8));
+    assert_eq!(reg.top_k(id2).unwrap().matches, base.matches);
 }

@@ -1,0 +1,966 @@
+//! [`CondensationState`]: incrementally maintained Tarjan condensation +
+//! component reach bitsets over a mutable pair graph.
+//!
+//! PR 5's `dirty_region` sweep showed that at small dirty fractions the
+//! reach DP's cost is dominated by *prepare* — a from-scratch Tarjan
+//! condensation and bottom-up bitset build over the whole alive-pair
+//! view, once per batch. The paper's incremental thesis (Fan et al.,
+//! VLDB 2013) says that work should scale with |Δ|, not |G|: SCC
+//! structure only changes around the touched region. This module keeps
+//! the condensation **alive across batches**:
+//!
+//! * **Deletions only split.** A removed intra-component edge or a died
+//!   member can only break its own SCC apart (every post-deletion SCC is
+//!   a subset of the old one), so Tarjan re-runs inside the affected
+//!   components' member union — a bounded region — and everything else
+//!   keeps its component id.
+//! * **Insertions only merge on a DAG cycle.** A new edge `x → y` with
+//!   `comp(x) ≠ comp(y)` merges components exactly when `comp(y)` reaches
+//!   `comp(x)` in the condensation DAG. A bounded reachability probe
+//!   (over the cached successor lists, which are conservative supersets
+//!   while dirty, plus the batch's earlier insertions) detects the cycle;
+//!   the components on the connecting paths join the re-Tarjan region.
+//!   Probes run sequentially over the batch so interacting multi-edge
+//!   cycles are caught by the latest edge's probe.
+//! * **Dirty `Full(c)` bitsets propagate only to ancestors.** Each live
+//!   component holds `Full(c)` (member data nodes ∪ successors' `Full`)
+//!   behind an [`Arc`] — extraction hands out refcounted snapshots, and
+//!   replacing a set frees the old one as soon as the last parked reader
+//!   drops it. After restructuring, only the changed components and
+//!   their condensation-DAG ancestors (walked over exact predecessor
+//!   sets) are recomputed, successors-first.
+//!
+//! When a batch's affected region outgrows [`CondPolicy`]'s thresholds
+//! the state reports [`MaintainError`] and the caller falls back to a
+//! full re-condensation ([`CondensationState::build`]) — mirroring the
+//! PR 1 rebuild-threshold pattern. Correctness is pinned differentially:
+//! [`CondensationState::validate`] compares partition, triviality and
+//! every `Full(c)` against a from-scratch build.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use gpm_graph::scc::Successors;
+use gpm_graph::BitSet;
+use gpm_simulation::{PairDelta, ReachView};
+
+/// Sentinel component id for dead / never-alive pair slots.
+const DEAD: u32 = u32::MAX;
+
+/// Fallback thresholds for incremental maintenance.
+#[derive(Debug, Clone, Copy)]
+pub struct CondPolicy {
+    /// Maximum components one insertion probe may visit before the batch
+    /// falls back to full re-condensation.
+    pub probe_limit: usize,
+    /// Maximum fraction of live pairs the re-Tarjan region may cover
+    /// before the batch falls back to full re-condensation.
+    pub max_region_fraction: f64,
+}
+
+impl Default for CondPolicy {
+    fn default() -> Self {
+        CondPolicy { probe_limit: 4096, max_region_fraction: 0.5 }
+    }
+}
+
+/// Why a batch could not be maintained incrementally. The state is
+/// **poisoned** after an error — the caller must rebuild it from scratch
+/// (and count the fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintainError {
+    /// An insertion probe exceeded [`CondPolicy::probe_limit`].
+    ProbeOverflow,
+    /// The re-Tarjan region exceeded [`CondPolicy::max_region_fraction`].
+    RegionOverflow,
+}
+
+/// What one maintained batch cost, for telemetry and bench counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintainStats {
+    /// Pairs inside the re-Tarjan region (0 when no component restructured).
+    pub region_pairs: usize,
+    /// Components whose `Full` bitset was recomputed.
+    pub recomputed_fulls: usize,
+    /// Components retired + created by restructuring.
+    pub restructured_comps: usize,
+}
+
+/// A reference-counted extraction handle: the strict-reach set of a
+/// source pair, resolvable to an owned bitset without holding the state.
+#[derive(Debug, Clone)]
+pub enum SetHandle {
+    /// Nontrivial source component: its own `Full(c)` (the cycle makes
+    /// every member reachable from every member via ≥ 1 edge).
+    Full(Arc<BitSet>),
+    /// Trivial source component: union of the successors' `Full`s — the
+    /// strictness of "via at least one edge".
+    Union(Vec<Arc<BitSet>>),
+}
+
+impl SetHandle {
+    /// Materializes the handle as an owned bitset of `width` bits.
+    pub fn resolve(&self, width: usize) -> BitSet {
+        match self {
+            SetHandle::Full(a) => (**a).clone(),
+            SetHandle::Union(parts) => {
+                let mut b = BitSet::new(width);
+                for a in parts {
+                    b.union_with(a);
+                }
+                b
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CompSlot {
+    live: bool,
+    /// Alive member pairs, sorted.
+    members: Vec<u32>,
+    /// Distinct live successor components, sorted, self excluded. Exact
+    /// at rest; a conservative superset only transiently inside `apply`.
+    succs: Vec<u32>,
+    /// Exact predecessor components (kept in sync with every `succs`
+    /// recompute and retirement) — the ancestor walk of dirty
+    /// propagation runs over these.
+    preds: BTreeSet<u32>,
+    /// Size > 1, or a single member with a self-loop.
+    nontrivial: bool,
+    /// `Full(c)` = member data nodes ∪ successors' `Full`.
+    full: Arc<BitSet>,
+}
+
+/// Incrementally maintained condensation (components, DAG adjacency,
+/// per-component reach bitsets) over a [`ReachView`] whose pair slots
+/// are stable across batches. See the module docs for the algorithm.
+#[derive(Debug, Clone)]
+pub struct CondensationState {
+    /// Pair slot → live component id, or [`DEAD`].
+    comp_of: Vec<u32>,
+    comps: Vec<CompSlot>,
+    free: Vec<u32>,
+    width: usize,
+    live_pairs: usize,
+}
+
+impl CondensationState {
+    /// Full (re)condensation: Tarjan over every alive pair, successor /
+    /// predecessor wiring, and every `Full(c)` from scratch.
+    pub fn build<V: ReachView>(view: &V, alive: impl Fn(u32) -> bool) -> Self {
+        let n = view.node_count();
+        let mut st = CondensationState {
+            comp_of: vec![DEAD; n],
+            comps: Vec::new(),
+            free: Vec::new(),
+            width: view.universe_size(),
+            live_pairs: 0,
+        };
+        let region: Vec<u32> = (0..n as u32).filter(|&p| alive(p)).collect();
+        st.live_pairs = region.len();
+        let sccs = tarjan_region(view, &region, &alive);
+        for scc in sccs {
+            st.install_component(view, scc);
+        }
+        let all: BTreeSet<u32> = (0..st.comps.len() as u32).collect();
+        for &c in &all {
+            st.recompute_succs(view, c);
+        }
+        st.recompute_fulls(view, &all);
+        st
+    }
+
+    /// Universe width of the maintained bitsets.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Alive pairs currently partitioned.
+    pub fn live_pairs(&self) -> usize {
+        self.live_pairs
+    }
+
+    /// Live components.
+    pub fn component_count(&self) -> usize {
+        self.comps.iter().filter(|c| c.live).count()
+    }
+
+    /// Heap bytes held by the live components' `Full` bitsets — budget
+    /// gating and the leak audit read this.
+    pub fn retained_bytes(&self) -> usize {
+        self.comps.iter().filter(|c| c.live).map(|c| c.full.heap_bytes()).sum()
+    }
+
+    /// Weak references to every live component's `Full` bitset — the leak
+    /// audit downgrades these, drops the state, and asserts nothing but
+    /// still-parked [`SetHandle`]s can keep a bitset alive.
+    pub fn weak_fulls(&self) -> Vec<std::sync::Weak<BitSet>> {
+        self.comps.iter().filter(|c| c.live).map(|c| Arc::downgrade(&c.full)).collect()
+    }
+
+    /// The strict-reach extraction handle of alive pair `p`: a refcounted
+    /// snapshot that stays valid (and keeps only its own bitsets alive)
+    /// however the state changes afterwards.
+    pub fn handle_for(&self, p: u32) -> SetHandle {
+        let c = self.comp_of[p as usize];
+        debug_assert_ne!(c, DEAD, "extraction from a dead pair");
+        let slot = &self.comps[c as usize];
+        if slot.nontrivial {
+            SetHandle::Full(Arc::clone(&slot.full))
+        } else {
+            SetHandle::Union(
+                slot.succs.iter().map(|&s| Arc::clone(&self.comps[s as usize].full)).collect(),
+            )
+        }
+    }
+
+    /// Folds one batch's pair-level delta into the maintained
+    /// condensation. `view` must already be post-batch. On error the
+    /// state is poisoned and must be rebuilt with [`Self::build`].
+    pub fn apply<V: ReachView>(
+        &mut self,
+        view: &V,
+        delta: &PairDelta,
+        policy: &CondPolicy,
+    ) -> Result<MaintainStats, MaintainError> {
+        if view.node_count() > self.comp_of.len() {
+            self.comp_of.resize(view.node_count(), DEAD);
+        }
+        let mut stats = MaintainStats::default();
+        // Components whose internals must be re-Tarjaned (the region).
+        let mut restructure: BTreeSet<u32> = BTreeSet::new();
+        // Components whose successor lists must be recomputed.
+        let mut succ_fix: BTreeSet<u32> = BTreeSet::new();
+        // Components whose Full must be recomputed (ancestors added later).
+        let mut full_dirty: BTreeSet<u32> = BTreeSet::new();
+
+        // 1. Deaths: drop the member; a now-empty component retires, a
+        //    surviving one can only split.
+        for &p in &delta.died {
+            let c = self.comp_of[p as usize];
+            if c == DEAD {
+                continue;
+            }
+            self.comp_of[p as usize] = DEAD;
+            self.live_pairs -= 1;
+            let slot = &mut self.comps[c as usize];
+            let i = slot.members.binary_search(&p).expect("died pair is a member");
+            slot.members.remove(i);
+            if slot.members.is_empty() {
+                restructure.remove(&c);
+                self.retire(c, &mut succ_fix, &mut full_dirty);
+            } else {
+                restructure.insert(c);
+            }
+        }
+
+        // 2. Removed pair edges: intra-component removals can split;
+        //    cross-component ones only stale the source's succ list.
+        for &(x, y) in &delta.removed {
+            let (cx, cy) = (self.comp_of[x as usize], self.comp_of[y as usize]);
+            if cx == DEAD || cy == DEAD {
+                continue; // stripped alongside a death
+            }
+            if cx == cy {
+                restructure.insert(cx);
+            } else {
+                succ_fix.insert(cx);
+                full_dirty.insert(cx);
+            }
+        }
+
+        // 3. Births: fresh singleton components (their edges arrive as
+        //    added pair edges below).
+        for &p in &delta.born {
+            debug_assert_eq!(self.comp_of[p as usize], DEAD, "born pair was alive");
+            let c = self.alloc();
+            self.comps[c as usize].members.push(p);
+            self.comp_of[p as usize] = c;
+            self.live_pairs += 1;
+            succ_fix.insert(c);
+            full_dirty.insert(c);
+        }
+
+        // 4. Insertions, sequentially: probe the condensation DAG (cached
+        //    successor lists are supersets while dirty — conservative,
+        //    never under-reaching — plus this batch's earlier insertions)
+        //    for a cycle. Components on the connecting paths join the
+        //    region; the region re-Tarjan then merges them against the
+        //    real post-batch view.
+        let mut extra: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(x, y) in &delta.added {
+            let (cx, cy) = (self.comp_of[x as usize], self.comp_of[y as usize]);
+            debug_assert!(cx != DEAD && cy != DEAD, "added edges join alive pairs");
+            if cx == cy {
+                if x == y {
+                    self.comps[cx as usize].nontrivial = true;
+                }
+                // An extra edge inside one SCC changes neither the
+                // partition nor any reach set.
+            } else {
+                match self.probe(cy, cx, &extra, policy.probe_limit) {
+                    Probe::Overflow => return Err(MaintainError::ProbeOverflow),
+                    Probe::NoCycle => {
+                        succ_fix.insert(cx);
+                        full_dirty.insert(cx);
+                    }
+                    Probe::Cycle(merge) => {
+                        restructure.extend(merge);
+                    }
+                }
+                extra.entry(cx).or_default().push(cy);
+            }
+        }
+
+        // Churn threshold: past it, a from-scratch condensation is the
+        // cheaper (and simpler) path.
+        stats.region_pairs =
+            restructure.iter().map(|&c| self.comps[c as usize].members.len()).sum();
+        if stats.region_pairs as f64 > policy.max_region_fraction * (self.live_pairs.max(1) as f64)
+        {
+            return Err(MaintainError::RegionOverflow);
+        }
+
+        // 5. Region re-Tarjan against the real view: splits and merges in
+        //    one pass. Old ids retire; every resulting SCC is a fresh
+        //    component.
+        if !restructure.is_empty() {
+            let mut region: Vec<u32> = restructure
+                .iter()
+                .flat_map(|&c| self.comps[c as usize].members.iter().copied())
+                .collect();
+            region.sort_unstable();
+            let comp_of = &self.comp_of;
+            let sccs = tarjan_region(view, &region, |p| {
+                let c = comp_of[p as usize];
+                c != DEAD && restructure.contains(&c)
+            });
+            for &c in &restructure {
+                self.retire(c, &mut succ_fix, &mut full_dirty);
+            }
+            stats.restructured_comps = restructure.len() + sccs.len();
+            for scc in sccs {
+                let c = self.install_component(view, scc);
+                succ_fix.insert(c);
+                full_dirty.insert(c);
+            }
+        }
+
+        // 6. Successor lists (and, through them, exact predecessor sets).
+        for &c in &succ_fix {
+            if self.is_live(c) {
+                self.recompute_succs(view, c);
+            }
+        }
+
+        // 7. Dirty propagation along condensation-DAG ancestors only,
+        //    then recompute the dirty `Full`s successors-first.
+        let mut dirty: BTreeSet<u32> =
+            full_dirty.iter().copied().filter(|&c| self.is_live(c)).collect();
+        let mut work: Vec<u32> = dirty.iter().copied().collect();
+        while let Some(c) = work.pop() {
+            let preds: Vec<u32> =
+                self.comps[c as usize].preds.iter().copied().filter(|&p| self.is_live(p)).collect();
+            for pr in preds {
+                if dirty.insert(pr) {
+                    work.push(pr);
+                }
+            }
+        }
+        stats.recomputed_fulls = dirty.len();
+        self.recompute_fulls(view, &dirty);
+        Ok(stats)
+    }
+
+    /// Differential check against a from-scratch build: same partition of
+    /// the same alive pairs, same triviality, same `Full` per component.
+    pub fn validate<V: ReachView>(
+        &self,
+        view: &V,
+        alive: impl Fn(u32) -> bool,
+    ) -> Result<(), String> {
+        let fresh = Self::build(view, &alive);
+        if self.live_pairs != fresh.live_pairs {
+            return Err(format!("live_pairs {} != fresh {}", self.live_pairs, fresh.live_pairs));
+        }
+        for p in 0..view.node_count() as u32 {
+            let (mc, fc) = (self.comp_of(p), fresh.comp_of(p));
+            if mc.is_some() != alive(p) {
+                return Err(format!("pair {p}: alive={} but comp_of={mc:?}", alive(p)));
+            }
+            let (Some(mc), Some(fc)) = (mc, fc) else { continue };
+            let ms = &self.comps[mc as usize];
+            let fs = &fresh.comps[fc as usize];
+            if ms.members != fs.members {
+                return Err(format!(
+                    "pair {p}: members {:?} != fresh {:?}",
+                    ms.members, fs.members
+                ));
+            }
+            if ms.nontrivial != fs.nontrivial {
+                return Err(format!("pair {p}: nontrivial {} != {}", ms.nontrivial, fs.nontrivial));
+            }
+            if *ms.full != *fs.full {
+                return Err(format!("pair {p}: Full mismatch"));
+            }
+            let msucc = self.succ_rep_set(mc);
+            let fsucc = fresh.succ_rep_set(fc);
+            if msucc != fsucc {
+                return Err(format!("pair {p}: succs {msucc:?} != fresh {fsucc:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Component id of pair `p`, if alive.
+    pub fn comp_of(&self, p: u32) -> Option<u32> {
+        let c = self.comp_of[p as usize];
+        (c != DEAD).then_some(c)
+    }
+
+    // ------------------------------------------------------- internals
+
+    fn is_live(&self, c: u32) -> bool {
+        self.comps[c as usize].live
+    }
+
+    /// Successor components as canonical member-representative sets (for
+    /// id-agnostic comparison).
+    fn succ_rep_set(&self, c: u32) -> BTreeSet<u32> {
+        self.comps[c as usize].succs.iter().map(|&s| self.comps[s as usize].members[0]).collect()
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let slot = CompSlot {
+            live: true,
+            members: Vec::new(),
+            succs: Vec::new(),
+            preds: BTreeSet::new(),
+            nontrivial: false,
+            full: Arc::new(BitSet::new(0)),
+        };
+        match self.free.pop() {
+            Some(c) => {
+                self.comps[c as usize] = slot;
+                c
+            }
+            None => {
+                self.comps.push(slot);
+                (self.comps.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Installs a freshly found SCC (sorted members) as a new component;
+    /// successors / `Full` are left for the caller's recompute sets.
+    fn install_component<V: ReachView>(&mut self, view: &V, members: Vec<u32>) -> u32 {
+        let nontrivial = members.len() > 1 || {
+            let p = members[0];
+            view.successors_of(p).contains(&p)
+        };
+        let c = self.alloc();
+        for &p in &members {
+            self.comp_of[p as usize] = c;
+        }
+        let slot = &mut self.comps[c as usize];
+        slot.members = members;
+        slot.nontrivial = nontrivial;
+        c
+    }
+
+    /// Retires component `c`: unregisters it from its successors'
+    /// predecessor sets and marks every predecessor for successor-list
+    /// and `Full` recomputation (they lost a descendant id). Dropping the
+    /// slot's `Arc` frees `Full(c)` as soon as no parked extraction holds
+    /// a snapshot — the refcounted eager-freeing path.
+    fn retire(&mut self, c: u32, succ_fix: &mut BTreeSet<u32>, full_dirty: &mut BTreeSet<u32>) {
+        let slot = &mut self.comps[c as usize];
+        slot.live = false;
+        slot.members = Vec::new();
+        slot.full = Arc::new(BitSet::new(0));
+        let succs = std::mem::take(&mut slot.succs);
+        let preds = std::mem::take(&mut slot.preds);
+        for s in succs {
+            if self.comps[s as usize].live {
+                self.comps[s as usize].preds.remove(&c);
+            }
+        }
+        for pr in preds {
+            succ_fix.insert(pr);
+            full_dirty.insert(pr);
+        }
+        self.free.push(c);
+    }
+
+    /// Recomputes `succs(c)` from the members' view adjacency and patches
+    /// the affected predecessor sets (the diff keeps them exact).
+    fn recompute_succs<V: ReachView>(&mut self, view: &V, c: u32) {
+        let mut fresh: BTreeSet<u32> = BTreeSet::new();
+        for &p in &self.comps[c as usize].members {
+            for &w in view.successors_of(p) {
+                let cw = self.comp_of[w as usize];
+                debug_assert_ne!(cw, DEAD, "view edge into a dead pair");
+                if cw != c {
+                    fresh.insert(cw);
+                }
+            }
+        }
+        let old = std::mem::take(&mut self.comps[c as usize].succs);
+        for &s in &old {
+            if !fresh.contains(&s) && self.comps[s as usize].live {
+                self.comps[s as usize].preds.remove(&c);
+            }
+        }
+        for &s in &fresh {
+            self.comps[s as usize].preds.insert(c);
+        }
+        self.comps[c as usize].succs = fresh.into_iter().collect();
+    }
+
+    /// Recomputes `Full(c)` for every component in `dirty`,
+    /// successors-first (DFS postorder over the dirty sub-DAG); clean
+    /// successors contribute their stored `Full` untouched.
+    fn recompute_fulls<V: ReachView>(&mut self, view: &V, dirty: &BTreeSet<u32>) {
+        let mut order: Vec<u32> = Vec::with_capacity(dirty.len());
+        let mut state: HashMap<u32, u8> = HashMap::new(); // 1 = open, 2 = done
+        for &root in dirty {
+            if state.contains_key(&root) {
+                continue;
+            }
+            let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+            state.insert(root, 1);
+            while let Some(&(c, i)) = stack.last() {
+                let succs = &self.comps[c as usize].succs;
+                if i < succs.len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    let s = succs[i];
+                    if dirty.contains(&s) && !state.contains_key(&s) {
+                        state.insert(s, 1);
+                        stack.push((s, 0));
+                    }
+                } else {
+                    stack.pop();
+                    state.insert(c, 2);
+                    order.push(c);
+                }
+            }
+        }
+        for c in order {
+            let slot = &self.comps[c as usize];
+            let mut f = BitSet::new(self.width);
+            for &s in &slot.succs {
+                f.union_with(&self.comps[s as usize].full);
+            }
+            for &p in &slot.members {
+                f.insert(view.universe_pos(p));
+            }
+            self.comps[c as usize].full = Arc::new(f);
+        }
+    }
+
+    /// Bounded condensation-DAG reachability from `from` towards `to`
+    /// over cached successors + this batch's `extra` insertions. On a
+    /// hit, returns every component on a connecting path (the exact
+    /// merge set for this edge given the overlay).
+    fn probe(&self, from: u32, to: u32, extra: &HashMap<u32, Vec<u32>>, limit: usize) -> Probe {
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut work: Vec<u32> = vec![from];
+        seen.insert(from);
+        while let Some(c) = work.pop() {
+            if seen.len() > limit {
+                return Probe::Overflow;
+            }
+            let slot = &self.comps[c as usize];
+            let extras = extra.get(&c).map(|v| v.as_slice()).unwrap_or(&[]);
+            for &s in slot.succs.iter().chain(extras) {
+                if self.comps[s as usize].live && seen.insert(s) {
+                    work.push(s);
+                }
+            }
+        }
+        if !seen.contains(&to) {
+            return Probe::NoCycle;
+        }
+        // Comps on from ⇝ to paths: reverse reachability from `to`
+        // restricted to the forward closure.
+        let mut radj: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &c in &seen {
+            let slot = &self.comps[c as usize];
+            let extras = extra.get(&c).map(|v| v.as_slice()).unwrap_or(&[]);
+            for &s in slot.succs.iter().chain(extras) {
+                if seen.contains(&s) {
+                    radj.entry(s).or_default().push(c);
+                }
+            }
+        }
+        let mut merge: BTreeSet<u32> = BTreeSet::new();
+        let mut work: Vec<u32> = vec![to];
+        merge.insert(to);
+        while let Some(c) = work.pop() {
+            for &p in radj.get(&c).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if merge.insert(p) {
+                    work.push(p);
+                }
+            }
+        }
+        debug_assert!(merge.contains(&from), "from reaches to, so from is on a path");
+        Probe::Cycle(merge)
+    }
+}
+
+enum Probe {
+    Overflow,
+    NoCycle,
+    Cycle(BTreeSet<u32>),
+}
+
+/// Iterative Tarjan over the subgraph induced by `in_region`, visiting
+/// `roots` in order. Returns SCCs (members sorted) in emission order —
+/// reverse topological within the region.
+fn tarjan_region<V: Successors>(
+    view: &V,
+    roots: &[u32],
+    in_region: impl Fn(u32) -> bool,
+) -> Vec<Vec<u32>> {
+    let mut next = 0u32;
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    let mut low: HashMap<u32, u32> = HashMap::new();
+    let mut on_stack: BTreeSet<u32> = BTreeSet::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    let mut out: Vec<Vec<u32>> = Vec::new();
+
+    for &root in roots {
+        if index.contains_key(&root) {
+            continue;
+        }
+        index.insert(root, next);
+        low.insert(root, next);
+        next += 1;
+        stack.push(root);
+        on_stack.insert(root);
+        frames.push((root, 0));
+        while let Some(&(v, i)) = frames.last() {
+            let succs = view.successors_of(v);
+            if i < succs.len() {
+                frames.last_mut().expect("nonempty").1 += 1;
+                let w = succs[i];
+                if !in_region(w) {
+                    continue;
+                }
+                match index.get(&w).copied() {
+                    None => {
+                        index.insert(w, next);
+                        low.insert(w, next);
+                        next += 1;
+                        stack.push(w);
+                        on_stack.insert(w);
+                        frames.push((w, 0));
+                    }
+                    Some(wi) => {
+                        if on_stack.contains(&w) {
+                            let lv = low[&v].min(wi);
+                            low.insert(v, lv);
+                        }
+                    }
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    let lp = low[&p].min(low[&v]);
+                    low.insert(p, lp);
+                }
+                if low[&v] == index[&v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack holds the SCC");
+                        on_stack.remove(&w);
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy mutable pair graph implementing [`ReachView`] with identity
+    /// universe projection.
+    #[derive(Clone)]
+    struct VecView {
+        adj: Vec<Vec<u32>>,
+        width: usize,
+    }
+
+    impl Successors for VecView {
+        fn node_count(&self) -> usize {
+            self.adj.len()
+        }
+        fn successors_of(&self, v: u32) -> &[u32] {
+            &self.adj[v as usize]
+        }
+    }
+
+    impl ReachView for VecView {
+        fn universe_size(&self) -> usize {
+            self.width
+        }
+        fn universe_pos(&self, c: u32) -> usize {
+            c as usize
+        }
+    }
+
+    /// Strict-reach oracle: BFS from the successors of `s` over alive
+    /// nodes.
+    fn strict_reach_bfs(view: &VecView, alive: &[bool], s: u32) -> BitSet {
+        let mut set = BitSet::new(view.width);
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut work: Vec<u32> = view.adj[s as usize].clone();
+        for &w in &work {
+            seen.insert(w);
+        }
+        while let Some(p) = work.pop() {
+            set.insert(p as usize);
+            for &w in &view.adj[p as usize] {
+                if alive[w as usize] && seen.insert(w) {
+                    work.push(w);
+                }
+            }
+        }
+        set
+    }
+
+    fn assert_consistent(st: &CondensationState, view: &VecView, alive: &[bool]) {
+        st.validate(view, |p| alive[p as usize]).expect("maintained ≡ from-scratch");
+        for p in 0..view.adj.len() as u32 {
+            if alive[p as usize] {
+                let got = st.handle_for(p).resolve(view.width);
+                let want = strict_reach_bfs(view, alive, p);
+                assert_eq!(got, want, "strict reach of pair {p}");
+            }
+        }
+    }
+
+    struct Harness {
+        view: VecView,
+        alive: Vec<bool>,
+        st: CondensationState,
+    }
+
+    impl Harness {
+        fn new(n: usize, edges: &[(u32, u32)]) -> Self {
+            let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for &(a, b) in edges {
+                if !adj[a as usize].contains(&b) {
+                    adj[a as usize].push(b);
+                }
+            }
+            for l in &mut adj {
+                l.sort_unstable();
+            }
+            let view = VecView { adj, width: n };
+            let alive = vec![true; n];
+            let st = CondensationState::build(&view, |_| true);
+            Harness { view, alive, st }
+        }
+
+        /// Applies a batch described as ops, mirroring the
+        /// `DynMatchGraph::apply_pair_delta` contract, then checks
+        /// differentially. Returns the maintain result.
+        fn batch(&mut self, ops: &[Op]) -> Result<MaintainStats, MaintainError> {
+            let mut delta = PairDelta::default();
+            for op in ops {
+                match *op {
+                    Op::Kill(p) => {
+                        if !self.alive[p as usize] {
+                            continue;
+                        }
+                        self.alive[p as usize] = false;
+                        self.view.adj[p as usize].clear();
+                        for l in &mut self.view.adj {
+                            l.retain(|&w| w != p);
+                        }
+                        delta.died.push(p);
+                        delta.added.retain(|&(a, b)| a != p && b != p);
+                        delta.removed.retain(|&(a, b)| a != p && b != p);
+                    }
+                    Op::Revive(p) => {
+                        if self.alive[p as usize] {
+                            continue;
+                        }
+                        self.alive[p as usize] = true;
+                        delta.born.push(p);
+                    }
+                    Op::AddEdge(a, b) => {
+                        if !self.alive[a as usize] || !self.alive[b as usize] {
+                            continue;
+                        }
+                        let l = &mut self.view.adj[a as usize];
+                        if let Err(i) = l.binary_search(&b) {
+                            l.insert(i, b);
+                            delta.added.push((a, b));
+                        }
+                    }
+                    Op::RemoveEdge(a, b) => {
+                        if !self.alive[a as usize] || !self.alive[b as usize] {
+                            continue;
+                        }
+                        let l = &mut self.view.adj[a as usize];
+                        if let Ok(i) = l.binary_search(&b) {
+                            l.remove(i);
+                            delta.removed.push((a, b));
+                        }
+                    }
+                }
+            }
+            delta.died.sort_unstable();
+            delta.died.dedup();
+            delta.born.retain(|&p| self.alive[p as usize]);
+            // Tiny test graphs: a legitimate merge can cover most pairs,
+            // so the harness never region-falls-back (the policy test
+            // drives the thresholds explicitly).
+            let lax = CondPolicy { probe_limit: 4096, max_region_fraction: 1.0 };
+            let r = self.st.apply(&self.view, &delta, &lax);
+            if r.is_err() {
+                self.st = CondensationState::build(&self.view, |p| self.alive[p as usize]);
+            }
+            r
+        }
+
+        fn check(&self) {
+            assert_consistent(&self.st, &self.view, &self.alive);
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    enum Op {
+        Kill(u32),
+        Revive(u32),
+        AddEdge(u32, u32),
+        RemoveEdge(u32, u32),
+    }
+
+    /// A 4-cycle with a tail: breaking the cycle splits one SCC into
+    /// singletons; re-closing it merges them back — both within a
+    /// bounded region while the tail keeps its component untouched.
+    #[test]
+    fn cycle_break_and_reclose() {
+        let mut h = Harness::new(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5)]);
+        h.check();
+        let s = h.batch(&[Op::RemoveEdge(2, 3)]).expect("bounded split");
+        assert_eq!(s.region_pairs, 4, "only the cycle is re-Tarjaned");
+        h.check();
+        let s = h.batch(&[Op::AddEdge(2, 3)]).expect("bounded merge");
+        assert!(s.region_pairs >= 4, "merge set covers the reclosed cycle");
+        h.check();
+    }
+
+    /// Split and remerge in a single batch: the removed edge dirties the
+    /// component, the added edge re-closes the cycle, and the one region
+    /// re-Tarjan sees the final shape.
+    #[test]
+    fn split_then_remerge_single_batch() {
+        let mut h = Harness::new(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        h.batch(&[Op::RemoveEdge(1, 2), Op::AddEdge(1, 2)]).expect("maintained");
+        h.check();
+        // And a genuine reshape: break 1→2, route 1→0 stays, add 2→1.
+        h.batch(&[Op::RemoveEdge(1, 2), Op::AddEdge(2, 1)]).expect("maintained");
+        h.check();
+    }
+
+    /// Killing a component's last member tombstones it; ancestors'
+    /// bitsets shed the dead data node.
+    #[test]
+    fn tombstoned_source_component() {
+        let mut h = Harness::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        h.batch(&[Op::Kill(3)]).expect("maintained");
+        h.check();
+        assert!(!h.st.handle_for(0).resolve(4).contains(3), "ancestors shed the dead node");
+        h.batch(&[Op::Revive(3), Op::AddEdge(2, 3), Op::AddEdge(3, 1)]).expect("maintained");
+        h.check();
+    }
+
+    /// A death inside a shared SCC splits it without touching siblings.
+    #[test]
+    fn member_death_splits_scc() {
+        // Two 3-cycles sharing nothing; kill one member of the first.
+        let mut h = Harness::new(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        h.batch(&[Op::Kill(1)]).expect("maintained");
+        h.check();
+    }
+
+    /// Merging across a chain of components via one closing edge.
+    #[test]
+    fn chain_merge_via_back_edge() {
+        let mut h = Harness::new(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        h.batch(&[Op::AddEdge(4, 0)]).expect("maintained");
+        h.check();
+        let st = &h.st;
+        assert_eq!(st.component_count(), 1, "the whole chain merged");
+    }
+
+    /// Probe and region limits trip the documented fallbacks.
+    #[test]
+    fn policy_overflows_report_fallback() {
+        let mut h = Harness::new(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let tight = CondPolicy { probe_limit: 2, max_region_fraction: 1.0 };
+        let mut delta = PairDelta::default();
+        h.view.adj[5].push(0);
+        delta.added.push((5, 0));
+        assert_eq!(h.st.apply(&h.view, &delta, &tight), Err(MaintainError::ProbeOverflow));
+        h.st = CondensationState::build(&h.view, |_| true);
+        h.check();
+
+        let cramped = CondPolicy { probe_limit: 4096, max_region_fraction: 0.1 };
+        let mut delta = PairDelta::default();
+        h.view.adj[2].retain(|&w| w != 3);
+        delta.removed.push((2, 3));
+        assert_eq!(h.st.apply(&h.view, &delta, &cramped), Err(MaintainError::RegionOverflow));
+    }
+
+    /// Randomized differential soak: arbitrary interleavings of kills,
+    /// revivals and edge toggles stay equivalent to a from-scratch
+    /// condensation and the BFS strict-reach oracle.
+    #[test]
+    fn randomized_differential_soak() {
+        let mut seed = 0x5EEDu64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let n = 18u32;
+        let mut edges = Vec::new();
+        for _ in 0..30 {
+            let (a, b) = (rng() % n, rng() % n);
+            edges.push((a, b));
+        }
+        let mut h = Harness::new(n as usize, &edges);
+        h.check();
+        for _ in 0..60 {
+            let mut ops = Vec::new();
+            for _ in 0..(1 + rng() % 5) {
+                let (a, b) = (rng() % n, rng() % n);
+                ops.push(match rng() % 8 {
+                    0 => Op::Kill(a),
+                    1 => Op::Revive(a),
+                    2..=4 => Op::AddEdge(a, b),
+                    _ => Op::RemoveEdge(a, b),
+                });
+            }
+            // Revivals must wire their edges explicitly (born pairs have
+            // none until added).
+            let _ = h.batch(&ops);
+            h.check();
+        }
+    }
+}

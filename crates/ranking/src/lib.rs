@@ -27,6 +27,7 @@
 
 pub mod bounds;
 pub mod cache;
+pub mod cond_state;
 pub mod distance;
 pub mod objective;
 pub mod reach_sets;
@@ -35,6 +36,7 @@ pub mod relevant_set;
 
 pub use bounds::{output_upper_bounds, BoundStrategy, OutputBounds};
 pub use cache::RelevanceCache;
+pub use cond_state::{CondPolicy, CondensationState, MaintainError, MaintainStats, SetHandle};
 pub use distance::{DistanceFn, JaccardDistance, MatchInfo, NeighborhoodDiversity};
 pub use objective::{c_uo, Objective};
 pub use reach_sets::{ReachConfig, ReachEngine, ReachExtractor};

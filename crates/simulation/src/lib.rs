@@ -31,7 +31,7 @@ pub mod relation;
 pub mod result_graph;
 
 pub use candidates::CandidateSpace;
-pub use dyn_match_graph::DynMatchGraph;
+pub use dyn_match_graph::{DynMatchGraph, PairDelta};
 pub use incremental::IncSimState;
 pub use match_graph::{MatchGraph, ReachView, SpaceView};
 pub use refine::{compute_simulation, refine_state, RefineState};

@@ -62,12 +62,24 @@ pub mod names {
 
     /// Span names the instrumented stack opens, root to leaf: batch
     /// ingest; registry delta apply (with its lockstep `replay` child);
-    /// per-pattern phase-2a refresh; plan/DP-prepare (with `tarjan` +
+    /// per-pattern phase-2a refresh; incremental condensation
+    /// maintenance (`condense_incremental`, replacing `prepare` on
+    /// maintained batches) vs. plan/DP-prepare (with `tarjan` +
     /// `bitsets` children) vs. extract (per chunk under phase-2b
     /// splits); subscription fan-out; log persistence.
     pub const PHASES: &[&str] = &[
-        "ingest", "apply", "replay", "refresh", "plan", "prepare", "tarjan", "bitsets", "extract",
-        "notify", "log_save",
+        "ingest",
+        "apply",
+        "replay",
+        "refresh",
+        "condense_incremental",
+        "plan",
+        "prepare",
+        "tarjan",
+        "bitsets",
+        "extract",
+        "notify",
+        "log_save",
     ];
 
     // Registry counters/gauges (always on — they back `RegistryStats`).
@@ -147,6 +159,18 @@ impl TelemetryConfig {
         TelemetryConfig { enabled: false, ..TelemetryConfig::default() }
     }
 
+    /// Metrics on, span tracing off: with the recorder disabled there is
+    /// no trace to collect, so spans skip the histogram fold and the
+    /// record push **entirely** — batch roots and children become free
+    /// no-ops. Counters, gauges and directly-recorded histograms (e.g.
+    /// `gpm_log_fsync_seconds`) keep working. This is the configuration
+    /// for sub-100µs microbatch hot paths where even per-span clock
+    /// reads are measurable against the <2% overhead target.
+    pub fn recorder_off(mut self) -> Self {
+        self.recorder.enabled = false;
+        self
+    }
+
     /// Sets the slow-batch capture threshold.
     pub fn slow_threshold(mut self, t: Duration) -> Self {
         self.recorder.slow_threshold = t;
@@ -165,9 +189,10 @@ struct TelemetryInner {
     recorder: FlightRecorder,
     /// Handles for the canonical per-phase histograms, resolved once at
     /// construction so [`Telemetry::finish_batch`] folds span durations
-    /// without per-span name formatting or map lookups (a measured
-    /// multi-µs/batch cost at serving rates). Non-canonical span names
-    /// fall back to [`MetricsRegistry::histogram_with`].
+    /// into their histograms without per-span name formatting or map
+    /// lookups (a measured multi-µs/batch cost at serving rates).
+    /// Non-canonical span names fall back to
+    /// [`MetricsRegistry::histogram_with`].
     phase_hists: Vec<(&'static str, Histogram)>,
 }
 
@@ -203,8 +228,18 @@ impl Telemetry {
         // first), so the linear `find` in `finish_batch` usually hits in
         // one or two steps.
         const HOT_ORDER: &[&str] = &[
-            "refresh", "plan", "prepare", "extract", "tarjan", "bitsets", "apply", "replay",
-            "ingest", "notify", "log_save",
+            "refresh",
+            "condense_incremental",
+            "plan",
+            "prepare",
+            "extract",
+            "tarjan",
+            "bitsets",
+            "apply",
+            "replay",
+            "ingest",
+            "notify",
+            "log_save",
         ];
         debug_assert_eq!(
             {
@@ -275,7 +310,10 @@ impl Telemetry {
     /// outside a serving batch (a standalone `PatternRegistry::apply`
     /// roots at `"apply"`).
     pub fn root_span(&self, name: &'static str) -> Span {
-        if self.enabled() {
+        // Recorder off ⇒ no trace will ever be wanted, so spans skip the
+        // collector and the deferred histogram fold entirely — the whole
+        // batch of opens/closes degrades to free no-ops.
+        if self.enabled() && self.inner.recorder.is_enabled() {
             Span::root(name)
         } else {
             Span::disabled()
@@ -286,7 +324,8 @@ impl Telemetry {
     /// duration into `gpm_phase_seconds{phase=<name>}` and every span
     /// event into `gpm_events_total{event=…}`, and files the trace with
     /// the flight recorder. Returns the retained trace (`None` when
-    /// disabled).
+    /// disabled and when the recorder is off — spans then never recorded
+    /// anything to fold).
     pub fn finish_batch(&self, root: Span, seq: u64) -> Option<Arc<BatchTrace>> {
         let trace = root.into_trace(seq)?;
         for span in &trace.spans {
@@ -369,6 +408,60 @@ mod tests {
         let root = t.start_batch();
         assert!(root.is_enabled());
         assert!(t.finish_batch(root, 2).is_some());
+    }
+
+    #[test]
+    fn recorder_off_spans_are_free_noops_but_metrics_still_record() {
+        let t = Telemetry::new(TelemetryConfig::default().recorder_off());
+        assert!(t.enabled());
+        assert!(!t.recorder().is_enabled());
+        let root = t.start_batch();
+        assert!(!root.is_enabled(), "spans skip the fold and push entirely");
+        {
+            let refresh = root.child("refresh");
+            refresh.event("budget-bail-early");
+        }
+        assert!(t.finish_batch(root, 1).is_none(), "no trace is built");
+        assert!(t.recorder().recent().is_empty());
+        assert!(t.recorder().slowest().is_none());
+        let snap = t.metrics().snapshot();
+        for phase in ["ingest", "refresh"] {
+            let h = snap.histogram(&names::phase(phase));
+            assert_eq!(h.map(|h| h.count), Some(0), "{phase} records nothing via spans");
+        }
+        // Counters and directly-recorded histograms keep working — the
+        // mode only turns the span machinery off.
+        t.metrics().counter(names::SERVING_BATCHES).inc();
+        t.metrics().histogram(names::LOG_FSYNC_SECONDS).record_ns(42);
+        let snap = t.metrics().snapshot();
+        assert_eq!(snap.counter(names::SERVING_BATCHES), Some(1));
+        assert_eq!(snap.histogram(names::LOG_FSYNC_SECONDS).map(|h| h.count), Some(1));
+    }
+
+    /// Not an assertion — a microbench for the per-span open/close cost
+    /// in each mode, run by hand when tuning the hot path:
+    /// `cargo test --release -p gpm-telemetry -- --ignored --nocapture span_cost`.
+    #[test]
+    #[ignore = "manual microbench"]
+    fn span_cost_microbench() {
+        for (label, t) in [
+            ("full tracing", Telemetry::on()),
+            ("recorder off", Telemetry::new(TelemetryConfig::default().recorder_off())),
+            ("disabled", Telemetry::off()),
+        ] {
+            const BATCHES: usize = 20_000;
+            const CHILDREN: usize = 16;
+            let t0 = std::time::Instant::now();
+            for seq in 0..BATCHES {
+                let root = t.start_batch();
+                for _ in 0..CHILDREN {
+                    root.child("refresh").finish();
+                }
+                t.finish_batch(root, seq as u64);
+            }
+            let per_span = t0.elapsed().as_nanos() as f64 / (BATCHES * (CHILDREN + 1)) as f64;
+            println!("{label:>15}: {per_span:6.1} ns/span");
+        }
     }
 
     #[test]

@@ -157,9 +157,11 @@ impl std::fmt::Debug for Gauge {
     }
 }
 
+// No separate sample counter: the total is the sum of the bucket
+// counts, computed at snapshot time — one fewer RMW per record on the
+// span-close hot path.
 struct HistShard {
     buckets: [AtomicU64; BUCKET_COUNT],
-    count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
 }
@@ -168,7 +170,6 @@ impl Default for HistShard {
     fn default() -> Self {
         HistShard {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
         }
@@ -215,14 +216,17 @@ impl Histogram {
         }
         let s = &self.inner.shards[shard()].0;
         s.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        s.count.fetch_add(1, Ordering::Relaxed);
         s.sum_ns.fetch_add(ns, Ordering::Relaxed);
         s.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
-    /// Merged samples so far.
+    /// Merged samples so far (the sum of all bucket counts).
     pub fn count(&self) -> u64 {
-        self.inner.shards.iter().map(|s| s.0.count.load(Ordering::Relaxed)).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>())
+            .sum()
     }
 
     /// Whether samples currently record (the registry's shared flag).
@@ -239,10 +243,10 @@ impl Histogram {
             for (o, b) in out.buckets.iter_mut().zip(&s.buckets) {
                 *o += b.load(Ordering::Relaxed);
             }
-            out.count += s.count.load(Ordering::Relaxed);
             out.sum_ns += s.sum_ns.load(Ordering::Relaxed);
             out.max_ns = out.max_ns.max(s.max_ns.load(Ordering::Relaxed));
         }
+        out.count = out.buckets.iter().sum();
         out
     }
 }

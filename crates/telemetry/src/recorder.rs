@@ -16,6 +16,12 @@ use crate::trace::BatchTrace;
 /// Bounds and thresholds for a [`FlightRecorder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecorderConfig {
+    /// Whether traces are collected at all. With the recorder off (and
+    /// telemetry otherwise enabled) spans fold their durations straight
+    /// into the phase histograms at close — no record collection, no
+    /// per-batch trace, no retention — which is the cheapest way to keep
+    /// latency histograms on a microbatch hot path.
+    pub enabled: bool,
     /// How many recent batch traces the ring retains.
     pub ring_capacity: usize,
     /// How many over-threshold traces are retained (oldest evicted).
@@ -27,10 +33,19 @@ pub struct RecorderConfig {
 impl Default for RecorderConfig {
     fn default() -> Self {
         RecorderConfig {
+            enabled: true,
             ring_capacity: 32,
             slow_capacity: 16,
             slow_threshold: Duration::from_millis(50),
         }
+    }
+}
+
+impl RecorderConfig {
+    /// Recorder off: histograms and counters keep recording, traces are
+    /// never built or retained.
+    pub fn disabled() -> Self {
+        RecorderConfig { enabled: false, ..RecorderConfig::default() }
     }
 }
 
@@ -60,6 +75,11 @@ impl FlightRecorder {
         &self.cfg
     }
 
+    /// Whether this recorder retains traces (see [`RecorderConfig::enabled`]).
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, RecorderState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -68,6 +88,9 @@ impl FlightRecorder {
     /// retained under.
     pub fn record(&self, trace: BatchTrace) -> Arc<BatchTrace> {
         let trace = Arc::new(trace);
+        if !self.cfg.enabled {
+            return trace;
+        }
         let mut s = self.lock();
         if self.cfg.ring_capacity > 0 {
             if s.ring.len() == self.cfg.ring_capacity {
@@ -162,6 +185,7 @@ mod tests {
     #[test]
     fn ring_evicts_oldest_beyond_capacity() {
         let r = FlightRecorder::new(RecorderConfig {
+            enabled: true,
             ring_capacity: 3,
             slow_capacity: 2,
             slow_threshold: Duration::from_secs(1),
@@ -177,6 +201,7 @@ mod tests {
     #[test]
     fn threshold_capture_outlives_ring_eviction() {
         let r = FlightRecorder::new(RecorderConfig {
+            enabled: true,
             ring_capacity: 2,
             slow_capacity: 2,
             slow_threshold: Duration::from_micros(1),
@@ -198,6 +223,7 @@ mod tests {
     #[test]
     fn slowest_is_retained_forever() {
         let r = FlightRecorder::new(RecorderConfig {
+            enabled: true,
             ring_capacity: 1,
             slow_capacity: 1,
             slow_threshold: Duration::from_secs(10),

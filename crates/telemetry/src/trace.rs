@@ -15,7 +15,9 @@
 //! disabled-telemetry overhead near zero. Enabled spans read the fast
 //! tick clock ([`crate::clock`]) exactly twice, at open and at close.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::clock;
@@ -43,14 +45,45 @@ pub struct SpanRecord {
     pub detail: String,
 }
 
-/// Shared collector for one batch. Opening a span only claims an index
-/// from `next` (no lock); the span's finished record is pushed into
-/// `records` once, at close, so the open path is wait-free and the table
-/// mutex is touched exactly once per span.
+/// Preallocated record slots per batch — sized past the deepest traces
+/// the stack produces (a registry batch with intra-pattern splits opens
+/// a few dozen spans); later spans spill to the overflow mutex.
+const RECORD_SLOTS: usize = 64;
+
+/// One preallocated record cell. Exactly one span ever writes it (the
+/// span that claimed its index from the collector's counter), exactly
+/// once (guarded by `SpanInner::finished`), publishing with a `Release`
+/// store of `ready`; readers check `ready` with `Acquire` before
+/// touching `rec`. That single-writer discipline is what `Sync` asserts.
+#[derive(Default)]
+struct Slot {
+    ready: AtomicBool,
+    rec: UnsafeCell<Option<SpanRecord>>,
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `rec` is only readable through the `ready` protocol; the flag
+        // alone is the debuggable surface.
+        f.debug_struct("Slot").field("ready", &self.ready).finish_non_exhaustive()
+    }
+}
+
+// SAFETY: see the `Slot` docs — per-slot single writer, single write,
+// Release/Acquire publication through `ready`.
+unsafe impl Sync for Slot {}
+
+/// Shared collector for one trace-collecting batch. Opening a span only
+/// claims an index from `next` (no lock); the span's finished record
+/// lands in its own preallocated slot at close — only spans past
+/// [`RECORD_SLOTS`] touch the overflow mutex, so a whole batch of
+/// closes coalesces into the single lock acquisition
+/// [`Span::into_trace`] makes to drain the overflow.
 #[derive(Debug)]
 struct Collector {
     epoch_ticks: u64,
-    records: Mutex<Vec<(u32, SpanRecord)>>,
+    slots: Box<[Slot]>,
+    overflow: Mutex<Vec<(u32, SpanRecord)>>,
     next: AtomicU32,
 }
 
@@ -69,6 +102,8 @@ struct Extra {
     events: Vec<(u64, String)>,
 }
 
+/// An enabled span: claims a record index at open and files a full
+/// [`SpanRecord`] into its collector slot at close.
 #[derive(Debug)]
 struct SpanInner {
     collector: Arc<Collector>,
@@ -105,20 +140,19 @@ impl Span {
         Span { inner: None }
     }
 
-    /// `true` when this span records (useful to skip building detail
-    /// strings on hot paths).
+    /// `true` when this span records (the gate hot paths use to skip
+    /// building detail strings).
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }
 
-    /// Starts a fresh root span and its collector — one per batch.
+    /// Starts a fresh trace-collecting root span — one per batch.
     pub(crate) fn root(name: &'static str) -> Span {
         let epoch_ticks = clock::now_ticks();
         let collector = Arc::new(Collector {
             epoch_ticks,
-            // Capacity for a typical batch's span tree up front, so
-            // close almost never reallocates under the lock.
-            records: Mutex::new(Vec::with_capacity(32)),
+            slots: (0..RECORD_SLOTS).map(|_| Slot::default()).collect(),
+            overflow: Mutex::new(Vec::new()),
             next: AtomicU32::new(1),
         });
         Span {
@@ -180,7 +214,8 @@ impl Span {
     }
 
     /// Attaches free-form detail shown in the dumped trace (overwrites
-    /// earlier detail).
+    /// earlier detail). Gate expensive string building with
+    /// [`Span::is_enabled`].
     pub fn detail(&self, text: impl Into<String>) {
         let Some(inner) = &self.inner else { return };
         let mut extra = inner.extra.lock().unwrap_or_else(|e| e.into_inner());
@@ -215,25 +250,34 @@ impl Span {
             events,
             detail,
         };
-        let mut records = inner.collector.records.lock().unwrap_or_else(|e| e.into_inner());
-        records.push((inner.index, rec));
+        match inner.collector.slots.get(inner.index as usize) {
+            Some(slot) => {
+                // SAFETY: this span is the sole claimant of its index and
+                // `finished` made this the one write; readers wait for
+                // the `ready` publication.
+                unsafe { *slot.rec.get() = Some(rec) };
+                slot.ready.store(true, Ordering::Release);
+            }
+            None => {
+                let mut ov = inner.collector.overflow.lock().unwrap_or_else(|e| e.into_inner());
+                ov.push((inner.index, rec));
+            }
+        }
     }
 
     /// Consumes a **root** span and returns the finished trace. Returns
     /// `None` for disabled spans.
     pub(crate) fn into_trace(self, seq: u64) -> Option<BatchTrace> {
         self.close();
-        let inner = self.inner.as_ref()?;
-        debug_assert_eq!(inner.index, 0, "into_trace is for root spans");
-        let records = {
-            let mut records = inner.collector.records.lock().unwrap_or_else(|e| e.into_inner());
-            std::mem::take(&mut *records)
-        };
+        let t = self.inner.as_ref()?;
+        debug_assert_eq!(t.index, 0, "into_trace is for root spans");
+        let (slots, overflow) = (&t.collector.slots, &t.collector.overflow);
         // Re-assemble in creation (index) order. A child still open when
         // the root finished has no record yet — it gets an `(open)`
-        // placeholder, and its eventual close lands in the drained vec,
-        // harmlessly discarded with the collector.
-        let n = inner.collector.next.load(Ordering::Relaxed) as usize;
+        // placeholder, and its eventual close lands in a slot (or the
+        // drained overflow) nobody reads again, harmlessly discarded
+        // with the collector.
+        let n = t.collector.next.load(Ordering::Relaxed) as usize;
         let mut spans: Vec<SpanRecord> = (0..n)
             .map(|_| SpanRecord {
                 parent: None,
@@ -245,8 +289,26 @@ impl Span {
                 detail: String::new(),
             })
             .collect();
-        for (i, rec) in records {
-            spans[i as usize] = rec;
+        for (i, slot) in slots.iter().enumerate().take(n) {
+            if slot.ready.load(Ordering::Acquire) {
+                // SAFETY: `ready` pairs with the closing span's Release
+                // store, and a published slot is never written again.
+                if let Some(rec) = unsafe { (*slot.rec.get()).take() } {
+                    spans[i] = rec;
+                }
+            }
+        }
+        let overflowed = {
+            let mut ov = overflow.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *ov)
+        };
+        for (i, rec) in overflowed {
+            // A straggler-opened span may postdate the `next` load above;
+            // its record has no placeholder and is dropped like any
+            // other post-finish close.
+            if let Some(s) = spans.get_mut(i as usize) {
+                *s = rec;
+            }
         }
         Some(BatchTrace { seq, total_ns: spans[0].duration_ns, spans })
     }
@@ -432,6 +494,26 @@ mod tests {
         // and must not panic or corrupt the finished trace.
         straggler.finish();
         assert_eq!(trace.spans[1].name, "(open)");
+    }
+
+    #[test]
+    fn spans_past_slot_capacity_spill_to_overflow_and_still_trace() {
+        let root = Span::root("batch");
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let root = &root;
+                s.spawn(move || {
+                    for _ in 0..RECORD_SLOTS {
+                        root.child("extract").finish();
+                    }
+                });
+            }
+        });
+        let trace = root.into_trace(5).expect("enabled root");
+        assert_eq!(trace.spans.len(), 2 * RECORD_SLOTS + 1);
+        assert_eq!(trace.spans_named("extract").count(), 2 * RECORD_SLOTS);
+        assert!(trace.spans.iter().skip(1).all(|s| s.parent == Some(0)));
+        assert!(trace.spans_named("(open)").next().is_none(), "every close was kept");
     }
 
     #[test]
