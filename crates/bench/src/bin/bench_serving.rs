@@ -87,11 +87,14 @@ fn main() {
     }
     let o = &result.telemetry_overhead;
     println!(
-        "telemetry overhead: full tracing {:+.2}%, recorder-off {:+.2}% \
-         (enabled {:.0} / recorder-off {:.0} / disabled {:.0} batches/s over {} batches)",
+        "telemetry overhead: full tracing {:+.2}%, sampled 1/16 {:+.2}%, recorder-off {:+.2}% \
+         (enabled {:.0} / sampled {:.0} / recorder-off {:.0} / disabled {:.0} batches/s \
+         over {} batches)",
         o.overhead_pct,
+        o.sampled_overhead_pct,
         o.recorder_off_overhead_pct,
         o.enabled_batches_per_sec,
+        o.sampled_batches_per_sec,
         o.recorder_off_batches_per_sec,
         o.disabled_batches_per_sec,
         o.batches
@@ -105,6 +108,12 @@ fn main() {
         eprintln!(
             "WARNING: recorder-off telemetry overhead above the 2% target ({:+.2}%)",
             o.recorder_off_overhead_pct
+        );
+    }
+    if o.sampled_overhead_pct > 2.0 {
+        eprintln!(
+            "WARNING: sampled (1/16) telemetry overhead above the 2% target ({:+.2}%)",
+            o.sampled_overhead_pct
         );
     }
     for p in &result.points {

@@ -80,15 +80,19 @@ impl Serialize for ServingPoint {
 }
 
 /// The telemetry-cost experiment: the same single-subscriber flood run
-/// with three configurations — full telemetry (tracing + recorder, the
-/// serving default), recorder-off (`recorder_off`: spans degrade to free
-/// no-ops, counters and directly-recorded histograms keep working), and
-/// disabled. The <2% acceptance target applies to recorder-off, the
-/// configuration a sub-100µs microbatch deployment runs; full tracing
-/// pays for per-span clock reads, record collection and flight-recorder
-/// retention, and its measured cost is reported, not gated. Counters
-/// always record, so each delta isolates exactly what its configuration
-/// gates.
+/// with four configurations — full telemetry (tracing + recorder, the
+/// serving default), **sampled** tracing (`trace_sample = 16`: 1 in 16
+/// batches collects a full span tree, the rest pay one timing-only
+/// root, and a slow sampled-out batch still files a skeleton capture in
+/// the recorder's slow list), recorder-off (`recorder_off`: spans
+/// degrade to free no-ops, counters and directly-recorded histograms
+/// keep working), and disabled. The <2% acceptance target applies to
+/// recorder-off **and** to sampled — the two configurations a
+/// sub-100µs microbatch deployment actually runs; full every-batch
+/// tracing pays for per-span clock reads, record collection and
+/// flight-recorder retention, and its measured cost is reported, not
+/// gated. Counters always record, so each delta isolates exactly what
+/// its configuration gates.
 #[derive(Debug, Clone)]
 pub struct TelemetryOverhead {
     /// Batches each timed flood repetition ingested.
@@ -96,6 +100,9 @@ pub struct TelemetryOverhead {
     /// Rate implied by the summed per-batch minima with full telemetry
     /// (the serving default).
     pub enabled_batches_per_sec: f64,
+    /// Same, with 1-in-16 deterministic trace sampling: full span trees
+    /// on the sampled batches, a timing-only root on the rest.
+    pub sampled_batches_per_sec: f64,
     /// Same, with the recorder off: spans are no-ops, counters and
     /// direct histogram recordings still land.
     pub recorder_off_batches_per_sec: f64,
@@ -104,8 +111,11 @@ pub struct TelemetryOverhead {
     /// `(t_enabled − t_disabled) / t_disabled`, percent; negative values
     /// are scheduler noise.
     pub overhead_pct: f64,
+    /// `(t_sampled − t_disabled) / t_disabled`, percent — production
+    /// tracing at `trace_sample = 16`, held to the <2% target.
+    pub sampled_overhead_pct: f64,
     /// `(t_recorder_off − t_disabled) / t_disabled`, percent — the
-    /// number held to the <2% target.
+    /// tracing-free floor, also held to the <2% target.
     pub recorder_off_overhead_pct: f64,
 }
 
@@ -114,9 +124,11 @@ impl Serialize for TelemetryOverhead {
         Value::Object(vec![
             ("batches".into(), self.batches.to_value()),
             ("enabled_batches_per_sec".into(), self.enabled_batches_per_sec.to_value()),
+            ("sampled_batches_per_sec".into(), self.sampled_batches_per_sec.to_value()),
             ("recorder_off_batches_per_sec".into(), self.recorder_off_batches_per_sec.to_value()),
             ("disabled_batches_per_sec".into(), self.disabled_batches_per_sec.to_value()),
             ("overhead_pct".into(), self.overhead_pct.to_value()),
+            ("sampled_overhead_pct".into(), self.sampled_overhead_pct.to_value()),
             ("recorder_off_overhead_pct".into(), self.recorder_off_overhead_pct.to_value()),
         ])
     }
@@ -373,6 +385,7 @@ pub fn telemetry_overhead(
     let _ = flood_batch_secs(g, pool, k, &stream, threads, TelemetryConfig::disabled());
     let mut off_reps = Vec::new();
     let mut rec_off_reps = Vec::new();
+    let mut sampled_reps = Vec::new();
     let mut on_reps = Vec::new();
     for _ in 0..5 {
         off_reps.push(flood_batch_secs(g, pool, k, &stream, threads, TelemetryConfig::disabled()));
@@ -384,14 +397,24 @@ pub fn telemetry_overhead(
             threads,
             TelemetryConfig::default().recorder_off(),
         ));
+        sampled_reps.push(flood_batch_secs(
+            g,
+            pool,
+            k,
+            &stream,
+            threads,
+            TelemetryConfig::default().sampled(16),
+        ));
         on_reps.push(flood_batch_secs(g, pool, k, &stream, threads, TelemetryConfig::default()));
     }
     let off: f64 = min_per_index(&off_reps).iter().sum();
     let rec_off: f64 = min_per_index(&rec_off_reps).iter().sum();
+    let sampled: f64 = min_per_index(&sampled_reps).iter().sum();
     let on: f64 = min_per_index(&on_reps).iter().sum();
     TelemetryOverhead {
         batches: stream.len(),
         enabled_batches_per_sec: if on > 0.0 { stream.len() as f64 / on } else { 0.0 },
+        sampled_batches_per_sec: if sampled > 0.0 { stream.len() as f64 / sampled } else { 0.0 },
         recorder_off_batches_per_sec: if rec_off > 0.0 {
             stream.len() as f64 / rec_off
         } else {
@@ -399,6 +422,7 @@ pub fn telemetry_overhead(
         },
         disabled_batches_per_sec: if off > 0.0 { stream.len() as f64 / off } else { 0.0 },
         overhead_pct: if off > 0.0 { (on - off) / off * 100.0 } else { 0.0 },
+        sampled_overhead_pct: if off > 0.0 { (sampled - off) / off * 100.0 } else { 0.0 },
         recorder_off_overhead_pct: if off > 0.0 { (rec_off - off) / off * 100.0 } else { 0.0 },
     }
 }

@@ -83,7 +83,7 @@ mod registry;
 mod state;
 
 pub use matcher::{ApplyStats, DynamicMatcher, IncrementalConfig, IncrementalError};
-pub use registry::{AnswerChange, PatternId, PatternRegistry, RegistryStats};
+pub use registry::{AnswerChange, PatternId, PatternInfo, PatternRegistry, RegistryStats};
 
 // The observability bundle [`PatternRegistry::set_telemetry`] /
 // [`DynamicMatcher::set_telemetry`] accept, re-exported so incremental

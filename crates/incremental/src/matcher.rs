@@ -120,6 +120,9 @@ pub struct ApplyStats {
     pub last_swept_pairs: usize,
     /// Output matches invalidated by the last batch.
     pub last_dirty_outputs: usize,
+    /// Wall nanoseconds of the last served refresh, batch ingress to
+    /// answer — what `/patterns` reports as the last refresh latency.
+    pub last_refresh_ns: u64,
 }
 
 /// A matcher that owns a graph + pattern and keeps the top-k answer fresh

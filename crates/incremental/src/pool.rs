@@ -104,6 +104,14 @@ impl WorkerPool {
         self.shared.tasks.load(Ordering::Relaxed)
     }
 
+    /// Items of the current job not yet completed — 0 between jobs. A
+    /// point-in-time sample (the snapshot-time queue-depth gauge); the
+    /// pool is busy exactly while this is nonzero.
+    pub(crate) fn queued_items(&self) -> usize {
+        let st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.job.as_ref().map_or(0, |j| j.items - j.completed)
+    }
+
     /// Runs `task(i)` for every `i in 0..items` across the pool, returning
     /// once **all** invocations have finished. The caller's thread only
     /// coordinates (the pool is sized to the parallelism wanted).
@@ -233,6 +241,18 @@ mod tests {
         });
         assert_eq!(pool.tasks_run(), 8);
         assert!(pool.busy_nanos() >= 8_000_000, "8 tasks × ≥1ms each");
+    }
+
+    #[test]
+    fn queued_items_tracks_the_current_job() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.queued_items(), 0, "idle pool has no queue");
+        let seen = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            seen.fetch_max(pool.queued_items(), Ordering::SeqCst);
+        });
+        assert!(seen.load(Ordering::SeqCst) >= 1, "mid-job depth is visible");
+        assert_eq!(pool.queued_items(), 0, "drained after run returns");
     }
 
     #[test]

@@ -192,6 +192,29 @@ impl AnswerChange {
     }
 }
 
+/// Introspection snapshot of one registered pattern — what the admin
+/// plane's `/patterns` endpoint serves. Everything here is a copy; the
+/// slot lock is held only while assembling it.
+#[derive(Debug, Clone)]
+pub struct PatternInfo {
+    /// The pattern's registry handle.
+    pub id: PatternId,
+    /// Number of pattern nodes.
+    pub nodes: usize,
+    /// Number of pattern edges.
+    pub edges: usize,
+    /// Configured answer size `k`.
+    pub k: usize,
+    /// Configured diversification trade-off `λ`.
+    pub lambda: f64,
+    /// How relevant-set preparation currently runs: `"maintained"`,
+    /// `"readopt-pending"` or `"engine"`.
+    pub reach_mode: &'static str,
+    /// Per-pattern maintenance counters (includes
+    /// [`ApplyStats::last_refresh_ns`], the last refresh latency).
+    pub stats: ApplyStats,
+}
+
 /// Dirty-set size past which a single pattern's relevant-set extraction
 /// is split across the pool (phase 2b) instead of running inline on the
 /// worker that claimed the pattern. Below it, the chunking barrier costs
@@ -628,6 +651,51 @@ impl PatternRegistry {
 
     fn with_slot<T>(&self, id: PatternId, f: impl FnOnce(&PatternState) -> T) -> Option<T> {
         self.slots.iter().find(|s| s.id == id).map(|s| f(&s.state.lock()))
+    }
+
+    /// Introspection snapshot of one pattern (`None` for unknown ids).
+    pub fn pattern_info(&self, id: PatternId) -> Option<PatternInfo> {
+        self.with_slot(id, |st| PatternInfo {
+            id,
+            nodes: st.pattern().node_count(),
+            edges: st.pattern().edge_count(),
+            k: st.cfg().k,
+            lambda: st.cfg().lambda,
+            reach_mode: st.reach_mode(),
+            stats: st.stats().clone(),
+        })
+    }
+
+    /// Introspection snapshots of every pattern, in registration order.
+    pub fn pattern_infos(&self) -> Vec<PatternInfo> {
+        self.slots.iter().map(|s| self.pattern_info(s.id).expect("slot exists")).collect()
+    }
+
+    /// Items of the current maintenance-pool job not yet completed —
+    /// 0 between batches or without a pool. The snapshot-time queue-depth
+    /// gauge the serving layer samples.
+    pub fn pool_queue_depth(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::queued_items)
+    }
+
+    /// Full correctness audit of one pattern against the shared graph:
+    /// simulation invariants plus the maintained-reach oracle, non-fatal.
+    /// `None` for unknown ids. This is what the sampled production
+    /// auditor runs; it holds the slot lock for the audit's duration, so
+    /// callers should sample rather than run it per batch.
+    pub fn audit_pattern(&self, id: PatternId) -> Option<Result<(), String>> {
+        self.with_slot(id, |st| st.audit(&self.graph))
+    }
+
+    /// Deliberately desynchronizes one pattern's maintained reach view
+    /// from its simulation so [`Self::audit_pattern`] must fail — test
+    /// harnesses inject production corruption with this. Returns `false`
+    /// when there was nothing to corrupt (unknown id, budget-disabled
+    /// maintained mode, or an edgeless view).
+    #[doc(hidden)]
+    pub fn corrupt_maintained_for_test(&self, id: PatternId) -> bool {
+        let Some(slot) = self.slots.iter().find(|s| s.id == id) else { return false };
+        slot.state.lock().corrupt_maintained_for_test(&self.graph)
     }
 
     /// Differential-oracle hook for test harnesses: panics when any

@@ -622,6 +622,7 @@ impl PatternState {
     /// `(node, δr)` sequence) — the signal push consumers key on.
     pub(crate) fn serve_timed(&mut self, t0: Instant) -> (TopKResult, AnswerDiff) {
         let top = self.top_k_timed(t0);
+        self.stats.last_refresh_ns = top.stats.elapsed.as_nanos().min(u64::MAX as u128) as u64;
         let diff = AnswerDiff::between(&self.served, &top.matches);
         if !diff.is_empty() {
             self.served = top.matches.clone();
@@ -886,20 +887,35 @@ impl PatternState {
         &self.sim
     }
 
-    /// Differential oracle for the maintained reach state (a no-op when
-    /// the budget keeps it off): the maintained pair view must equal a
-    /// scratch packing over the current simulation, and the maintained
+    /// Differential oracle for the maintained reach state (trivially `Ok`
+    /// when the budget keeps it off): the maintained pair view must equal
+    /// a scratch packing over the current simulation, and the maintained
     /// condensation must validate against a from-scratch build — the
-    /// partition, triviality and every retained `Full(c)`. Test harnesses
-    /// call this after every batch; panics on any divergence.
-    pub(crate) fn check_maintained(&self, g: &DynGraph) {
-        let Some(mr) = &self.maintained else { return };
+    /// partition, triviality and every retained `Full(c)`. Returns the
+    /// first divergence as a message; the production auditor surfaces it
+    /// through health instead of crashing the service.
+    pub(crate) fn verify_maintained(&self, g: &DynGraph) -> Result<(), String> {
+        let Some(mr) = &self.maintained else { return Ok(()) };
         let fresh = DynMatchGraph::over_alive(g, &self.pattern, &self.sim, mr.view.universe_size());
-        assert_eq!(mr.view.alive_count(), fresh.len(), "maintained view: alive pair count");
-        assert_eq!(mr.view.edge_count(), fresh.edge_count(), "maintained view: pair edge count");
+        if mr.view.alive_count() != fresh.len() {
+            return Err(format!(
+                "maintained view: alive pair count {} != fresh {}",
+                mr.view.alive_count(),
+                fresh.len()
+            ));
+        }
+        if mr.view.edge_count() != fresh.edge_count() {
+            return Err(format!(
+                "maintained view: pair edge count {} != fresh {}",
+                mr.view.edge_count(),
+                fresh.edge_count()
+            ));
+        }
         for fc in 0..fresh.len() as u32 {
             let (u, v) = (fresh.pattern_node(fc), fresh.data_node(fc));
-            let mc = mr.view.compact_of(u, v).expect("alive pair present in maintained view");
+            let Some(mc) = mr.view.compact_of(u, v) else {
+                return Err(format!("maintained view: alive pair ({u},{v}) missing"));
+            };
             let want: BTreeSet<(u32, u32)> = fresh
                 .successors(fc)
                 .iter()
@@ -911,11 +927,71 @@ impl PatternState {
                 .iter()
                 .map(|&s| (mr.view.pattern_node(s), mr.view.data_node(s)))
                 .collect();
-            assert_eq!(got, want, "maintained view: adjacency of ({u},{v})");
+            if got != want {
+                return Err(format!(
+                    "maintained view: adjacency of ({u},{v}) diverged: {got:?} != {want:?}"
+                ));
+            }
         }
-        if let Err(msg) = mr.cond.validate(&mr.view, |p| mr.view.is_alive(p)) {
-            panic!("maintained condensation diverged: {msg}");
+        mr.cond
+            .validate(&mr.view, |p| mr.view.is_alive(p))
+            .map_err(|msg| format!("maintained condensation diverged: {msg}"))
+    }
+
+    /// Panicking wrapper over [`Self::verify_maintained`] — test
+    /// harnesses call this after every batch.
+    pub(crate) fn check_maintained(&self, g: &DynGraph) {
+        if let Err(msg) = self.verify_maintained(g) {
+            panic!("{msg}");
         }
+    }
+
+    /// Full correctness audit of this pattern against `g`: the
+    /// simulation-invariant oracle (match-condition closure plus the
+    /// fixpoint check) and the maintained-reach oracle, both non-fatal.
+    /// This is what the sampled production auditor runs in the background.
+    pub(crate) fn audit(&self, g: &DynGraph) -> Result<(), String> {
+        if !self.sim.check_invariants(g, &self.pattern) {
+            return Err("simulation invariants violated (see stderr for detail)".to_string());
+        }
+        self.verify_maintained(g)
+    }
+
+    /// How relevant-set preparation currently runs: `"maintained"` while
+    /// the incremental condensation is alive, `"readopt-pending"` when the
+    /// churn gate dropped it and the next calm batch will rebuild it, and
+    /// `"engine"` for the per-batch prepare (budget drop or never adopted).
+    pub(crate) fn reach_mode(&self) -> &'static str {
+        if self.maintained.is_some() {
+            "maintained"
+        } else if self.maint_readopt {
+            "readopt-pending"
+        } else {
+            "engine"
+        }
+    }
+
+    /// Deliberately desynchronizes the maintained pair view from the
+    /// simulation by unlinking the pair edges one real data edge induces
+    /// (the graph and simulation are untouched, so [`Self::audit`] must
+    /// report the divergence). Returns `false` when there is nothing to
+    /// corrupt — no maintained state, or a view with no pair edges.
+    #[doc(hidden)]
+    pub(crate) fn corrupt_maintained_for_test(&mut self, g: &DynGraph) -> bool {
+        let Some(mr) = self.maintained.as_mut() else { return false };
+        let mut edge = None;
+        for c in 0..mr.view.len() as u32 {
+            if !mr.view.is_alive(c) {
+                continue;
+            }
+            if let Some(&s) = mr.view.successors(c).first() {
+                edge = Some((mr.view.data_node(c), mr.view.data_node(s)));
+                break;
+            }
+        }
+        let Some((v, w)) = edge else { return false };
+        let delta = mr.view.apply_pair_delta(g, &self.pattern, &self.sim, &[], &[], &[(v, w)]);
+        !delta.is_empty()
     }
 
     /// Weak handles on the maintained condensation's retained `Full(c)`

@@ -1,0 +1,109 @@
+//! [`Auditor`]: the sampled production auditor.
+//!
+//! The differential oracles (`audit_pattern`: simulation invariants plus
+//! the maintained-reach validation) exist so test harnesses can prove the
+//! incremental state honest — but bugs that matter ship to production,
+//! where nobody calls test hooks. The auditor runs the same oracles
+//! **in production, on a sample**: a background thread wakes on a small
+//! interval, and once the stream has advanced by `every_batches` since
+//! the last audit it audits the next registered pattern round-robin, on
+//! the service loop between batches (one pattern per tick — full-state
+//! re-derivation is priced as a sampled tax, never a per-batch one).
+//!
+//! A violation latches the service **unready** (`/healthz`) and counts in
+//! `gpm_audit_violations_total`; the latch clears when the same pattern
+//! later audits clean or is deregistered. The thread dies with the
+//! service loop (a [`LoopGone`](crate::LoopGone) stops it) or on
+//! [`Auditor::stop`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::runtime::ServiceController;
+
+/// Cadence of the sampled auditor.
+#[derive(Debug, Clone)]
+pub struct AuditorConfig {
+    /// Audit once the head sequence advanced by at least this many
+    /// batches since the last audit (0 = audit on every wake-up).
+    pub every_batches: u64,
+    /// How often the thread wakes to check the stream position.
+    pub interval: Duration,
+}
+
+impl Default for AuditorConfig {
+    fn default() -> Self {
+        AuditorConfig { every_batches: 64, interval: Duration::from_millis(250) }
+    }
+}
+
+/// A running auditor thread. Dropping it stops the thread.
+pub struct Auditor {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Auditor {
+    /// Spawns the auditor against `controller`'s service loop.
+    pub fn spawn(controller: ServiceController, cfg: AuditorConfig) -> Auditor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("gpm-auditor".into())
+            .spawn(move || run(&controller, &cfg, &stop2))
+            .expect("spawn auditor");
+        Auditor { stop, join: Some(join) }
+    }
+
+    /// Stops the thread and joins it.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Auditor {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn run(controller: &ServiceController, cfg: &AuditorConfig, stop: &AtomicBool) {
+    let mut last_seq: Option<u64> = None;
+    let every = cfg.every_batches;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(cfg.interval);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let prev = last_seq;
+        let tick = controller.with(move |svc| {
+            let seq = svc.seq();
+            let due = match prev {
+                None => true,
+                Some(p) => seq.saturating_sub(p) >= every,
+            };
+            if due {
+                // The outcome lands in the audit counters and the health
+                // latch; the auditor itself only tracks stream position.
+                let _ = svc.audit_sample();
+                Some(seq)
+            } else {
+                None
+            }
+        });
+        match tick {
+            Ok(Some(seq)) => last_seq = Some(seq),
+            Ok(None) => {}
+            Err(_) => return, // service loop gone: nothing left to audit
+        }
+    }
+}

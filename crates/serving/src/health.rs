@@ -1,0 +1,171 @@
+//! The serving health model: one [`HealthReport`] aggregated from
+//! component probes, rendered on `/healthz` and summarized by `/readyz`.
+//!
+//! Three levels, chosen for what an orchestrator should do about them:
+//!
+//! * **Ready** — serve traffic.
+//! * **Degraded** — keep serving, page someone: answers are still
+//!   correct but a promise is slipping (stale durability, saturated
+//!   subscriber queues, an SLO burning its budget).
+//! * **Unready** — stop routing here: the service loop is gone, or the
+//!   production auditor proved a maintained answer wrong — a correctness
+//!   violation outranks every latency concern.
+//!
+//! Aggregation is worst-wins: any failed component makes the service
+//! unready, else any degraded component makes it degraded.
+
+use std::time::Duration;
+
+/// Overall (and per-component) health level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Serving normally.
+    Ready,
+    /// Serving, but a promise is slipping — keep traffic, alert.
+    Degraded,
+    /// Do not route traffic here.
+    Unready,
+}
+
+impl HealthStatus {
+    /// The wire spelling (`"ready"` / `"degraded"` / `"unready"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ready => "ready",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Unready => "unready",
+        }
+    }
+}
+
+/// One probe's verdict.
+#[derive(Debug, Clone)]
+pub struct ComponentHealth {
+    /// Stable component name (`"loop"`, `"delta_log"`, `"subscriptions"`,
+    /// `"slo"`, `"audit"`, `"reach"`).
+    pub name: &'static str,
+    /// This component's level.
+    pub status: HealthStatus,
+    /// Human-readable evidence for the level.
+    pub detail: String,
+}
+
+/// Thresholds of the health probes.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// A log with unpersisted entries whose last fsync is older than this
+    /// is a degraded durability promise. Never-persisted logs are exempt
+    /// (persistence is optional until the first save opts in).
+    pub max_fsync_age: Duration,
+    /// Degraded when more than this fraction of subscription queues sit
+    /// at capacity (the next push coalesces — consumers are losing
+    /// history).
+    pub max_saturated_fraction: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig { max_fsync_age: Duration::from_secs(30), max_saturated_fraction: 0.5 }
+    }
+}
+
+/// The aggregated health of a service at one consistency point.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Worst-wins aggregate of the components.
+    pub status: HealthStatus,
+    /// Every probe's verdict, in a stable order.
+    pub components: Vec<ComponentHealth>,
+}
+
+impl HealthReport {
+    /// Aggregates `components` worst-wins.
+    pub fn aggregate(components: Vec<ComponentHealth>) -> Self {
+        let status = components.iter().map(|c| c.status).max().unwrap_or(HealthStatus::Ready);
+        HealthReport { status, components }
+    }
+
+    /// `true` unless the report is unready — what `/readyz` keys on.
+    pub fn is_ready(&self) -> bool {
+        self.status != HealthStatus::Unready
+    }
+
+    /// The `/healthz` body:
+    /// `{"status":"…","components":[{"name":"…","status":"…","detail":"…"},…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"status\":\"");
+        out.push_str(self.status.as_str());
+        out.push_str("\",\"components\":[");
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(c.name);
+            out.push_str("\",\"status\":\"");
+            out.push_str(c.status.as_str());
+            out.push_str("\",\"detail\":\"");
+            out.push_str(&escape_json(&c.detail));
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for detail strings (quotes, backslashes,
+/// control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(name: &'static str, status: HealthStatus) -> ComponentHealth {
+        ComponentHealth { name, status, detail: String::new() }
+    }
+
+    #[test]
+    fn aggregation_is_worst_wins() {
+        let r = HealthReport::aggregate(vec![]);
+        assert_eq!(r.status, HealthStatus::Ready);
+        let r = HealthReport::aggregate(vec![
+            comp("a", HealthStatus::Ready),
+            comp("b", HealthStatus::Degraded),
+        ]);
+        assert_eq!(r.status, HealthStatus::Degraded);
+        assert!(r.is_ready(), "degraded still serves");
+        let r = HealthReport::aggregate(vec![
+            comp("a", HealthStatus::Degraded),
+            comp("b", HealthStatus::Unready),
+        ]);
+        assert_eq!(r.status, HealthStatus::Unready);
+        assert!(!r.is_ready());
+    }
+
+    #[test]
+    fn json_escapes_details() {
+        let r = HealthReport::aggregate(vec![ComponentHealth {
+            name: "audit",
+            status: HealthStatus::Unready,
+            detail: "diverged: \"got\" != want\n".into(),
+        }]);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"status\":\"unready\""));
+        assert!(json.contains("\\\"got\\\" != want\\n"));
+    }
+}

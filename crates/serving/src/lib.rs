@@ -66,16 +66,25 @@
 //! assert!(sub.try_recv().is_none());
 //! ```
 
+mod admin;
 mod answer;
+mod audit;
+mod health;
+mod http;
 mod log;
 mod runtime;
 mod service;
+mod slo;
 mod subscription;
 
+pub use admin::AdminServer;
 pub use answer::{AnswerUpdate, VersionedAnswer};
+pub use audit::{Auditor, AuditorConfig};
+pub use health::{ComponentHealth, HealthConfig, HealthReport, HealthStatus};
 pub use log::{DeltaLog, LogEntry};
-pub use runtime::ServiceHandle;
+pub use runtime::{LoopGone, ServiceController, ServiceHandle};
 pub use service::{AnswerService, IngestReport, ServiceConfig, ServiceStats, ServingError};
+pub use slo::SloConfig;
 pub use subscription::{NotifyMode, Subscription, SubscriptionId};
 
 // The observability vocabulary of [`ServiceConfig::telemetry`] and

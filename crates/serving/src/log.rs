@@ -61,6 +61,12 @@ pub struct DeltaLog {
     /// its wall time here — `gpm_log_fsync_seconds` in the serving
     /// stack's telemetry. Bare logs carry `None` and pay nothing.
     fsync_hist: Option<Histogram>,
+    /// Cumulative bytes fsynced to disk across every save of this log —
+    /// the `gpm_delta_log_bytes` gauge.
+    persisted_bytes: u64,
+    /// When the last successful fsync finished — the freshness input of
+    /// the health model's persistence staleness check.
+    last_fsync: Option<std::time::Instant>,
 }
 
 impl Clone for DeltaLog {
@@ -75,6 +81,8 @@ impl Clone for DeltaLog {
             entries: self.entries.clone(),
             saved: None,
             fsync_hist: self.fsync_hist.clone(),
+            persisted_bytes: 0,
+            last_fsync: None,
         }
     }
 }
@@ -94,6 +102,8 @@ impl DeltaLog {
             entries: Vec::new(),
             saved: None,
             fsync_hist: None,
+            persisted_bytes: 0,
+            last_fsync: None,
         }
     }
 
@@ -101,6 +111,28 @@ impl DeltaLog {
     /// serving layer passes its `gpm_log_fsync_seconds` handle).
     pub fn set_fsync_histogram(&mut self, h: Histogram) {
         self.fsync_hist = Some(h);
+    }
+
+    /// Cumulative bytes fsynced to disk by [`Self::save`] over this log's
+    /// lifetime (0 for a never-persisted log).
+    pub fn persisted_bytes(&self) -> u64 {
+        self.persisted_bytes
+    }
+
+    /// Time since the last **successful** fsync, `None` for a log that
+    /// has never persisted — the staleness signal health checks read.
+    pub fn fsync_age(&self) -> Option<std::time::Duration> {
+        self.last_fsync.map(|t| t.elapsed())
+    }
+
+    /// Entries appended since the last save — 0 for a clean log; equal to
+    /// [`Self::len`] for a never-persisted one. Staleness only matters
+    /// while this is nonzero (a quiet service has nothing to lose).
+    pub fn unpersisted_entries(&self) -> usize {
+        match &self.saved {
+            Some(s) => (self.head_seq() - s.head_seq) as usize,
+            None => self.entries.len(),
+        }
     }
 
     /// The anchored snapshot (graph state at [`Self::base_seq`]).
@@ -281,13 +313,17 @@ impl DeltaLog {
                     self.saved = None;
                     return Err(ServingError::corrupt(format!("append log: {e}")));
                 }
+                self.persisted_bytes += suffix.len() as u64;
             }
+            self.last_fsync = Some(std::time::Instant::now());
             self.saved.as_mut().expect("checked above").head_seq = head;
             return Ok(());
         }
         let full = self.to_json_lines();
         self.timed_fsync(|| write_synced(path, full.as_bytes()))
             .map_err(|e| ServingError::corrupt(format!("write log: {e}")))?;
+        self.persisted_bytes += full.len() as u64;
+        self.last_fsync = Some(std::time::Instant::now());
         self.saved =
             Some(SaveCursor { path: path.to_path_buf(), base_seq: self.base_seq, head_seq: head });
         Ok(())

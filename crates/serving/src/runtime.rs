@@ -21,6 +21,60 @@ enum Cmd {
     Shutdown,
 }
 
+/// The service loop is gone: the handle was shut down (or its thread
+/// died) while a controller still held a sender. Control-plane callers
+/// treat this as "unready", not as a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopGone;
+
+impl std::fmt::Display for LoopGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service loop is gone")
+    }
+}
+
+impl std::error::Error for LoopGone {}
+
+/// A cloneable, fallible control-plane handle onto a running service
+/// loop — what the admin server and the background auditor hold. Unlike
+/// [`ServiceHandle`] it owns nothing: when the loop shuts down, calls
+/// return [`LoopGone`] instead of panicking, which doubles as the
+/// liveness probe behind `/healthz` (a dead loop is an unready service).
+#[derive(Clone)]
+pub struct ServiceController {
+    tx: mpsc::Sender<Cmd>,
+}
+
+impl ServiceController {
+    /// Runs `f` on the loop thread between batches and returns its
+    /// result, or [`LoopGone`] if the loop has shut down.
+    pub fn with<T, F>(&self, f: F) -> Result<T, LoopGone>
+    where
+        F: FnOnce(&mut AnswerService) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Cmd::With(Box::new(move |svc| {
+                let _ = rtx.send(f(svc));
+            })))
+            .map_err(|_| LoopGone)?;
+        rrx.recv().map_err(|_| LoopGone)
+    }
+
+    /// Fire-and-forget ingestion, like [`ServiceHandle::submit`];
+    /// reports [`LoopGone`] instead of silently dropping the batch.
+    pub fn submit(&self, delta: GraphDelta) -> Result<(), LoopGone> {
+        self.tx.send(Cmd::Ingest(delta)).map_err(|_| LoopGone)
+    }
+
+    /// `true` while the loop is alive and answering (a round-trip probe,
+    /// not just a channel check).
+    pub fn is_alive(&self) -> bool {
+        self.with(|_| ()).is_ok()
+    }
+}
+
 /// A handle to a service running on its own thread. Dropping the handle
 /// shuts the loop down (joining it); [`Self::shutdown`] does the same and
 /// hands the service back for inspection.
@@ -58,6 +112,13 @@ impl ServiceHandle {
     /// batches are counted in [`crate::ServiceStats::ingest_errors`].
     pub fn submit(&self, delta: GraphDelta) {
         let _ = self.tx.send(Cmd::Ingest(delta));
+    }
+
+    /// A cloneable, fallible control-plane handle onto this loop — hand
+    /// these to the admin server and the auditor; they outlive nothing
+    /// (calls after shutdown return [`LoopGone`]).
+    pub fn controller(&self) -> ServiceController {
+        ServiceController { tx: self.tx.clone() }
     }
 
     /// Synchronous ingestion: blocks until the batch is applied and fanned

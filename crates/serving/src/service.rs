@@ -22,7 +22,9 @@ use gpm_pattern::Pattern;
 use gpm_telemetry::{names, Counter, Gauge, Span, Telemetry, TelemetryConfig};
 
 use crate::answer::{AnswerUpdate, VersionedAnswer};
+use crate::health::{ComponentHealth, HealthConfig, HealthReport, HealthStatus};
 use crate::log::DeltaLog;
+use crate::slo::{SloConfig, SloTracker};
 use crate::subscription::{NotifyMode, SubShared, Subscription, SubscriptionId};
 
 /// Errors from the serving layer.
@@ -107,6 +109,11 @@ pub struct ServiceConfig {
     /// keeps counters (and thus [`ServiceStats`]) while dropping
     /// histograms and tracing to a few relaxed atomic loads.
     pub telemetry: TelemetryConfig,
+    /// Per-pattern notify-latency objective, burn-rate window and error
+    /// budget (`gpm_slo_*` metrics and the `slo` health component).
+    pub slo: SloConfig,
+    /// Thresholds of the `/healthz` probes.
+    pub health: HealthConfig,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +123,8 @@ impl Default for ServiceConfig {
             retain_answers: 1024,
             threads: PatternRegistry::default_threads(),
             telemetry: TelemetryConfig::default(),
+            slo: SloConfig::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -227,6 +236,23 @@ pub struct AnswerService {
     cfg: ServiceConfig,
     telemetry: Telemetry,
     counters: ServiceCounters,
+    /// Per-pattern SLO trackers, keyed like [`Self::patterns`].
+    slos: HashMap<PatternId, SloTracker>,
+    /// Round-robin cursor of the sampled production auditor.
+    audit_cursor: usize,
+    /// The last unresolved audit violation — set by [`Self::audit_sample`]
+    /// on a failed audit, cleared when the same pattern audits clean (or
+    /// is deregistered). While set, `/healthz` reports **unready**: a
+    /// proven-wrong maintained answer outranks every latency concern.
+    audit_latch: Option<(PatternId, String)>,
+    audit_runs: Counter,
+    audit_violations: Counter,
+    /// Snapshot-time gauges refreshed by [`Self::sample_gauges`].
+    log_bytes: Gauge,
+    fsync_age: Gauge,
+    pool_queue: Gauge,
+    uptime: Gauge,
+    started: std::time::Instant,
 }
 
 impl AnswerService {
@@ -245,6 +271,18 @@ impl AnswerService {
         registry.set_telemetry(telemetry.clone());
         let mut log = DeltaLog::at_offset(g, seq);
         log.set_fsync_histogram(telemetry.metrics().histogram(names::LOG_FSYNC_SECONDS));
+        let m = telemetry.metrics();
+        // Constant 1 with the version as a label — the Prometheus idiom
+        // for joining build metadata onto every other series.
+        m.gauge_with(names::BUILD_INFO, &[("version", env!("CARGO_PKG_VERSION"))]).set(1);
+        let (log_bytes, fsync_age, pool_queue, uptime) = (
+            m.gauge(names::DELTA_LOG_BYTES),
+            m.gauge(names::DELTA_LOG_FSYNC_AGE),
+            m.gauge(names::POOL_QUEUE_DEPTH),
+            m.gauge(names::UPTIME_SECONDS),
+        );
+        let (audit_runs, audit_violations) =
+            (m.counter(names::AUDIT_RUNS), m.counter(names::AUDIT_VIOLATIONS));
         AnswerService {
             registry,
             log,
@@ -254,6 +292,16 @@ impl AnswerService {
             cfg,
             telemetry,
             counters,
+            slos: HashMap::new(),
+            audit_cursor: 0,
+            audit_latch: None,
+            audit_runs,
+            audit_violations,
+            log_bytes,
+            fsync_age,
+            pool_queue,
+            uptime,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -327,6 +375,7 @@ impl AnswerService {
                 }]),
             },
         );
+        self.track_slo(id);
         self.attach(id, mode)
     }
 
@@ -366,7 +415,14 @@ impl AnswerService {
             id,
             PatternEntry { version: baseline.version, history: VecDeque::from([baseline]) },
         );
+        self.track_slo(id);
         self.attach(id, mode)
+    }
+
+    /// Starts SLO tracking for a freshly registered pattern.
+    fn track_slo(&mut self, id: PatternId) {
+        let tracker = SloTracker::new(&self.telemetry, &id.to_string(), self.cfg.slo.clone());
+        self.slos.insert(id, tracker);
     }
 
     /// Attaches one more subscription to an already-registered pattern
@@ -430,7 +486,13 @@ impl AnswerService {
         if list.is_empty() {
             self.subs.remove(&pattern);
             self.patterns.remove(&pattern);
+            self.slos.remove(&pattern);
             self.registry.deregister(pattern);
+            // A latched audit violation of a now-gone pattern is resolved:
+            // the corrupt state was dropped with the slot.
+            if self.audit_latch.as_ref().is_some_and(|(id, _)| *id == pattern) {
+                self.audit_latch = None;
+            }
         }
         self.counters.subscriptions.set(self.subscriptions() as i64);
         true
@@ -457,6 +519,7 @@ impl AnswerService {
         delta: &GraphDelta,
         root: &Span,
     ) -> Result<IngestReport, ServingError> {
+        let t0 = std::time::Instant::now();
         let changes = {
             let apply = root.child("apply");
             match self.registry.apply_traced(delta, &apply) {
@@ -549,6 +612,14 @@ impl AnswerService {
         if notify.is_enabled() {
             notify.detail(format!("touched={} notified={}", report.touched, report.notified));
         }
+        // One SLO event per touched pattern: its subscribers were told (or
+        // provably did not need telling) within this latency.
+        let latency = t0.elapsed();
+        for change in &changes {
+            if let Some(slo) = self.slos.get_mut(&change.id) {
+                slo.record(latency);
+            }
+        }
         Ok(report)
     }
 
@@ -611,6 +682,183 @@ impl AnswerService {
             .histogram_with(names::PHASE_SECONDS, &[("phase", "log_save")])
             .record(t0.elapsed());
         out
+    }
+
+    /// Refreshes the snapshot-time gauges (log bytes, fsync age, pool
+    /// queue depth, uptime). The admin plane calls this right before
+    /// rendering `/metrics`, so scraped values describe scrape time
+    /// rather than the last batch.
+    pub fn sample_gauges(&self) {
+        self.log_bytes.set(self.log.persisted_bytes().min(i64::MAX as u64) as i64);
+        let age = self.log.fsync_age().map_or(0, |d| d.as_secs().min(i64::MAX as u64) as i64);
+        self.fsync_age.set(age);
+        self.pool_queue.set(self.registry.pool_queue_depth() as i64);
+        self.uptime.set(self.started.elapsed().as_secs().min(i64::MAX as u64) as i64);
+    }
+
+    /// Subscription queues currently sitting at capacity, over the total:
+    /// `(saturated, total)`.
+    fn queue_saturation(&self) -> (usize, usize) {
+        let mut saturated = 0usize;
+        let mut total = 0usize;
+        for sub in self.subs.values().flatten() {
+            let (depth, capacity) = sub.shared.saturation();
+            total += 1;
+            if depth >= capacity {
+                saturated += 1;
+            }
+        }
+        (saturated, total)
+    }
+
+    /// Evaluates every health probe at this consistency point. See
+    /// [`HealthReport`] for the levels and `/healthz` for the wire form.
+    pub fn health(&self) -> HealthReport {
+        let mut components = Vec::new();
+
+        components.push(ComponentHealth {
+            name: "loop",
+            status: HealthStatus::Ready,
+            detail: format!(
+                "serving; uptime {}s, seq {}",
+                self.started.elapsed().as_secs(),
+                self.seq()
+            ),
+        });
+
+        let unpersisted = self.log.unpersisted_entries();
+        let (log_status, log_detail) = match self.log.fsync_age() {
+            Some(age) if unpersisted > 0 && age > self.cfg.health.max_fsync_age => (
+                HealthStatus::Degraded,
+                format!(
+                    "{unpersisted} unpersisted entries, last fsync {:.1}s ago (max {:.1}s)",
+                    age.as_secs_f64(),
+                    self.cfg.health.max_fsync_age.as_secs_f64()
+                ),
+            ),
+            Some(age) => (
+                HealthStatus::Ready,
+                format!(
+                    "{} bytes persisted, {unpersisted} unpersisted, last fsync {:.1}s ago",
+                    self.log.persisted_bytes(),
+                    age.as_secs_f64()
+                ),
+            ),
+            None => {
+                (HealthStatus::Ready, format!("not persisting ({unpersisted} entries in memory)"))
+            }
+        };
+        components.push(ComponentHealth {
+            name: "delta_log",
+            status: log_status,
+            detail: log_detail,
+        });
+
+        let (saturated, total) = self.queue_saturation();
+        let frac = if total == 0 { 0.0 } else { saturated as f64 / total as f64 };
+        components.push(ComponentHealth {
+            name: "subscriptions",
+            status: if frac > self.cfg.health.max_saturated_fraction {
+                HealthStatus::Degraded
+            } else {
+                HealthStatus::Ready
+            },
+            detail: format!("{saturated}/{total} queues at capacity"),
+        });
+
+        let burning: Vec<String> = self
+            .slos
+            .iter()
+            .filter(|(_, s)| s.burning())
+            .map(|(id, s)| format!("{id} at {}‰", s.burn_permille()))
+            .collect();
+        components.push(ComponentHealth {
+            name: "slo",
+            status: if burning.is_empty() { HealthStatus::Ready } else { HealthStatus::Degraded },
+            detail: if burning.is_empty() {
+                format!("{} patterns within budget", self.slos.len())
+            } else {
+                format!("burning error budget: {}", burning.join(", "))
+            },
+        });
+
+        components.push(match &self.audit_latch {
+            Some((id, msg)) => ComponentHealth {
+                name: "audit",
+                status: HealthStatus::Unready,
+                detail: format!("{id}: {msg}"),
+            },
+            None => ComponentHealth {
+                name: "audit",
+                status: HealthStatus::Ready,
+                detail: format!(
+                    "runs={} violations={}",
+                    self.audit_runs.get(),
+                    self.audit_violations.get()
+                ),
+            },
+        });
+
+        // Reach-mode census: informational — "engine" is a legitimate
+        // budget decision and "readopt-pending" clears on the next calm
+        // batch, but both belong on the operator's screen.
+        let infos = self.registry.pattern_infos();
+        let count = |mode: &str| infos.iter().filter(|i| i.reach_mode == mode).count();
+        components.push(ComponentHealth {
+            name: "reach",
+            status: HealthStatus::Ready,
+            detail: format!(
+                "maintained={} engine={} readopt-pending={}",
+                count("maintained"),
+                count("engine"),
+                count("readopt-pending")
+            ),
+        });
+
+        HealthReport::aggregate(components)
+    }
+
+    /// One tick of the sampled production auditor: audits the next
+    /// registered pattern round-robin (`gpm_audit_runs_total`), latching
+    /// any violation into the health report (`gpm_audit_violations_total`,
+    /// `/healthz` → unready) and clearing the latch when the same pattern
+    /// later audits clean. Returns what was audited, `None` on an empty
+    /// registry. Runs on the service loop between batches — sample it
+    /// every N batches, not per batch (it re-derives full state).
+    pub fn audit_sample(&mut self) -> Option<(PatternId, Result<(), String>)> {
+        let ids = self.registry.pattern_ids();
+        // A latched pattern that is no longer registered cannot re-audit
+        // clean; its corrupt state died with the slot.
+        if let Some((latched, _)) = &self.audit_latch {
+            if !ids.contains(latched) {
+                self.audit_latch = None;
+            }
+        }
+        if ids.is_empty() {
+            return None;
+        }
+        self.audit_cursor %= ids.len();
+        let id = ids[self.audit_cursor];
+        self.audit_cursor += 1;
+        let result = self.registry.audit_pattern(id).expect("id from pattern_ids");
+        self.audit_runs.inc();
+        match &result {
+            Ok(()) => {
+                if self.audit_latch.as_ref().is_some_and(|(l, _)| *l == id) {
+                    self.audit_latch = None;
+                }
+            }
+            Err(msg) => {
+                self.audit_violations.inc();
+                self.audit_latch = Some((id, msg.clone()));
+            }
+        }
+        Some((id, result))
+    }
+
+    /// The latched audit violation, if any (`/healthz` detail).
+    pub fn audit_violation(&self) -> Option<(PatternId, String)> {
+        self.audit_latch.clone()
     }
 }
 

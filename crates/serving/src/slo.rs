@@ -1,0 +1,155 @@
+//! Per-pattern notify-latency SLOs with rolling-window burn rates.
+//!
+//! An operator's question is not "what is the p99" (the histograms answer
+//! that) but "am I keeping the promise I made for this pattern, and how
+//! fast am I spending the error budget if not". Each registered pattern
+//! carries one [`SloTracker`]: every ingest that touched the pattern
+//! records whether its batch-ingress-to-notify latency met the
+//! objective. Good/bad totals are exported as the cumulative
+//! `gpm_slo_notify_good_total` / `gpm_slo_notify_bad_total` counters
+//! (labeled by pattern), and the **burn rate** — the bad fraction over a
+//! rolling window of recent events, divided by the error budget — as the
+//! `gpm_slo_burn_rate_permille` gauge. A burn rate of 1000‰ means the
+//! window is violating at exactly the budgeted rate; sustained values
+//! above it mean the monthly budget is being spent faster than it
+//! accrues, which is what flips the health report to degraded.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use gpm_telemetry::{names, Counter, Gauge, Telemetry};
+
+/// The per-pattern latency objective. One config serves every pattern
+/// (per-pattern overrides would just be N configs).
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// A notify counts as *good* when the whole ingest — batch ingress to
+    /// the last subscriber push — finished within this.
+    pub objective: Duration,
+    /// How many recent notifies the burn-rate window holds.
+    pub window: usize,
+    /// Allowed bad fraction (the error budget). A window violating at
+    /// exactly this rate burns at 1.0 (1000‰).
+    pub budget: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig { objective: Duration::from_millis(50), window: 128, budget: 0.01 }
+    }
+}
+
+/// Rolling SLO state of one pattern. Cheap: one bool ring plus two
+/// counters and a gauge, all updated once per touched batch.
+#[derive(Debug)]
+pub(crate) struct SloTracker {
+    cfg: SloConfig,
+    /// Recent events, `true` = objective met; bounded by `cfg.window`.
+    window: VecDeque<bool>,
+    /// Bad events currently in the window.
+    window_bad: usize,
+    good: Counter,
+    bad: Counter,
+    burn: Gauge,
+}
+
+impl SloTracker {
+    /// A tracker exporting under `pattern="<label>"`.
+    pub(crate) fn new(telemetry: &Telemetry, pattern_label: &str, cfg: SloConfig) -> Self {
+        let m = telemetry.metrics();
+        let labels = &[("pattern", pattern_label)];
+        SloTracker {
+            cfg,
+            window: VecDeque::new(),
+            window_bad: 0,
+            good: m.counter_with(names::SLO_GOOD, labels),
+            bad: m.counter_with(names::SLO_BAD, labels),
+            burn: m.gauge_with(names::SLO_BURN_RATE, labels),
+        }
+    }
+
+    /// Records one notify latency and refreshes the burn-rate gauge.
+    pub(crate) fn record(&mut self, latency: Duration) {
+        let good = latency <= self.cfg.objective;
+        if good {
+            self.good.inc();
+        } else {
+            self.bad.inc();
+        }
+        self.window.push_back(good);
+        if !good {
+            self.window_bad += 1;
+        }
+        while self.window.len() > self.cfg.window.max(1) {
+            if self.window.pop_front() == Some(false) {
+                self.window_bad -= 1;
+            }
+        }
+        self.burn.set(self.burn_permille());
+    }
+
+    /// Current burn rate in permille: `1000 ·(bad fraction / budget)`,
+    /// saturating; 0 while the window is empty.
+    pub(crate) fn burn_permille(&self) -> i64 {
+        if self.window.is_empty() {
+            return 0;
+        }
+        let bad_fraction = self.window_bad as f64 / self.window.len() as f64;
+        let burn = bad_fraction / self.cfg.budget.max(f64::EPSILON);
+        (burn * 1000.0).min(i64::MAX as f64) as i64
+    }
+
+    /// `true` while the rolling window spends budget faster than it
+    /// accrues — the health model's degraded trigger.
+    pub(crate) fn burning(&self) -> bool {
+        self.burn_permille() > 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_telemetry::TelemetryConfig;
+
+    fn tracker(window: usize, budget: f64) -> SloTracker {
+        let t = Telemetry::new(TelemetryConfig::default());
+        SloTracker {
+            cfg: SloConfig { objective: Duration::from_millis(10), window, budget },
+            window: VecDeque::new(),
+            window_bad: 0,
+            good: t.metrics().counter_with(names::SLO_GOOD, &[("pattern", "t")]),
+            bad: t.metrics().counter_with(names::SLO_BAD, &[("pattern", "t")]),
+            burn: t.metrics().gauge_with(names::SLO_BURN_RATE, &[("pattern", "t")]),
+        }
+    }
+
+    #[test]
+    fn burn_rate_tracks_the_window_not_the_lifetime() {
+        let mut s = tracker(4, 0.25);
+        for _ in 0..4 {
+            s.record(Duration::from_millis(50)); // all bad
+        }
+        assert_eq!(s.burn_permille(), 4000, "100% bad over a 25% budget burns at 4x");
+        assert!(s.burning());
+        for _ in 0..4 {
+            s.record(Duration::from_millis(1)); // window rolls fully good
+        }
+        assert_eq!(s.burn_permille(), 0, "old violations aged out of the window");
+        assert!(!s.burning());
+        assert_eq!((s.good.get(), s.bad.get()), (4, 4), "cumulative counters keep the lifetime");
+    }
+
+    #[test]
+    fn burning_flips_exactly_past_the_budget() {
+        let mut s = tracker(10, 0.2);
+        for i in 0..10 {
+            // 2 bad out of 10 = exactly the budget (bad ones last, so the
+            // next record ages out a *good* event).
+            s.record(Duration::from_millis(if i >= 8 { 50 } else { 1 }));
+        }
+        assert_eq!(s.burn_permille(), 1000);
+        assert!(!s.burning(), "at budget is not over budget");
+        s.record(Duration::from_millis(50)); // 3 bad of the last 10
+        assert!(s.burning());
+    }
+}

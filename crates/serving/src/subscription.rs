@@ -121,6 +121,14 @@ impl SubShared {
         self.ready.notify_all();
     }
 
+    /// Point-in-time `(depth, capacity)` of the queue — the health
+    /// model's saturation probe (`depth == capacity` means the next push
+    /// will coalesce).
+    pub(crate) fn saturation(&self) -> (usize, usize) {
+        let q = self.lock();
+        (q.updates.len(), q.capacity)
+    }
+
     pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, SubQueue> {
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }

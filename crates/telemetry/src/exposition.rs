@@ -1,0 +1,499 @@
+//! A strict mini-parser for the Prometheus text exposition format
+//! (0.0.4) — the validation half of [`MetricsSnapshot::render`]'s
+//! contract.
+//!
+//! This is **not** a general scrape client: it accepts exactly the
+//! subset the registry emits (plus optional timestamps) and errors on
+//! everything else, so tests and the CI smoke scrape catch format
+//! regressions instead of shipping them to a real scraper. Checks:
+//!
+//! * every sample belongs to a family announced by a preceding
+//!   `# TYPE` line (at most one per family, `# HELP` allowed before);
+//! * family blocks are contiguous — a family never reopens after
+//!   another family's lines began;
+//! * metric and label names are legal, label values unescape cleanly,
+//!   values parse as floats (`+Inf`/`-Inf`/`NaN` included);
+//! * no duplicate `(name, labels)` sample;
+//! * counter samples are finite and non-negative;
+//! * histogram families carry, per label set: cumulative
+//!   non-decreasing `_bucket` series ending in `le="+Inf"`, and
+//!   `_sum`/`_count` with `_count` equal to the `+Inf` bucket.
+//!
+//! [`MetricsSnapshot::render`]: crate::MetricsSnapshot::render
+
+use std::collections::BTreeMap;
+
+/// The declared type of one metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    Counter,
+    Gauge,
+    Histogram,
+    Summary,
+    Untyped,
+}
+
+impl FamilyKind {
+    fn parse(s: &str) -> Option<FamilyKind> {
+        Some(match s {
+            "counter" => FamilyKind::Counter,
+            "gauge" => FamilyKind::Gauge,
+            "histogram" => FamilyKind::Histogram,
+            "summary" => FamilyKind::Summary,
+            "untyped" => FamilyKind::Untyped,
+            _ => return None,
+        })
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The sample's metric name (for histograms this carries the
+    /// `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One parsed metric family: a `# TYPE` declaration plus its samples.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Base metric name.
+    pub name: String,
+    /// Declared type.
+    pub kind: FamilyKind,
+    /// `# HELP` text, unescaped, when present.
+    pub help: Option<String>,
+    /// All samples of the family, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Family {
+    /// The first sample whose labels contain every pair in `want`
+    /// (`want` empty ⇒ the first sample).
+    pub fn sample_with(&self, want: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples.iter().find(|s| want.iter().all(|(k, v)| s.label(k) == Some(*v)))
+    }
+}
+
+/// The family named `name` in a parse result.
+pub fn family<'a>(families: &'a [Family], name: &str) -> Option<&'a Family> {
+    families.iter().find(|f| f.name == name)
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn unescape(s: &str, line_no: usize, quotes: bool) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('"') if quotes => out.push('"'),
+            other => {
+                return Err(format!(
+                    "line {line_no}: bad escape \\{}",
+                    other.map(String::from).unwrap_or_default()
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(s: &str, line_no: usize) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse::<f64>().map_err(|_| format!("line {line_no}: bad value {s:?}")),
+    }
+}
+
+/// Splits `name{labels} value [timestamp]` into parts, unescaping label
+/// values.
+fn parse_sample(line: &str, line_no: usize) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(i) => {
+            let close =
+                line.rfind('}').ok_or_else(|| format!("line {line_no}: unterminated label set"))?;
+            if close < i {
+                return Err(format!("line {line_no}: unterminated label set"));
+            }
+            (&line[..i], {
+                let labels = &line[i + 1..close];
+                let tail = line[close + 1..].trim_start();
+                (Some(labels), tail)
+            })
+        }
+        None => {
+            let mut it = line.splitn(2, [' ', '\t']);
+            let name = it.next().unwrap();
+            (name, (None, it.next().unwrap_or("").trim_start()))
+        }
+    };
+    let (labels_src, tail) = rest;
+    if !is_name(name_part) {
+        return Err(format!("line {line_no}: bad metric name {name_part:?}"));
+    }
+    let mut labels = Vec::new();
+    if let Some(src) = labels_src {
+        let mut rest = src;
+        while !rest.is_empty() {
+            let eq = rest.find('=').ok_or_else(|| format!("line {line_no}: label without '='"))?;
+            let key = &rest[..eq];
+            if !is_label_name(key) {
+                return Err(format!("line {line_no}: bad label name {key:?}"));
+            }
+            let after = &rest[eq + 1..];
+            if !after.starts_with('"') {
+                return Err(format!("line {line_no}: unquoted label value for {key}"));
+            }
+            // Find the closing quote, skipping escaped characters.
+            let mut end = None;
+            let mut esc = false;
+            for (i, c) in after[1..].char_indices() {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end =
+                end.ok_or_else(|| format!("line {line_no}: unterminated label value for {key}"))?;
+            let raw = &after[1..1 + end];
+            labels.push((key.to_string(), unescape(raw, line_no, true)?));
+            rest = &after[end + 2..];
+            if let Some(stripped) = rest.strip_prefix(',') {
+                rest = stripped;
+            } else if !rest.is_empty() {
+                return Err(format!("line {line_no}: junk after label value: {rest:?}"));
+            }
+        }
+    }
+    let mut fields = tail.split_ascii_whitespace();
+    let value_src =
+        fields.next().ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+    let value = parse_value(value_src, line_no)?;
+    if let Some(ts) = fields.next() {
+        // Optional timestamp: must at least be an integer.
+        ts.parse::<i64>().map_err(|_| format!("line {line_no}: bad timestamp {ts:?}"))?;
+    }
+    if fields.next().is_some() {
+        return Err(format!("line {line_no}: trailing junk on sample line"));
+    }
+    Ok(Sample { name: name_part.to_string(), labels, value })
+}
+
+/// Base family name a sample of `kind` belongs to, or an error when the
+/// sample name is not legal inside that family.
+fn family_base<'a>(name: &'a str, fam: &str, kind: FamilyKind) -> Result<&'a str, String> {
+    match kind {
+        FamilyKind::Histogram => {
+            for suffix in ["_bucket", "_sum", "_count"] {
+                if let Some(base) = name.strip_suffix(suffix) {
+                    if base == fam {
+                        return Ok(base);
+                    }
+                }
+            }
+            Err(format!("sample {name} is not a _bucket/_sum/_count of histogram {fam}"))
+        }
+        FamilyKind::Summary => {
+            for suffix in ["_sum", "_count", ""] {
+                if let Some(base) = name.strip_suffix(suffix) {
+                    if base == fam {
+                        return Ok(base);
+                    }
+                }
+            }
+            Err(format!("sample {name} does not belong to summary {fam}"))
+        }
+        _ => {
+            if name == fam {
+                Ok(name)
+            } else {
+                Err(format!("sample {name} does not belong to {kind:?} family {fam}"))
+            }
+        }
+    }
+}
+
+/// Per-labelset histogram accumulation for the structural checks.
+#[derive(Default)]
+struct HistCheck {
+    buckets: Vec<(f64, f64)>, // (le, cumulative count) in source order
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+fn non_le_key(s: &Sample) -> String {
+    let mut parts: Vec<String> =
+        s.labels.iter().filter(|(k, _)| k != "le").map(|(k, v)| format!("{k}={v:?}")).collect();
+    parts.sort();
+    parts.join(",")
+}
+
+fn check_histogram(fam: &Family) -> Result<(), String> {
+    let mut per: BTreeMap<String, HistCheck> = BTreeMap::new();
+    for s in &fam.samples {
+        let entry = per.entry(non_le_key(s)).or_default();
+        if s.name.ends_with("_bucket") {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("histogram {}: _bucket without le", fam.name))?;
+            let le =
+                parse_value(le, 0).map_err(|_| format!("histogram {}: bad le {le:?}", fam.name))?;
+            entry.buckets.push((le, s.value));
+        } else if s.name.ends_with("_sum") {
+            if entry.sum.replace(s.value).is_some() {
+                return Err(format!("histogram {}: duplicate _sum", fam.name));
+            }
+        } else if s.name.ends_with("_count") && entry.count.replace(s.value).is_some() {
+            return Err(format!("histogram {}: duplicate _count", fam.name));
+        }
+    }
+    for (labels, h) in per {
+        let n = &fam.name;
+        if h.buckets.is_empty() {
+            return Err(format!("histogram {n}{{{labels}}}: no _bucket series"));
+        }
+        for w in h.buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("histogram {n}{{{labels}}}: le bounds not increasing"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram {n}{{{labels}}}: bucket counts not cumulative"));
+            }
+        }
+        let (last_le, last_count) = *h.buckets.last().unwrap();
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {n}{{{labels}}}: missing le=\"+Inf\" bucket"));
+        }
+        let count = h.count.ok_or_else(|| format!("histogram {n}{{{labels}}}: missing _count"))?;
+        if h.sum.is_none() {
+            return Err(format!("histogram {n}{{{labels}}}: missing _sum"));
+        }
+        if count != last_count {
+            return Err(format!(
+                "histogram {n}{{{labels}}}: _count {count} != +Inf bucket {last_count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and validates one exposition document. See the module docs for
+/// the strictness contract; any violation is an `Err` naming the line.
+pub fn parse(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut closed: Vec<String> = Vec::new(); // families that may not reopen
+    let mut pending_help: Option<(String, String)> = None;
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, h.to_string()))
+                .unwrap_or((rest, String::new()));
+            if !is_name(name) {
+                return Err(format!("line {line_no}: bad HELP metric name {name:?}"));
+            }
+            if families.iter().any(|f| f.name == name) || closed.contains(&name.to_string()) {
+                return Err(format!("line {line_no}: HELP for already-declared family {name}"));
+            }
+            if let Some((prev, _)) = &pending_help {
+                return Err(format!(
+                    "line {line_no}: HELP {name} while HELP {prev} awaits its TYPE"
+                ));
+            }
+            pending_help = Some((name.to_string(), unescape(&help, line_no, false)?));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_ascii_whitespace();
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if it.next().is_some() {
+                return Err(format!("line {line_no}: trailing junk on TYPE line"));
+            }
+            if !is_name(name) {
+                return Err(format!("line {line_no}: bad TYPE metric name {name:?}"));
+            }
+            let kind = FamilyKind::parse(kind)
+                .ok_or_else(|| format!("line {line_no}: unknown metric type {kind:?}"))?;
+            if families.iter().any(|f| f.name == name) || closed.contains(&name.to_string()) {
+                return Err(format!("line {line_no}: duplicate TYPE for family {name}"));
+            }
+            let help = match pending_help.take() {
+                Some((hn, h)) if hn == name => Some(h),
+                Some((hn, _)) => {
+                    return Err(format!("line {line_no}: HELP {hn} not followed by TYPE {hn}"))
+                }
+                None => None,
+            };
+            if let Some(last) = families.last() {
+                closed.push(last.name.clone());
+            }
+            families.push(Family { name: name.to_string(), kind, help, samples: Vec::new() });
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {line_no}: unexpected comment {line:?}"));
+        }
+        if let Some((hn, _)) = &pending_help {
+            return Err(format!("line {line_no}: HELP {hn} not followed by its TYPE"));
+        }
+        let sample = parse_sample(line, line_no)?;
+        let fam = families
+            .last_mut()
+            .ok_or_else(|| format!("line {line_no}: sample {} before any TYPE", sample.name))?;
+        family_base(&sample.name, &fam.name, fam.kind)
+            .map_err(|e| format!("line {line_no}: {e}"))?;
+        let identity = format!("{}|{:?}", sample.name, sample.labels);
+        if !seen.insert(identity) {
+            return Err(format!("line {line_no}: duplicate sample {}", sample.name));
+        }
+        if fam.kind == FamilyKind::Counter && (sample.value < 0.0 || sample.value.is_nan()) {
+            return Err(format!("line {line_no}: counter {} is negative or NaN", sample.name));
+        }
+        fam.samples.push(sample);
+    }
+    if let Some((hn, _)) = pending_help {
+        return Err(format!("HELP {hn} at end of input without a TYPE"));
+    }
+    for fam in &families {
+        if fam.kind == FamilyKind::Histogram {
+            check_histogram(fam)?;
+        }
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_wellformed_document() {
+        let text = "# HELP gpm_ops_total How many ops.\n\
+                    # TYPE gpm_ops_total counter\n\
+                    gpm_ops_total 3\n\
+                    gpm_ops_total{kind=\"a b\"} 1\n\
+                    # HELP gpm_lat_seconds Latency.\n\
+                    # TYPE gpm_lat_seconds histogram\n\
+                    gpm_lat_seconds_bucket{le=\"0.1\"} 2\n\
+                    gpm_lat_seconds_bucket{le=\"+Inf\"} 3\n\
+                    gpm_lat_seconds_sum 0.25\n\
+                    gpm_lat_seconds_count 3\n";
+        let fams = parse(text).expect("valid");
+        assert_eq!(fams.len(), 2);
+        let ops = family(&fams, "gpm_ops_total").unwrap();
+        assert_eq!(ops.kind, FamilyKind::Counter);
+        assert_eq!(ops.help.as_deref(), Some("How many ops."));
+        assert_eq!(ops.sample_with(&[]).unwrap().value, 3.0);
+        assert_eq!(ops.sample_with(&[("kind", "a b")]).unwrap().value, 1.0);
+        let lat = family(&fams, "gpm_lat_seconds").unwrap();
+        assert_eq!(lat.kind, FamilyKind::Histogram);
+        assert_eq!(lat.samples.len(), 4);
+    }
+
+    #[test]
+    fn unescapes_label_values() {
+        let text = "# TYPE t counter\nt{v=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let fams = parse(text).expect("valid");
+        assert_eq!(fams[0].samples[0].label("v"), Some("a\\b\"c\nd"));
+    }
+
+    #[test]
+    fn rejects_untyped_samples_and_reopened_families() {
+        assert!(parse("loose_metric 1\n").unwrap_err().contains("before any TYPE"));
+        let reopened = "# TYPE a counter\na 1\n# TYPE b counter\nb 1\n# TYPE a counter\na 2\n";
+        assert!(parse(reopened).unwrap_err().contains("duplicate TYPE"));
+        let interleaved = "# TYPE a counter\na 1\n# TYPE b counter\na{x=\"1\"} 1\n";
+        assert!(parse(interleaved).unwrap_err().contains("does not belong"));
+    }
+
+    #[test]
+    fn rejects_structural_histogram_violations() {
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(parse(no_inf).unwrap_err().contains("+Inf"));
+        let not_cumulative = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n\
+                              h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(parse(not_cumulative).unwrap_err().contains("cumulative"));
+        let count_mismatch = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(parse(count_mismatch).unwrap_err().contains("_count"));
+        let no_sum = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n";
+        assert!(parse(no_sum).unwrap_err().contains("_sum"));
+    }
+
+    #[test]
+    fn rejects_bad_names_values_and_duplicates() {
+        assert!(parse("# TYPE 2bad counter\n").is_err());
+        assert!(parse("# TYPE t counter\nt nope\n").is_err());
+        assert!(parse("# TYPE t counter\nt -1\n").unwrap_err().contains("negative"));
+        assert!(parse("# TYPE t counter\nt 1\nt 2\n").unwrap_err().contains("duplicate sample"));
+        assert!(parse("# TYPE t counter\nt{9bad=\"v\"} 1\n").is_err());
+        assert!(parse("# TYPE t counter\nt{k=\"v\\q\"} 1\n").is_err());
+        assert!(parse("# TYPE t gauge\nt 1 2 3\n").unwrap_err().contains("trailing junk"));
+    }
+
+    #[test]
+    fn accepts_inf_nan_gauges_and_timestamps() {
+        let fams = parse("# TYPE t gauge\nt +Inf\n").expect("inf gauge");
+        assert_eq!(fams[0].samples[0].value, f64::INFINITY);
+        let fams = parse("# TYPE t gauge\nt 1.5 1700000000000\n").expect("timestamped");
+        assert_eq!(fams[0].samples[0].value, 1.5);
+    }
+
+    #[test]
+    fn live_registry_render_passes_the_parser() {
+        let r = crate::MetricsRegistry::new(true);
+        r.counter("gpm_ops_total").inc();
+        r.counter_with("gpm_events_total", &[("event", "cond-churn-drop")]).inc();
+        r.gauge("gpm_depth").set(-2);
+        r.histogram_with("gpm_phase_seconds", &[("phase", "prepare")]).record_ns(5_000);
+        r.histogram("gpm_log_fsync_seconds").record_ns(1 << 20);
+        let fams = parse(&r.render()).expect("render is strictly parseable");
+        assert!(family(&fams, "gpm_phase_seconds").is_some());
+        assert!(family(&fams, "gpm_phase_seconds_max_seconds").is_some());
+    }
+}

@@ -31,6 +31,7 @@
 //! atomic loads.
 
 mod clock;
+pub mod exposition;
 mod metrics;
 mod recorder;
 mod trace;
@@ -118,6 +119,80 @@ pub mod names {
     /// Deepest subscription queue observed during the last fan-out.
     pub const SERVING_MAX_QUEUE_DEPTH: &str = "gpm_serving_max_queue_depth";
 
+    // Operator-plane additions (ISSUE 9).
+    /// Bytes the delta log has durably written since process start
+    /// (appends and wholesale rewrites both count what hit the file).
+    pub const DELTA_LOG_BYTES: &str = "gpm_delta_log_bytes";
+    /// Seconds since the log's last successful fsync — refreshed at
+    /// snapshot/health time, so a stalled log shows up as a growing age.
+    pub const DELTA_LOG_FSYNC_AGE: &str = "gpm_delta_log_fsync_age_seconds";
+    /// Items of the current worker-pool job not yet completed, sampled
+    /// at snapshot time (0 between jobs).
+    pub const POOL_QUEUE_DEPTH: &str = "gpm_pool_queue_depth";
+    /// Constant-1 gauge labeled `{version="…"}` — the standard
+    /// build-identification idiom, joinable against any other series.
+    pub const BUILD_INFO: &str = "gpm_build_info";
+    /// Seconds since the serving process constructed its service.
+    pub const UPTIME_SECONDS: &str = "gpm_uptime_seconds";
+    /// Counter family `{pattern="…"}`: notify latencies within the
+    /// pattern's SLO objective.
+    pub const SLO_GOOD: &str = "gpm_slo_notify_good_total";
+    /// Counter family `{pattern="…"}`: notify latencies over objective.
+    pub const SLO_BAD: &str = "gpm_slo_notify_bad_total";
+    /// Gauge family `{pattern="…"}`: rolling-window burn rate in
+    /// permille of the error budget (1000 = burning exactly at budget).
+    pub const SLO_BURN_RATE: &str = "gpm_slo_burn_rate_permille";
+    /// Audit cycles the sampled production auditor has completed.
+    pub const AUDIT_RUNS: &str = "gpm_audit_runs_total";
+    /// Invariant violations the auditor has detected (latches health).
+    pub const AUDIT_VIOLATIONS: &str = "gpm_audit_violations_total";
+
+    /// `# HELP` text for a family base name — the catalog the text
+    /// exposition renders from. Unknown names get a generic line so the
+    /// exposition is always fully annotated.
+    pub fn help(base: &str) -> &'static str {
+        match base {
+            PHASE_SECONDS => "Wall time of each traced phase, labeled by phase.",
+            EVENTS_TOTAL => "Point events recorded on spans, labeled by event.",
+            LOG_FSYNC_SECONDS => "Latency of each fsynced delta-log save.",
+            REGISTRY_BATCHES => "Delta batches applied by the pattern registry.",
+            REGISTRY_REGISTRATIONS => "Patterns registered.",
+            REGISTRY_DEREGISTRATIONS => "Patterns deregistered.",
+            REGISTRY_OPS_REPLAYED => "Effective ops replayed into per-pattern state.",
+            REGISTRY_OPS_SKIPPED => "Effective ops skipped by the shared interest index.",
+            REGISTRY_INTRA_SPLITS => "Phase-2b intra-pattern split decisions.",
+            REGISTRY_MULTI_WORKER => "Refreshes observed on >=2 distinct worker threads.",
+            REGISTRY_LAST_TOUCHED => "Patterns touched by the last batch.",
+            REGISTRY_LAST_REBUILDS => "Patterns rebuilt by the last batch.",
+            REGISTRY_LAST_INTRA_SPLITS => "Intra-pattern splits in the last batch.",
+            POOL_BUSY_NANOS => "Cumulative busy nanoseconds across pool workers.",
+            POOL_TASKS => "Tasks completed by the worker pool.",
+            POOL_QUEUE_DEPTH => "Worker-pool items pending at snapshot time.",
+            SERVING_BATCHES => "Batches ingested by the answer service.",
+            SERVING_UPDATES_PUSHED => "Answer updates pushed to subscriptions.",
+            SERVING_UPDATES_COALESCED => "Updates coalesced by bounded queues.",
+            SERVING_UPDATES_DROPPED => "Updates evicted by newest-wins coalescing.",
+            SERVING_DIFFS_REBASED => "Diffs rebased onto a surviving queued update.",
+            SERVING_SUPPRESSED => "Unchanged answers suppressed (no push).",
+            SERVING_INGEST_ERRORS => "Rejected delta batches.",
+            SERVING_SUBSCRIPTIONS => "Live subscriptions.",
+            SERVING_MAX_QUEUE_DEPTH => "Deepest subscription queue in the last fan-out.",
+            DELTA_LOG_BYTES => "Bytes durably written to the delta log.",
+            DELTA_LOG_FSYNC_AGE => "Seconds since the delta log last fsynced.",
+            BUILD_INFO => "Constant 1, labeled with the build version.",
+            UPTIME_SECONDS => "Seconds since the service started.",
+            SLO_GOOD => "Notify latencies within the pattern's objective.",
+            SLO_BAD => "Notify latencies over the pattern's objective.",
+            SLO_BURN_RATE => "Rolling-window error-budget burn rate, permille.",
+            AUDIT_RUNS => "Completed sampled-auditor cycles.",
+            AUDIT_VIOLATIONS => "Invariant violations the auditor detected.",
+            _ if base.ends_with("_max_seconds") => {
+                "Exact maximum observed sample of the matching histogram, seconds."
+            }
+            _ => "diversified-topk metric (see gpm_telemetry::names).",
+        }
+    }
+
     /// The full labeled name of one phase histogram, e.g.
     /// `gpm_phase_seconds{phase="prepare"}` — the key used by
     /// [`MetricsSnapshot::histogram`](super::MetricsSnapshot::histogram).
@@ -145,11 +220,21 @@ pub struct TelemetryConfig {
     pub enabled: bool,
     /// Flight-recorder bounds.
     pub recorder: RecorderConfig,
+    /// Deterministic trace sampling: batch roots collect a full span
+    /// tree 1 in every `trace_sample` batches (batch 0, N, 2N, …); the
+    /// rest get a timing-only root whose duration still lands in the
+    /// root phase histogram, and which still produces a root-only
+    /// skeleton capture in the recorder's slow list when it crosses the
+    /// slow threshold — a slow batch is never invisible, sampled or
+    /// not. `1` (the default) traces every batch; `0` is normalized to
+    /// `1`. Production guidance: 16 keeps full tracing under the 2%
+    /// overhead target on microbatch floods (see `BENCH_serving.json`).
+    pub trace_sample: u32,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        TelemetryConfig { enabled: true, recorder: RecorderConfig::default() }
+        TelemetryConfig { enabled: true, recorder: RecorderConfig::default(), trace_sample: 1 }
     }
 }
 
@@ -182,11 +267,23 @@ impl TelemetryConfig {
         self.recorder.ring_capacity = n;
         self
     }
+
+    /// Full span trees for 1 in `n` batches (see
+    /// [`TelemetryConfig::trace_sample`]).
+    pub fn sampled(mut self, n: u32) -> Self {
+        self.trace_sample = n.max(1);
+        self
+    }
 }
 
 struct TelemetryInner {
     metrics: MetricsRegistry,
     recorder: FlightRecorder,
+    /// 1-in-N trace sampling (normalized ≥ 1; see
+    /// [`TelemetryConfig::trace_sample`]).
+    trace_sample: u32,
+    /// Root spans opened so far — the deterministic sampling phase.
+    batches_started: std::sync::atomic::AtomicU64,
     /// Handles for the canonical per-phase histograms, resolved once at
     /// construction so [`Telemetry::finish_batch`] folds span durations
     /// into their histograms without per-span name formatting or map
@@ -262,6 +359,8 @@ impl Telemetry {
             inner: Arc::new(TelemetryInner {
                 metrics,
                 recorder: FlightRecorder::new(cfg.recorder),
+                trace_sample: cfg.trace_sample.max(1),
+                batches_started: std::sync::atomic::AtomicU64::new(0),
                 phase_hists,
             }),
         }
@@ -313,11 +412,21 @@ impl Telemetry {
         // Recorder off ⇒ no trace will ever be wanted, so spans skip the
         // collector and the deferred histogram fold entirely — the whole
         // batch of opens/closes degrades to free no-ops.
-        if self.enabled() && self.inner.recorder.is_enabled() {
-            Span::root(name)
-        } else {
-            Span::disabled()
+        if !(self.enabled() && self.inner.recorder.is_enabled()) {
+            return Span::disabled();
         }
+        let n = self.inner.trace_sample;
+        if n > 1 {
+            use std::sync::atomic::Ordering;
+            let i = self.inner.batches_started.fetch_add(1, Ordering::Relaxed);
+            if !i.is_multiple_of(n as u64) {
+                // Sampled out: a timing-only root — children are free
+                // no-ops, the root latency still reaches its histogram
+                // and the slow-batch skeleton capture in finish_batch.
+                return Span::timed_root(name);
+            }
+        }
+        Span::root(name)
     }
 
     /// Closes a batch: finishes the root span, folds every span's
@@ -325,8 +434,39 @@ impl Telemetry {
     /// event into `gpm_events_total{event=…}`, and files the trace with
     /// the flight recorder. Returns the retained trace (`None` when
     /// disabled and when the recorder is off — spans then never recorded
-    /// anything to fold).
+    /// anything to fold). A sampled-out batch (timing-only root, see
+    /// [`TelemetryConfig::trace_sample`]) folds only its root duration;
+    /// if that crossed the slow threshold, a root-only skeleton trace is
+    /// filed in the recorder's slow list (not the ring) and returned.
     pub fn finish_batch(&self, root: Span, seq: u64) -> Option<Arc<BatchTrace>> {
+        if let Some((name, duration_ns)) = root.timed_elapsed() {
+            match self.inner.phase_hists.iter().find(|(n, _)| *n == name) {
+                Some((_, h)) => h.record_ns(duration_ns),
+                None => self
+                    .inner
+                    .metrics
+                    .histogram_with(names::PHASE_SECONDS, &[("phase", name)])
+                    .record_ns(duration_ns),
+            }
+            let threshold = self.inner.recorder.config().slow_threshold;
+            if Duration::from_nanos(duration_ns) >= threshold {
+                let skeleton = BatchTrace {
+                    seq,
+                    total_ns: duration_ns,
+                    spans: vec![SpanRecord {
+                        parent: None,
+                        name,
+                        start_ns: 0,
+                        duration_ns,
+                        thread: thread_ordinal(),
+                        events: Vec::new(),
+                        detail: "sampled-out skeleton".to_string(),
+                    }],
+                };
+                return Some(self.inner.recorder.record_slow(skeleton));
+            }
+            return None;
+        }
         let trace = root.into_trace(seq)?;
         for span in &trace.spans {
             match self.inner.phase_hists.iter().find(|(n, _)| *n == span.name) {
@@ -436,6 +576,41 @@ mod tests {
         let snap = t.metrics().snapshot();
         assert_eq!(snap.counter(names::SERVING_BATCHES), Some(1));
         assert_eq!(snap.histogram(names::LOG_FSYNC_SECONDS).map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn trace_sampling_keeps_histograms_and_slow_capture() {
+        let t = Telemetry::new(
+            TelemetryConfig::default().sampled(4).slow_threshold(Duration::from_millis(1)),
+        );
+        let r0 = t.start_batch();
+        assert!(r0.is_enabled(), "batch 0 collects a full tree");
+        t.finish_batch(r0, 0);
+        for seq in 1..4u64 {
+            let r = t.start_batch();
+            assert!(!r.is_enabled(), "batch {seq} is sampled out");
+            if seq == 2 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let rec = t.finish_batch(r, seq);
+            assert_eq!(rec.is_some(), seq == 2, "only the slow batch files a skeleton");
+        }
+        let r4 = t.start_batch();
+        assert!(r4.is_enabled(), "1-in-4: batch 4 collects again");
+        t.finish_batch(r4, 4);
+        let recent: Vec<u64> = t.recorder().recent().iter().map(|tr| tr.seq).collect();
+        assert_eq!(recent, vec![0, 4], "the ring holds only fully traced batches");
+        let slow = t.recorder().slow();
+        assert_eq!(slow.len(), 1, "the slow sampled-out batch was still captured");
+        assert_eq!(slow[0].seq, 2);
+        assert_eq!(slow[0].spans.len(), 1, "root-only skeleton");
+        assert_eq!(slow[0].spans[0].detail, "sampled-out skeleton");
+        let snap = t.metrics().snapshot();
+        assert_eq!(
+            snap.histogram(&names::phase("ingest")).map(|h| h.count),
+            Some(5),
+            "every batch's root latency reached the histogram"
+        );
     }
 
     /// Not an assertion — a microbench for the per-span open/close cost

@@ -343,12 +343,14 @@ impl MetricKey {
     }
 
     /// Label set with one extra pair appended — how histogram `_bucket`
-    /// lines get their `le` label next to the metric's own labels.
+    /// lines get their `le` label next to the metric's own labels. Label
+    /// *values* are escaped per the Prometheus exposition format (`\\`,
+    /// `\"`, `\n`); the internal [`Self::full_name`] identity stays raw.
     fn labels_with(&self, extra: Option<(&str, String)>) -> String {
         let mut parts: Vec<String> =
-            self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
         if let Some((k, v)) = extra {
-            parts.push(format!("{k}=\"{v}\""));
+            parts.push(format!("{k}=\"{}\"", escape_label_value(&v)));
         }
         if parts.is_empty() {
             String::new()
@@ -356,6 +358,35 @@ impl MetricKey {
             format!("{{{}}}", parts.join(","))
         }
     }
+}
+
+/// Prometheus exposition escaping for label values: backslash, double
+/// quote and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus exposition escaping for `# HELP` text: backslash and
+/// newline (quotes stay raw there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The registry of named metrics. One per [`Telemetry`](crate::Telemetry)
@@ -412,7 +443,13 @@ impl MetricsRegistry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let key = MetricKey::new(name, &[]);
+        self.gauge_with(name, &[])
+    }
+
+    /// As [`Self::gauge`] with `{key="value"}` labels (per-pattern SLO
+    /// burn rates, `gpm_build_info{version="…"}`).
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
         let mut m = self.lock();
         match m.entry(key.full_name()).or_insert_with(|| (key, Metric::Gauge(Gauge::new()))) {
             (_, Metric::Gauge(g)) => g.clone(),
@@ -445,8 +482,8 @@ impl MetricsRegistry {
         let mut snap = MetricsSnapshot::default();
         for (full, (key, metric)) in m.iter() {
             match metric {
-                Metric::Counter(c) => snap.counters.push((full.clone(), c.get())),
-                Metric::Gauge(g) => snap.gauges.push((full.clone(), g.get())),
+                Metric::Counter(c) => snap.counters.push((full.clone(), key.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((full.clone(), key.clone(), g.get())),
                 Metric::Histogram(h) => {
                     snap.histograms.push((full.clone(), key.clone(), h.snapshot()))
                 }
@@ -471,11 +508,11 @@ impl MetricsRegistry {
 /// The merged values of every metric at one instant.
 #[derive(Default)]
 pub struct MetricsSnapshot {
-    /// `(full name, value)`, sorted by name.
-    pub counters: Vec<(String, u64)>,
-    /// `(full name, value)`, sorted by name.
-    pub gauges: Vec<(String, i64)>,
-    /// `(full name, key, merged histogram)`, sorted by name.
+    /// `(full name, key, value)`, sorted by full name.
+    counters: Vec<(String, MetricKey, u64)>,
+    /// `(full name, key, value)`, sorted by full name.
+    gauges: Vec<(String, MetricKey, i64)>,
+    /// `(full name, key, merged histogram)`, sorted by full name.
     histograms: Vec<(String, MetricKey, HistogramSnapshot)>,
 }
 
@@ -488,12 +525,22 @@ impl MetricsSnapshot {
 
     /// The merged value of counter `full_name`.
     pub fn counter(&self, full_name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| n == full_name).map(|&(_, v)| v)
+        self.counters.iter().find(|(n, _, _)| n == full_name).map(|&(_, _, v)| v)
     }
 
     /// The value of gauge `full_name`.
     pub fn gauge(&self, full_name: &str) -> Option<i64> {
-        self.gauges.iter().find(|(n, _)| n == full_name).map(|&(_, v)| v)
+        self.gauges.iter().find(|(n, _, _)| n == full_name).map(|&(_, _, v)| v)
+    }
+
+    /// Every counter as `(full name, value)`.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, _, v)| (n.as_str(), *v))
+    }
+
+    /// Every gauge as `(full name, value)`.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(n, _, v)| (n.as_str(), *v))
     }
 
     /// Every histogram as `(full name, snapshot)`.
@@ -501,23 +548,34 @@ impl MetricsSnapshot {
         self.histograms.iter().map(|(n, _, h)| (n.as_str(), h))
     }
 
-    /// Prometheus-style text: counters and gauges as single samples,
-    /// histograms as cumulative `_bucket{le=…}` series plus `_sum` /
-    /// `_count` / `_max_seconds`.
+    /// Prometheus text exposition (format 0.0.4): metrics grouped into
+    /// families by base name, each family announced by one `# HELP` +
+    /// `# TYPE` pair, label values escaped, histograms as cumulative
+    /// `_bucket{le=…}` series (with `+Inf`) plus `_sum` / `_count`. A
+    /// histogram's exact observed maximum — which the native format has
+    /// no slot for — is exposed as a sibling gauge family
+    /// `<base>_max_seconds`. Validated by
+    /// [`exposition::parse`](crate::exposition::parse) in tests and the
+    /// CI smoke scrape.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        for (name, v) in &self.counters {
-            let (base, labels) = split_full_name(name);
-            out.push_str(&format!("# TYPE {base} counter\n{name} {v}\n"));
-            let _ = labels;
+        // Family body text keyed by base name; BTreeMap keeps families
+        // contiguous even when an unlabeled sample of one family would
+        // otherwise sort between another family's labeled samples.
+        let mut fams: BTreeMap<String, (&'static str, String)> = BTreeMap::new();
+        for (_, key, v) in &self.counters {
+            let (_, body) =
+                fams.entry(key.name.clone()).or_insert_with(|| ("counter", String::new()));
+            body.push_str(&format!("{}{} {v}\n", key.name, key.labels_with(None)));
         }
-        for (name, v) in &self.gauges {
-            let (base, _) = split_full_name(name);
-            out.push_str(&format!("# TYPE {base} gauge\n{name} {v}\n"));
+        for (_, key, v) in &self.gauges {
+            let (_, body) =
+                fams.entry(key.name.clone()).or_insert_with(|| ("gauge", String::new()));
+            body.push_str(&format!("{}{} {v}\n", key.name, key.labels_with(None)));
         }
         for (_, key, h) in &self.histograms {
             let base = &key.name;
-            out.push_str(&format!("# TYPE {base} histogram\n"));
+            let (_, body) =
+                fams.entry(base.clone()).or_insert_with(|| ("histogram", String::new()));
             let mut cum = 0u64;
             for (i, &b) in h.buckets.iter().enumerate() {
                 cum += b;
@@ -527,12 +585,24 @@ impl MetricsSnapshot {
                     format_seconds(bucket_le_ns(i))
                 };
                 let labels = key.labels_with(Some(("le", le)));
-                out.push_str(&format!("{base}_bucket{labels} {cum}\n"));
+                body.push_str(&format!("{base}_bucket{labels} {cum}\n"));
             }
             let labels = key.labels_with(None);
-            out.push_str(&format!("{base}_sum{labels} {}\n", format_seconds(h.sum_ns)));
-            out.push_str(&format!("{base}_count{labels} {}\n", h.count));
-            out.push_str(&format!("{base}_max_seconds{labels} {}\n", format_seconds(h.max_ns)));
+            body.push_str(&format!("{base}_sum{labels} {}\n", format_seconds(h.sum_ns)));
+            body.push_str(&format!("{base}_count{labels} {}\n", h.count));
+            let (_, max_body) = fams
+                .entry(format!("{base}_max_seconds"))
+                .or_insert_with(|| ("gauge", String::new()));
+            max_body
+                .push_str(&format!("{base}_max_seconds{labels} {}\n", format_seconds(h.max_ns)));
+        }
+        let mut out = String::new();
+        for (base, (kind, body)) in &fams {
+            out.push_str(&format!(
+                "# HELP {base} {}\n# TYPE {base} {kind}\n",
+                escape_help(crate::names::help(base))
+            ));
+            out.push_str(body);
         }
         out
     }
@@ -542,9 +612,9 @@ impl MetricsSnapshot {
     /// max_seconds,p50_seconds,p90_seconds,p99_seconds,buckets:[[le,n],…]}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
-        push_pairs(&mut out, self.counters.iter().map(|(n, v)| (n.clone(), v.to_string())));
+        push_pairs(&mut out, self.counters.iter().map(|(n, _, v)| (n.clone(), v.to_string())));
         out.push_str("},\"gauges\":{");
-        push_pairs(&mut out, self.gauges.iter().map(|(n, v)| (n.clone(), v.to_string())));
+        push_pairs(&mut out, self.gauges.iter().map(|(n, _, v)| (n.clone(), v.to_string())));
         out.push_str("},\"histograms\":{");
         let mut first = true;
         for (name, _, h) in &self.histograms {
@@ -583,13 +653,6 @@ impl MetricsSnapshot {
         }
         out.push_str("}}");
         out
-    }
-}
-
-fn split_full_name(full: &str) -> (&str, &str) {
-    match full.find('{') {
-        Some(i) => (&full[..i], &full[i..]),
-        None => (full, ""),
     }
 }
 
@@ -781,6 +844,63 @@ mod tests {
         assert!(json.contains("\"gpm_ops_total\":2"));
         assert!(json.contains("\"gpm_phase_seconds{phase=\\\"prepare\\\"}\""));
         assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn render_groups_families_and_declares_them_once() {
+        let r = MetricsRegistry::new(true);
+        r.counter_with("gpm_events_total", &[("event", "a")]).inc();
+        r.counter_with("gpm_events_total", &[("event", "b")]).add(2);
+        // A name that would sort *between* the family's unlabeled and
+        // labeled spellings if render walked raw full names.
+        r.counter("gpm_events_total").inc();
+        r.counter("gpm_events_totalx_total").inc();
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE gpm_events_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP gpm_events_total ").count(), 1);
+        let fam_start = text.find("# TYPE gpm_events_total counter").unwrap();
+        let fam = &text[fam_start..];
+        let fam_end = fam[1..].find('#').map(|i| i + 1).unwrap_or(fam.len());
+        let fam = &fam[..fam_end];
+        for line in [
+            "gpm_events_total 1\n",
+            "gpm_events_total{event=\"a\"} 1\n",
+            "gpm_events_total{event=\"b\"} 2\n",
+        ] {
+            assert!(fam.contains(line), "{line:?} inside the contiguous family block");
+        }
+        // Every TYPE is preceded by a HELP for the same family.
+        for (i, line) in text.lines().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let base = rest.split(' ').next().unwrap();
+                let prev = text.lines().nth(i - 1).unwrap();
+                assert!(
+                    prev.starts_with(&format!("# HELP {base} ")),
+                    "HELP precedes TYPE for {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_escapes_label_values() {
+        let r = MetricsRegistry::new(true);
+        r.counter_with("gpm_events_total", &[("event", "say \"hi\"\\now\n!")]).inc();
+        let text = r.render();
+        assert!(
+            text.contains("gpm_events_total{event=\"say \\\"hi\\\"\\\\now\\n!\"} 1\n"),
+            "escaped label value in: {text}"
+        );
+    }
+
+    #[test]
+    fn histogram_max_is_its_own_gauge_family() {
+        let r = MetricsRegistry::new(true);
+        r.histogram_with("gpm_phase_seconds", &[("phase", "plan")]).record_ns(2_000);
+        let text = r.render();
+        assert!(text.contains("# TYPE gpm_phase_seconds histogram"));
+        assert!(text.contains("# TYPE gpm_phase_seconds_max_seconds gauge"));
+        assert!(text.contains("gpm_phase_seconds_max_seconds{phase=\"plan\"} 0.000002\n"));
     }
 
     #[test]

@@ -111,6 +111,29 @@ impl FlightRecorder {
         trace
     }
 
+    /// Stores a trace in the slow list / slowest slot only, skipping the
+    /// ring — for the root-only skeleton traces synthesized from
+    /// sampled-out batches that crossed the slow threshold. The ring
+    /// stays a ring of *full* span trees; slow capture still never
+    /// misses a batch, sampled or not.
+    pub fn record_slow(&self, trace: BatchTrace) -> Arc<BatchTrace> {
+        let trace = Arc::new(trace);
+        if !self.cfg.enabled {
+            return trace;
+        }
+        let mut s = self.lock();
+        if self.cfg.slow_capacity > 0 {
+            if s.slow.len() == self.cfg.slow_capacity {
+                s.slow.pop_front();
+            }
+            s.slow.push_back(trace.clone());
+        }
+        if s.slowest.as_ref().is_none_or(|t| trace.total_ns > t.total_ns) {
+            s.slowest = Some(trace.clone());
+        }
+        trace
+    }
+
     /// The retained recent traces, oldest first.
     pub fn recent(&self) -> Vec<Arc<BatchTrace>> {
         self.lock().ring.iter().cloned().collect()

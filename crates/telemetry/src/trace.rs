@@ -130,6 +130,17 @@ struct SpanInner {
 #[derive(Debug)]
 pub struct Span {
     inner: Option<SpanInner>,
+    /// Set on sampled-out batch roots: no collector, no children, just
+    /// the two clock reads needed to keep the root latency histogram
+    /// honest (see [`Span::timed_root`]).
+    timed: Option<TimedRoot>,
+}
+
+/// The timing-only root of a sampled-out batch: name + start tick.
+#[derive(Debug)]
+struct TimedRoot {
+    name: &'static str,
+    start_ticks: u64,
 }
 
 impl Span {
@@ -137,7 +148,25 @@ impl Span {
     /// free. Instrumented code paths take `&Span` unconditionally and
     /// callers pass this when tracing is off.
     pub fn disabled() -> Span {
-        Span { inner: None }
+        Span { inner: None, timed: None }
+    }
+
+    /// A timing-only root for a sampled-out batch: children and events
+    /// are no-ops (so the whole span tree under it costs nothing), but
+    /// the root duration is still measured — folded into the phase
+    /// histogram at [`finish_batch`], and grounds for a skeleton
+    /// slow-batch capture when it crosses the recorder threshold.
+    ///
+    /// [`finish_batch`]: crate::Telemetry::finish_batch
+    pub(crate) fn timed_root(name: &'static str) -> Span {
+        Span { inner: None, timed: Some(TimedRoot { name, start_ticks: clock::now_ticks() }) }
+    }
+
+    /// For a timing-only root: its name and elapsed nanoseconds (read
+    /// now). `None` for every other span kind.
+    pub(crate) fn timed_elapsed(&self) -> Option<(&'static str, u64)> {
+        let t = self.timed.as_ref()?;
+        Some((t.name, clock::ticks_to_ns(clock::now_ticks().saturating_sub(t.start_ticks))))
     }
 
     /// `true` when this span records (the gate hot paths use to skip
@@ -168,6 +197,7 @@ impl Span {
                 has_extra: AtomicU32::new(0),
                 extra: Mutex::new(Extra::default()),
             }),
+            timed: None,
         }
     }
 
@@ -200,6 +230,7 @@ impl Span {
                 has_extra: AtomicU32::new(0),
                 extra: Mutex::new(Extra::default()),
             }),
+            timed: None,
         }
     }
 
@@ -514,6 +545,20 @@ mod tests {
         assert_eq!(trace.spans_named("extract").count(), 2 * RECORD_SLOTS);
         assert!(trace.spans.iter().skip(1).all(|s| s.parent == Some(0)));
         assert!(trace.spans_named("(open)").next().is_none(), "every close was kept");
+    }
+
+    #[test]
+    fn timed_root_measures_without_collecting() {
+        let root = Span::timed_root("ingest");
+        assert!(!root.is_enabled(), "children and events are no-ops");
+        let c = root.child("refresh");
+        assert!(!c.is_enabled());
+        c.event("dropped");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let (name, ns) = root.timed_elapsed().expect("timed root");
+        assert_eq!(name, "ingest");
+        assert!(ns >= 1_000_000, "the sleep is visible: {ns}ns");
+        assert!(root.into_trace(1).is_none(), "no span tree to assemble");
     }
 
     #[test]

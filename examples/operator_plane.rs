@@ -1,0 +1,123 @@
+//! Operator plane: the served observability surface, self-scraped.
+//!
+//! The CI serving-smoke target. A live service runs behind a
+//! [`ServiceHandle`] loop with the [`AdminServer`] bound on an ephemeral
+//! port and the sampled [`Auditor`] watching in the background — then
+//! this process turns around and scrapes **itself** over plain TCP,
+//! exactly as a Prometheus scraper or an orchestrator probe would:
+//!
+//! 1. `GET /metrics` must parse under the strict exposition parser and
+//!    carry the serving counters, build info, and per-pattern SLOs;
+//! 2. `GET /healthz` must report a ready service with every component
+//!    probe present;
+//! 3. `GET /traces/recent` must hold the ingested batches.
+//!
+//! Any violation panics, failing the smoke with a nonzero exit.
+//!
+//! ```text
+//! cargo run --release --example operator_plane
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use diversified_topk::datagen::synthetic::{synthetic_graph, SyntheticConfig};
+use diversified_topk::datagen::update_stream::{update_stream, UpdateStreamConfig};
+use diversified_topk::pattern::builder::label_pattern;
+use diversified_topk::prelude::*;
+use diversified_topk::telemetry::exposition::{self, family};
+use diversified_topk::telemetry::names;
+
+/// One GET over a fresh connection: `(status, body)`.
+fn scrape(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin port");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map_or(String::new(), |(_, b)| b.to_string());
+    (status, body)
+}
+
+fn main() {
+    let g = synthetic_graph(&SyntheticConfig::paper(2_000, 8_000, 42));
+    let mut svc = AnswerService::new(&g, ServiceConfig::default());
+    let managers = svc
+        .subscribe(
+            label_pattern(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap(),
+            IncrementalConfig::new(3),
+            NotifyMode::Relevance,
+        )
+        .unwrap();
+    let qa = svc
+        .subscribe(
+            label_pattern(&[0, 3, 2], &[(0, 1), (1, 2), (2, 0)], 0).unwrap(),
+            IncrementalConfig::new(3).lambda(0.3),
+            NotifyMode::Diversified,
+        )
+        .unwrap();
+    managers.try_recv().unwrap();
+    qa.try_recv().unwrap();
+
+    let handle = ServiceHandle::spawn(svc);
+    let admin = AdminServer::bind("127.0.0.1:0", handle.controller()).expect("bind admin plane");
+    let addr = admin.local_addr();
+    let _auditor = Auditor::spawn(
+        handle.controller(),
+        AuditorConfig { every_batches: 4, interval: Duration::from_millis(20) },
+    );
+    println!("── admin plane listening on http://{addr}");
+
+    let batches = 12usize;
+    println!("── ingesting {batches} batches of 40 ops while serving scrapes");
+    for delta in update_stream(&g, &UpdateStreamConfig::new(batches, 40, 7)) {
+        handle.ingest(delta).unwrap();
+    }
+
+    // 1. /metrics under the strict parser.
+    let (status, body) = scrape(addr, "/metrics");
+    assert_eq!(status, 200, "/metrics status");
+    let families =
+        exposition::parse(&body).unwrap_or_else(|e| panic!("exposition does not parse: {e}"));
+    let served_batches = family(&families, names::SERVING_BATCHES)
+        .and_then(|f| f.sample_with(&[]))
+        .expect("gpm_serving_batches_total scraped")
+        .value;
+    assert_eq!(served_batches, batches as f64, "every ingested batch counted");
+    assert!(family(&families, names::BUILD_INFO).is_some(), "build info exported");
+    for pattern in ["pattern#0", "pattern#1"] {
+        let slo = family(&families, names::SLO_GOOD)
+            .and_then(|f| f.sample_with(&[("pattern", pattern)]))
+            .unwrap_or_else(|| panic!("{pattern} has no SLO counters"));
+        println!("   {pattern}: {} notifies within objective", slo.value);
+    }
+    println!("── /metrics: {} families parse strictly", families.len());
+
+    // 2. /healthz: ready, all probes present.
+    let (status, health) = scrape(addr, "/healthz");
+    assert_eq!(status, 200, "/healthz status ({health})");
+    assert!(health.starts_with("{\"status\":\"ready\""), "service not ready: {health}");
+    for component in ["loop", "delta_log", "subscriptions", "slo", "audit", "reach"] {
+        assert!(health.contains(&format!("\"name\":\"{component}\"")), "{component} missing");
+    }
+    println!("── /healthz: ready, 6 component probes reporting");
+
+    // 3. The flight recorder, served.
+    let (status, traces) = scrape(addr, "/traces/recent");
+    assert_eq!(status, 200, "/traces/recent status");
+    assert!(
+        traces.contains(&format!("\"seq\":{batches}")),
+        "newest batch missing from the served trace ring"
+    );
+    println!("── /traces/recent: trace ring holds the newest batch");
+
+    admin.shutdown();
+    drop(handle);
+    println!("── operator plane smoke: OK");
+}

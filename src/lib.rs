@@ -71,8 +71,9 @@ pub mod prelude {
     pub use gpm_pattern::{CmpOp, Pattern, PatternBuilder, Predicate};
     pub use gpm_ranking::bounds::BoundStrategy;
     pub use gpm_serving::{
-        AnswerService, AnswerUpdate, DeltaLog, NotifyMode, ServiceConfig, ServiceHandle,
-        Subscription, Telemetry, TelemetryConfig,
+        AdminServer, AnswerService, AnswerUpdate, Auditor, AuditorConfig, DeltaLog, HealthReport,
+        NotifyMode, ServiceConfig, ServiceController, ServiceHandle, Subscription, Telemetry,
+        TelemetryConfig,
     };
     pub use gpm_simulation::compute_simulation;
 }
