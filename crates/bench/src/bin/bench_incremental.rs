@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench_incremental [--nodes N] [--k K] [--seed S] [--out PATH]
-//!                   [--check-dirty-2pct]
+//!                   [--check-dirty-2pct] [--check-bounds-2pct]
 //! ```
 //!
 //! `--check-dirty-2pct` turns the 2%-dirty-fraction acceptance bar into
@@ -13,6 +13,12 @@
 //! below the region-local BFS baseline measured in the same sweep (the
 //! point PR 5 recorded at 0.83× and the maintained condensation is
 //! required to hold ≥ 1×). CI passes it on the smoke run.
+//!
+//! `--check-bounds-2pct` does the same for the maintained output
+//! bounds: at 2% dirty and k = 5 the bound-driven partial refresh must
+//! beat the full-materialization refresh path (every set re-derived and
+//! re-ranked per batch) by ≥ 1.3×, with zero answer differences across
+//! the three-way joint replay.
 //!
 //! Writes `BENCH_incremental.json` (repo root by default) and prints the
 //! tables. Delta sizes follow the issue spec: 1 / 10 / 100 / 1000; attr
@@ -27,6 +33,7 @@ fn main() {
     let mut seed = 20130826u64;
     let mut out = String::from("BENCH_incremental.json");
     let mut check_dirty_2pct = false;
+    let mut check_bounds_2pct = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -50,6 +57,11 @@ fn main() {
             "--out" => out = need("--out", args.get(i + 1)),
             "--check-dirty-2pct" => {
                 check_dirty_2pct = true;
+                i += 1;
+                continue;
+            }
+            "--check-bounds-2pct" => {
+                check_bounds_2pct = true;
                 i += 1;
                 continue;
             }
@@ -103,11 +115,18 @@ fn main() {
         );
     }
 
+    println!("building bounded-refresh workload: |V|={nodes}");
+    let (gb, qb) = delta_bench::bounded_workload(nodes);
+    println!("head+short cycle graph |V|={} |E|={}", gb.node_count(), gb.edge_count());
+    let bounded_result = delta_bench::run_bounded_refresh(&gb, &qb, &[5, 20], &[0.02, 0.25]);
+    println!("{}", delta_bench::bounded_refresh_table(&bounded_result).render());
+
     let combined = Value::Object(vec![
         ("bench".into(), "incremental".to_value()),
         ("delta_scaling".into(), result.to_value()),
         ("attr_churn_mix".into(), attr_result.to_value()),
         ("dirty_region".into(), dirty_result.to_value()),
+        ("bounded_refresh".into(), bounded_result.to_value()),
     ]);
     let json = serde_json::to_string_pretty(&combined).expect("serializable");
     std::fs::write(&out, json).expect("write BENCH_incremental.json");
@@ -164,6 +183,38 @@ fn main() {
         println!(
             "dirty-2% gate: maintained DP {:.3}x vs region-local BFS (>= 1.0 required)",
             p.speedup_vs_bfs()
+        );
+    }
+    // The maintained-bounds bar: at 2% dirty and k = 5 the bound index
+    // must prove the churned outputs dominated without materializing
+    // them, beating full materialization by ≥ 1.3× — and pruning must
+    // never change an answer. Opt-in hard failure for CI.
+    if check_bounds_2pct {
+        let p = bounded_result
+            .points
+            .iter()
+            .find(|p| p.k == 5 && (p.dirty_fraction - 0.02).abs() < 1e-9)
+            .expect("the sweep includes the k=5, 2% dirty point");
+        if p.speedup() < 1.3 || p.answer_diffs > 0 {
+            eprintln!(
+                "FAIL: bounded refresh below the acceptance bar at 2% dirty k=5 \
+                 ({:.3}x required >= 1.3, bounded {:.3}ms vs full materialization {:.3}ms \
+                 per batch, {} answer diffs required 0)",
+                p.speedup(),
+                p.bounded_ms,
+                p.full_ms,
+                p.answer_diffs
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bounds-2% gate: bounded refresh {:.3}x vs full materialization \
+             (>= 1.3 required, {:.3}x marginal over unbounded planning), \
+             {} outputs pruned ({:.0}% of candidates), 0 answer diffs",
+            p.speedup(),
+            p.marginal(),
+            p.pruned_outputs,
+            p.pruned_rate() * 100.0
         );
     }
 }

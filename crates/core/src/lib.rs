@@ -36,6 +36,7 @@ pub mod generalized;
 pub mod match_all;
 pub mod multi_output;
 pub mod result;
+pub mod selector;
 pub mod topk;
 pub mod topk_dh;
 pub mod topk_div;
@@ -44,6 +45,7 @@ pub use config::{DivConfig, SelectionStrategy, TopKConfig};
 pub use match_all::{top_k_by_match, MatchOutcome};
 pub use multi_output::{top_k_multi, with_output};
 pub use result::{rank_top_k, DivResult, RankedMatch, RunStats, TopKResult};
+pub use selector::{prop3_holds, BoundedSelector, SelEntry};
 pub use topk::{top_k, top_k_cyclic, top_k_dag};
 pub use topk_dh::top_k_diversified_heuristic;
 pub use topk_div::{greedy_diversified, top_k_diversified};

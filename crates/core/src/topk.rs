@@ -19,12 +19,13 @@
 
 use std::time::Instant;
 
-use gpm_graph::{DiGraph, NodeId};
+use gpm_graph::DiGraph;
 use gpm_pattern::Pattern;
 
 use crate::config::TopKConfig;
 use crate::engine::Engine;
 use crate::result::{RankedMatch, RunStats, TopKResult};
+use crate::selector::BoundedSelector;
 
 /// Generic entry point: picks the (identical) engine for DAG or cyclic
 /// patterns. `top_k_dag` / `top_k_cyclic` are the paper-named wrappers.
@@ -38,10 +39,10 @@ pub fn top_k(g: &DiGraph, q: &Pattern, cfg: &TopKConfig) -> TopKResult {
     };
 
     loop {
-        if let Some(selection) = current_selection(&eng, cfg.k) {
-            let min_l =
-                selection.iter().map(|&i| eng.output_l(i)).min().expect("selection nonempty");
-            if min_l >= eng.best_rest_bound(&selection) {
+        let sel = current_selection(&eng, cfg.k);
+        if sel.is_full() {
+            let selection = sel.ids();
+            if sel.terminated(eng.best_rest_bound(&selection)) {
                 eng.stats_mut().early_terminated = true;
                 eng.stats_mut().inspected_matches = eng.matched_count();
                 if cfg.exact_scores {
@@ -54,8 +55,7 @@ pub fn top_k(g: &DiGraph, q: &Pattern, cfg: &TopKConfig) -> TopKResult {
             let total = eng.matched_count();
             eng.stats_mut().inspected_matches = total;
             eng.stats_mut().total_matches = Some(total);
-            let selection = full_selection(&eng, cfg.k);
-            return finish(eng, selection, t0);
+            return finish(eng, sel.ids(), t0);
         }
         eng.wave();
     }
@@ -73,24 +73,15 @@ pub fn top_k_cyclic(g: &DiGraph, q: &Pattern, cfg: &TopKConfig) -> TopKResult {
     top_k(g, q, cfg)
 }
 
-/// Current top-k confirmed matches by `(l desc, node asc)`; `None` until k
-/// matches are confirmed.
-fn current_selection(eng: &Engine<'_>, k: usize) -> Option<Vec<usize>> {
-    let mut matched: Vec<(usize, NodeId, u64)> = eng.matched_outputs().collect();
-    if matched.len() < k {
-        return None;
+/// The wave's confirmed matches folded into a [`BoundedSelector`]: full
+/// ⇒ a termination candidate, and on exhaustion its ids are the final
+/// best-first top-(≤ k).
+fn current_selection(eng: &Engine<'_>, k: usize) -> BoundedSelector {
+    let mut sel = BoundedSelector::new(k);
+    for (i, v, l) in eng.matched_outputs() {
+        sel.offer(i, v, l);
     }
-    matched.sort_by(|a, b| b.2.cmp(&a.2).then(a.1.cmp(&b.1)));
-    matched.truncate(k);
-    Some(matched.into_iter().map(|(i, _, _)| i).collect())
-}
-
-/// All matches, best-first, truncated to k (exhaustion path).
-fn full_selection(eng: &Engine<'_>, k: usize) -> Vec<usize> {
-    let mut matched: Vec<(usize, NodeId, u64)> = eng.matched_outputs().collect();
-    matched.sort_by(|a, b| b.2.cmp(&a.2).then(a.1.cmp(&b.1)));
-    matched.truncate(k);
-    matched.into_iter().map(|(i, _, _)| i).collect()
+    sel
 }
 
 fn finish(mut eng: Engine<'_>, selection: Vec<usize>, t0: Instant) -> TopKResult {

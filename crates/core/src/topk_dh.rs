@@ -57,7 +57,7 @@ pub fn top_k_diversified_heuristic(g: &DiGraph, q: &Pattern, cfg: &DivConfig) ->
         // Proposition 3 over the diversified S (heuristic, per Section 5.2).
         if s.len() == k && k > 0 {
             let min_l = s.iter().map(|&i| eng.output_l(i)).min().unwrap();
-            if min_l >= eng.best_rest_bound(&s) {
+            if crate::selector::prop3_holds(min_l, eng.best_rest_bound(&s)) {
                 eng.stats_mut().early_terminated = true;
                 eng.stats_mut().inspected_matches = eng.matched_count();
                 break;

@@ -6,8 +6,8 @@ use gpm_core::result::{AnswerDiff, DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{DiGraph, GraphDelta, GraphError};
 use gpm_pattern::Pattern;
-use gpm_ranking::ReachConfig;
-use gpm_telemetry::Telemetry;
+use gpm_ranking::{BoundPolicy, ReachConfig};
+use gpm_telemetry::{names, Telemetry};
 
 use crate::state::{worst_churn, PatternState};
 
@@ -40,6 +40,11 @@ pub struct IncrementalConfig {
     /// honors; past the byte budget, dirty-set materialization degrades
     /// to per-source BFS instead of the condensation DP.
     pub reach: ReachConfig,
+    /// Policy of the maintained output-bound index riding the
+    /// incremental condensation: whether refresh planning may skip
+    /// materializing outputs whose upper bound cannot displace the k-th
+    /// answer, and when the per-batch refold gives up and recounts.
+    pub bounds: BoundPolicy,
 }
 
 impl IncrementalConfig {
@@ -54,6 +59,7 @@ impl IncrementalConfig {
             max_dirty_fraction: 0.3,
             max_cond_churn_fraction: 0.125,
             reach: ReachConfig::default(),
+            bounds: BoundPolicy::default(),
         }
     }
 
@@ -116,10 +122,29 @@ pub struct ApplyStats {
     /// fallbacks (probe/region overflow), width migrations and churn
     /// rebuilds. Zero when the budget keeps maintained mode off.
     pub cond_rebuilds: u64,
+    /// Output materializations skipped across all batches because the
+    /// maintained upper bound proved they cannot displace the k-th
+    /// answer.
+    pub pruned_outputs: u64,
+    /// Batches whose maintained bound index was refolded incrementally
+    /// over the condensation's recomputed components.
+    pub bound_refolds: u64,
+    /// From-scratch rebuilds of the maintained bound index — churn-gate
+    /// recounts, condensation fallbacks/width migrations, and full
+    /// rebuilds while bounds were on. Attr-only and tombstone-only
+    /// batches must never increment this.
+    pub bound_rebuilds: u64,
     /// Candidate pairs visited by the last backward dirtiness sweep.
     pub last_swept_pairs: usize,
     /// Output matches invalidated by the last batch.
     pub last_dirty_outputs: usize,
+    /// Outputs the last batch's refresh plan pruned via bounds.
+    pub last_pruned_outputs: usize,
+    /// Wall nanoseconds the last batch spent refolding the bound index
+    /// (0 when the batch refolded nothing).
+    pub last_bound_refold_ns: u64,
+    /// Bound-index rebuilds charged to the last batch.
+    pub last_bound_rebuilds: u64,
     /// Wall nanoseconds of the last served refresh, batch ingress to
     /// answer — what `/patterns` reports as the last refresh latency.
     pub last_refresh_ns: u64,
@@ -221,8 +246,27 @@ impl DynamicMatcher {
             state.refresh_ranking_traced(&self.graph, &applied, &root);
             Ok(state.serve_timed(t0))
         })();
+        if out.is_ok() {
+            self.record_bound_metrics();
+        }
         self.telemetry.finish_batch(root, self.state.stats().applies);
         out
+    }
+
+    /// Folds the last batch's bound-index accounting into the attached
+    /// metrics (counters record even when telemetry is disabled).
+    fn record_bound_metrics(&self) {
+        let stats = self.state.stats();
+        let m = self.telemetry.metrics();
+        if stats.last_bound_refold_ns > 0 {
+            m.histogram(names::BOUNDS_REFOLD_SECONDS).record_ns(stats.last_bound_refold_ns);
+        }
+        if stats.last_pruned_outputs > 0 {
+            m.counter(names::BOUNDS_PRUNED).add(stats.last_pruned_outputs as u64);
+        }
+        if stats.last_bound_rebuilds > 0 {
+            m.counter(names::BOUNDS_REBUILDS).add(stats.last_bound_rebuilds);
+        }
     }
 
     /// The current top-k by relevance — identical to running
@@ -232,14 +276,23 @@ impl DynamicMatcher {
     }
 
     /// The current diversified top-k (`λ` from the config) — identical to
-    /// running `top_k_diversified` on [`Self::snapshot`].
-    pub fn top_k_diversified(&self) -> DivResult {
-        self.state.diversified(self.state.cfg().lambda)
+    /// running `top_k_diversified` on [`Self::snapshot`]. Takes `&mut
+    /// self`: a bound-pruned backlog must materialize first, since the
+    /// diversity term needs every match's relevant set.
+    pub fn top_k_diversified(&mut self) -> DivResult {
+        let lambda = self.state.cfg().lambda;
+        self.state.diversified(&self.graph, lambda)
     }
 
     /// As [`Self::top_k_diversified`] with an explicit `λ`.
-    pub fn diversified(&self, lambda: f64) -> DivResult {
-        self.state.diversified(lambda)
+    pub fn diversified(&mut self, lambda: f64) -> DivResult {
+        self.state.diversified(&self.graph, lambda)
+    }
+
+    /// The active bound-index mode: `"per-component"`, `"global"`, or
+    /// `"off"` (disabled, or the maintained reach state is down).
+    pub fn bound_mode(&self) -> &'static str {
+        self.state.bound_mode()
     }
 
     /// The normalizer `Cuo` currently feeding the diversified objective —

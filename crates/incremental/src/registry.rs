@@ -33,7 +33,7 @@ use gpm_core::result::{AnswerDiff, DivResult, TopKResult};
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{BitSet, DiGraph, GraphDelta, Label};
 use gpm_pattern::Pattern;
-use gpm_telemetry::{names, Counter, Gauge, Span, Telemetry};
+use gpm_telemetry::{names, Counter, Gauge, Histogram, Span, Telemetry};
 use parking_lot::Mutex;
 
 use crate::matcher::{ApplyStats, IncrementalConfig, IncrementalError};
@@ -129,6 +129,11 @@ struct RegistryCounters {
     last_intra_splits: Gauge,
     pool_busy_nanos: Gauge,
     pool_tasks: Gauge,
+    bounds_pruned: Counter,
+    bounds_rebuilds: Counter,
+    /// Per-batch bound-refold latency samples (histograms honor the
+    /// enabled flag; the counters above always record).
+    bounds_refold: Histogram,
 }
 
 impl RegistryCounters {
@@ -147,6 +152,9 @@ impl RegistryCounters {
             last_intra_splits: m.gauge(names::REGISTRY_LAST_INTRA_SPLITS),
             pool_busy_nanos: m.gauge(names::POOL_BUSY_NANOS),
             pool_tasks: m.gauge(names::POOL_TASKS),
+            bounds_pruned: m.counter(names::BOUNDS_PRUNED),
+            bounds_rebuilds: m.counter(names::BOUNDS_REBUILDS),
+            bounds_refold: m.histogram(names::BOUNDS_REFOLD_SECONDS),
         }
     }
 
@@ -165,6 +173,10 @@ impl RegistryCounters {
         next.last_intra_splits.set(self.last_intra_splits.get());
         next.pool_busy_nanos.set(self.pool_busy_nanos.get());
         next.pool_tasks.set(self.pool_tasks.get());
+        next.bounds_pruned.add(self.bounds_pruned.get());
+        next.bounds_rebuilds.add(self.bounds_rebuilds.get());
+        // Histogram samples are not migrated — the refold histogram
+        // restarts with the new bundle, like every other histogram.
     }
 }
 
@@ -210,8 +222,12 @@ pub struct PatternInfo {
     /// How relevant-set preparation currently runs: `"maintained"`,
     /// `"readopt-pending"` or `"engine"`.
     pub reach_mode: &'static str,
+    /// The active maintained-bound mode: `"per-component"`, `"global"`
+    /// or `"off"`.
+    pub bound_mode: &'static str,
     /// Per-pattern maintenance counters (includes
-    /// [`ApplyStats::last_refresh_ns`], the last refresh latency).
+    /// [`ApplyStats::last_refresh_ns`], the last refresh latency, and the
+    /// bound-pruning tallies).
     pub stats: ApplyStats,
 }
 
@@ -487,6 +503,24 @@ impl PatternRegistry {
         let graph = &self.graph;
         let slots = &self.slots;
         let touched_ref = &touched;
+        let counters = &self.counters;
+        // Per-pattern bound-index accounting is final once the plan
+        // exists (refold in `maintain_reach`, pruning in `plan_refresh`),
+        // so each worker folds its pattern's `last_*` contribution into
+        // the shared cells right after planning. Counters are atomic —
+        // safe from any pool worker.
+        let note_bounds = |st: &PatternState| {
+            let s = st.stats();
+            if s.last_bound_refold_ns > 0 {
+                counters.bounds_refold.record_ns(s.last_bound_refold_ns);
+            }
+            if s.last_pruned_outputs > 0 {
+                counters.bounds_pruned.add(s.last_pruned_outputs as u64);
+            }
+            if s.last_bound_rebuilds > 0 {
+                counters.bounds_rebuilds.add(s.last_bound_rebuilds);
+            }
+        };
         let split_threshold = self.pool.as_ref().map(|_| INTRA_SPLIT_MIN_OUTPUTS);
         let fresh: Vec<Mutex<Option<(TopKResult, AnswerDiff)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -508,12 +542,17 @@ impl PatternRegistry {
                 // (`condense_incremental` child span), then plan off the
                 // flips it drained.
                 let flips = st.maintain_reach(graph, &applied, &refresh_span);
-                let _plan_span = refresh_span.child("plan");
-                st.plan_refresh(graph, &applied, flips)
+                let plan_span = refresh_span.child("plan");
+                let plan = st.plan_refresh(graph, &applied, flips);
+                if plan_span.is_enabled() {
+                    plan_span.detail(format!("outputs={} pruned={}", plan.len(), plan.pruned()));
+                }
+                plan
             } else {
                 st.refresh_untouched(graph);
                 return;
             };
+            note_bounds(&st);
             if split_threshold.is_some_and(|min| plan.len() >= min) {
                 let prepared = st.prepare_sets_traced(graph, &plan, &refresh_span);
                 // Only park extractions a pool barrier can actually help
@@ -612,13 +651,18 @@ impl PatternRegistry {
     }
 
     /// Current diversified top-k of one pattern with its configured `λ`.
+    /// Materializes any bound-deferred backlog first (the diversity term
+    /// needs every match's relevant set), hence the mutable slot access.
     pub fn top_k_diversified(&self, id: PatternId) -> Option<DivResult> {
-        self.with_slot(id, |st| st.diversified(st.cfg().lambda))
+        self.with_slot_mut(id, |st| {
+            let lambda = st.cfg().lambda;
+            st.diversified(&self.graph, lambda)
+        })
     }
 
     /// As [`Self::top_k_diversified`] with an explicit `λ`.
     pub fn diversified(&self, id: PatternId, lambda: f64) -> Option<DivResult> {
-        self.with_slot(id, |st| st.diversified(lambda))
+        self.with_slot_mut(id, |st| st.diversified(&self.graph, lambda))
     }
 
     /// The registered pattern behind `id`.
@@ -653,6 +697,10 @@ impl PatternRegistry {
         self.slots.iter().find(|s| s.id == id).map(|s| f(&s.state.lock()))
     }
 
+    fn with_slot_mut<T>(&self, id: PatternId, f: impl FnOnce(&mut PatternState) -> T) -> Option<T> {
+        self.slots.iter().find(|s| s.id == id).map(|s| f(&mut s.state.lock()))
+    }
+
     /// Introspection snapshot of one pattern (`None` for unknown ids).
     pub fn pattern_info(&self, id: PatternId) -> Option<PatternInfo> {
         self.with_slot(id, |st| PatternInfo {
@@ -662,6 +710,7 @@ impl PatternRegistry {
             k: st.cfg().k,
             lambda: st.cfg().lambda,
             reach_mode: st.reach_mode(),
+            bound_mode: st.bound_mode(),
             stats: st.stats().clone(),
         })
     }

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use gpm_core::result::{rank_top_k, AnswerDiff, DivResult, RankedMatch, RunStats, TopKResult};
 use gpm_core::topk_div::greedy_diversified;
+use gpm_core::BoundedSelector;
 use gpm_graph::dynamic::DynGraph;
 use gpm_graph::{
     AppliedDelta, BitSet, DeltaOp, EffectiveOp, GraphDelta, Label, NodeId, TOMBSTONE_LABEL,
@@ -24,8 +25,8 @@ use gpm_graph::{
 use gpm_pattern::Pattern;
 use gpm_ranking::objective::{c_uo_with, Objective};
 use gpm_ranking::{
-    CondPolicy, CondensationState, MaintainError, ReachEngine, ReachExtractor, RelevanceCache,
-    SetHandle,
+    BoundState, CondPolicy, CondensationState, MaintainError, ReachEngine, ReachExtractor,
+    RelevanceCache, SetHandle,
 };
 use gpm_simulation::incremental::DynPair;
 use gpm_simulation::{DynMatchGraph, IncSimState, ReachView};
@@ -179,6 +180,10 @@ pub(crate) fn removed_label_map(g: &DynGraph, delta: &GraphDelta) -> HashMap<Nod
 struct MaintainedReach {
     view: DynMatchGraph,
     cond: CondensationState,
+    /// Maintained upper bounds `h(uo, v)` derived from the condensation's
+    /// `Full` popcounts, refolded per batch over exactly the components
+    /// the condensation recomputed. `None` when bounds are disabled.
+    bounds: Option<BoundState>,
 }
 
 /// Materialized simulation + ranking state of one pattern, maintained
@@ -217,6 +222,14 @@ pub(crate) struct PatternState {
     /// registry's change sets, the serving layer's subscriptions) learn
     /// *what moved*, not just the fresh list.
     served: Vec<RankedMatch>,
+    /// Alive output matches whose relevant-set materialization was
+    /// skipped because their maintained upper bound cannot displace the
+    /// k-th answer. Invariant: `cache ∪ deferred` = the alive structural
+    /// output matches, and no deferred output belongs to the true top-k.
+    /// Every batch re-checks the whole set (the k-th answer can drop);
+    /// they materialize eagerly when bounds become unavailable or a
+    /// diversified answer needs the full cache.
+    deferred: BTreeSet<NodeId>,
 }
 
 impl PatternState {
@@ -254,6 +267,7 @@ impl PatternState {
             served: Vec::new(),
             maintained: None,
             maint_readopt: false,
+            deferred: BTreeSet::new(),
         };
         state.maintained = state.build_maintained(g);
         let plan = state.full_plan(g);
@@ -349,9 +363,13 @@ impl PatternState {
         self.sim = IncSimState::new(g, &self.pattern).expect("pattern validated at construction");
         self.sim.take_dirty();
         self.stats.full_rebuilds += 1;
+        self.reset_batch_bound_stats();
         let plan = self.full_plan(g);
-        if self.maintained.is_some() {
+        if let Some(mr) = &self.maintained {
             self.stats.cond_rebuilds += 1;
+            if mr.bounds.is_some() {
+                self.note_bound_rebuild();
+            }
         }
         self.maintained = self.build_maintained(g);
         self.maint_readopt = false;
@@ -370,6 +388,7 @@ impl PatternState {
         let seeds = self.sim.take_dirty();
         debug_assert!(seeds.is_empty(), "untouched pattern has no flips");
         self.cache.ensure_width(g.node_count());
+        self.reset_batch_bound_stats();
         self.stats.incremental_applies += 1;
         self.stats.last_swept_pairs = 0;
         self.stats.last_dirty_outputs = 0;
@@ -389,8 +408,12 @@ impl PatternState {
     ) {
         let flips = self.maintain_reach(g, applied, span);
         let plan = {
-            let _plan_span = span.child("plan");
-            self.plan_refresh(g, applied, flips)
+            let plan_span = span.child("plan");
+            let plan = self.plan_refresh(g, applied, flips);
+            if plan_span.is_enabled() {
+                plan_span.detail(format!("outputs={} pruned={}", plan.len(), plan.pruned()));
+            }
+            plan
         };
         self.materialize_threads(g, &plan, self.cfg.reach.threads, span);
     }
@@ -415,6 +438,7 @@ impl PatternState {
     ) -> Vec<DynPair> {
         let flips = self.sim.take_dirty();
         self.cache.ensure_width(g.node_count());
+        self.reset_batch_bound_stats();
         let churn = flips.len() + applied.added_edges.len() + applied.removed_edges.len();
         let Some(mut mr) = self.maintained.take() else {
             // Re-adoption after a churn drop: once the stream is calm
@@ -439,6 +463,9 @@ impl PatternState {
             // are the wrong width, so the view/condensation restart there.
             ci.event("cond-width-rebuild");
             self.stats.cond_rebuilds += 1;
+            if mr.bounds.is_some() {
+                self.note_bound_rebuild();
+            }
             self.maintained = self.build_maintained(g);
             return flips;
         }
@@ -491,6 +518,25 @@ impl PatternState {
                     self.maint_readopt = false;
                     return flips;
                 }
+                if let Some(bs) = mr.bounds.as_mut() {
+                    let br = span.child("bound_refold");
+                    let t0 = Instant::now();
+                    let r = bs.apply(&mr.cond, mr.view.alive_count(), &self.cfg.bounds);
+                    self.stats.last_bound_refold_ns =
+                        (t0.elapsed().as_nanos().min(u64::MAX as u128) as u64).max(1);
+                    self.stats.bound_refolds += 1;
+                    if r.rebuilt_all {
+                        self.note_bound_rebuild();
+                    }
+                    if br.is_enabled() {
+                        br.detail(format!(
+                            "refolded={} rebuilt_all={} mode={}",
+                            r.refolded,
+                            r.rebuilt_all,
+                            bs.mode_label()
+                        ));
+                    }
+                }
                 self.maintained = Some(mr);
             }
             Err(e) => {
@@ -504,10 +550,28 @@ impl PatternState {
                 });
                 self.stats.cond_rebuilds += 1;
                 mr.cond = CondensationState::build(&mr.view, |p| mr.view.is_alive(p));
+                if let Some(bs) = mr.bounds.as_mut() {
+                    *bs = BoundState::build(&mr.cond, mr.view.alive_count(), &self.cfg.bounds);
+                    self.note_bound_rebuild();
+                }
                 self.maintained = Some(mr);
             }
         }
         flips
+    }
+
+    /// Per-batch bound accounting reset — every refresh entry point
+    /// (maintained, rebuild, untouched) starts here so the registry can
+    /// read `last_*` fields as exactly this batch's contribution.
+    fn reset_batch_bound_stats(&mut self) {
+        self.stats.last_bound_refold_ns = 0;
+        self.stats.last_bound_rebuilds = 0;
+        self.stats.last_pruned_outputs = 0;
+    }
+
+    fn note_bound_rebuild(&mut self) {
+        self.stats.bound_rebuilds += 1;
+        self.stats.last_bound_rebuilds += 1;
     }
 
     /// Derives the dirty seeds from the simulation flips and the changed
@@ -594,16 +658,100 @@ impl PatternState {
             visited.iter().filter(|&&(u, _)| u == uo).map(|&(_, v)| v).collect();
         dirty_outputs.sort_unstable();
         self.stats.last_dirty_outputs = dirty_outputs.len();
-        let mut outputs = Vec::with_capacity(dirty_outputs.len());
+
+        // Candidates needing fresh sets: the dirty alive outputs plus the
+        // whole deferred backlog. The k-th answer can *drop*, readmitting
+        // a deferred output — and a non-dirty deferred output's bound is
+        // provably unchanged (any reach change seeds the sweep, which
+        // would have made it dirty), so re-checking it against the
+        // current k-th stays exact. Dead outputs leave both sides.
+        let mut candidates: Vec<NodeId> =
+            Vec::with_capacity(dirty_outputs.len() + self.deferred.len());
         for v in dirty_outputs {
             if self.sim.pair_alive(uo, v) {
-                outputs.push(v);
+                candidates.push(v);
             } else {
                 self.cache.remove(v);
+                self.deferred.remove(&v);
             }
         }
+        let dirty_alive = candidates.len();
+        for &v in &self.deferred {
+            if candidates[..dirty_alive].binary_search(&v).is_err() {
+                candidates.push(v);
+            }
+        }
+        candidates.sort_unstable();
         self.stats.incremental_applies += 1;
-        RefreshPlan { outputs }
+        if candidates.is_empty() {
+            return RefreshPlan::default();
+        }
+
+        // Bound-driven pruning, when the maintained index is live and
+        // width-aligned with the cache (the same filter prepare applies).
+        let bounds_live = self
+            .maintained
+            .as_ref()
+            .is_some_and(|mr| mr.bounds.is_some() && mr.cond.width() == self.cache.width());
+        if !bounds_live {
+            // No usable bound index: flush — materialize everything,
+            // including any backlog deferred under a previous index.
+            self.deferred.clear();
+            return RefreshPlan { outputs: candidates, pruned_outputs: 0 };
+        }
+
+        // Seed the selector with surviving clean answers: their cached
+        // relevances are exact, and materializing planned outputs can only
+        // improve the k-th entry under `(relevance desc, node asc)` — so a
+        // candidate dominated now stays dominated by the final answer
+        // (single-round pruning is exact, no second pass needed). Any
+        // lower bound on the final k-th entry keeps that argument, so the
+        // last served top-k (clean members re-read from the cache, whose
+        // relevances cannot have moved without making them candidates) is
+        // enough — O(k) instead of a cache-wide scan. When fewer than k
+        // served entries survive cleanly (top-k churn, nothing served
+        // yet), fall back to the exhaustive scan: an under-filled
+        // selector dominates nothing and would disable pruning outright.
+        let mut sel = BoundedSelector::new(self.cfg.k);
+        let mut seeded = 0usize;
+        for mch in &self.served {
+            if candidates.binary_search(&mch.node).is_ok() {
+                continue;
+            }
+            if let Some(r) = self.cache.relevance_of(mch.node) {
+                sel.offer(mch.node as usize, mch.node, r);
+                seeded += 1;
+            }
+        }
+        if seeded < self.cfg.k {
+            sel = BoundedSelector::new(self.cfg.k);
+            for (v, r) in self.cache.relevances() {
+                if candidates.binary_search(&v).is_err() {
+                    sel.offer(v as usize, v, r);
+                }
+            }
+        }
+        let mr = self.maintained.as_ref().expect("bounds_live");
+        let bs = mr.bounds.as_ref().expect("bounds_live");
+        let mut outputs = Vec::with_capacity(candidates.len());
+        let mut pruned = 0usize;
+        for v in candidates {
+            let h = mr.view.compact_of(uo, v).and_then(|p| bs.h_for(&mr.cond, p));
+            match h {
+                Some(h) if sel.dominates(h, v) => {
+                    pruned += 1;
+                    self.cache.remove(v);
+                    self.deferred.insert(v);
+                }
+                _ => {
+                    self.deferred.remove(&v);
+                    outputs.push(v);
+                }
+            }
+        }
+        self.stats.last_pruned_outputs = pruned;
+        self.stats.pruned_outputs += pruned as u64;
+        RefreshPlan { outputs, pruned_outputs: pruned }
     }
 
     /// The current top-k by relevance.
@@ -636,20 +784,27 @@ impl PatternState {
         let q = &self.pattern;
         // Under the paper's emptiness rule Mu(Q,G,uo) = ∅ even though the
         // cache stays structurally maintained — report stats the way the
-        // static pipeline would (total known to be 0).
-        let (matches, total) = if self.sim.graph_matches(q) {
-            (rank_top_k(self.cache.relevances(), self.cfg.k), self.cache.len())
+        // static pipeline would (total known to be 0). Deferred outputs
+        // are alive matches whose sets were never inspected — they count
+        // toward the total but not the inspected tally, and their
+        // existence is exactly what "early terminated" means here.
+        let (matches, inspected, total) = if self.sim.graph_matches(q) {
+            (
+                rank_top_k(self.cache.relevances(), self.cfg.k),
+                self.cache.len(),
+                self.cache.len() + self.deferred.len(),
+            )
         } else {
-            (Vec::new(), 0)
+            (Vec::new(), 0, 0)
         };
         TopKResult {
             matches,
             stats: RunStats {
                 output_candidates: self.sim.candidate_count(q.output()),
-                inspected_matches: total,
+                inspected_matches: inspected,
                 total_matches: Some(total),
                 waves: 1,
-                early_terminated: false,
+                early_terminated: total > inspected,
                 elapsed: t0.elapsed(),
                 ..Default::default()
             },
@@ -663,8 +818,27 @@ impl PatternState {
         c_uo_with(&self.pattern, |u| self.sim.candidate_count(u))
     }
 
-    /// The current diversified top-k with an explicit `λ`.
-    pub(crate) fn diversified(&self, lambda: f64) -> DivResult {
+    /// Materializes every deferred output's relevant set, emptying the
+    /// deferred set — the eager escape hatch for consumers that need the
+    /// **full** cache (the diversified objective scores pairwise
+    /// distances over all matches, so bounds on relevance alone cannot
+    /// prune for it honestly).
+    pub(crate) fn ensure_complete(&mut self, g: &DynGraph) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let outputs: Vec<NodeId> = std::mem::take(&mut self.deferred).into_iter().collect();
+        let plan = RefreshPlan { outputs, pruned_outputs: 0 };
+        self.materialize(g, &plan);
+    }
+
+    /// The current diversified top-k with an explicit `λ`. Takes the
+    /// graph because a deferred backlog must materialize first: `F(S)`
+    /// mixes relevance with pairwise set distances, and a relevance
+    /// upper bound says nothing about diversity — pruning here would be
+    /// dishonest, so the answer is computed on the complete cache.
+    pub(crate) fn diversified(&mut self, g: &DynGraph, lambda: f64) -> DivResult {
+        self.ensure_complete(g);
         let t0 = Instant::now();
         let q = &self.pattern;
         if !self.sim.graph_matches(q) {
@@ -708,7 +882,11 @@ impl PatternState {
     /// output match (fresh registration, churn rebuild, sweep overflow).
     fn full_plan(&mut self, g: &DynGraph) -> RefreshPlan {
         self.cache = RelevanceCache::new(g.node_count());
-        RefreshPlan { outputs: self.sim.structural_matches_of(self.pattern.output()) }
+        self.deferred.clear();
+        RefreshPlan {
+            outputs: self.sim.structural_matches_of(self.pattern.output()),
+            pruned_outputs: 0,
+        }
     }
 
     /// Builds the maintained reach state from scratch over the current
@@ -727,7 +905,12 @@ impl PatternState {
         if cond.retained_bytes() > budget {
             return None;
         }
-        Some(MaintainedReach { view, cond })
+        let bounds = self
+            .cfg
+            .bounds
+            .enabled
+            .then(|| BoundState::build(&cond, view.alive_count(), &self.cfg.bounds));
+        Some(MaintainedReach { view, cond, bounds })
     }
 
     /// Phase 1 of the shared reach engine over the current graph: builds
@@ -887,6 +1070,12 @@ impl PatternState {
         &self.sim
     }
 
+    /// Test access to the deferred (bound-pruned, unmaterialized) outputs.
+    #[cfg(test)]
+    pub(crate) fn deferred_outputs(&self) -> &BTreeSet<NodeId> {
+        &self.deferred
+    }
+
     /// Differential oracle for the maintained reach state (trivially `Ok`
     /// when the budget keeps it off): the maintained pair view must equal
     /// a scratch packing over the current simulation, and the maintained
@@ -935,7 +1124,12 @@ impl PatternState {
         }
         mr.cond
             .validate(&mr.view, |p| mr.view.is_alive(p))
-            .map_err(|msg| format!("maintained condensation diverged: {msg}"))
+            .map_err(|msg| format!("maintained condensation diverged: {msg}"))?;
+        if let Some(bs) = &mr.bounds {
+            bs.validate(&mr.cond, mr.view.alive_count())
+                .map_err(|msg| format!("maintained bounds diverged: {msg}"))?;
+        }
+        Ok(())
     }
 
     /// Panicking wrapper over [`Self::verify_maintained`] — test
@@ -968,6 +1162,16 @@ impl PatternState {
             "readopt-pending"
         } else {
             "engine"
+        }
+    }
+
+    /// The active bound mode: `"per-component"` / `"global"` while the
+    /// maintained bound index is alive, `"off"` otherwise (disabled by
+    /// config, or the maintained reach state itself is down).
+    pub(crate) fn bound_mode(&self) -> &'static str {
+        match self.maintained.as_ref().and_then(|mr| mr.bounds.as_ref()) {
+            Some(bs) => bs.mode_label(),
+            None => "off",
         }
     }
 
@@ -1011,12 +1215,21 @@ impl PatternState {
 pub(crate) struct RefreshPlan {
     /// Alive output matches to (re)derive, ascending.
     outputs: Vec<NodeId>,
+    /// Alive output matches the maintained bound index proved unable to
+    /// displace the k-th answer — parked in the deferred set instead of
+    /// materialized. Already excluded from `outputs`.
+    pruned_outputs: usize,
 }
 
 impl RefreshPlan {
     /// Number of sets to materialize.
     pub(crate) fn len(&self) -> usize {
         self.outputs.len()
+    }
+
+    /// Outputs the bound index pruned from this plan.
+    pub(crate) fn pruned(&self) -> usize {
+        self.pruned_outputs
     }
 }
 
@@ -1111,20 +1324,31 @@ mod tests {
     use proptest::prelude::*;
 
     /// The oracle: every cached relevant set must equal the pre-DP
-    /// per-source BFS derivation, the cache must hold exactly the
-    /// structural output matches, and the maintained condensation (when
-    /// the budget keeps it on) must equal a from-scratch build.
+    /// per-source BFS derivation, cache ∪ deferred must hold exactly the
+    /// structural output matches, the maintained condensation and bound
+    /// index (when the budget keeps them on) must equal from-scratch
+    /// builds, and the served top-k must equal the rank over exact BFS
+    /// relevances of **every** match — deferral must be answer-invisible.
     fn assert_cache_matches_bfs(m: &DynamicMatcher) {
         let st = m.state();
         let g = m.graph();
         st.check_maintained(g);
         let uo = st.pattern().output();
         let expect = st.sim().structural_matches_of(uo);
-        assert_eq!(st.cache().matches(), expect, "cached matches != structural matches");
-        for v in expect {
+        let mut have = st.cache().matches();
+        have.extend(st.deferred_outputs().iter().copied());
+        have.sort_unstable();
+        assert_eq!(have, expect, "cache ∪ deferred != structural matches");
+        for v in st.cache().matches() {
             let bfs = st.relevant_set_bfs(g, v);
             let dp: Vec<usize> = st.cache().set_of(v).expect("cached").iter().collect();
             assert_eq!(dp, bfs, "relevant set of output match {v}");
+        }
+        if st.sim().graph_matches(st.pattern()) {
+            let truth =
+                expect.iter().map(|&v| (v, st.relevant_set_bfs(g, v).len() as u64));
+            let want = rank_top_k(truth, st.cfg().k);
+            assert_eq!(st.top_k().matches, want, "bound pruning changed the answer");
         }
     }
 
@@ -1300,7 +1524,7 @@ mod tests {
         let dp = PatternState::new(&dyn_g, q.clone(), IncrementalConfig::new(3)).unwrap();
         let bfs = PatternState::new(&dyn_g, q, starved).unwrap();
 
-        let plan = RefreshPlan { outputs: dp.sim().structural_matches_of(0) };
+        let plan = RefreshPlan { outputs: dp.sim().structural_matches_of(0), pruned_outputs: 0 };
         assert_eq!(plan.len(), 3);
         let dp_prepared = dp.prepare_sets_traced(&dyn_g, &plan, &Span::disabled());
         let bfs_prepared = bfs.prepare_sets_traced(&dyn_g, &plan, &Span::disabled());

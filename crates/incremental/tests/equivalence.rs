@@ -12,9 +12,9 @@ use gpm_pattern::Pattern;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-fn assert_agrees(m: &DynamicMatcher, k: usize, lambda: f64, ctx: &str) {
+fn assert_agrees(m: &mut DynamicMatcher, k: usize, lambda: f64, ctx: &str) {
     let snap = m.snapshot();
-    let q = m.pattern();
+    let q = &m.pattern().clone();
 
     let base = top_k_by_match(&snap, q, &TopKConfig::new(k));
     let inc = m.top_k();
@@ -116,11 +116,11 @@ fn run_stream(kind: StreamKind, seed: u64, trials: usize, steps: usize) {
         let lambda = rng.random_range(0.0..1.0f64);
         let mut m =
             DynamicMatcher::new(&g, q.clone(), IncrementalConfig::new(k).lambda(lambda)).unwrap();
-        assert_agrees(&m, k, lambda, &format!("trial {trial} init"));
+        assert_agrees(&mut m, k, lambda, &format!("trial {trial} init"));
         for step in 0..steps {
             let delta = random_delta(&mut rng, m.graph(), kind);
             m.apply(&delta).unwrap();
-            assert_agrees(&m, k, lambda, &format!("trial {trial} step {step}: {delta:?}"));
+            assert_agrees(&mut m, k, lambda, &format!("trial {trial} step {step}: {delta:?}"));
         }
     }
 }
@@ -155,7 +155,7 @@ fn forced_incremental_path_agrees() {
         for step in 0..10 {
             let delta = random_delta(&mut rng, m.graph(), StreamKind::Mixed);
             m.apply(&delta).unwrap();
-            assert_agrees(&m, 3, 0.5, &format!("forced trial {trial} step {step}"));
+            assert_agrees(&mut m, 3, 0.5, &format!("forced trial {trial} step {step}"));
         }
         assert_eq!(m.stats().full_rebuilds, 0);
         assert_eq!(m.stats().full_rank_refreshes, 0);
@@ -191,7 +191,7 @@ fn forced_rebuild_path_agrees() {
                 effective += 1;
             }
             m.apply(&delta).unwrap();
-            assert_agrees(&m, 3, 0.5, &format!("rebuild trial {trial} step {step}"));
+            assert_agrees(&mut m, 3, 0.5, &format!("rebuild trial {trial} step {step}"));
         }
         assert_eq!(m.stats().full_rebuilds, effective, "every effective batch rebuilds");
     }
@@ -219,7 +219,7 @@ fn tombstone_keeps_surviving_ancestors_fresh() {
     let top = m.top_k();
     assert_eq!(top.nodes(), vec![0]);
     assert_eq!(top.matches[0].relevance, 1, "relevant set still counts the tombstoned node");
-    assert_agrees(&m, 2, 0.5, "after tombstoning a leaf with a surviving sibling");
+    assert_agrees(&mut m, 2, 0.5, "after tombstoning a leaf with a surviving sibling");
 }
 
 #[test]
@@ -232,20 +232,20 @@ fn attribute_patterns_are_maintained() {
     let q = b.build().unwrap();
     let mut m = DynamicMatcher::new(&g, q, IncrementalConfig::new(2)).unwrap();
     assert!(m.top_k().nodes().is_empty(), "no node carries `views` yet");
-    assert_agrees(&m, 2, 0.5, "attr pattern before any attribute lands");
+    assert_agrees(&mut m, 2, 0.5, "attr pattern before any attribute lands");
 
     // The attribute arriving creates the match; dropping it removes it.
     let top = m.apply(&GraphDelta::new().set_attr(0, "views", 50i64)).unwrap();
     assert_eq!(top.nodes(), vec![0]);
-    assert_agrees(&m, 2, 0.5, "after SetAttr creates the candidate");
+    assert_agrees(&mut m, 2, 0.5, "after SetAttr creates the candidate");
     let top = m.apply(&GraphDelta::new().set_attr(0, "views", 5i64)).unwrap();
     assert!(top.nodes().is_empty(), "below the threshold candidacy is gone");
-    assert_agrees(&m, 2, 0.5, "after SetAttr leaves the candidate");
+    assert_agrees(&mut m, 2, 0.5, "after SetAttr leaves the candidate");
     let top = m.apply(&GraphDelta::new().set_attr(0, "views", 11i64)).unwrap();
     assert_eq!(top.nodes(), vec![0]);
     let top = m.apply(&GraphDelta::new().unset_attr(0, "views")).unwrap();
     assert!(top.nodes().is_empty());
-    assert_agrees(&m, 2, 0.5, "after UnsetAttr");
+    assert_agrees(&mut m, 2, 0.5, "after UnsetAttr");
     assert_eq!(m.stats().full_rebuilds, 0, "attr flips are handled incrementally");
 }
 
@@ -275,5 +275,5 @@ fn invalid_delta_leaves_state_intact() {
     assert!(m.apply(&GraphDelta::new().add_edge(0, 99)).is_err());
     assert_eq!(m.top_k().nodes(), before.nodes());
     assert_eq!(m.graph().version(), 0);
-    assert_agrees(&m, 2, 0.5, "after rejected delta");
+    assert_agrees(&mut m, 2, 0.5, "after rejected delta");
 }

@@ -140,13 +140,13 @@ fn random_attr_pattern(rng: &mut StdRng) -> Pattern {
 fn assert_pattern_agrees(
     reg: &PatternRegistry,
     id: PatternId,
-    matcher: &DynamicMatcher,
+    matcher: &mut DynamicMatcher,
     snap: &DiGraph,
     k: usize,
     lambda: f64,
     ctx: &str,
 ) {
-    let q = matcher.pattern();
+    let q = &matcher.pattern().clone();
 
     // Registry vs independent matcher: identical nodes AND δr values.
     let reg_top = reg.top_k(id).expect("registered");
@@ -379,6 +379,11 @@ fn attr_only_batches_stay_incremental() {
             assert_eq!(st.full_rebuilds, 0, "attr flips must never trigger a full rebuild");
             assert_eq!(m.stats().full_rebuilds, 0);
             assert_eq!(st.applies, stream.len() as u64);
+            // Attr flips leave the alive-pair trajectory flat or shrinking:
+            // the maintained bound index refolds dirty components but never
+            // falls back to a from-scratch rebuild.
+            assert_eq!(st.bound_rebuilds, 0, "attr-only batch rebuilt the bound index");
+            assert_eq!(m.stats().bound_rebuilds, 0);
         }
     }
 }
@@ -505,7 +510,7 @@ fn midstream_register_and_deregister_agree() {
             }
 
             let snap = reg.snapshot();
-            for (i, (id, m, k, lambda)) in live.iter().enumerate() {
+            for (i, (id, m, k, lambda)) in live.iter_mut().enumerate() {
                 let ctx = format!("midstream trial {trial} step {step} pattern {i}");
                 assert_pattern_agrees(&reg, *id, m, &snap, *k, *lambda, &ctx);
             }
@@ -644,4 +649,204 @@ fn telemetry_on_and_off_registries_agree() {
 /// dev-dependency: the label format is part of the metric contract.
 fn gpm_telemetry_phase(name: &str) -> String {
     format!("gpm_phase_seconds{{phase=\"{name}\"}}")
+}
+
+/// Maintained output bounds are a pure pruning accelerator: a matcher
+/// with bounds disabled must produce bit-identical answers (top-k nodes
+/// **and** δr values) on every batch of mixed / attr-mixed / delete-only
+/// streams, and both must agree with the early-terminating static
+/// pipeline on the same snapshot. The bounded side's maintained `h` is
+/// re-derived from scratch per component after every batch by
+/// `check_maintained` (which folds `BoundState::validate` into the
+/// condensation oracle).
+#[test]
+fn bounded_and_unbounded_matchers_agree() {
+    let mut refolds_total = 0u64;
+    for (spec, seed) in
+        [(&MIXED, 0x0B0D_0001u64), (&ATTR_MIXED, 0x0B0D_0002), (&DELETE_ONLY, 0x0B0D_0003)]
+    {
+        let attrs = spec.attr_churn > 0.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for trial in 0..8 {
+            let n = rng.random_range(10..30usize);
+            let g = if attrs {
+                random_attr_graph(&mut rng, n, 3)
+            } else {
+                random_graph(&mut rng, n, 3)
+            };
+            let q = if attrs { random_attr_pattern(&mut rng) } else { random_pattern(&mut rng) };
+            let k = rng.random_range(1..4usize);
+            let mut bounded_cfg = IncrementalConfig::new(k);
+            bounded_cfg.max_delta_fraction = f64::INFINITY;
+            bounded_cfg.max_dirty_fraction = f64::INFINITY;
+            assert!(bounded_cfg.bounds.enabled, "bounds are on by default");
+            let mut plain_cfg = bounded_cfg.clone();
+            plain_cfg.bounds.enabled = false;
+            let mut bounded = DynamicMatcher::new(&g, q.clone(), bounded_cfg).unwrap();
+            let mut plain = DynamicMatcher::new(&g, q, plain_cfg).unwrap();
+            assert_eq!(plain.bound_mode(), "off", "disabled bounds report off");
+
+            let stream = update_stream(
+                &g,
+                &UpdateStreamConfig {
+                    batches: 6,
+                    batch_size: 4,
+                    insert_fraction: spec.insert_fraction,
+                    node_churn: spec.node_churn,
+                    attr_churn: spec.attr_churn,
+                    attr_keys: ATTR_KEYS,
+                    attr_values: ATTR_VALUES,
+                    labels: LABELS,
+                    seed: seed ^ trial,
+                },
+            );
+            for (step, delta) in stream.iter().enumerate() {
+                let a = bounded.apply(delta).unwrap();
+                let b = plain.apply(delta).unwrap();
+                let ctx = format!("bounded-vs-plain trial {trial} step {step}: {delta:?}");
+                assert_eq!(a.matches, b.matches, "bound pruning changed the answer: {ctx}");
+
+                let snap = bounded.snapshot();
+                let fast = top_k_cyclic(&snap, bounded.pattern(), &TopKConfig::new(k));
+                assert_eq!(a.nodes(), fast.nodes(), "bounded vs static top_k_cyclic: {ctx}");
+                assert_eq!(
+                    a.total_relevance(),
+                    fast.total_relevance(),
+                    "bounded vs static δr total: {ctx}"
+                );
+
+                // Maintained h ≡ from-scratch per-component bounds.
+                bounded.check_maintained();
+            }
+            refolds_total += bounded.stats().bound_refolds;
+            assert_eq!(plain.stats().pruned_outputs, 0, "disabled bounds never prune");
+            assert_eq!(plain.stats().bound_refolds, 0, "disabled bounds never refold");
+        }
+    }
+    // Across 24 forced-incremental trials the index must actually have
+    // been exercised. (Pruning itself needs a stable high-relevance head
+    // the stream never touches — random tiny streams churn everything —
+    // so the pruning path has its own deterministic scenario below.)
+    assert!(refolds_total > 0, "no batch ever refolded the bound index");
+}
+
+/// The pruning path end to end, on a graph shaped like the workload that
+/// motivates it: two high-relevance "head" outputs the stream never
+/// touches hold the top-2, and a low-reach "tail" output absorbs the
+/// churn. A delta touching only the tail must be pruned — its maintained
+/// upper bound (component popcount, ≤ 3) cannot displace the k-th answer
+/// (relevance 10) — leaving the answer untouched without materializing
+/// the tail's relevant set. A later delta that pushes the tail's bound
+/// past the k-th must pull it back out of the deferred backlog and into
+/// the answer.
+#[test]
+fn dominated_outputs_are_pruned_and_revived() {
+    // ids 0..9: B-nodes shared by both heads; 10/11: heads (A, rel 10);
+    // 12/13: tails (A, rel 1); 14/15: the tails' private B-children.
+    let mut labels = vec![1u32; 10];
+    labels.extend([0, 0, 0, 0, 1, 1]);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for b in 0..10u32 {
+        edges.push((10, b));
+        edges.push((11, b));
+    }
+    edges.push((12, 14));
+    edges.push((13, 15));
+    let g = graph_from_parts(&labels, &edges).unwrap();
+    let q = label_pattern(&[0, 1], &[(0, 1)], 0).unwrap();
+    let mut cfg = IncrementalConfig::new(2);
+    cfg.max_delta_fraction = f64::INFINITY;
+    cfg.max_dirty_fraction = f64::INFINITY;
+    let mut m = DynamicMatcher::new(&g, q, cfg).unwrap();
+    assert_eq!(m.bound_mode(), "per-component");
+    assert_eq!(m.top_k().nodes(), vec![10, 11]);
+
+    // Tail 12 gains a second child: dirty = {12}, bound h ≤ 3 < 10 — the
+    // batch must not re-derive 12's relevant set at all.
+    m.apply(&gpm_graph::GraphDelta::new().add_edge(12, 15)).unwrap();
+    let st = m.stats().clone();
+    assert_eq!(st.last_pruned_outputs, 1, "the tail output must be bound-pruned");
+    assert_eq!(st.pruned_outputs, 1);
+    assert!(st.bound_refolds > 0);
+    assert_eq!(st.bound_rebuilds, 0);
+    let top = m.top_k();
+    assert_eq!(top.nodes(), vec![10, 11], "pruning must not change the answer");
+    assert!(top.stats.early_terminated, "a deferred output means the scan was cut short");
+    m.check_maintained();
+
+    // The same tail gains enough reach to displace the k-th answer: the
+    // deferred backlog must be re-checked and 12 materialized.
+    let mut delta = gpm_graph::GraphDelta::new();
+    for b in 0..10u32 {
+        delta = delta.add_edge(12, b);
+    }
+    m.apply(&delta).unwrap();
+    let top = m.top_k();
+    assert_eq!(top.nodes(), vec![12, 10], "revived tail must rank first");
+    assert_eq!(
+        top.matches.iter().map(|r| r.relevance).collect::<Vec<_>>(),
+        vec![12, 10],
+        "materialized relevance must be exact, not the bound"
+    );
+    assert_eq!(m.stats().last_pruned_outputs, 0, "nothing dominated this batch");
+    m.check_maintained();
+
+    // Diversified access materializes any remaining backlog first.
+    let div = m.diversified(0.5);
+    assert_eq!(div.matches.len(), 2);
+    m.check_maintained();
+}
+
+/// The bound index absorbs attribute-only and tombstone-only batches
+/// without ever rebuilding from scratch: attr flips leave the pair-count
+/// trajectory flat and tombstones only shrink it, so `Auto`'s
+/// grow-only hysteresis never flips mode and the churn gate stays quiet.
+/// Counter-asserted via `ApplyStats::bound_rebuilds` on the forced
+/// incremental path (no full-rebuild fallback to hide behind).
+#[test]
+fn bound_index_never_rebuilds_on_attr_or_tombstone_batches() {
+    let mut refolds_total = 0u64;
+    for (spec, seed) in [(&ATTR_ONLY, 0x0B0D_0A01u64), (&DELETE_ONLY, 0x0B0D_0A02)] {
+        let attrs = spec.attr_churn > 0.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for trial in 0..8 {
+            let n = rng.random_range(12..30usize);
+            let g = if attrs {
+                random_attr_graph(&mut rng, n, 3)
+            } else {
+                random_graph(&mut rng, n, 3)
+            };
+            let q = if attrs { random_attr_pattern(&mut rng) } else { random_pattern(&mut rng) };
+            let mut cfg = IncrementalConfig::new(3);
+            cfg.max_delta_fraction = f64::INFINITY;
+            cfg.max_dirty_fraction = f64::INFINITY;
+            let mut m = DynamicMatcher::new(&g, q, cfg).unwrap();
+            let stream = update_stream(
+                &g,
+                &UpdateStreamConfig {
+                    batches: 6,
+                    batch_size: 4,
+                    insert_fraction: spec.insert_fraction,
+                    node_churn: spec.node_churn,
+                    attr_churn: spec.attr_churn,
+                    attr_keys: ATTR_KEYS,
+                    attr_values: ATTR_VALUES,
+                    labels: LABELS,
+                    seed: seed ^ trial,
+                },
+            );
+            for delta in stream.iter() {
+                m.apply(delta).unwrap();
+                m.check_maintained();
+            }
+            assert_eq!(m.stats().full_rebuilds, 0, "must exercise the incremental path");
+            assert_eq!(
+                m.stats().bound_rebuilds,
+                0,
+                "attr/tombstone-only stream rebuilt the bound index from scratch"
+            );
+            refolds_total += m.stats().bound_refolds;
+        }
+    }
+    assert!(refolds_total > 0, "streams never exercised a bound refold");
 }

@@ -1,0 +1,311 @@
+//! [`BoundState`]: an incrementally maintained bound index over a
+//! [`CondensationState`].
+//!
+//! The static path's Proposition-3 early termination needs `h(uo, v)` —
+//! an upper bound on relevance — for every output candidate, and
+//! [`crate::bounds::output_upper_bounds`] rebuilds that from scratch per
+//! call. Under deltas that is exactly the cost the maintained
+//! condensation already paid: a candidate pair's `ProductReach` bound is
+//! the popcount of its component's `Full` bitset (exact for nontrivial
+//! components; for a trivial component `Full` additionally contains the
+//! member's own universe position, so the popcount stays a valid upper
+//! bound with slack ≤ 1). `CondensationState` recomputes `Full` for the
+//! touched components and their condensation-DAG ancestors only — the
+//! exact set of components whose bound can have moved — and exports it
+//! as [`CondensationState::last_refolded`]. `BoundState` keeps a
+//! slot-indexed popcount table in sync by refolding just that set.
+//!
+//! Lifecycle mirrors [`crate::cond_state::CondPolicy`]:
+//!
+//! * **refold** — per batch, popcounts for `last_refolded()` only;
+//! * **overflow rebuild** — when the condensation itself fell back to a
+//!   from-scratch build the bound index rebuilds with it;
+//! * **churn gate** — when one batch refolds more than
+//!   [`BoundPolicy::max_churn_fraction`] of the live components (above
+//!   an absolute floor), the refold is done as a from-scratch recount
+//!   and accounted as a rebuild, so bench can see maintenance that
+//!   stopped paying for itself.
+//!
+//! Strategy resolution ([`BoundStrategy`]) collapses to two maintained
+//! modes: `Global` keeps a single alive-pair count (free, loose); every
+//! per-candidate strategy maintains the per-component popcount table
+//! (the tightest bound the substrate gives without extra state). `Auto`
+//! decides from the **alive pair count** — not a pre-pruning candidate
+//! estimate — and flips `PerComponent → Global` only when the graph
+//! grows past [`BoundPolicy::auto_pair_limit`]; it never flips back
+//! outside a full rebuild, so attr-only and tombstone-only batches can
+//! never invalidate the maintained table.
+
+use crate::bounds::BoundStrategy;
+use crate::cond_state::CondensationState;
+
+/// Policy for maintained bound indexing, carried by the incremental
+/// config the way `CondPolicy` is carried by the reach config.
+#[derive(Debug, Clone)]
+pub struct BoundPolicy {
+    /// Master switch: off = every dirty output is materialized (the
+    /// pre-bound behaviour).
+    pub enabled: bool,
+    /// Requested strategy; see module docs for how it resolves.
+    pub strategy: BoundStrategy,
+    /// `Auto` maintains per-component bounds only while the alive pair
+    /// count is at most this.
+    pub auto_pair_limit: usize,
+    /// Refolding more than this fraction of live components in one batch
+    /// is accounted as a from-scratch rebuild.
+    pub max_churn_fraction: f64,
+    /// The churn gate only arms above this many refolded components.
+    pub churn_floor: usize,
+}
+
+impl Default for BoundPolicy {
+    fn default() -> Self {
+        BoundPolicy {
+            enabled: true,
+            strategy: BoundStrategy::Auto,
+            auto_pair_limit: 2_000_000,
+            max_churn_fraction: 0.5,
+            churn_floor: 256,
+        }
+    }
+}
+
+/// What one maintained batch did to the bound index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundRefold {
+    /// Components whose bound was recomputed.
+    pub refolded: usize,
+    /// The churn gate tripped and the refold ran as a from-scratch
+    /// recount over every live component.
+    pub rebuilt_all: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoundMode {
+    /// Slot-indexed `popcount(Full(c))` table.
+    PerComponent,
+    /// Single alive-pair-count bound for every candidate.
+    Global,
+}
+
+/// Incrementally maintained upper bounds `h(uo, v)`, component-aligned
+/// with a [`CondensationState`]. See the module docs.
+#[derive(Debug, Clone)]
+pub struct BoundState {
+    mode: BoundMode,
+    /// Component slot → `popcount(Full(c))`; entries for dead slots are
+    /// stale and never read (`comp_of` only yields live ids).
+    counts: Vec<u64>,
+    /// The `Global` bound: every relevance counts distinct universe
+    /// positions of alive pairs, so the alive pair count dominates it.
+    global: u64,
+}
+
+impl BoundState {
+    /// Builds the index from scratch over a freshly built (or freshly
+    /// validated) condensation.
+    pub fn build(cond: &CondensationState, alive_pairs: usize, policy: &BoundPolicy) -> Self {
+        let mode = match policy.strategy {
+            BoundStrategy::Global => BoundMode::Global,
+            BoundStrategy::Auto if alive_pairs > policy.auto_pair_limit => BoundMode::Global,
+            _ => BoundMode::PerComponent,
+        };
+        let mut st = BoundState { mode, counts: Vec::new(), global: alive_pairs as u64 };
+        if st.mode == BoundMode::PerComponent {
+            st.recount_all(cond);
+        }
+        st
+    }
+
+    /// Folds one maintained batch: refolds exactly the components the
+    /// condensation's last `apply` recomputed. Must be called only after
+    /// a *successful* `CondensationState::apply` (on error the caller
+    /// rebuilds both states).
+    pub fn apply(
+        &mut self,
+        cond: &CondensationState,
+        alive_pairs: usize,
+        policy: &BoundPolicy,
+    ) -> BoundRefold {
+        self.global = alive_pairs as u64;
+        if self.mode == BoundMode::PerComponent
+            && policy.strategy == BoundStrategy::Auto
+            && alive_pairs > policy.auto_pair_limit
+        {
+            // Growth crossed the Auto limit: drop to the free global
+            // bound. The reverse flip happens only on a full rebuild
+            // (downward hysteresis), so shrinking batches — tombstone
+            // deletes above all — can never thrash the table.
+            self.mode = BoundMode::Global;
+            self.counts = Vec::new();
+        }
+        if self.mode == BoundMode::Global {
+            return BoundRefold::default();
+        }
+        let refold = cond.last_refolded();
+        if refold.len() > policy.churn_floor {
+            let live = cond.live_components().count();
+            if refold.len() as f64 > policy.max_churn_fraction * live.max(1) as f64 {
+                self.recount_all(cond);
+                return BoundRefold { refolded: live, rebuilt_all: true };
+            }
+        }
+        if self.counts.len() < cond.slot_count() {
+            self.counts.resize(cond.slot_count(), 0);
+        }
+        let mut refolded = 0;
+        for &c in refold {
+            if let Some(n) = cond.full_count(c) {
+                self.counts[c as usize] = n;
+                refolded += 1;
+            }
+        }
+        BoundRefold { refolded, rebuilt_all: false }
+    }
+
+    /// Upper bound on the relevance of the output whose pair slot is
+    /// `pair`, or `None` when the pair is dead.
+    #[inline]
+    pub fn h_for(&self, cond: &CondensationState, pair: u32) -> Option<u64> {
+        match self.mode {
+            BoundMode::Global => cond.comp_of(pair).map(|_| self.global),
+            BoundMode::PerComponent => {
+                cond.comp_of(pair).and_then(|c| self.counts.get(c as usize).copied())
+            }
+        }
+    }
+
+    /// Active maintained mode, for introspection.
+    pub fn mode_label(&self) -> &'static str {
+        match self.mode {
+            BoundMode::PerComponent => "per-component",
+            BoundMode::Global => "global",
+        }
+    }
+
+    /// Differential check: every live component's maintained count equals
+    /// the from-scratch popcount of its `Full` (the same number a fresh
+    /// `OutputBounds` build derives per component), and the global bound
+    /// equals the alive pair count.
+    pub fn validate(&self, cond: &CondensationState, alive_pairs: usize) -> Result<(), String> {
+        if self.global != alive_pairs as u64 {
+            return Err(format!("global bound {} != alive pairs {alive_pairs}", self.global));
+        }
+        if self.mode == BoundMode::Global {
+            return Ok(());
+        }
+        for c in cond.live_components() {
+            let want = cond.full_count(c).expect("live component has a Full");
+            let got = self.counts.get(c as usize).copied();
+            if got != Some(want) {
+                return Err(format!("component {c}: maintained h {got:?} != fresh {want}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn recount_all(&mut self, cond: &CondensationState) {
+        self.counts = vec![0; cond.slot_count()];
+        for c in cond.live_components() {
+            self.counts[c as usize] = cond.full_count(c).expect("live component has a Full");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::scc::Successors;
+    use gpm_simulation::{PairDelta, ReachView};
+
+    struct VecView {
+        adj: Vec<Vec<u32>>,
+        width: usize,
+    }
+
+    impl Successors for VecView {
+        fn node_count(&self) -> usize {
+            self.adj.len()
+        }
+        fn successors_of(&self, v: u32) -> &[u32] {
+            &self.adj[v as usize]
+        }
+    }
+
+    impl ReachView for VecView {
+        fn universe_size(&self) -> usize {
+            self.width
+        }
+        fn universe_pos(&self, c: u32) -> usize {
+            c as usize
+        }
+    }
+
+    fn diamond() -> VecView {
+        // 0 → {1, 2} → 3, plus a 2-cycle {4, 5} hanging off 3.
+        VecView {
+            adj: vec![vec![1, 2], vec![3], vec![3], vec![4], vec![5], vec![4]],
+            width: 6,
+        }
+    }
+
+    #[test]
+    fn refold_tracks_incremental_apply() {
+        let mut view = diamond();
+        let mut cond = CondensationState::build(&view, |_| true);
+        let policy = BoundPolicy::default();
+        let mut bs = BoundState::build(&cond, cond.live_pairs(), &policy);
+        bs.validate(&cond, cond.live_pairs()).expect("fresh index valid");
+        assert_eq!(bs.h_for(&cond, 0), Some(6), "Full(0) = self + 1,2,3,4,5 (trivial slack ≤ 1)");
+        assert_eq!(bs.h_for(&cond, 4), Some(2), "cycle member: Full is exactly the SCC");
+
+        // Remove 3 → 4: the cycle's ancestors all refold.
+        view.adj[3].clear();
+        let mut delta = PairDelta::default();
+        delta.removed.push((3, 4));
+        cond.apply(&view, &delta, &Default::default()).expect("maintained");
+        let r = bs.apply(&cond, cond.live_pairs(), &policy);
+        assert!(!r.rebuilt_all);
+        assert!(r.refolded >= 4, "source + ancestors refolded, got {}", r.refolded);
+        bs.validate(&cond, cond.live_pairs()).expect("refolded index valid");
+        assert_eq!(bs.h_for(&cond, 0), Some(4), "cycle no longer reachable: Full(0) = {{0,1,2,3}}");
+    }
+
+    #[test]
+    fn auto_flips_down_on_growth_and_never_back() {
+        let view = diamond();
+        let cond = CondensationState::build(&view, |_| true);
+        let policy = BoundPolicy { auto_pair_limit: 4, ..BoundPolicy::default() };
+        // Build under the limit: per-component.
+        let mut bs = BoundState::build(&cond, 4, &policy);
+        assert_eq!(bs.mode_label(), "per-component");
+        // Growth past the limit flips to global…
+        bs.apply(&cond, 6, &policy);
+        assert_eq!(bs.mode_label(), "global");
+        assert_eq!(bs.h_for(&cond, 0), Some(6));
+        // …and shrinking back below it does NOT flip back.
+        bs.apply(&cond, 2, &policy);
+        assert_eq!(bs.mode_label(), "global");
+        // A full rebuild resolves afresh.
+        let bs = BoundState::build(&cond, 2, &policy);
+        assert_eq!(bs.mode_label(), "per-component");
+    }
+
+    #[test]
+    fn churn_gate_reports_rebuild() {
+        let view = diamond();
+        let mut cond = CondensationState::build(&view, |_| true);
+        let policy =
+            BoundPolicy { churn_floor: 0, max_churn_fraction: 0.1, ..BoundPolicy::default() };
+        let mut bs = BoundState::build(&cond, cond.live_pairs(), &policy);
+        // Any apply refolds > 10% of the (tiny) live set → gate trips.
+        let mut view2 = diamond();
+        view2.adj[3].clear();
+        let mut delta = PairDelta::default();
+        delta.removed.push((3, 4));
+        cond.apply(&view2, &delta, &Default::default()).expect("maintained");
+        let r = bs.apply(&cond, cond.live_pairs(), &policy);
+        assert!(r.rebuilt_all, "gate trips on tiny graphs with floor 0");
+        bs.validate(&cond, cond.live_pairs()).expect("recounted index valid");
+    }
+}

@@ -143,6 +143,10 @@ pub struct CondensationState {
     free: Vec<u32>,
     width: usize,
     live_pairs: usize,
+    /// Component ids whose `Full` the last `build`/`apply` recomputed —
+    /// exactly the components whose fold-derived bounds can have moved,
+    /// so a maintained bound index refolds only these.
+    last_refold: Vec<u32>,
 }
 
 impl CondensationState {
@@ -156,6 +160,7 @@ impl CondensationState {
             free: Vec::new(),
             width: view.universe_size(),
             live_pairs: 0,
+            last_refold: Vec::new(),
         };
         let region: Vec<u32> = (0..n as u32).filter(|&p| alive(p)).collect();
         st.live_pairs = region.len();
@@ -419,6 +424,32 @@ impl CondensationState {
         (c != DEAD).then_some(c)
     }
 
+    /// Component ids whose `Full` the last successful `build`/`apply`
+    /// recomputed — the exact refold set for a maintained bound index.
+    /// Retired ids may appear (a reused slot is refolded as its new
+    /// component); dead ids are simply stale entries a consumer skips.
+    pub fn last_refolded(&self) -> &[u32] {
+        &self.last_refold
+    }
+
+    /// Popcount of `Full(c)` for a live component — the count-fold a
+    /// per-component bound index maintains. `None` for dead slots.
+    pub fn full_count(&self, c: u32) -> Option<u64> {
+        let slot = self.comps.get(c as usize)?;
+        slot.live.then(|| slot.full.count() as u64)
+    }
+
+    /// Total component slots ever allocated (live + free) — sizes a
+    /// slot-indexed side table.
+    pub fn slot_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Ids of every live component.
+    pub fn live_components(&self) -> impl Iterator<Item = u32> + '_ {
+        self.comps.iter().enumerate().filter(|(_, s)| s.live).map(|(i, _)| i as u32)
+    }
+
     // ------------------------------------------------------- internals
 
     fn is_live(&self, c: u32) -> bool {
@@ -546,7 +577,7 @@ impl CondensationState {
                 }
             }
         }
-        for c in order {
+        for &c in &order {
             let slot = &self.comps[c as usize];
             let mut f = BitSet::new(self.width);
             for &s in &slot.succs {
@@ -557,6 +588,7 @@ impl CondensationState {
             }
             self.comps[c as usize].full = Arc::new(f);
         }
+        self.last_refold = order;
     }
 
     /// Bounded condensation-DAG reachability from `from` towards `to`

@@ -205,10 +205,12 @@ fn pattern_json(info: &PatternInfo) -> String {
     format!(
         concat!(
             "{{\"id\":\"{}\",\"nodes\":{},\"edges\":{},\"k\":{},\"lambda\":{},",
-            "\"reach_mode\":\"{}\",\"stats\":{{",
+            "\"reach_mode\":\"{}\",\"bound_mode\":\"{}\",\"stats\":{{",
             "\"applies\":{},\"incremental_applies\":{},\"full_rebuilds\":{},",
             "\"full_rank_refreshes\":{},\"sets_recomputed\":{},\"cond_incremental\":{},",
-            "\"cond_rebuilds\":{},\"last_swept_pairs\":{},\"last_dirty_outputs\":{},",
+            "\"cond_rebuilds\":{},\"pruned_outputs\":{},\"bound_refolds\":{},",
+            "\"bound_rebuilds\":{},\"last_pruned_outputs\":{},",
+            "\"last_swept_pairs\":{},\"last_dirty_outputs\":{},",
             "\"last_refresh_ns\":{}}}}}"
         ),
         info.id,
@@ -217,6 +219,7 @@ fn pattern_json(info: &PatternInfo) -> String {
         info.k,
         info.lambda,
         info.reach_mode,
+        info.bound_mode,
         s.applies,
         s.incremental_applies,
         s.full_rebuilds,
@@ -224,6 +227,10 @@ fn pattern_json(info: &PatternInfo) -> String {
         s.sets_recomputed,
         s.cond_incremental,
         s.cond_rebuilds,
+        s.pruned_outputs,
+        s.bound_refolds,
+        s.bound_rebuilds,
+        s.last_pruned_outputs,
         s.last_swept_pairs,
         s.last_dirty_outputs,
         s.last_refresh_ns,

@@ -136,10 +136,14 @@ fn live_service_scrapes_clean_over_tcp() {
     assert_eq!(status, 200);
     assert!(body.contains("\"id\":\"pattern#0\""), "{body}");
     assert!(body.contains("\"reach_mode\":\"maintained\""), "{body}");
+    assert!(body.contains("\"bound_mode\":\"per-component\""), "{body}");
+    assert!(body.contains("\"pruned_outputs\":"), "{body}");
+    assert!(body.contains("\"bound_refolds\":"), "{body}");
     assert!(body.contains("\"last_refresh_ns\":"), "{body}");
     let (status, one) = scrape(addr, "/patterns/0");
     assert_eq!(status, 200);
     assert!(one.contains("\"id\":\"pattern#0\""));
+    assert!(one.contains("\"bound_mode\":"), "{one}");
     assert_eq!(scrape(addr, "/patterns/99").0, 404);
     assert_eq!(scrape(addr, "/nope").0, 404);
     assert_eq!(request(addr, "POST", "/metrics").0, 405);

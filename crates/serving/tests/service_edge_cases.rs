@@ -405,3 +405,41 @@ fn service_save_log_appends_between_ingests() {
     assert_eq!(std::fs::read_to_string(&path).unwrap(), cloned.to_json_lines());
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn service_level_bound_policy_overrides_subscriptions() {
+    // `ServiceConfig::bounds` is the operator's fleet-wide switch: a
+    // `Some` policy overrides whatever each subscription's
+    // `IncrementalConfig` asked for, observable through the pattern
+    // introspection surface. Answers are unaffected either way (bounds
+    // are a pure pruning accelerator).
+    use gpm_incremental::BoundPolicy;
+
+    let (g, q) = fixture();
+    let cfg = ServiceConfig {
+        bounds: Some(BoundPolicy { enabled: false, ..BoundPolicy::default() }),
+        ..ServiceConfig::default()
+    };
+    let mut svc = AnswerService::new(&g, cfg);
+    // The subscription asks for bounds (the default) — the service-level
+    // override wins and the pattern reports the bound index as off.
+    let sub = svc.subscribe(q.clone(), IncrementalConfig::new(2), NotifyMode::Relevance).unwrap();
+    let info = svc.registry().pattern_info(sub.pattern()).unwrap();
+    assert_eq!(info.bound_mode, "off");
+
+    // Default service config: the subscription's own policy stands.
+    let mut plain = AnswerService::new(&g, ServiceConfig::default());
+    let sub2 = plain.subscribe(q, IncrementalConfig::new(2), NotifyMode::Relevance).unwrap();
+    let info2 = plain.registry().pattern_info(sub2.pattern()).unwrap();
+    assert_eq!(info2.bound_mode, "per-component");
+
+    // Same stream, same answers.
+    for delta in [GraphDelta::new().add_edge(0, 3), GraphDelta::new().add_edge(1, 4)] {
+        svc.ingest(&delta).unwrap();
+        plain.ingest(&delta).unwrap();
+        assert_eq!(
+            svc.current(sub.pattern()).unwrap().matches,
+            plain.current(sub2.pattern()).unwrap().matches,
+        );
+    }
+}

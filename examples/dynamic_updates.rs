@@ -14,7 +14,7 @@
 use diversified_topk::datagen::{fig1_graph, fig1_pattern};
 use diversified_topk::prelude::*;
 
-fn show(title: &str, g: &gpm_graph::DynGraph, top: &TopKResult, m: &DynamicMatcher) {
+fn show(title: &str, top: &TopKResult, m: &mut DynamicMatcher) {
     // Decode maintained node ids back to Fig. 1 display names where the
     // node predates the stream (fresh hires get synthetic names).
     let base = fig1_graph();
@@ -22,7 +22,10 @@ fn show(title: &str, g: &gpm_graph::DynGraph, top: &TopKResult, m: &DynamicMatch
         base.name(v).map(str::to_owned).unwrap_or_else(|| format!("new#{v}"))
     };
     println!("── {title}");
-    println!("   graph v{}: {} nodes, {} edges", g.version(), g.node_count(), g.edge_count());
+    {
+        let g = m.graph();
+        println!("   graph v{}: {} nodes, {} edges", g.version(), g.node_count(), g.edge_count());
+    }
     let ranked: Vec<String> =
         top.matches.iter().map(|r| format!("{} (δr={})", name(r.node), r.relevance)).collect();
     println!(
@@ -51,14 +54,14 @@ fn main() {
         .expect("Fig. 1 pattern is maintainable");
     let initial = m.top_k();
     assert_eq!(initial.total_relevance(), 14, "the paper's Example 3 numbers");
-    show("initial network (paper Example 3)", m.graph(), &initial, &m);
+    show("initial network (paper Example 3)", &initial, &mut m);
 
     // Batch 1: PM1's group staffs up — DB1 starts reviewing PRG4's work,
     // giving PM1's cone extra reach.
     let db1 = g.node_by_name("DB1").unwrap();
     let prg4 = g.node_by_name("PRG4").unwrap();
     let top = m.apply(&GraphDelta::new().add_edge(db1, prg4)).unwrap();
-    show("DB1 starts collaborating with PRG4", m.graph(), &top, &m);
+    show("DB1 starts collaborating with PRG4", &top, &mut m);
 
     // Batch 2: a new hire joins PM1's group: a tester reporting to both
     // DB1 and PRG1 (labels::ST = 3).
@@ -67,13 +70,13 @@ fn main() {
     let top = m
         .apply(&GraphDelta::new().add_node(3).add_edge(db1, new_st).add_edge(prg1, new_st))
         .unwrap();
-    show("a new tester joins PM1's group", m.graph(), &top, &m);
+    show("a new tester joins PM1's group", &top, &mut m);
 
     // Batch 3: DB2 leaves the company — the shared 4-cycle that powered
     // PM2/PM3/PM4 loses a member, and their groups collapse.
     let db2 = g.node_by_name("DB2").unwrap();
     let top = m.apply(&GraphDelta::new().remove_node(db2)).unwrap();
-    show("DB2 leaves the company", m.graph(), &top, &m);
+    show("DB2 leaves the company", &top, &mut m);
 
     let stats = m.stats();
     println!(

@@ -338,9 +338,54 @@ proptest! {
             m.apply(&delta).unwrap();
         }
         prop_assert_eq!(m.stats().full_rebuilds, 0);
+        // The bound index never rebuilds on its own authority here:
+        // attribute flips leave the alive-pair trajectory flat or
+        // shrinking, so neither `Auto`'s grow-only hysteresis nor the
+        // churn gate may fire. The only permitted rebuilds are forced
+        // ones — a mass candidacy revival overflowing the condensation
+        // maintenance region restarts the condensation (and therefore
+        // the bounds folded over it) from scratch.
+        prop_assert!(
+            m.stats().bound_rebuilds <= m.stats().cond_rebuilds,
+            "bound index rebuilt without a condensation rebuild underneath it: {} > {}",
+            m.stats().bound_rebuilds, m.stats().cond_rebuilds
+        );
         let snap = m.snapshot();
         let base = top_k_by_match(&snap, &q, &TopKConfig::new(k));
         prop_assert_eq!(m.top_k().nodes(), base.nodes());
+    }
+
+    #[test]
+    fn bounded_pruning_never_changes_answers(
+        (labels, edges) in arb_graph(),
+        (plabels, pedges) in arb_pattern(),
+        batches in arb_ops(6),
+        k in 1usize..5,
+    ) {
+        // Maintained output bounds are a pure pruning accelerator: a
+        // bounds-disabled twin consuming the same mixed stream must
+        // produce bit-identical top-k answers after every batch, while
+        // the bounded side's maintained per-component `h` stays equal to
+        // a from-scratch refold (`check_maintained` folds
+        // `BoundState::validate` into the condensation oracle). Forced
+        // incremental, so no rebuild safety net hides a stale bound.
+        let g = graph_from_parts(&labels, &edges).unwrap();
+        let q = label_pattern(&plabels, &pedges, 0).unwrap();
+        let bounded_cfg = forced(k);
+        prop_assert!(bounded_cfg.bounds.enabled, "bounds are on by default");
+        let mut plain_cfg = bounded_cfg.clone();
+        plain_cfg.bounds.enabled = false;
+        let mut bm = DynamicMatcher::new(&g, q.clone(), bounded_cfg).unwrap();
+        let mut pm = DynamicMatcher::new(&g, q, plain_cfg).unwrap();
+        for raw in &batches {
+            let delta = decode(bm.graph(), raw, Stream::Mixed);
+            bm.apply(&delta).unwrap();
+            pm.apply(&delta).unwrap();
+            prop_assert_eq!(bm.top_k().matches, pm.top_k().matches,
+                "bound pruning changed the answer");
+            bm.check_maintained();
+        }
+        prop_assert_eq!(pm.stats().pruned_outputs, 0, "disabled bounds never prune");
     }
 }
 
